@@ -1,0 +1,32 @@
+# Convenience targets for the bitmap-filter reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures experiments examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure report on stdout.
+experiments:
+	$(PYTHON) -m repro all
+
+# Dump every figure's data series as CSV under figures/.
+figures:
+	$(PYTHON) -m repro export --out figures
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex =="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache figures
+	find . -name __pycache__ -type d -exec rm -rf {} +

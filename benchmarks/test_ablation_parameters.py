@@ -1,0 +1,59 @@
+"""Parameter-sensitivity ablation: Eq. (2) versus measured penetration.
+
+The design-choice sweep DESIGN.md calls out: how n, m, and c move the
+penetration probability, and the U-shaped curve around the Eq. (4) optimum.
+"""
+
+import pytest
+
+from repro.experiments.sweep import measure_penetration, run_sweep
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_sweep(trials=40_000)
+
+
+class TestSweepRegeneration:
+    def test_report_and_benchmark(self, benchmark):
+        res = benchmark.pedantic(lambda: run_sweep(trials=20_000),
+                                 rounds=1, iterations=1)
+        print("\n" + res.report())
+
+    def test_measurements_track_exact_model(self, result):
+        for point in result.points:
+            assert point.measured == pytest.approx(
+                point.predicted_exact, rel=0.5, abs=2e-3
+            ), (point.order, point.num_hashes, point.connections)
+
+    def test_doubling_connections_worsens_penetration(self, result):
+        by_key = {(p.order, p.num_hashes, p.connections): p.measured
+                  for p in result.points}
+        assert by_key[(14, 3, 2000)] > by_key[(14, 3, 1000)]
+
+    def test_larger_n_improves_penetration(self, result):
+        by_key = {(p.order, p.num_hashes, p.connections): p.measured
+                  for p in result.points}
+        assert by_key[(15, 3, 2000)] < by_key[(14, 3, 2000)]
+        assert by_key[(16, 3, 2000)] < by_key[(15, 3, 2000)]
+
+    def test_u_curve_shape(self, result):
+        """Measured penetration improves from m=1 toward the optimum."""
+        curve = {p.num_hashes: p.measured for p in result.optimum_curve}
+        assert curve[1] > curve[2] > curve[4]
+
+    def test_optimum_location(self, result):
+        """Eq. (4): m* = 2^14/(e*1500) ~ 4."""
+        assert result.optimum_m == pytest.approx(4.0, abs=0.5)
+
+
+class TestSeedIndependence:
+    def test_measured_penetration_stable_across_seeds(self):
+        import random
+
+        values = [
+            measure_penetration(14, 3, 1500, trials=20_000, rng=random.Random(s))
+            for s in (1, 2, 3)
+        ]
+        spread = max(values) - min(values)
+        assert spread < 0.01

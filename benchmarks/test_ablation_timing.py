@@ -1,0 +1,53 @@
+"""Timing ablation bench: the Section 3.4 (k, dt, Te) trade-offs."""
+
+import pytest
+
+from repro.experiments.config import SMALL
+from repro.experiments.timing import run_timing_ablation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_timing_ablation(SMALL)
+
+
+class TestTimingAblation:
+    def test_report_and_benchmark(self, benchmark):
+        res = benchmark.pedantic(lambda: run_timing_ablation(SMALL),
+                                 rounds=1, iterations=1)
+        print("\n" + res.report())
+
+    def test_more_vectors_tighten_guaranteed_window(self, result):
+        windows = [p.guaranteed_window for p in result.granularity]
+        assert windows == sorted(windows)
+        assert windows[-1] > windows[0]
+
+    def test_more_vectors_reduce_false_positives(self, result):
+        """Coarser rotation (k=2) over-expires more legitimate replies."""
+        fps = [p.false_positive_rate for p in result.granularity]
+        assert fps[0] >= fps[-1]
+
+    def test_memory_scales_with_k(self, result):
+        memories = [p.memory_bytes for p in result.granularity]
+        assert memories[1] == 2 * memories[0]
+        assert memories[3] == 8 * memories[0]
+
+    def test_rotation_count_scales_inverse_dt(self, result):
+        rotations = [p.rotations for p in result.granularity]
+        assert rotations[-1] == pytest.approx(8 * rotations[0], rel=0.05)
+
+    def test_shorter_te_more_false_positives(self, result):
+        """Section 3.4: Te too short over-kills delayed connections."""
+        fps = [p.false_positive_rate for p in result.expiry]
+        assert fps[0] > fps[-1]
+        # Monotone (within noise) along the Te = 5 -> 40 sweep.
+        assert fps[0] >= fps[1] >= fps[2]
+
+    def test_longer_te_weaker_filtering(self, result):
+        """Longer windows leave more time for lucky collisions."""
+        rates = [p.attack_filter_rate for p in result.expiry]
+        assert rates[0] >= rates[-1]
+
+    def test_all_configs_still_defend(self, result):
+        for point in result.granularity + result.expiry:
+            assert point.attack_filter_rate > 0.99

@@ -1,0 +1,61 @@
+"""Quantify the windowed batch path's approximation on real traffic.
+
+The windowed path (DESIGN.md / BitmapFilter.process_batch_windowed) marks
+each rotation window before testing it, so it can admit an unsolicited
+packet whose key is re-marked later in the same window.  This bench measures
+the divergence from the exact path on the MEDIUM trace and pins it small —
+the empirical license for using the fast path in large-scale runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap_filter import BitmapFilter
+from repro.experiments.fig5 import build_attack_trace
+
+
+class TestDivergence:
+    @pytest.fixture(scope="class")
+    def verdict_pair(self, scale, medium_trace):
+        exact = BitmapFilter(scale.bitmap_config(), medium_trace.protected)
+        windowed = BitmapFilter(scale.bitmap_config(), medium_trace.protected)
+        return (
+            exact.process_batch(medium_trace.packets, exact=True),
+            windowed.process_batch(medium_trace.packets, exact=False),
+        )
+
+    def test_windowed_superset(self, verdict_pair):
+        exact, windowed = verdict_pair
+        assert bool(np.all(windowed >= exact))
+
+    def test_divergence_below_one_percent(self, verdict_pair, medium_trace):
+        exact, windowed = verdict_pair
+        diverging = int((windowed != exact).sum())
+        assert diverging / len(medium_trace) < 0.01
+
+    def test_drop_rates_agree(self, verdict_pair, medium_trace, scale):
+        exact, windowed = verdict_pair
+        directions = medium_trace.packets.directions(medium_trace.protected)
+        incoming = directions == 1
+        exact_rate = float((~exact[incoming]).mean())
+        windowed_rate = float((~windowed[incoming]).mean())
+        assert windowed_rate <= exact_rate
+        assert exact_rate - windowed_rate < 0.01
+
+    def test_attack_rates_agree_under_attack(self, benchmark, scale, medium_trace):
+        """On the attacked trace both paths report the same filtering rate."""
+        mixed = build_attack_trace(scale, medium_trace)
+        labels = mixed.packets.label
+        incoming = mixed.packets.directions(mixed.protected) == 1
+        attack_in = (labels == 1) & incoming
+
+        def run(exact):
+            filt = BitmapFilter(scale.bitmap_config(), mixed.protected)
+            verdicts = filt.process_batch(mixed.packets, exact=exact)
+            return float((~verdicts[attack_in]).mean())
+
+        windowed_rate = benchmark.pedantic(lambda: run(False), rounds=1,
+                                           iterations=1)
+        exact_rate = run(True)
+        assert windowed_rate == pytest.approx(exact_rate, abs=5e-4)
+        assert windowed_rate > 0.999

@@ -1,0 +1,73 @@
+"""Figure 5 regeneration: the bitmap filter under the random-scan attack.
+
+Paper: attack at 20x the normal packet rate; 99.983% of attack packets
+filtered on average; the penetrating traffic tracks the normal-traffic line.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import expected_utilization
+from repro.experiments.fig5 import run_fig5
+
+
+@pytest.fixture(scope="module")
+def result(scale, medium_trace):
+    return run_fig5(scale, medium_trace)
+
+
+class TestFig5Regeneration:
+    def test_report_and_benchmark(self, benchmark, scale, medium_trace):
+        res = benchmark.pedantic(
+            lambda: run_fig5(scale, medium_trace), rounds=1, iterations=1
+        )
+        print("\n" + res.report())
+
+    def test_attack_filter_rate(self, result):
+        """Paper: 99.983%.  Scaled shape criterion: > 99.9%."""
+        assert result.attack_filter_rate > 0.999
+
+    def test_attack_ratio_is_paper_20x(self, result):
+        assert result.attack_to_normal_ratio == 20.0
+
+    def test_penetration_matches_eq1(self, result):
+        """Eq.(1) from the measured mid-attack utilization predicts the
+        measured penetration within statistical slack."""
+        assert result.penetration_rate == pytest.approx(
+            result.predicted_penetration, rel=1.5, abs=2e-4
+        )
+
+    def test_utilization_in_paper_regime(self, result, scale):
+        """DESIGN.md section 5: the scaled run must sit in the paper's
+        utilization band (paper: U ~ 4.3%) for the rates to transfer."""
+        assert 0.01 < result.steady_state_utilization < 0.12
+
+    def test_penetrating_traffic_tracks_normal_line(self, result):
+        """Fig 5a: the passed-packet line hugs the normal-traffic area."""
+        series = result.run.series
+        attack_active = series.attack_incoming > 0
+        passed = series.passed_incoming[attack_active].astype(float)
+        normal = series.normal_incoming[attack_active].astype(float)
+        # Per-second passed counts stay within ~20% of normal-only traffic.
+        mask = normal > 10
+        ratio = passed[mask] / normal[mask]
+        assert float(np.median(ratio)) == pytest.approx(1.0, abs=0.2)
+
+    def test_filter_rate_series_high_everywhere(self, result):
+        """Fig 5b: per-second filtering rate stays near 100%."""
+        series = result.run.series
+        rate = series.attack_filter_rate_series()
+        active = result.run.series.attack_incoming > 100
+        assert float(np.nanmin(rate[active])) > 0.99
+
+
+class TestScaleConsistency:
+    def test_scaled_utilization_matches_analytical_band(self, scale, result):
+        """Cross-check: U from the model at the scaled load is in-band."""
+        # Rough active-connection estimate from the measured utilization:
+        implied_c = (result.steady_state_utilization * (1 << scale.bitmap_order)
+                     / scale.num_hashes)
+        paper_u = expected_utilization(15_000, 3, 20)
+        # Both utilizations live in the same order of magnitude.
+        assert 0.2 < result.steady_state_utilization / paper_u < 5.0
+        assert implied_c > 100

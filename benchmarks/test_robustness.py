@@ -1,0 +1,35 @@
+"""Seed-robustness bench: headline results across independent workloads."""
+
+import pytest
+
+from repro.experiments.config import SMALL
+from repro.experiments.robustness import run_robustness
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_robustness(SMALL, seeds=[11, 23, 37])
+
+
+class TestSeedRobustness:
+    def test_report_and_benchmark(self, benchmark):
+        res = benchmark.pedantic(
+            lambda: run_robustness(SMALL, seeds=[11, 23]), rounds=1, iterations=1
+        )
+        print("\n" + res.report())
+
+    def test_drop_rates_stable(self, result):
+        """Every seed lands in the Fig. 4 band with small spread."""
+        assert result.std("spi_drop_rate") < 0.006
+        assert result.std("bitmap_drop_rate") < 0.006
+        assert 0.008 < result.mean("spi_drop_rate") < 0.026
+        assert 0.008 < result.mean("bitmap_drop_rate") < 0.026
+
+    def test_filtering_rate_stable(self, result):
+        assert result.mean("attack_filter_rate") > 0.999
+        assert result.std("attack_filter_rate") < 0.001
+
+    def test_parity_holds_on_average(self, result):
+        """Fig. 4's SPI >= bitmap ordering holds in the mean."""
+        assert (result.mean("spi_drop_rate")
+                >= result.mean("bitmap_drop_rate") - 0.001)

@@ -1,0 +1,54 @@
+"""Section 4.1 regeneration: capacity bounds, optimal m, memory.
+
+Pure analysis plus an empirical Eq.(1) validation — the exact numbers the
+paper derives for the {4 x 20}-bitmap.
+"""
+
+import pytest
+
+from repro.core.parameters import (
+    max_supported_connections,
+    memory_bytes,
+    optimal_num_hashes,
+)
+from repro.experiments.sec41 import run_sec41
+
+
+class TestCapacityTable:
+    """Paper: c <= 167K / 125K / 83K for p = 10% / 5% / 1%."""
+
+    def test_run_and_report(self, benchmark):
+        result = benchmark.pedantic(run_sec41, rounds=1, iterations=1)
+        print("\n" + result.report())
+        caps = {row["target_penetration"]: row["max_connections"]
+                for row in result.capacity_rows}
+        assert caps[0.10] == pytest.approx(167_000, rel=0.02)
+        assert caps[0.05] == pytest.approx(125_000, rel=0.05)
+        assert caps[0.01] == pytest.approx(83_000, rel=0.02)
+
+    def test_memory_is_512kb(self):
+        assert memory_bytes(4, 20) == 512 * 1024
+
+    def test_m_3_suffices_for_trace_load(self):
+        """15K active connections: m=3 keeps p ~ 8e-5 (paper's setup)."""
+        from repro.core.parameters import penetration_probability_for_load
+
+        p = penetration_probability_for_load(15_000, 3, 20)
+        assert p < 1e-4
+
+    def test_optimal_m_far_above_needed(self):
+        """Eq. (4)'s optimum for 15K connections is ~25 hashes; the paper
+        settles for 3 because the bounds already hold — both must be true."""
+        m_star = optimal_num_hashes(20, 15_000, integral=False)
+        assert 20 < m_star < 30
+
+    def test_capacity_monotone_in_target(self):
+        assert (max_supported_connections(20, 0.10)
+                > max_supported_connections(20, 0.05)
+                > max_supported_connections(20, 0.01))
+
+    def test_empirical_validation(self):
+        result = run_sec41(measure_trials=200_000)
+        # Utilization-matched check: measured penetration must sit in the
+        # predicted order of magnitude (p ~ 8e-5 -> expect < 4e-4).
+        assert result.measured_penetration < 4e-4

@@ -1,0 +1,36 @@
+"""Section 5.1 regeneration: protocol compatibility and hole punching."""
+
+import pytest
+
+from repro.experiments.compat import run_compat
+from repro.experiments.config import SMALL
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_compat(SMALL)
+
+
+class TestCompatibility:
+    def test_report_and_benchmark(self, benchmark):
+        res = benchmark.pedantic(lambda: run_compat(SMALL), rounds=1,
+                                 iterations=1)
+        print("\n" + res.report())
+
+    def test_active_mode_broken_without_punching(self, result):
+        """The paper's premise: server-initiated channels are dropped."""
+        assert result.data_channel_success_without_punch < 0.05
+
+    def test_hole_punching_fixes_it(self, result):
+        assert result.data_channel_success_with_punch > 0.95
+
+    def test_holes_expire(self, result):
+        """A connect attempt > Te after the punch fails — holes are not
+        permanent (the paper's security argument)."""
+        assert result.late_connect_success_with_punch < 0.05
+
+    def test_no_collateral_damage(self, result):
+        """Punching for FTP does not change normal traffic's FP rate."""
+        assert result.normal_fp_with_punch == pytest.approx(
+            result.normal_fp_without_punch, abs=0.002
+        )

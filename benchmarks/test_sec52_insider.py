@@ -1,0 +1,39 @@
+"""Section 5.2 regeneration: insider attack and mitigations."""
+
+import pytest
+
+from repro.experiments.config import MEDIUM
+from repro.experiments.sec52 import run_sec52
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return run_sec52(scale)
+
+
+class TestInsiderExperiment:
+    def test_report_and_benchmark(self, benchmark, scale):
+        res = benchmark.pedantic(lambda: run_sec52(scale), rounds=1, iterations=1)
+        print("\n" + res.report())
+
+    def test_utilization_increase_matches_formula(self, result):
+        """dU ~= m*r*Te / 2^n (the Section 5.2 estimate)."""
+        baseline = result.scenarios[0]
+        assert baseline.measured_increase == pytest.approx(
+            baseline.predicted_increase, rel=0.5
+        )
+
+    def test_larger_bitmap_mitigates(self, result):
+        baseline, larger_n, _ = result.scenarios
+        assert larger_n.measured_increase < baseline.measured_increase / 2
+        assert larger_n.attacked_penetration < baseline.attacked_penetration
+
+    def test_shorter_te_mitigates(self, result):
+        baseline, _, shorter_te = result.scenarios
+        assert shorter_te.measured_increase < baseline.measured_increase
+        assert shorter_te.attacked_penetration < baseline.attacked_penetration
+
+    def test_attack_meaningfully_degrades_baseline(self, result):
+        """The attack must actually hurt, or the mitigation test is vacuous."""
+        baseline = result.scenarios[0]
+        assert baseline.attacked_utilization > 2 * baseline.baseline_utilization

@@ -1,0 +1,44 @@
+"""Section 5.3 regeneration: adaptive packet dropping.
+
+APD is inherently per-packet (randomized drops driven by link indicators),
+so this bench runs at SMALL scale.
+"""
+
+import pytest
+
+from repro.experiments.config import SMALL
+from repro.experiments.sec53 import run_sec53
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_sec53(SMALL)
+
+
+class TestApdRegeneration:
+    def test_report_and_benchmark(self, benchmark):
+        res = benchmark.pedantic(lambda: run_sec53(SMALL), rounds=1, iterations=1)
+        print("\n" + res.report())
+
+    def test_bandwidth_indicator_phases(self, result):
+        before, during, after = result.bandwidth_phases
+        assert before.admission_rate > 0.8
+        assert during.admission_rate < 0.4
+        assert after.admission_rate > 0.6
+
+    def test_ratio_indicator_phases(self, result):
+        before, during, after = result.ratio_phases
+        assert before.admission_rate > 0.8
+        assert during.admission_rate < 0.2
+
+    def test_ratio_indicator_stricter_under_flood(self, result):
+        """A 12x in/out ratio saturates the (l=2, h=6) thresholds fully,
+        while bandwidth utilization saturates only to the flood share."""
+        assert (result.ratio_phases[1].admission_rate
+                <= result.bandwidth_phases[1].admission_rate + 0.05)
+
+    def test_signal_policy_ablation(self, result):
+        """Without the marking policy, scan-elicited replies punch holes
+        the scanner exploits ~100% of the time; with it, ~0%."""
+        assert result.ablation["with signal policy"] < 0.02
+        assert result.ablation["without signal policy"] > 0.95

@@ -1,0 +1,42 @@
+"""Section 5.4 regeneration: sniffed-tuple replay vs collusion latency."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.sec54 import run_sec54
+
+XS = ExperimentScale(name="xs", duration=60.0, normal_pps=250.0,
+                     bitmap_order=14)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_sec54(XS)
+
+
+class TestCollusion:
+    def test_report_and_benchmark(self, benchmark):
+        res = benchmark.pedantic(lambda: run_sec54(XS), rounds=1, iterations=1)
+        print("\n" + res.report())
+
+    def test_fresh_reports_penetrate(self, result):
+        """Low-latency collusion works — the attack the section warns of."""
+        assert result.rate_at(1.0, 20.0) > 0.9
+
+    def test_penetration_decays_with_latency(self, result):
+        """The paper's core claim: stale reports lose their value."""
+        assert (result.rate_at(1.0, 20.0)
+                > result.rate_at(25.0, 20.0)
+                > 0)
+        assert result.rate_at(25.0, 20.0) < result.rate_at(16.0, 20.0) + 0.05
+
+    def test_short_te_shrinks_the_window(self, result):
+        """Section 5.4's defense: with Te=5s the same 8s-stale report is
+        worth half as much."""
+        assert result.rate_at(8.0, 5.0) < 0.6 * result.rate_at(8.0, 20.0)
+
+    def test_floor_is_live_flow_replay(self, result):
+        """Even very stale replays hit still-active flows — a floor that
+        any symmetry filter (incl. exact SPI) shares; it must be well below
+        the fresh-report rate."""
+        assert result.rate_at(40.0, 20.0) < 0.7 * result.rate_at(1.0, 20.0)

@@ -1,0 +1,141 @@
+"""Table 1 regeneration: bitmap filter vs SPI filters.
+
+The analytical storage half is asserted exactly; the measured half is
+benchmarked with pytest-benchmark on the raw data structures so the
+complexity claims (O(1) vs O(log n) vs O(n)) are visible as timings.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bitmap import Bitmap
+from repro.core.hashing import HashFamily
+from repro.experiments.table1 import paper_storage_rows, run_table1
+from repro.spi.avltree import AvlTree
+from repro.spi.base import FlowState
+from repro.spi.hashlist import FlowHashTable
+
+POPULATION = 50_000
+
+
+def _random_keys(count, seed):
+    rng = random.Random(seed)
+    return [
+        (6, rng.getrandbits(32), rng.getrandbits(16), rng.getrandbits(32),
+         rng.getrandbits(16))
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return _random_keys(POPULATION, 1)
+
+
+@pytest.fixture(scope="module")
+def probe_keys():
+    return _random_keys(2000, 2)
+
+
+class TestAnalyticalStorage:
+    def test_paper_numbers(self):
+        rows = {row["structure"]: row for row in paper_storage_rows()}
+        assert rows["hash+link-list (Linux)"]["storage_bytes"] == 76_800_000
+        assert rows["AVL-tree"]["storage_bytes"] == 76_800_000
+        bitmap = next(v for k, v in rows.items() if "bitmap" in k)
+        assert bitmap["storage_bytes"] == 8 * 1024 * 1024
+
+    def test_full_report(self):
+        result = run_table1(sizes=(5_000, 20_000, 80_000), probes=2_000)
+        print("\n" + result.report())
+        assert result.growth_factor("bitmap filter", "lookup_ns") < 2.0
+        assert result.timings["bitmap filter"][-1].gc_ms < (
+            result.timings["hash+link-list"][-1].gc_ms
+        )
+
+
+class TestHashListOps:
+    def test_insert(self, benchmark, keys, probe_keys):
+        table = FlowHashTable(16384)
+        for key in keys:
+            table.insert(key, FlowState(1e18))
+
+        def insert_batch():
+            for key in probe_keys:
+                table.insert(key, FlowState(1e18))
+
+        benchmark.pedantic(insert_batch, rounds=3, iterations=1)
+
+    def test_lookup(self, benchmark, keys):
+        table = FlowHashTable(16384)
+        for key in keys:
+            table.insert(key, FlowState(1e18))
+        hot = keys[:2000]
+        benchmark(lambda: [table.get(key) for key in hot])
+
+    def test_gc_sweep(self, benchmark, keys):
+        table = FlowHashTable(16384)
+        for key in keys:
+            table.insert(key, FlowState(1e18))
+        benchmark(lambda: table.sweep_expired(0.0))
+
+
+class TestAvlOps:
+    def test_insert(self, benchmark, keys, probe_keys):
+        tree = AvlTree()
+        for key in keys:
+            tree.put(key, FlowState(1e18))
+
+        def insert_batch():
+            for key in probe_keys:
+                tree.put(key, FlowState(1e18))
+
+        benchmark.pedantic(insert_batch, rounds=3, iterations=1)
+
+    def test_lookup(self, benchmark, keys):
+        tree = AvlTree()
+        for key in keys:
+            tree.put(key, FlowState(1e18))
+        hot = keys[:2000]
+        benchmark(lambda: [tree.get(key) for key in hot])
+
+    def test_gc_traversal(self, benchmark, keys):
+        tree = AvlTree()
+        for key in keys:
+            tree.put(key, FlowState(1e18))
+
+        def traverse():
+            return sum(1 for _k, s in tree.items() if s.expires_at <= 0.0)
+
+        benchmark(traverse)
+
+
+class TestBitmapOps:
+    def test_mark(self, benchmark, keys, probe_keys):
+        bitmap = Bitmap(4, 20)
+        hashes = HashFamily(3, 20)
+        for key in keys:
+            bitmap.mark(hashes.indices(key[:4]))
+        hot = [key[:4] for key in probe_keys]
+
+        def mark_batch():
+            for key in hot:
+                bitmap.mark(hashes.indices(key))
+
+        benchmark.pedantic(mark_batch, rounds=3, iterations=1)
+
+    def test_lookup(self, benchmark, keys):
+        bitmap = Bitmap(4, 20)
+        hashes = HashFamily(3, 20)
+        for key in keys:
+            bitmap.mark(hashes.indices(key[:4]))
+        hot = [key[:4] for key in keys[:2000]]
+        benchmark(lambda: [bitmap.test_current(hashes.indices(key)) for key in hot])
+
+    def test_gc_rotate(self, benchmark, keys):
+        bitmap = Bitmap(4, 20)
+        hashes = HashFamily(3, 20)
+        for key in keys:
+            bitmap.mark(hashes.indices(key[:4]))
+        benchmark(bitmap.rotate)

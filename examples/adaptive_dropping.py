@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Adaptive packet dropping under a bandwidth flood — Section 5.3.
+
+An APD-enabled bitmap filter is lenient while the downlink is idle (bitmap-
+rejected packets are mostly admitted) and turns strict as a UDP flood loads
+the link.  This example runs three phases — quiet, 12x flood, quiet — and
+prints the per-phase admission behaviour of both indicator designs.
+
+Run:  python examples/adaptive_dropping.py
+"""
+
+from repro.core.apd import (
+    AdaptiveDroppingPolicy,
+    BandwidthIndicator,
+    PacketRatioIndicator,
+)
+from repro.attacks.ddos import udp_flood
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig, Decision
+from repro.traffic.generator import generate_client_trace
+from repro.traffic.trace import Trace
+
+
+def run_phase_analysis(name, indicator_factory, mixed, flood_window):
+    apd = AdaptiveDroppingPolicy(indicator_factory(), seed=1)
+    config = BitmapFilterConfig(order=14, num_vectors=4, num_hashes=3,
+                                rotation_interval=5.0)
+    filt = BitmapFilter(config, mixed.protected, apd=apd)
+
+    phases = {"quiet (before)": [0, 0], "flood": [0, 0], "quiet (after)": [0, 0]}
+
+    def phase_of(ts):
+        if ts < flood_window[0]:
+            return "quiet (before)"
+        if ts < flood_window[1]:
+            return "flood"
+        return "quiet (after)"
+
+    for pkt in mixed.packets:
+        seen = apd.stats.admitted + apd.stats.dropped
+        decision = filt.process(pkt)
+        if apd.stats.admitted + apd.stats.dropped != seen:
+            bucket = phases[phase_of(pkt.ts)]
+            bucket[0 if decision is Decision.PASS else 1] += 1
+
+    print(f"\n{name}:")
+    print(f"  {'phase':<16}{'rejected by bitmap':>20}{'admitted by APD':>18}")
+    for label, (admitted, dropped) in phases.items():
+        total = admitted + dropped
+        rate = admitted / total * 100 if total else 0.0
+        print(f"  {label:<16}{total:>20}{rate:>17.1f}%")
+
+
+def main() -> None:
+    print("generating workload + 12x UDP flood (60s)...")
+    trace = generate_client_trace(duration=60.0, target_pps=250.0, seed=17)
+    victim = trace.protected.networks[0].host(30)
+    flood = udp_flood(victim, rate_pps=250.0 * 12, start=24.0, duration=18.0,
+                      seed=5)
+    mixed = trace.merged_with(Trace(flood, trace.protected,
+                                    {"duration": trace.duration}))
+    print(f"  {mixed.summary().describe()}")
+
+    link_capacity = 250.0 * 12 * 1400 * 8  # sized to saturate during the flood
+    run_phase_analysis(
+        "bandwidth-utilization indicator (drop prob = U_b)",
+        lambda: BandwidthIndicator(link_capacity_bps=link_capacity),
+        mixed, (24.0, 42.0),
+    )
+    run_phase_analysis(
+        "in/out packet-ratio indicator (l=2, h=6)",
+        lambda: PacketRatioIndicator(low=2.0, high=6.0),
+        mixed, (24.0, 42.0),
+    )
+    print("\nWhen the link is idle the filter admits nearly everything the "
+          "bitmap rejects;\nunder the flood it reverts to strict dropping — "
+          "Section 5.3's design goal.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""A campus network under a random-scan attack — the paper's Section 4.3.
+
+Generates two minutes of realistic client-network traffic (calibrated to
+the paper's campus trace), mixes in a random scanning attack at 20x the
+normal packet rate, runs both a bitmap filter and an SPI baseline, and
+prints a side-by-side scorecard.
+
+Run:  python examples/campus_network_defense.py
+"""
+
+from repro.attacks.scanner import RandomScanAttack, ScanConfig
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+from repro.sim.pipeline import run_filter_on_trace
+from repro.spi.hashlist import HashListFilter
+from repro.traffic.generator import generate_client_trace
+from repro.traffic.trace import Trace
+
+
+def main() -> None:
+    print("generating client-network workload (120s)...")
+    trace = generate_client_trace(duration=120.0, target_pps=500.0, seed=7)
+    print(f"  {trace.summary().describe()}")
+
+    print("\nmixing in a random-scan attack at 20x the normal rate...")
+    attack = RandomScanAttack(
+        ScanConfig(rate_pps=500.0 * 20, start=40.0, duration=60.0, seed=99),
+        trace.protected,
+    ).generate()
+    mixed = trace.merged_with(Trace(attack, trace.protected,
+                                    {"duration": trace.duration}))
+    print(f"  {mixed.summary().describe()}")
+
+    # A bitmap filter scaled to this workload (see DESIGN.md section 5) and
+    # an SPI baseline with the 240s TIME_WAIT timeout of Section 4.3.
+    bitmap_cfg = BitmapFilterConfig(order=15, num_vectors=4, num_hashes=3,
+                                    rotation_interval=5.0)
+    bitmap = BitmapFilter(bitmap_cfg, mixed.protected)
+    spi = HashListFilter(mixed.protected, idle_timeout=240.0)
+
+    print("\nrunning the bitmap filter...")
+    bitmap_run = run_filter_on_trace(bitmap, mixed, exact=True)
+    print("running the SPI baseline...")
+    spi_run = run_filter_on_trace(spi, mixed)
+
+    print("\n=== scorecard =========================================")
+    header = f"{'metric':<32}{'bitmap':>14}{'SPI':>16}"
+    print(header)
+    print("-" * len(header))
+    rows = [
+        ("attack filtering rate",
+         f"{bitmap_run.confusion.attack_filter_rate * 100:.3f}%",
+         f"{spi_run.confusion.attack_filter_rate * 100:.3f}%"),
+        ("attack packets penetrated",
+         bitmap_run.confusion.attack_passed,
+         spi_run.confusion.attack_passed),
+        ("legit traffic dropped (FP)",
+         f"{bitmap_run.confusion.false_positive_rate * 100:.2f}%",
+         f"{spi_run.confusion.false_positive_rate * 100:.2f}%"),
+        ("state memory",
+         f"{bitmap_cfg.memory_bytes // 1024} KiB",
+         f"{spi.peak_storage_bytes // 1024} KiB (peak)"),
+        ("processing wall time",
+         f"{bitmap_run.wall_time:.2f}s",
+         f"{spi_run.wall_time:.2f}s"),
+    ]
+    for name, a, b in rows:
+        print(f"{name:<32}{str(a):>14}{str(b):>16}")
+
+    print("\nThe bitmap filter matches the SPI filter's defense while "
+          "keeping fixed, small state\n(the paper's Table 1 point).")
+
+
+if __name__ == "__main__":
+    main()

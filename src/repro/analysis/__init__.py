@@ -1,0 +1,22 @@
+"""Trace analysis: the measurements behind Figure 2 and the result tables.
+
+- :mod:`repro.analysis.lifetime` — TCP connection lifetimes (SYN to FIN/RST).
+- :mod:`repro.analysis.delay` — out-in packet delays per the Section 3.2
+  procedure (tuple table with expiry timer Te).
+- :mod:`repro.analysis.stats` — histogram / CDF / percentile helpers.
+- :mod:`repro.analysis.report` — ASCII renderers for paper-style tables.
+"""
+
+from repro.analysis.delay import OutInDelayExtractor, out_in_delays
+from repro.analysis.lifetime import ConnectionLifetimeExtractor, connection_lifetimes
+from repro.analysis.stats import Cdf, Histogram, summarize_percentiles
+
+__all__ = [
+    "OutInDelayExtractor",
+    "out_in_delays",
+    "ConnectionLifetimeExtractor",
+    "connection_lifetimes",
+    "Cdf",
+    "Histogram",
+    "summarize_percentiles",
+]

@@ -1,0 +1,97 @@
+"""Traffic composition: break a trace down by application.
+
+Classifies packets by transport protocol and well-known server port (the
+port on whichever side is the remote/server end of the flow), yielding the
+per-application packet and session shares — the view an operator uses to
+sanity-check a capture before sizing a filter, and the cross-check that the
+synthetic workload's mix matches its configuration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.address import AddressSpace
+from repro.net.packet import PacketArray
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP, WELL_KNOWN_SERVICES
+
+#: (protocol, port) -> application name, derived from the service registry.
+_PORT_APPS: Dict[Tuple[int, int], str] = {
+    (svc.protocol, svc.port): name for name, svc in WELL_KNOWN_SERVICES.items()
+}
+# A few common alternates used by the workload generator.
+_PORT_APPS[(IPPROTO_TCP, 8080)] = "http"
+
+
+@dataclass(frozen=True)
+class AppShare:
+    """One application's share of a trace."""
+
+    name: str
+    packets: int
+    bytes: int
+    fraction: float
+
+
+@dataclass
+class CompositionReport:
+    shares: List[AppShare]
+    total_packets: int
+
+    def fraction_of(self, name: str) -> float:
+        for share in self.shares:
+            if share.name == name:
+                return share.fraction
+        return 0.0
+
+    def top(self, n: int = 5) -> List[AppShare]:
+        return self.shares[:n]
+
+    def describe(self) -> str:
+        lines = [f"{'application':<14}{'packets':>10}{'share':>9}{'bytes':>12}"]
+        for share in self.shares:
+            lines.append(f"{share.name:<14}{share.packets:>10}"
+                         f"{share.fraction * 100:>8.2f}%{share.bytes:>12}")
+        return "\n".join(lines)
+
+
+def _server_ports(packets: PacketArray, protected: AddressSpace) -> np.ndarray:
+    """The remote-side port of each packet (the 'service' port).
+
+    Outgoing packets' service port is their dport; incoming packets' is
+    their sport.  Transit/internal packets use dport.
+    """
+    directions = packets.directions(protected)
+    incoming = directions == 1
+    return np.where(incoming, packets.sport, packets.dport)
+
+
+def composition(packets: PacketArray, protected: AddressSpace) -> CompositionReport:
+    """Per-application packet/byte shares of a trace."""
+    n = len(packets)
+    if not n:
+        return CompositionReport(shares=[], total_packets=0)
+    ports = _server_ports(packets, protected)
+    protos = packets.proto
+    sizes = packets.size
+
+    counts: Counter = Counter()
+    byte_counts: Counter = Counter()
+    for proto, port, size in zip(protos.tolist(), ports.tolist(), sizes.tolist()):
+        app = _PORT_APPS.get((proto, port))
+        if app is None:
+            app = "other-tcp" if proto == IPPROTO_TCP else (
+                "other-udp" if proto == IPPROTO_UDP else "other")
+        counts[app] += 1
+        byte_counts[app] += size
+
+    shares = [
+        AppShare(name=name, packets=count, bytes=byte_counts[name],
+                 fraction=count / n)
+        for name, count in counts.most_common()
+    ]
+    return CompositionReport(shares=shares, total_packets=n)

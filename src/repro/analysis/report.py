@@ -1,0 +1,53 @@
+"""ASCII renderers for paper-style tables and series.
+
+The benchmark harness prints its results through these helpers so that every
+regenerated table/figure appears in the same rows-and-columns shape the
+paper uses (see EXPERIMENTS.md for side-by-side numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, pairs: Sequence[Tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y", max_rows: int = 25) -> str:
+    """A (possibly downsampled) two-column series printout."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    step = max(1, len(pairs) // max_rows)
+    for i in range(0, len(pairs), step):
+        x, y = pairs[i]
+        lines.append(f"  {x:>12.4f}  {y:>12.4f}")
+    return "\n".join(lines)
+
+
+def render_comparison(title: str, paper: Dict[str, object],
+                      measured: Dict[str, object]) -> str:
+    """Paper-vs-measured key/value table (the EXPERIMENTS.md shape)."""
+    keys = list(paper.keys()) + [k for k in measured if k not in paper]
+    rows = [(key, paper.get(key, "-"), measured.get(key, "-")) for key in keys]
+    return render_table(["metric", "paper", "measured"], rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)

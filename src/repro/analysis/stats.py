@@ -1,0 +1,110 @@
+"""Histogram, CDF, and percentile helpers shared by the figure pipelines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A binned histogram with explicit edges."""
+
+    edges: np.ndarray   # length B+1
+    counts: np.ndarray  # length B
+
+    @classmethod
+    def of(cls, values: Sequence[float], bins: int = 100, log: bool = False,
+           value_range: Tuple[float, float] = None) -> "Histogram":
+        """Histogram of ``values``; ``log=True`` uses log-spaced bins."""
+        arr = np.asarray(values, dtype=float)
+        if value_range is None:
+            lo = float(arr.min()) if len(arr) else 0.0
+            hi = float(arr.max()) if len(arr) else 1.0
+        else:
+            lo, hi = value_range
+        if log:
+            lo = max(lo, 1e-6)
+            edges = np.logspace(np.log10(lo), np.log10(max(hi, lo * 10)), bins + 1)
+        else:
+            edges = np.linspace(lo, hi, bins + 1)
+        counts, edges = np.histogram(arr, bins=edges)
+        return cls(edges=edges, counts=counts)
+
+    @property
+    def centers(self) -> np.ndarray:
+        return (self.edges[:-1] + self.edges[1:]) / 2.0
+
+    def peak_bins(self, min_prominence: float = 2.0) -> List[int]:
+        """Indices of local maxima at least ``min_prominence`` x their neighbours.
+
+        A deliberately simple peak finder, sufficient for locating the
+        Figure 2b port-reuse comb in tests.
+        """
+        peaks = []
+        counts = self.counts.astype(float)
+        for i in range(1, len(counts) - 1):
+            if counts[i] <= 0:
+                continue
+            left, right = counts[i - 1], counts[i + 1]
+            neighbour = max(left, right, 1.0)
+            if counts[i] >= left and counts[i] >= right and counts[i] >= min_prominence * max(
+                min(left, right), 1.0
+            ):
+                peaks.append(i)
+        return peaks
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF with percentile queries."""
+
+    sorted_values: np.ndarray
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Cdf":
+        arr = np.sort(np.asarray(values, dtype=float))
+        if not len(arr):
+            raise ValueError("cannot build a CDF of no data")
+        return cls(sorted_values=arr)
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` (0-100, linear interpolation)."""
+        return float(np.percentile(self.sorted_values, q))
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(X <= threshold)."""
+        return float(np.searchsorted(self.sorted_values, threshold, side="right")) / len(
+            self.sorted_values
+        )
+
+    def series(self, points: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) pairs for plotting/printing."""
+        n = len(self.sorted_values)
+        idx = np.linspace(0, n - 1, min(points, n)).astype(int)
+        x = self.sorted_values[idx]
+        y = (idx + 1) / n
+        return x, y
+
+    def __len__(self) -> int:
+        return len(self.sorted_values)
+
+
+def summarize_percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50, 90, 95, 99)
+) -> Dict[float, float]:
+    """Percentile table of a sample (q -> value)."""
+    cdf = Cdf.of(values)
+    return {q: cdf.percentile(q) for q in qs}
+
+
+def per_second_series(ts: np.ndarray, duration: float = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Bucket timestamps into 1-second bins; returns (bin starts, counts)."""
+    ts = np.asarray(ts, dtype=float)
+    if duration is None:
+        duration = float(ts.max()) + 1.0 if len(ts) else 1.0
+    bins = np.arange(0.0, np.ceil(duration) + 1.0, 1.0)
+    counts, edges = np.histogram(ts, bins=bins)
+    return edges[:-1], counts

@@ -1,0 +1,30 @@
+"""Attack traffic generators.
+
+- :mod:`repro.attacks.scanner` — the random-scan generator of Section 4.3
+  (random saddr/sport/dport, daddr confined to the protected subnets).
+- :mod:`repro.attacks.ddos` — SYN floods, FIN scans, UDP floods.
+- :mod:`repro.attacks.worm` — a random-scanning epidemic worm model
+  (Code Red-style) plus the inbound scan traffic it aims at a client network.
+- :mod:`repro.attacks.insider` — an infected *inside* host polluting the
+  bitmap with outgoing random traffic (Section 5.2).
+
+All generators produce :class:`~repro.net.packet.PacketArray` batches whose
+``label`` field is :data:`~repro.net.packet.PacketLabel.ATTACK`, so the
+evaluation pipeline can separate attack from normal traffic when scoring.
+"""
+
+from repro.attacks.ddos import fin_scan, syn_flood, udp_flood
+from repro.attacks.insider import InsiderAttack
+from repro.attacks.scanner import RandomScanAttack, ScanConfig
+from repro.attacks.worm import WormModel, WormParameters
+
+__all__ = [
+    "fin_scan",
+    "syn_flood",
+    "udp_flood",
+    "InsiderAttack",
+    "RandomScanAttack",
+    "ScanConfig",
+    "WormModel",
+    "WormParameters",
+]

@@ -1,0 +1,103 @@
+"""Flood/scan attack primitives: SYN flood, FIN scan, UDP flood.
+
+These complement the random scanner for the Section 5.3 APD experiments —
+floods that aim at a *fixed* victim (bandwidth attacks) rather than sweeping
+the address space, and the SYN/FIN scans whose elicited replies motivate the
+APD signal-packet marking policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.packet import PacketArray, PacketLabel, TcpFlags
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+
+
+def _poisson_timestamps(rng: np.random.Generator, rate_pps: float, start: float,
+                        duration: float) -> np.ndarray:
+    count = int(round(rate_pps * duration))
+    gaps = rng.exponential(1.0 / rate_pps, size=count)
+    ts = start + np.cumsum(gaps)
+    overshoot = ts[-1] - (start + duration)
+    if overshoot > 0:
+        ts -= overshoot * (ts - start) / (ts[-1] - start)
+    return ts
+
+
+def _spoofed_sources(rng: np.random.Generator, count: int) -> np.ndarray:
+    return rng.integers(0x01000000, 0xE0000000, size=count, dtype=np.uint32)
+
+
+def syn_flood(
+    target_addr: int,
+    target_port: int,
+    rate_pps: float,
+    start: float,
+    duration: float,
+    seed: int = 7,
+) -> PacketArray:
+    """A spoofed-source TCP SYN flood against one victim host/port."""
+    rng = np.random.default_rng(seed)
+    ts = _poisson_timestamps(rng, rate_pps, start, duration)
+    count = len(ts)
+    return PacketArray.from_fields(
+        ts=ts,
+        proto=np.full(count, IPPROTO_TCP, dtype=np.uint8),
+        src=_spoofed_sources(rng, count),
+        sport=rng.integers(1024, 65536, size=count, dtype=np.uint32).astype(np.uint16),
+        dst=np.full(count, target_addr, dtype=np.uint32),
+        dport=np.full(count, target_port, dtype=np.uint16),
+        flags=np.full(count, int(TcpFlags.SYN), dtype=np.uint8),
+        size=np.full(count, 40, dtype=np.uint16),
+        label=np.full(count, int(PacketLabel.ATTACK), dtype=np.uint8),
+    )
+
+
+def fin_scan(
+    target_addr: int,
+    rate_pps: float,
+    start: float,
+    duration: float,
+    seed: int = 8,
+) -> PacketArray:
+    """A FIN port scan sweeping a victim's ports (stealth scan)."""
+    rng = np.random.default_rng(seed)
+    ts = _poisson_timestamps(rng, rate_pps, start, duration)
+    count = len(ts)
+    return PacketArray.from_fields(
+        ts=ts,
+        proto=np.full(count, IPPROTO_TCP, dtype=np.uint8),
+        src=_spoofed_sources(rng, count),
+        sport=rng.integers(1024, 65536, size=count, dtype=np.uint32).astype(np.uint16),
+        dst=np.full(count, target_addr, dtype=np.uint32),
+        dport=rng.integers(1, 65536, size=count, dtype=np.uint32).astype(np.uint16),
+        flags=np.full(count, int(TcpFlags.FIN), dtype=np.uint8),
+        size=np.full(count, 40, dtype=np.uint16),
+        label=np.full(count, int(PacketLabel.ATTACK), dtype=np.uint8),
+    )
+
+
+def udp_flood(
+    target_addr: int,
+    rate_pps: float,
+    start: float,
+    duration: float,
+    packet_size: int = 1400,
+    seed: int = 9,
+) -> PacketArray:
+    """A volumetric UDP flood (bandwidth attack) against one victim."""
+    rng = np.random.default_rng(seed)
+    ts = _poisson_timestamps(rng, rate_pps, start, duration)
+    count = len(ts)
+    return PacketArray.from_fields(
+        ts=ts,
+        proto=np.full(count, IPPROTO_UDP, dtype=np.uint8),
+        src=_spoofed_sources(rng, count),
+        sport=rng.integers(1, 65536, size=count, dtype=np.uint32).astype(np.uint16),
+        dst=np.full(count, target_addr, dtype=np.uint32),
+        dport=rng.integers(1, 65536, size=count, dtype=np.uint32).astype(np.uint16),
+        flags=np.zeros(count, dtype=np.uint8),
+        size=np.full(count, packet_size, dtype=np.uint16),
+        label=np.full(count, int(PacketLabel.ATTACK), dtype=np.uint8),
+    )

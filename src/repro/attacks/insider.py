@@ -1,0 +1,71 @@
+"""The insider attack of Section 5.2: an infected host inside the client net.
+
+An inside host emitting *outgoing* random tuples at rate ``r`` marks
+``m * r * Te`` bits per expiry window, inflating the bitmap's utilization by
+roughly ``m * r * Te / 2**n`` and therefore the random-packet penetration
+rate.  This generator produces that outgoing pollution traffic so the
+Section 5.2 experiment can validate the formula and its mitigations (larger
+``n``, shorter ``Te``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.address import AddressSpace
+from repro.net.packet import PacketArray, PacketLabel, TcpFlags
+from repro.net.protocols import IPPROTO_TCP
+
+
+@dataclass(frozen=True)
+class InsiderAttack:
+    """An infected internal host scanning the outside world."""
+
+    attacker_addr: int      # must be inside the protected space
+    rate_pps: float
+    start: float
+    duration: float
+    seed: int = 4242
+
+    def __post_init__(self) -> None:
+        if self.rate_pps <= 0 or self.duration <= 0:
+            raise ValueError("rate and duration must be positive")
+
+    def generate(self, protected: AddressSpace) -> PacketArray:
+        if not protected.contains_int(self.attacker_addr):
+            raise ValueError("insider attacker must live inside the protected space")
+        rng = np.random.default_rng(self.seed)
+        count = int(round(self.rate_pps * self.duration))
+        if count == 0:
+            return PacketArray.empty()
+        gaps = rng.exponential(1.0 / self.rate_pps, size=count)
+        ts = self.start + np.cumsum(gaps)
+        overshoot = ts[-1] - (self.start + self.duration)
+        if overshoot > 0:
+            ts -= overshoot * (ts - self.start) / (ts[-1] - self.start)
+
+        # Random external victims: each outgoing packet marks a fresh key.
+        daddr = rng.integers(0x01000000, 0xE0000000, size=count, dtype=np.uint32)
+        inside = np.zeros(count, dtype=bool)
+        for net in protected.networks:
+            inside |= (daddr & np.uint32(net.netmask)) == np.uint32(net.prefix)
+        while inside.any():
+            n = int(inside.sum())
+            daddr[inside] = rng.integers(0x01000000, 0xE0000000, size=n, dtype=np.uint32)
+            inside[:] = False
+            for net in protected.networks:
+                inside |= (daddr & np.uint32(net.netmask)) == np.uint32(net.prefix)
+
+        return PacketArray.from_fields(
+            ts=ts,
+            proto=np.full(count, IPPROTO_TCP, dtype=np.uint8),
+            src=np.full(count, self.attacker_addr, dtype=np.uint32),
+            sport=rng.integers(1024, 65536, size=count, dtype=np.uint32).astype(np.uint16),
+            dst=daddr,
+            dport=rng.integers(1, 65536, size=count, dtype=np.uint32).astype(np.uint16),
+            flags=np.full(count, int(TcpFlags.SYN), dtype=np.uint8),
+            size=np.full(count, 48, dtype=np.uint16),
+            label=np.full(count, int(PacketLabel.ATTACK), dtype=np.uint8),
+        )

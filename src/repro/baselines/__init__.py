@@ -1,0 +1,17 @@
+"""Non-SPI defense baselines the paper compares against conceptually.
+
+Section 2 argues that bandwidth-throttling (aggregate rate-limiting)
+mechanisms fit server networks but not client networks: aggregates are hard
+to identify when attacks randomize fields, rate-limiting an aggregate
+punishes the legitimate traffic inside it, and slow attacks never trip the
+trigger.  :mod:`repro.baselines.throttle` implements such a mechanism so the
+argument can be measured instead of asserted.
+"""
+
+from repro.baselines.throttle import (
+    Aggregate,
+    AggregateRateLimiter,
+    TokenBucket,
+)
+
+__all__ = ["Aggregate", "AggregateRateLimiter", "TokenBucket"]

@@ -1,0 +1,318 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro <experiment> [--scale small|medium|large] [options]
+    repro fig4 --scale medium
+
+Experiments: fig2a fig2b fig2c table1 capacity fig4 fig5 insider apd sweep
+worm aggregate timing compat robustness throttle collusion all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import SMALL, get_scale
+
+
+def _scale_arg(parser: argparse.ArgumentParser, default: str = "medium") -> None:
+    parser.add_argument(
+        "--scale",
+        choices=("small", "medium", "large"),
+        default=default,
+        help="experiment scale (see DESIGN.md section 5)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the workload seed (default: the scale's seed)",
+    )
+
+
+def _resolve_scale(args: argparse.Namespace):
+    """The selected scale, with an optional --seed override applied."""
+    from dataclasses import replace
+
+    scale = get_scale(args.scale)
+    if getattr(args, "seed", None) is not None:
+        scale = replace(scale, seed=args.seed)
+    return scale
+
+
+def _cmd_fig2(args: argparse.Namespace, which: str) -> str:
+    from repro.experiments.fig2 import delay_comb_offsets, run_fig2
+
+    result = run_fig2(_resolve_scale(args))
+    if which == "fig2b":
+        offsets = delay_comb_offsets(result)
+        comb = ", ".join(f"{x:.0f}s" for x in offsets) or "(none found)"
+        return result.report() + f"\n\nFig 2b delay-comb peaks: {comb}"
+    return result.report()
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    from repro.experiments.table1 import run_table1
+
+    sizes = (4_000, 16_000, 64_000) if args.scale == "small" else (10_000, 40_000, 160_000)
+    return run_table1(sizes=sizes).report()
+
+
+def _cmd_capacity(args: argparse.Namespace) -> str:
+    from repro.experiments.sec41 import run_sec41
+
+    return run_sec41().report()
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    from repro.experiments.fig4 import run_fig4
+
+    return run_fig4(_resolve_scale(args)).report()
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    from repro.experiments.fig5 import run_fig5
+
+    return run_fig5(_resolve_scale(args)).report()
+
+
+def _cmd_insider(args: argparse.Namespace) -> str:
+    from repro.experiments.sec52 import run_sec52
+
+    return run_sec52(_resolve_scale(args)).report()
+
+
+def _cmd_apd(args: argparse.Namespace) -> str:
+    from repro.experiments.sec53 import run_sec53
+
+    scale = _resolve_scale(args) if args.scale == "small" else SMALL
+    return run_sec53(scale).report()
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from repro.experiments.sweep import run_sweep
+
+    return run_sweep().report()
+
+
+def _cmd_worm(args: argparse.Namespace) -> str:
+    from repro.experiments.worm import run_worm
+
+    return run_worm(_resolve_scale(args) if args.scale == "small" else SMALL).report()
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> str:
+    from repro.experiments.aggregation import run_aggregation
+
+    return run_aggregation(_resolve_scale(args) if args.scale == "small" else SMALL).report()
+
+
+def _cmd_timing(args: argparse.Namespace) -> str:
+    from repro.experiments.timing import run_timing_ablation
+
+    return run_timing_ablation(_resolve_scale(args) if args.scale == "small" else SMALL).report()
+
+
+def _cmd_compat(args: argparse.Namespace) -> str:
+    from repro.experiments.compat import run_compat
+
+    return run_compat(_resolve_scale(args) if args.scale == "small" else SMALL).report()
+
+
+def _cmd_robustness(args: argparse.Namespace) -> str:
+    from repro.experiments.robustness import run_robustness
+
+    return run_robustness(_resolve_scale(args) if args.scale == "small" else SMALL).report()
+
+
+def _cmd_throttle(args: argparse.Namespace) -> str:
+    from repro.experiments.throttle_cmp import run_throttle_comparison
+
+    return run_throttle_comparison(_resolve_scale(args) if args.scale == "small" else SMALL).report()
+
+
+def _cmd_collusion(args: argparse.Namespace) -> str:
+    from repro.experiments.sec54 import run_sec54
+
+    return run_sec54(_resolve_scale(args) if args.scale == "small" else SMALL).report()
+
+
+_EXPERIMENTS = {
+    "fig2a": lambda a: _cmd_fig2(a, "fig2a"),
+    "fig2b": lambda a: _cmd_fig2(a, "fig2b"),
+    "fig2c": lambda a: _cmd_fig2(a, "fig2c"),
+    "table1": _cmd_table1,
+    "capacity": _cmd_capacity,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "insider": _cmd_insider,
+    "apd": _cmd_apd,
+    "sweep": _cmd_sweep,
+    "worm": _cmd_worm,
+    "aggregate": _cmd_aggregate,
+    "timing": _cmd_timing,
+    "compat": _cmd_compat,
+    "robustness": _cmd_robustness,
+    "throttle": _cmd_throttle,
+    "collusion": _cmd_collusion,
+}
+
+
+def _cmd_trace_gen(args: argparse.Namespace) -> str:
+    from repro.traffic.generator import ClientNetworkWorkload, WorkloadConfig
+
+    config = WorkloadConfig(duration=args.duration, target_pps=args.pps,
+                            seed=args.seed)
+    trace = ClientNetworkWorkload(config).generate()
+    trace.save_npz(args.out)
+    lines = [f"wrote {args.out}: {trace.summary().describe()}"]
+    if args.pcap:
+        from repro.net.pcap import write_pcap
+
+        count = write_pcap(trace.packets, args.pcap)
+        lines.append(f"wrote {args.pcap}: {count} packets (linktype RAW)")
+    return "\n".join(lines)
+
+
+def _cmd_filter(args: argparse.Namespace) -> str:
+    """Run a bitmap filter over a saved trace/capture, write the survivors."""
+    import numpy as np
+
+    from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+    from repro.net.address import AddressSpace
+    from repro.traffic.trace import Trace
+
+    if args.input.endswith(".pcap"):
+        from repro.net.pcap import read_pcap
+
+        if not args.protected:
+            raise SystemExit("--protected is required for pcap input "
+                             "(e.g. --protected 172.16.0.0/24,172.16.1.0/24)")
+        packets = read_pcap(args.input).sorted_by_time()
+        protected = AddressSpace(args.protected.split(","))
+        trace = Trace(packets, protected)
+    else:
+        trace = Trace.load_npz(args.input)
+        if args.protected:
+            trace = Trace(trace.packets, AddressSpace(args.protected.split(",")),
+                          trace.metadata)
+
+    config = BitmapFilterConfig(order=args.order, num_vectors=args.k,
+                                num_hashes=args.m,
+                                rotation_interval=args.dt, seed=args.hash_seed)
+    filt = BitmapFilter(config, trace.protected)
+    verdicts = filt.process_batch(trace.packets, exact=True)
+
+    lines = [
+        f"filter: {filt}",
+        f"packets: {len(trace.packets)}  passed: {int(verdicts.sum())}  "
+        f"dropped: {int((~verdicts).sum())}",
+        f"incoming drop rate: {filt.stats.incoming_drop_rate * 100:.2f}%",
+        f"peak utilization: {filt.peak_utilization:.4f}",
+    ]
+    if args.out:
+        survivors = trace.packets[verdicts]
+        if args.out.endswith(".pcap"):
+            from repro.net.pcap import write_pcap
+
+            write_pcap(survivors, args.out)
+        else:
+            Trace(survivors, trace.protected,
+                  dict(trace.metadata)).save_npz(args.out)
+        lines.append(f"wrote {int(verdicts.sum())} surviving packets to {args.out}")
+    return "\n".join(lines)
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> str:
+    from repro.analysis.composition import composition
+    from repro.traffic.trace import Trace
+
+    trace = Trace.load_npz(args.path)
+    nets = ", ".join(str(net) for net in trace.protected.networks)
+    report = composition(trace.packets, trace.protected)
+    return (f"{args.path}: {trace.summary().describe()}\n"
+            f"protected networks: {nets}\n"
+            f"metadata: {trace.metadata}\n"
+            f"\ncomposition:\n{report.describe()}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the tables and figures of 'Mitigating Active Attacks "
+            "Towards Client Networks Using the Bitmap Filter' (DSN 2006)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+    for name in list(_EXPERIMENTS) + ["all"]:
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        default = "small" if name in ("apd", "worm", "aggregate", "timing", "compat",
+                                      "robustness", "throttle", "collusion",
+                                      "all") else "medium"
+        _scale_arg(p, default)
+
+    gen = sub.add_parser("trace-gen", help="generate a synthetic trace file")
+    gen.add_argument("--duration", type=float, default=60.0)
+    gen.add_argument("--pps", type=float, default=400.0)
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", default="trace.npz")
+    gen.add_argument("--pcap", default=None,
+                     help="also export a libpcap capture (opens in Wireshark)")
+
+    info = sub.add_parser("trace-info", help="summarize a saved trace")
+    info.add_argument("path")
+
+    filt = sub.add_parser(
+        "filter", help="run a bitmap filter over a saved trace or pcap"
+    )
+    filt.add_argument("input", help=".npz trace or .pcap capture")
+    filt.add_argument("--out", default=None,
+                      help="write surviving packets here (.npz or .pcap)")
+    filt.add_argument("--protected", default=None,
+                      help="comma-separated CIDRs (required for pcap input)")
+    filt.add_argument("--order", "-n", type=int, default=20)
+    filt.add_argument("--k", type=int, default=4)
+    filt.add_argument("--m", type=int, default=3)
+    filt.add_argument("--dt", type=float, default=5.0)
+    filt.add_argument("--hash-seed", type=int, default=0x5EED)
+
+    export = sub.add_parser("export", help="dump every figure's data as CSV")
+    export.add_argument("--out", default="figures")
+    _scale_arg(export, "small")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "trace-gen":
+        print(_cmd_trace_gen(args))
+        return 0
+    if args.experiment == "trace-info":
+        print(_cmd_trace_info(args))
+        return 0
+    if args.experiment == "filter":
+        print(_cmd_filter(args))
+        return 0
+    if args.experiment == "export":
+        from repro.experiments.export import export_figures
+
+        files = export_figures(args.out, _resolve_scale(args))
+        print(f"wrote {len(files)} files to {args.out}:")
+        for name in files:
+            print(f"  {name}")
+        return 0
+    if args.experiment == "all":
+        for name, fn in _EXPERIMENTS.items():
+            print(f"\n{'=' * 72}\n>> {name}\n{'=' * 72}")
+            print(fn(args))
+        return 0
+    print(_EXPERIMENTS[args.experiment](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""Adaptive packet dropping (APD) — Section 5.3.
+
+When the only goal is mitigating *bandwidth* attacks, dropping every
+unmatched incoming packet is unnecessarily strict.  An APD-enabled bitmap
+filter runs as usual, but when the bitmap says DROP the edge router drops
+the packet only with a probability given by an *indicator*:
+
+- :class:`BandwidthIndicator` — drop probability equals the monitored
+  incoming-link bandwidth utilization ``U_b``.
+- :class:`PacketRatioIndicator` — drop probability derived from the ratio
+  ``r = P_in / P_out`` with two thresholds ``l < h``: 0 below ``l``, 1 at or
+  above ``h``, linear in between.
+
+APD also changes the *marking* policy: outgoing TCP *signal* packets that a
+scan would elicit (SYN+ACK, FIN+ACK, RST, RST+ACK) must not mark the bitmap,
+otherwise a SYN/FIN scan whose probes are admitted while the drop
+probability is low would trick the victims' replies into punching durable
+holes.  Lone SYN or lone FIN packets (client-initiated opens/closes) still
+mark.  :func:`classify_signal_packet` implements that table.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Protocol, Tuple
+
+from repro.net.packet import Packet, TcpFlags
+
+
+def classify_signal_packet(proto: int, flags: TcpFlags) -> bool:
+    """Return True if an outgoing packet is a *non-marking signal* packet.
+
+    Implements the Section 5.3 marking policy.  Returns ``True`` exactly for
+    the outgoing TCP packets that must **not** mark bit vectors:
+    SYN+ACK, FIN+ACK, RST, and RST+ACK.  UDP, TCP data/ACK packets, and lone
+    SYN / lone FIN packets return ``False`` (they mark as usual).
+    """
+    from repro.net.protocols import IPPROTO_TCP
+
+    if proto != IPPROTO_TCP:
+        return False
+    if flags & TcpFlags.RST:
+        return True
+    has_ack = bool(flags & TcpFlags.ACK)
+    if flags & TcpFlags.SYN:
+        return has_ack
+    if flags & TcpFlags.FIN:
+        return has_ack
+    return False
+
+
+class SlidingWindowCounter:
+    """Per-second binned sliding-window counter for rate estimation."""
+
+    def __init__(self, window: float = 10.0, bin_width: float = 1.0):
+        if window <= 0 or bin_width <= 0:
+            raise ValueError("window and bin width must be positive")
+        self._window = window
+        self._bin_width = bin_width
+        self._bins: Deque[Tuple[int, float]] = deque()  # (bin index, amount)
+        self._total = 0.0
+
+    def add(self, ts: float, amount: float = 1.0) -> None:
+        bin_index = int(ts / self._bin_width)
+        self._expire(bin_index)
+        if self._bins and self._bins[-1][0] == bin_index:
+            last_index, last_amount = self._bins[-1]
+            self._bins[-1] = (last_index, last_amount + amount)
+        else:
+            self._bins.append((bin_index, amount))
+        self._total += amount
+
+    def total(self, now: Optional[float] = None) -> float:
+        if now is not None:
+            self._expire(int(now / self._bin_width))
+        return self._total
+
+    def rate(self, now: float) -> float:
+        """Average amount per second over the window ending at ``now``."""
+        return self.total(now) / self._window
+
+    def _expire(self, current_bin: int) -> None:
+        horizon = current_bin - int(self._window / self._bin_width)
+        while self._bins and self._bins[0][0] <= horizon:
+            _, amount = self._bins.popleft()
+            self._total -= amount
+
+
+class DropIndicator(Protocol):
+    """Anything that can quote the current drop probability."""
+
+    def observe_outgoing(self, pkt: Packet) -> None: ...
+
+    def observe_incoming(self, pkt: Packet) -> None: ...
+
+    def drop_probability(self) -> float: ...
+
+
+class BandwidthIndicator:
+    """APD design 1: drop probability = incoming bandwidth utilization U_b."""
+
+    def __init__(self, link_capacity_bps: float, window: float = 5.0):
+        if link_capacity_bps <= 0:
+            raise ValueError("link capacity must be positive")
+        self._capacity = link_capacity_bps
+        self._bytes = SlidingWindowCounter(window=window)
+        self._now = 0.0
+
+    def observe_outgoing(self, pkt: Packet) -> None:
+        self._now = max(self._now, pkt.ts)
+
+    def observe_incoming(self, pkt: Packet) -> None:
+        self._now = max(self._now, pkt.ts)
+        self._bytes.add(pkt.ts, pkt.size)
+
+    def utilization(self) -> float:
+        bits_per_second = self._bytes.rate(self._now) * 8.0
+        return min(1.0, bits_per_second / self._capacity)
+
+    def drop_probability(self) -> float:
+        return self.utilization()
+
+
+class PacketRatioIndicator:
+    """APD design 2: drop probability from the in/out packet-count ratio.
+
+    With ``r = P_in / P_out`` over the monitoring window and thresholds
+    ``l < h``::
+
+        p = 0              if r < l
+        p = (r - l)/(h - l) if l <= r < h
+        p = 1              if r >= h
+    """
+
+    def __init__(self, low: float = 1.5, high: float = 4.0, window: float = 5.0):
+        if not low < high:
+            raise ValueError(f"thresholds must satisfy l < h, got l={low}, h={high}")
+        self._low = low
+        self._high = high
+        self._in = SlidingWindowCounter(window=window)
+        self._out = SlidingWindowCounter(window=window)
+        self._now = 0.0
+
+    def observe_outgoing(self, pkt: Packet) -> None:
+        self._now = max(self._now, pkt.ts)
+        self._out.add(pkt.ts)
+
+    def observe_incoming(self, pkt: Packet) -> None:
+        self._now = max(self._now, pkt.ts)
+        self._in.add(pkt.ts)
+
+    def ratio(self) -> float:
+        outgoing = self._out.total(self._now)
+        incoming = self._in.total(self._now)
+        if outgoing == 0:
+            # No outgoing traffic at all: any incoming traffic is unsolicited.
+            return float("inf") if incoming else 0.0
+        return incoming / outgoing
+
+    def drop_probability(self) -> float:
+        r = self.ratio()
+        if r < self._low:
+            return 0.0
+        if r >= self._high:
+            return 1.0
+        return (r - self._low) / (self._high - self._low)
+
+
+@dataclass
+class ApdStats:
+    admitted: int = 0
+    dropped: int = 0
+
+
+class AdaptiveDroppingPolicy:
+    """Glue between an indicator and the bitmap filter.
+
+    The filter calls :meth:`observe_outgoing` / :meth:`observe_incoming` for
+    accounting, :meth:`should_mark` before marking an outgoing packet, and
+    :meth:`should_drop` when the bitmap verdict is DROP.
+    """
+
+    def __init__(self, indicator: DropIndicator, seed: int = 0,
+                 signal_policy: bool = True):
+        self._indicator = indicator
+        self._rng = random.Random(seed)
+        self._signal_policy = signal_policy
+        self.stats = ApdStats()
+
+    @property
+    def indicator(self) -> DropIndicator:
+        return self._indicator
+
+    def observe_outgoing(self, pkt: Packet) -> None:
+        self._indicator.observe_outgoing(pkt)
+
+    def observe_incoming(self, pkt: Packet) -> None:
+        self._indicator.observe_incoming(pkt)
+
+    def should_mark(self, pkt: Packet) -> bool:
+        """Marking policy: suppress non-marking signal packets.
+
+        With ``signal_policy=False`` (the ablation configuration) every
+        outgoing packet marks, reproducing the vulnerability Section 5.3
+        warns about: scan-elicited replies punch holes for the scanner.
+        """
+        if not self._signal_policy:
+            return True
+        return not classify_signal_packet(pkt.proto, pkt.flags)
+
+    def should_drop(self) -> bool:
+        """Randomized drop decision for a bitmap-rejected packet."""
+        probability = self._indicator.drop_probability()
+        if self._rng.random() < probability:
+            self.stats.dropped += 1
+            return True
+        self.stats.admitted += 1
+        return False

@@ -1,0 +1,265 @@
+"""Platform-independent operation accounting for the Table 1 comparison.
+
+Wall-clock micro-benchmarks depend on the host; the complexity claims of
+Table 1 do not.  This module instruments the three filter data structures
+with *operation counters* — hash evaluations, memory-word touches, pointer
+dereferences, key comparisons — so the O(1) / O(log n) / O(n) columns can be
+asserted deterministically.
+
+The counters model a straightforward hardware mapping:
+
+- bitmap: one hash-pair evaluation per packet + ``m`` bit reads (lookup) or
+  ``m*k`` bit writes (mark); rotation touches ``2**n / w`` words.
+- hash+linked-list: one hash evaluation + one pointer dereference per chain
+  node visited; GC visits every node and every bucket head.
+- AVL tree: one key comparison + one pointer dereference per node on the
+  root-to-target path, plus rebalancing writes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bitmap import Bitmap
+from repro.core.hashing import HashFamily
+from repro.net.flow import BitmapKey, FlowKey
+from repro.spi.avltree import AvlTree
+from repro.spi.base import FlowState
+from repro.spi.hashlist import FlowHashTable
+
+#: Machine word size used to count memset cost, in bits.
+WORD_BITS = 64
+
+
+@dataclass
+class OpCounts:
+    """Abstract operation counts for one batch of operations."""
+
+    hash_evaluations: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    pointer_derefs: int = 0
+    key_comparisons: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.hash_evaluations + self.memory_reads + self.memory_writes
+                + self.pointer_derefs + self.key_comparisons)
+
+    def per_op(self, operations: int) -> "OpCounts":
+        if operations <= 0:
+            raise ValueError("need at least one operation")
+        return OpCounts(
+            hash_evaluations=self.hash_evaluations // operations,
+            memory_reads=self.memory_reads // operations,
+            memory_writes=self.memory_writes // operations,
+            pointer_derefs=self.pointer_derefs // operations,
+            key_comparisons=self.key_comparisons // operations,
+        )
+
+
+class CountingBitmap:
+    """A {k x n}-bitmap wrapper that counts abstract operations."""
+
+    def __init__(self, num_vectors: int, order: int, num_hashes: int, seed: int = 0):
+        self.bitmap = Bitmap(num_vectors, order)
+        self.hashes = HashFamily(num_hashes, order, seed)
+        self.num_hashes = num_hashes
+        self.counts = OpCounts()
+
+    def mark(self, key: BitmapKey) -> None:
+        self.counts.hash_evaluations += 1  # one double-hash pair derives all m
+        indices = self.hashes.indices(key)
+        self.bitmap.mark(indices)
+        self.counts.memory_writes += self.num_hashes * self.bitmap.num_vectors
+
+    def lookup(self, key: BitmapKey) -> bool:
+        self.counts.hash_evaluations += 1
+        indices = self.hashes.indices(key)
+        hit = self.bitmap.test_current(indices)
+        self.counts.memory_reads += self.num_hashes  # worst case: all m read
+        return hit
+
+    def rotate(self) -> None:
+        self.bitmap.rotate()
+        self.counts.memory_writes += (1 << self.bitmap.order) // WORD_BITS
+
+
+class CountingFlowTable:
+    """A hash+linked-list store that counts chain traversal work."""
+
+    def __init__(self, num_buckets: int = 16384):
+        self.table = FlowHashTable(num_buckets)
+        self.num_buckets = num_buckets
+        self.counts = OpCounts()
+
+    def _walk(self, key: FlowKey) -> Tuple[int, Optional[FlowState]]:
+        """Walk the chain for ``key``; returns (nodes visited, state)."""
+        index = self.table._bucket_index(key)
+        node = self.table._buckets[index]
+        visited = 0
+        while node is not None:
+            visited += 1
+            if node.key == key:
+                return visited, node.state
+            node = node.next
+        return visited, None
+
+    def insert(self, key: FlowKey, state: FlowState) -> None:
+        self.counts.hash_evaluations += 1
+        visited, existing = self._walk(key)
+        self.counts.pointer_derefs += visited + 1
+        self.counts.key_comparisons += visited
+        if existing is None:
+            self.table.insert(key, state)
+            self.counts.memory_writes += 2  # node init + bucket head
+
+    def lookup(self, key: FlowKey) -> Optional[FlowState]:
+        self.counts.hash_evaluations += 1
+        visited, state = self._walk(key)
+        self.counts.pointer_derefs += visited + 1
+        self.counts.key_comparisons += visited
+        return state
+
+    def gc(self, now: float) -> int:
+        # The sweep dereferences every bucket head and every node.
+        self.counts.pointer_derefs += self.num_buckets + len(self.table)
+        self.counts.memory_reads += len(self.table)  # expiry check per node
+        return self.table.sweep_expired(now)
+
+
+class CountingAvlTree:
+    """An AVL tree wrapper that counts path length and rebalancing work."""
+
+    def __init__(self):
+        self.tree = AvlTree()
+        self.counts = OpCounts()
+
+    def _path_length(self, key: FlowKey) -> int:
+        node = self.tree._root
+        depth = 0
+        while node is not None:
+            depth += 1
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                break
+        return depth
+
+    def insert(self, key: FlowKey, state: FlowState) -> None:
+        depth = self._path_length(key)
+        self.counts.key_comparisons += max(depth, 1) * 2  # two-way compares
+        self.counts.pointer_derefs += depth + 1
+        inserted = self.tree.put(key, state)
+        if inserted:
+            # Height updates + possible rotation along the path back up.
+            self.counts.memory_writes += depth + 2
+
+    def lookup(self, key: FlowKey) -> Optional[FlowState]:
+        depth = self._path_length(key)
+        self.counts.key_comparisons += max(depth, 1) * 2
+        self.counts.pointer_derefs += depth
+        return self.tree.get(key)
+
+    def gc(self, now: float) -> int:
+        size = len(self.tree)
+        self.counts.pointer_derefs += 2 * size  # in-order traversal edges
+        self.counts.memory_reads += size
+        expired = [key for key, state in self.tree.items() if state.expires_at <= now]
+        for key in expired:
+            self.tree.remove(key)
+        return len(expired)
+
+
+@dataclass
+class CostProfile:
+    """Per-operation op counts at one population size."""
+
+    population: int
+    insert: OpCounts
+    lookup: OpCounts
+    gc: OpCounts
+
+
+def profile_structures(
+    populations: Tuple[int, ...] = (1_000, 4_000, 16_000),
+    probes: int = 1_000,
+    order: int = 20,
+    seed: int = 0,
+) -> Dict[str, List[CostProfile]]:
+    """Measure abstract op counts for all three structures.
+
+    Returns per-structure lists of :class:`CostProfile`, one per population
+    size, suitable for asserting the Table 1 complexity columns exactly.
+    """
+    rng = random.Random(seed)
+
+    def flow_keys(count: int) -> List[FlowKey]:
+        return [
+            (6, rng.getrandbits(32), rng.getrandbits(16), rng.getrandbits(32),
+             rng.getrandbits(16))
+            for _ in range(count)
+        ]
+
+    results: Dict[str, List[CostProfile]] = {
+        "bitmap filter": [], "hash+link-list": [], "AVL-tree": [],
+    }
+    for population in populations:
+        base = flow_keys(population)
+        extra = flow_keys(probes)
+
+        bitmap = CountingBitmap(4, order, 3)
+        for key in base:
+            bitmap.mark(key[:4])
+        bitmap.counts = OpCounts()
+        for key in extra:
+            bitmap.mark(key[:4])
+        insert_counts = bitmap.counts
+        bitmap.counts = OpCounts()
+        for key in extra:
+            bitmap.lookup(key[:4])
+        lookup_counts = bitmap.counts
+        bitmap.counts = OpCounts()
+        bitmap.rotate()
+        results["bitmap filter"].append(CostProfile(
+            population, insert_counts.per_op(probes),
+            lookup_counts.per_op(probes), bitmap.counts))
+
+        table = CountingFlowTable()
+        for key in base:
+            table.insert(key, FlowState(1e18))
+        table.counts = OpCounts()
+        for key in extra:
+            table.insert(key, FlowState(1e18))
+        insert_counts = table.counts
+        table.counts = OpCounts()
+        for key in extra:
+            table.lookup(key)
+        lookup_counts = table.counts
+        table.counts = OpCounts()
+        table.gc(0.0)
+        results["hash+link-list"].append(CostProfile(
+            population, insert_counts.per_op(probes),
+            lookup_counts.per_op(probes), table.counts))
+
+        tree = CountingAvlTree()
+        for key in base:
+            tree.insert(key, FlowState(1e18))
+        tree.counts = OpCounts()
+        for key in extra:
+            tree.insert(key, FlowState(1e18))
+        insert_counts = tree.counts
+        tree.counts = OpCounts()
+        for key in extra:
+            tree.lookup(key)
+        lookup_counts = tree.counts
+        tree.counts = OpCounts()
+        tree.gc(0.0)
+        results["AVL-tree"].append(CostProfile(
+            population, insert_counts.per_op(probes),
+            lookup_counts.per_op(probes), tree.counts))
+    return results

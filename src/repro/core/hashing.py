@@ -1,0 +1,177 @@
+"""The m shared n-bit hash functions of the bitmap filter.
+
+The paper requires *m* hash functions whose outputs are truncated to *n* bits
+and are shared by every bloom-filter row of the bitmap.  We implement them
+with the standard Kirsch–Mitzenmacher construction: two independent 64-bit
+mixes ``h1`` and ``h2`` of the key, combined as ``g_i = h1 + i * h2 (mod 2^n)``
+— this gives a family of any size m with Bloom-filter behaviour
+indistinguishable from m independent hashes.
+
+The key space is the directional bitmap key of Section 3.3:
+``(protocol, local-address, local-port, remote-address)`` — packed into two
+64-bit words and scrambled by splitmix64.  Both a scalar form (used by the
+reference filter) and a fully vectorized NumPy form (used by the batch
+filter) are provided, and they agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.net.flow import BitmapKey
+
+_MASK64 = (1 << 64) - 1
+
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_SPLITMIX_MUL1 = 0xBF58476D1CE4E5B9
+_SPLITMIX_MUL2 = 0x94D049BB133111EB
+
+_FNV64_OFFSET = 0xCBF29CE484222325
+_FNV64_PRIME = 0x100000001B3
+
+
+def splitmix64(x: int) -> int:
+    """One round of the splitmix64 finalizer (a strong 64-bit mixer)."""
+    z = (x + _SPLITMIX_GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * _SPLITMIX_MUL1) & _MASK64
+    z = ((z ^ (z >> 27)) * _SPLITMIX_MUL2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def splitmix64_vec(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`splitmix64` over a ``uint64`` array."""
+    z = x + np.uint64(_SPLITMIX_GAMMA)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_SPLITMIX_MUL1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_SPLITMIX_MUL2)
+    return z ^ (z >> np.uint64(31))
+
+
+def fnv1a64(data: bytes) -> int:
+    """FNV-1a over bytes — generic fallback hash for arbitrary keys."""
+    value = _FNV64_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV64_PRIME) & _MASK64
+    return value
+
+
+def pack_key(key: BitmapKey) -> Tuple[int, int]:
+    """Pack a bitmap key into two 64-bit words (lo, hi)."""
+    proto, local_addr, local_port, remote_addr = key
+    lo = ((local_addr & 0xFFFFFFFF) << 32) | ((local_port & 0xFFFF) << 16) | (proto & 0xFF)
+    hi = remote_addr & 0xFFFFFFFF
+    return lo, hi
+
+
+class HashFamily:
+    """m truncated-to-n-bit hash functions via double hashing.
+
+    Parameters
+    ----------
+    num_hashes:
+        m — how many indices each key maps to.
+    order:
+        n — outputs are in ``[0, 2**n)``.
+    seed:
+        Makes families independent; an attacker who knows the seed could
+        craft colliding tuples, so deployments should randomize it.
+    """
+
+    __slots__ = ("_num_hashes", "_order", "_seed", "_mask", "_seed1", "_seed2")
+
+    def __init__(self, num_hashes: int, order: int, seed: int = 0x5EED):
+        if num_hashes < 1:
+            raise ValueError(f"need at least one hash function, got {num_hashes}")
+        if not 3 <= order <= 32:
+            raise ValueError(f"hash order must be in [3, 32], got {order}")
+        self._num_hashes = num_hashes
+        self._order = order
+        self._seed = seed & _MASK64
+        self._mask = (1 << order) - 1
+        # Two derived, independent sub-seeds for the double-hashing pair.
+        self._seed1 = splitmix64(self._seed)
+        self._seed2 = splitmix64(self._seed ^ _MASK64)
+
+    @property
+    def num_hashes(self) -> int:
+        return self._num_hashes
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    # -- scalar path ----------------------------------------------------------
+
+    def base_pair(self, key: BitmapKey) -> Tuple[int, int]:
+        """The (h1, h2) 64-bit pair for a key; h2 is forced odd so the probe
+        sequence covers the full 2**n ring."""
+        lo, hi = pack_key(key)
+        h1 = splitmix64(lo ^ splitmix64(hi ^ self._seed1))
+        h2 = splitmix64(lo ^ splitmix64(hi ^ self._seed2)) | 1
+        return h1, h2
+
+    def indices(self, key: BitmapKey) -> Tuple[int, ...]:
+        """The m bit indices for a key (each in ``[0, 2**n)``)."""
+        h1, h2 = self.base_pair(key)
+        mask = self._mask
+        return tuple((h1 + i * h2) & mask for i in range(self._num_hashes))
+
+    # -- vectorized path --------------------------------------------------------
+
+    def pack_keys_vec(
+        self,
+        proto: np.ndarray,
+        local_addr: np.ndarray,
+        local_port: np.ndarray,
+        remote_addr: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :func:`pack_key` over field arrays."""
+        lo = (
+            (local_addr.astype(np.uint64) << np.uint64(32))
+            | (local_port.astype(np.uint64) << np.uint64(16))
+            | proto.astype(np.uint64)
+        )
+        hi = remote_addr.astype(np.uint64)
+        return lo, hi
+
+    def indices_vec(
+        self,
+        proto: np.ndarray,
+        local_addr: np.ndarray,
+        local_port: np.ndarray,
+        remote_addr: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`indices`: an ``(m, N) uint64`` index matrix."""
+        lo, hi = self.pack_keys_vec(proto, local_addr, local_port, remote_addr)
+        h1 = splitmix64_vec(lo ^ splitmix64_vec(hi ^ np.uint64(self._seed1)))
+        h2 = splitmix64_vec(lo ^ splitmix64_vec(hi ^ np.uint64(self._seed2))) | np.uint64(1)
+        steps = np.arange(self._num_hashes, dtype=np.uint64)[:, None]
+        return (h1[None, :] + steps * h2[None, :]) & np.uint64(self._mask)
+
+    # -- misc -------------------------------------------------------------------
+
+    def with_order(self, order: int) -> "HashFamily":
+        """Same family (m, seed) at a different output width."""
+        return HashFamily(self._num_hashes, order, self._seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"HashFamily(m={self._num_hashes}, n={self._order}, seed={self._seed:#x})"
+        )
+
+
+def uniformity_chi2(samples: Sequence[int], num_bins: int) -> float:
+    """Chi-square statistic of hash outputs vs. the uniform distribution.
+
+    Used by tests to sanity-check the hash family: for a good family the
+    statistic should be close to ``num_bins - 1`` (its expected value).
+    """
+    counts = np.bincount(np.asarray(samples) % num_bins, minlength=num_bins)
+    expected = len(samples) / num_bins
+    return float(((counts - expected) ** 2 / expected).sum())

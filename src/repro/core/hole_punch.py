@@ -1,0 +1,83 @@
+"""Hole punching for protocols with server-initiated data channels (Sec. 5.1).
+
+The bitmap filter drops every inbound connection attempt, which breaks
+active-mode FTP and peer-to-peer protocols where the *remote* side opens the
+data channel.  The fix exploits the fact that the bitmap key omits the
+remote port: when client ``c`` expects server ``s`` to connect to local port
+``p``, the client first sends any packet from ``(c, p)`` to ``(s, x)`` for a
+random ``x``.  That outgoing packet marks the key ``(proto, c, p, s)`` — the
+exact key an inbound packet from ``s`` (from *any* source port) to ``(c, p)``
+will be checked against — so the server can connect until the mark expires.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.net.packet import Packet, TcpFlags
+from repro.net.protocols import EPHEMERAL_PORT_RANGE, IPPROTO_TCP
+
+
+def hole_punch_packet(
+    ts: float,
+    proto: int,
+    client_addr: int,
+    client_port: int,
+    server_addr: int,
+    random_port: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Packet:
+    """Build the outbound packet that opens a hole for an inbound channel.
+
+    The packet travels from ``(client_addr, client_port)`` to
+    ``(server_addr, random_port)``; only its source address/port and
+    destination address matter to the bitmap, so ``random_port`` is
+    arbitrary (the paper calls it ``x``).
+    """
+    if random_port is None:
+        rng = rng or random.Random()
+        random_port = rng.randint(*EPHEMERAL_PORT_RANGE)
+    flags = TcpFlags.ACK if proto == IPPROTO_TCP else TcpFlags.NONE
+    return Packet(
+        ts=ts,
+        proto=proto,
+        src=client_addr,
+        sport=client_port,
+        dst=server_addr,
+        dport=random_port,
+        flags=flags,
+        size=40,
+    )
+
+
+class HolePuncher:
+    """Convenience wrapper bound to one client host.
+
+    >>> puncher = HolePuncher(client_addr)
+    >>> pkt = puncher.punch(ts=10.0, local_port=20, server_addr=server)
+    >>> bitmap_filter.process(pkt)   # marks (tcp, client, 20, server)
+
+    After processing, an inbound connection from ``server`` (any source
+    port) to ``client:20`` passes until the mark expires (Te seconds).
+    """
+
+    def __init__(self, client_addr: int, seed: int = 0):
+        self._client_addr = client_addr
+        self._rng = random.Random(seed)
+
+    def punch(
+        self,
+        ts: float,
+        local_port: int,
+        server_addr: int,
+        proto: int = IPPROTO_TCP,
+    ) -> Packet:
+        return hole_punch_packet(
+            ts=ts,
+            proto=proto,
+            client_addr=self._client_addr,
+            client_port=local_port,
+            server_addr=server_addr,
+            rng=self._rng,
+        )

@@ -1,0 +1,275 @@
+"""Analytical model of the bitmap filter — Equations (1)-(5) and Section 5.2.
+
+These closed forms let an operator size the filter without simulation:
+
+- Eq. (1): penetration probability ``p = U**m`` for a random incoming tuple
+  against a vector with utilization ``U = b / 2**n``.
+- Eq. (2): with ``c`` active connections and rare hash collisions,
+  ``p ~= (c * m / 2**n) ** m``.
+- Eq. (4): the ``m`` minimizing Eq. (2) is ``m* = 2**n / (e * c)``.
+- Eq. (5): at optimal ``m``, achieving penetration ``p`` requires
+  ``c <= 2**n / (e * ln(1/p))``.
+- Sec. 5.2: an insider emitting random tuples at rate ``r`` adds roughly
+  ``m * r * Te / 2**n`` of utilization.
+
+Section 4.1's worked example (n=20, k=4, dt=5: c <= ~167K/125K/83K for
+p = 10%/5%/1%, m=3 adequate, 512 KB of memory) is reproduced by
+``benchmarks/test_sec41_analysis.py`` directly from these functions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+def memory_bytes(num_vectors: int, order: int) -> int:
+    """Storage of a {k x n}-bitmap: ``k * 2**n / 8`` bytes."""
+    if num_vectors < 1 or order < 3:
+        raise ValueError("need k >= 1 and n >= 3")
+    return num_vectors * (1 << order) // 8
+
+
+def penetration_probability(utilization: float, num_hashes: int) -> float:
+    """Eq. (1): ``p = U**m`` for current-vector utilization U."""
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    if num_hashes < 1:
+        raise ValueError("need at least one hash function")
+    return utilization**num_hashes
+
+
+def expected_utilization(connections: float, num_hashes: int, order: int, exact: bool = False) -> float:
+    """Expected current-vector utilization for ``c`` active connections.
+
+    The paper's approximation (collisions rare) is ``U ~= c*m / 2**n``.
+    With ``exact=True`` the standard Bloom occupancy
+    ``U = 1 - (1 - 2**-n) ** (c*m)`` is returned instead, which stays
+    meaningful at high load.
+    """
+    if connections < 0:
+        raise ValueError("connection count cannot be negative")
+    bits = float(1 << order)
+    if exact:
+        return 1.0 - (1.0 - 1.0 / bits) ** (connections * num_hashes)
+    return min(1.0, connections * num_hashes / bits)
+
+
+def penetration_probability_for_load(
+    connections: float, num_hashes: int, order: int, exact: bool = False
+) -> float:
+    """Eq. (2): ``p ~= (c*m / 2**n) ** m`` (or via the exact occupancy)."""
+    utilization = expected_utilization(connections, num_hashes, order, exact=exact)
+    return penetration_probability(utilization, num_hashes)
+
+
+def optimal_num_hashes(order: int, connections: float, integral: bool = True) -> float:
+    """Eq. (4): ``m* = e**-1 * 2**n / c`` minimizes Eq. (2).
+
+    With ``integral=True`` (the default) the value is rounded to the better
+    of floor/ceil under Eq. (2) and clamped to at least 1.
+    """
+    if connections <= 0:
+        raise ValueError("connection count must be positive")
+    m_star = (1 << order) / (math.e * connections)
+    if not integral:
+        return m_star
+    lo = max(1, math.floor(m_star))
+    hi = max(1, math.ceil(m_star))
+    if lo == hi:
+        return float(lo)
+    p_lo = penetration_probability_for_load(connections, lo, order)
+    p_hi = penetration_probability_for_load(connections, hi, order)
+    return float(lo if p_lo <= p_hi else hi)
+
+
+def max_supported_connections(order: int, target_penetration: float) -> float:
+    """Eq. (5): ``c <= 2**n / (e * ln(1/p))`` at the optimal m."""
+    if not 0.0 < target_penetration < 1.0:
+        raise ValueError("target penetration must be in (0, 1)")
+    return (1 << order) / (math.e * math.log(1.0 / target_penetration))
+
+
+def required_order(connections: float, target_penetration: float) -> int:
+    """Smallest n such that Eq. (5) admits ``connections`` at the target p."""
+    if connections <= 0:
+        raise ValueError("connection count must be positive")
+    needed_bits = connections * math.e * math.log(1.0 / target_penetration)
+    return max(3, math.ceil(math.log2(needed_bits)))
+
+
+def insider_utilization_increase(
+    attack_rate_pps: float, num_hashes: int, order: int, expiry_timer: float
+) -> float:
+    """Sec. 5.2: utilization added by an insider scanning at ``r`` pps.
+
+    Each outgoing random tuple marks m bits that live ~Te seconds, so the
+    added utilization is roughly ``m * r * Te / 2**n`` (capped at 1).
+    """
+    if attack_rate_pps < 0 or expiry_timer < 0:
+        raise ValueError("rate and expiry timer cannot be negative")
+    return min(1.0, num_hashes * attack_rate_pps * expiry_timer / float(1 << order))
+
+
+@dataclass(frozen=True)
+class BitmapParameters:
+    """A fully resolved parameter set with its analytical predictions."""
+
+    order: int                 # n
+    num_vectors: int           # k
+    num_hashes: int            # m
+    rotation_interval: float   # dt
+    expected_connections: float  # c (per Te window)
+
+    @property
+    def expiry_timer(self) -> float:
+        return self.num_vectors * self.rotation_interval
+
+    @property
+    def memory_bytes(self) -> int:
+        return memory_bytes(self.num_vectors, self.order)
+
+    @property
+    def utilization(self) -> float:
+        return expected_utilization(self.expected_connections, self.num_hashes, self.order)
+
+    @property
+    def penetration(self) -> float:
+        return penetration_probability_for_load(
+            self.expected_connections, self.num_hashes, self.order
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{{{self.num_vectors} x {self.order}}}-bitmap, m={self.num_hashes}, "
+            f"dt={self.rotation_interval:g}s (Te={self.expiry_timer:g}s), "
+            f"{self.memory_bytes / 1024:.0f} KiB, "
+            f"predicted U={self.utilization:.4f}, p={self.penetration:.3e}"
+        )
+
+
+class ParameterAdvisor:
+    """Pick (k, n, dt, m) from deployment requirements (Section 3.4).
+
+    Inputs are the desired expiry timer ``Te`` (20-30 s recommended; below
+    60 s to dodge port reuse), a rotation granularity ``dt`` (4-5 s
+    recommended), the expected maximum number of active connections per Te
+    window, and the tolerable penetration probability.
+    """
+
+    def __init__(
+        self,
+        expiry_timer: float = 20.0,
+        rotation_interval: float = 5.0,
+        max_rotation_interval: float = 10.0,
+    ):
+        if expiry_timer <= 0 or rotation_interval <= 0:
+            raise ValueError("timers must be positive")
+        if rotation_interval > expiry_timer:
+            raise ValueError("rotation interval cannot exceed the expiry timer")
+        self.expiry_timer = expiry_timer
+        self.rotation_interval = rotation_interval
+        self.max_rotation_interval = max_rotation_interval
+
+    def num_vectors(self) -> int:
+        """k = ceil(Te / dt), at least 2."""
+        return max(2, math.ceil(self.expiry_timer / self.rotation_interval))
+
+    def recommend(
+        self,
+        expected_connections: float,
+        target_penetration: float = 0.01,
+        max_num_hashes: int = 8,
+    ) -> BitmapParameters:
+        """Smallest-memory parameter set meeting the penetration target.
+
+        Searches n upward from the Eq. (5) bound; for each n picks the
+        cheapest m (capped at ``max_num_hashes`` — hashing costs CPU) whose
+        Eq. (2) penetration meets the target.
+        """
+        if expected_connections <= 0:
+            raise ValueError("expected connections must be positive")
+        k = self.num_vectors()
+        order = required_order(expected_connections, target_penetration)
+        for n in range(order, 33):
+            for m in range(1, max_num_hashes + 1):
+                p = penetration_probability_for_load(expected_connections, m, n)
+                if p <= target_penetration:
+                    return BitmapParameters(
+                        order=n,
+                        num_vectors=k,
+                        num_hashes=m,
+                        rotation_interval=self.rotation_interval,
+                        expected_connections=expected_connections,
+                    )
+        raise ValueError(
+            f"no feasible configuration up to n=32 for c={expected_connections}, "
+            f"p={target_penetration}"
+        )
+
+    def capacity_table(self, order: int, targets: List[float]) -> List[dict]:
+        """Section 4.1's worked table: max c per penetration target."""
+        rows = []
+        for p in targets:
+            c_max = max_supported_connections(order, p)
+            rows.append(
+                {
+                    "target_penetration": p,
+                    "max_connections": c_max,
+                    "optimal_m": optimal_num_hashes(order, c_max),
+                }
+            )
+        return rows
+
+
+def mark_survival_probability(delay: float, num_vectors: int,
+                              rotation_interval: float) -> float:
+    """Probability a reply delayed by ``delay`` still finds its mark.
+
+    A mark made at a uniformly random phase within a rotation interval is
+    erased from the lookup vector by the k-th rotation after it, i.e. after
+    between ``(k-1)*dt`` and ``k*dt`` seconds.  Averaged over the phase, the
+    survival probability of a single mark at age ``delay`` is::
+
+        P(survive) = 1                          delay <  (k-1)*dt
+                   = (k*dt - delay) / dt        (k-1)*dt <= delay < k*dt
+                   = 0                          delay >= k*dt
+
+    This is the closed-form false-positive model the paper's Section 3.4
+    guidance implies: the expected fraction of legitimate replies dropped is
+    ``E[1 - P(survive at D)]`` over the out-in delay distribution D.
+    ``tests/properties/test_penetration_model.py`` validates it against the
+    real rotating bitmap at random phases.
+    """
+    if delay < 0:
+        raise ValueError("delay cannot be negative")
+    if num_vectors < 2 or rotation_interval <= 0:
+        raise ValueError("need k >= 2 and dt > 0")
+    guaranteed = (num_vectors - 1) * rotation_interval
+    expiry = num_vectors * rotation_interval
+    if delay < guaranteed:
+        return 1.0
+    if delay >= expiry:
+        return 0.0
+    return (expiry - delay) / rotation_interval
+
+
+def expected_false_positive_rate(delays, num_vectors: int,
+                                 rotation_interval: float) -> float:
+    """Expected drop fraction of genuine replies with the given delays.
+
+    ``delays`` is any iterable of out-in reply delays (e.g. the output of
+    :func:`repro.analysis.delay.out_in_delays`); the result is the mean
+    mark-death probability across them — the analytical counterpart of the
+    measured Fig. 4 false-positive component.
+    """
+    total = 0.0
+    count = 0
+    for delay in delays:
+        total += 1.0 - mark_survival_probability(delay, num_vectors,
+                                                 rotation_interval)
+        count += 1
+    if not count:
+        return 0.0
+    return total / count

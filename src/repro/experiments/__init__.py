@@ -1,0 +1,16 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+Each module exposes ``run_*(scale)`` returning a structured result object
+plus a ``report()`` renderer.  The CLI (``python -m repro <experiment>``)
+and the pytest benchmarks in ``benchmarks/`` both call into these, so the
+regenerated numbers are identical regardless of entry point.
+
+Scales (see DESIGN.md section 5): every experiment accepts an
+:class:`~repro.experiments.config.ExperimentScale` that shrinks absolute
+packet counts while preserving the ratios the paper's results depend on
+(attack:normal rate ratio, Te, dt, k, and the utilization regime c*m/2^n).
+"""
+
+from repro.experiments.config import ExperimentScale
+
+__all__ = ["ExperimentScale"]

@@ -1,0 +1,96 @@
+"""Export the regenerated figures' data series as CSV files.
+
+``python -m repro export --out DIR`` writes one CSV per figure panel so the
+plots can be reproduced with any plotting tool:
+
+- ``fig2a_lifetime_hist.csv``   — bin_center, count (log-spaced bins)
+- ``fig2b_delay_hist.csv``      — bin_center, count
+- ``fig2c_delay_cdf.csv``       — delay_s, cumulative_fraction
+- ``fig4_scatter.csv``          — spi_drop_rate, bitmap_drop_rate per window
+- ``fig5a_series.csv``          — second, normal, attack, passed, dropped
+- ``fig5b_filter_rate.csv``     — second, attack_filter_rate
+- ``worm_curve.csv``            — second, infected_hosts
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.experiments.config import SMALL, ExperimentScale
+from repro.experiments.fig2 import generate_trace, run_fig2
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.worm import run_worm
+
+
+def _write_csv(path: Path, header: List[str], rows) -> None:
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_figures(out_dir: Union[str, Path],
+                   scale: ExperimentScale = SMALL) -> List[str]:
+    """Regenerate every figure at ``scale`` and dump the plot data.
+
+    Returns the list of files written (relative names).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[str] = []
+
+    trace = generate_trace(scale)
+
+    fig2 = run_fig2(scale, trace)
+    hist = fig2.lifetime_histogram
+    _write_csv(out / "fig2a_lifetime_hist.csv", ["lifetime_s", "connections"],
+               zip(hist.centers.tolist(), hist.counts.tolist()))
+    written.append("fig2a_lifetime_hist.csv")
+
+    hist = fig2.delay_histogram
+    _write_csv(out / "fig2b_delay_hist.csv", ["delay_s", "packets"],
+               zip(hist.centers.tolist(), hist.counts.tolist()))
+    written.append("fig2b_delay_hist.csv")
+
+    from repro.analysis.stats import Cdf
+
+    x, y = Cdf.of(fig2.delays).series(points=400)
+    _write_csv(out / "fig2c_delay_cdf.csv", ["delay_s", "cdf"],
+               zip(x.tolist(), y.tolist()))
+    written.append("fig2c_delay_cdf.csv")
+
+    fig4 = run_fig4(scale, trace)
+    _write_csv(out / "fig4_scatter.csv", ["spi_drop_rate", "bitmap_drop_rate"],
+               fig4.window_pairs)
+    written.append("fig4_scatter.csv")
+
+    fig5 = run_fig5(scale, trace)
+    series = fig5.run.series
+    _write_csv(
+        out / "fig5a_series.csv",
+        ["second", "normal_incoming", "attack_incoming", "passed", "dropped"],
+        zip(series.seconds.tolist(), series.normal_incoming.tolist(),
+            series.attack_incoming.tolist(), series.passed_incoming.tolist(),
+            series.dropped_incoming.tolist()),
+    )
+    written.append("fig5a_series.csv")
+
+    rate = series.attack_filter_rate_series()
+    mask = series.attack_incoming > 0
+    _write_csv(out / "fig5b_filter_rate.csv", ["second", "filter_rate"],
+               zip(series.seconds[mask].tolist(),
+                   np.nan_to_num(rate[mask]).tolist()))
+    written.append("fig5b_filter_rate.csv")
+
+    worm = run_worm(scale)
+    t, infected = worm.curve
+    _write_csv(out / "worm_curve.csv", ["second", "infected_hosts"],
+               zip(t.tolist(), infected.tolist()))
+    written.append("worm_curve.csv")
+
+    return written

@@ -1,0 +1,78 @@
+"""Multi-seed robustness: are the headline results seed-stable?
+
+Reruns the two headline experiments (Fig. 4 drop-rate parity, Fig. 5 attack
+filtering) across independent workload seeds and reports mean and standard
+deviation — the confidence intervals a single-trace paper cannot give.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.experiments.config import SMALL, ExperimentScale
+from repro.experiments.fig2 import generate_trace
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+
+
+@dataclass
+class SeedOutcome:
+    seed: int
+    spi_drop_rate: float
+    bitmap_drop_rate: float
+    attack_filter_rate: float
+
+
+@dataclass
+class RobustnessResult:
+    outcomes: List[SeedOutcome]
+
+    def _column(self, name: str) -> np.ndarray:
+        return np.array([getattr(o, name) for o in self.outcomes])
+
+    def mean(self, name: str) -> float:
+        return float(self._column(name).mean())
+
+    def std(self, name: str) -> float:
+        return float(self._column(name).std())
+
+    def report(self) -> str:
+        rows = [
+            [o.seed, f"{o.spi_drop_rate * 100:.2f}%",
+             f"{o.bitmap_drop_rate * 100:.2f}%",
+             f"{o.attack_filter_rate * 100:.3f}%"]
+            for o in self.outcomes
+        ]
+        rows.append([
+            "mean±std",
+            f"{self.mean('spi_drop_rate') * 100:.2f}±{self.std('spi_drop_rate') * 100:.2f}%",
+            f"{self.mean('bitmap_drop_rate') * 100:.2f}±{self.std('bitmap_drop_rate') * 100:.2f}%",
+            f"{self.mean('attack_filter_rate') * 100:.3f}±{self.std('attack_filter_rate') * 100:.3f}%",
+        ])
+        return render_table(
+            ["seed", "SPI drop", "bitmap drop", "attack filtered"],
+            rows,
+            title="Seed robustness (paper: SPI 1.56%, bitmap 1.51%, filter 99.983%):",
+        )
+
+
+def run_robustness(
+    scale: ExperimentScale = SMALL, seeds: List[int] = (11, 23, 37, 51, 73)
+) -> RobustnessResult:
+    outcomes: List[SeedOutcome] = []
+    for seed in seeds:
+        seeded = replace(scale, seed=seed)
+        trace = generate_trace(seeded)
+        fig4 = run_fig4(seeded, trace)
+        fig5 = run_fig5(seeded, trace)
+        outcomes.append(SeedOutcome(
+            seed=seed,
+            spi_drop_rate=fig4.spi_drop_rate,
+            bitmap_drop_rate=fig4.bitmap_drop_rate,
+            attack_filter_rate=fig5.attack_filter_rate,
+        ))
+    return RobustnessResult(outcomes=outcomes)

@@ -1,0 +1,120 @@
+"""Parameter-sensitivity ablation: Eq. (2) versus measured penetration.
+
+Sweeps the bitmap parameters the paper tells operators to tune (Section 3.4)
+— vector size n, hash count m, and connection load c — loading a bitmap with
+random connection keys and measuring the random-tuple penetration rate, next
+to the Eq. (2) prediction.  Also sweeps m around the Eq. (4) optimum to show
+the predicted U-shape of the penetration curve.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.report import render_table
+from repro.core.bitmap import Bitmap
+from repro.core.hashing import HashFamily
+from repro.core.parameters import (
+    optimal_num_hashes,
+    penetration_probability_for_load,
+)
+
+
+@dataclass
+class SweepPoint:
+    order: int
+    num_hashes: int
+    connections: int
+    predicted: float        # Eq. (2), the paper's linear approximation
+    predicted_exact: float  # exact Bloom occupancy (better at high m*c)
+    measured: float
+
+
+@dataclass
+class SweepResult:
+    points: List[SweepPoint]
+    optimum_curve: List[SweepPoint]
+    optimum_m: float
+
+    def report(self) -> str:
+        rows = [
+            [p.order, p.num_hashes, p.connections,
+             f"{p.predicted:.3e}", f"{p.predicted_exact:.3e}", f"{p.measured:.3e}"]
+            for p in self.points
+        ]
+        lines = [render_table(
+            ["n", "m", "c", "Eq.(2) p", "exact p", "measured p"],
+            rows, title="Parameter sweep — prediction vs measurement:")]
+        rows = [
+            [p.num_hashes, f"{p.predicted:.3e}", f"{p.predicted_exact:.3e}",
+             f"{p.measured:.3e}"]
+            for p in self.optimum_curve
+        ]
+        lines.append(render_table(
+            ["m", "Eq.(2) p", "exact p", "measured p"],
+            rows,
+            title=f"\nU-shape around the Eq.(4) optimum m* = {self.optimum_m:.1f}:"))
+        return "\n".join(lines)
+
+
+def measure_penetration(
+    order: int,
+    num_hashes: int,
+    connections: int,
+    trials: int,
+    rng: random.Random,
+) -> float:
+    """Random-tuple penetration of a bitmap loaded with random keys."""
+    bitmap = Bitmap(2, order)
+    hashes = HashFamily(num_hashes, order, seed=rng.getrandbits(32))
+    for _ in range(connections):
+        bitmap.mark(hashes.indices(
+            (6, rng.getrandbits(32), rng.getrandbits(16), rng.getrandbits(32))))
+    hits = 0
+    for _ in range(trials):
+        key = (17, rng.getrandbits(32), rng.getrandbits(16), rng.getrandbits(32))
+        if bitmap.test_current(hashes.indices(key)):
+            hits += 1
+    return hits / trials
+
+
+def run_sweep(trials: int = 30_000, seed: int = 3) -> SweepResult:
+    rng = random.Random(seed)
+    points: List[SweepPoint] = []
+    for order, num_hashes, connections in (
+        (14, 2, 1_000),
+        (14, 3, 1_000),
+        (14, 3, 2_000),
+        (15, 3, 2_000),
+        (16, 3, 2_000),
+        (16, 4, 4_000),
+        (17, 3, 4_000),
+    ):
+        points.append(SweepPoint(
+            order=order,
+            num_hashes=num_hashes,
+            connections=connections,
+            predicted=penetration_probability_for_load(connections, num_hashes, order),
+            predicted_exact=penetration_probability_for_load(
+                connections, num_hashes, order, exact=True),
+            measured=measure_penetration(order, num_hashes, connections, trials, rng),
+        ))
+
+    # The U-shape around m*: n=14, c=1500 -> m* = 2**14/(e*1500) ~ 4.
+    order, connections = 14, 1_500
+    m_star = optimal_num_hashes(order, connections, integral=False)
+    curve = [
+        SweepPoint(
+            order=order,
+            num_hashes=m,
+            connections=connections,
+            predicted=penetration_probability_for_load(connections, m, order),
+            predicted_exact=penetration_probability_for_load(
+                connections, m, order, exact=True),
+            measured=measure_penetration(order, m, connections, trials, rng),
+        )
+        for m in (1, 2, 3, 4, 6, 8, 12)
+    ]
+    return SweepResult(points=points, optimum_curve=curve, optimum_m=m_star)

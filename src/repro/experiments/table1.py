@@ -1,0 +1,216 @@
+"""Table 1: performance comparison of the bitmap filter and SPI filters.
+
+Two halves:
+
+1. *Analytical storage*, exactly as the paper computes it: at 2.56M
+   concurrent connections an SPI filter needs ``2.56M x 30 B = 76.8 MB``
+   (footnote b), while a bitmap filter sized for ~10% random penetration
+   (n = 24 by Eq. 5) needs ``4 x 2**24 / 8 = 8 MB`` (footnote c).
+
+2. *Measured operation costs* on the real data structures: per-op insert and
+   lookup times and full garbage-collection sweeps at geometrically growing
+   flow counts, demonstrating the complexity column (hash chains degrade
+   with load, AVL grows logarithmically, bitmap stays flat).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.report import render_table
+from repro.core.bitmap import Bitmap
+from repro.core.hashing import HashFamily
+from repro.core.parameters import memory_bytes, required_order
+from repro.spi.avltree import AvlTree
+from repro.spi.base import FLOW_STATE_BYTES, FlowState
+from repro.spi.hashlist import FlowHashTable
+
+#: The paper's reference point for the storage comparison.
+PAPER_CONNECTIONS = 2_560_000
+PAPER_PENETRATION = 0.10
+
+
+def paper_storage_rows() -> List[Dict[str, object]]:
+    """The analytical storage half of Table 1."""
+    spi_bytes = PAPER_CONNECTIONS * FLOW_STATE_BYTES
+    order = required_order(PAPER_CONNECTIONS, PAPER_PENETRATION)
+    bitmap_bytes = memory_bytes(4, order)
+    return [
+        {
+            "structure": "hash+link-list (Linux)",
+            "storage_bytes": spi_bytes,
+            "storage_human": f"{spi_bytes / 1e6:.1f}M bytes",
+            "insert": "O(1)",
+            "lookup": "O(n)",
+            "gc": "O(n)",
+            "hardware": "possible",
+        },
+        {
+            "structure": "AVL-tree",
+            "storage_bytes": spi_bytes,
+            "storage_human": f"{spi_bytes / 1e6:.1f}M bytes",
+            "insert": "O(log n)",
+            "lookup": "O(log n)",
+            "gc": "O(n)",
+            "hardware": "difficult",
+        },
+        {
+            "structure": f"bitmap filter (n={order})",
+            "storage_bytes": bitmap_bytes,
+            "storage_human": f"{bitmap_bytes / 1e6:.0f}M bytes",
+            "insert": "O(1)",
+            "lookup": "O(1)",
+            "gc": "O(n), memset",
+            "hardware": "easy",
+        },
+    ]
+
+
+def _random_keys(count: int, rng: random.Random) -> List[Tuple[int, int, int, int, int]]:
+    return [
+        (
+            6,
+            rng.getrandbits(32),
+            rng.getrandbits(16),
+            rng.getrandbits(32),
+            rng.getrandbits(16),
+        )
+        for _ in range(count)
+    ]
+
+
+@dataclass
+class OpTiming:
+    """Measured per-operation timings at one population size."""
+
+    population: int
+    insert_ns: float
+    lookup_ns: float
+    gc_ms: float
+
+
+@dataclass
+class Table1Result:
+    storage_rows: List[Dict[str, object]]
+    timings: Dict[str, List[OpTiming]]   # structure name -> per-size timings
+    probe_count: int
+
+    def growth_factor(self, structure: str, op: str) -> float:
+        """Timing ratio between the largest and smallest population."""
+        series = self.timings[structure]
+        first, last = series[0], series[-1]
+        return getattr(last, op) / max(getattr(first, op), 1e-9)
+
+    def report(self) -> str:
+        lines = ["Table 1 — bitmap filter vs SPI filters", "", "Analytical storage:"]
+        lines.append(
+            render_table(
+                ["structure", "storage @2.56M conns", "insert", "lookup", "GC", "hw accel"],
+                [
+                    [r["structure"], r["storage_human"], r["insert"], r["lookup"],
+                     r["gc"], r["hardware"]]
+                    for r in self.storage_rows
+                ],
+            )
+        )
+        lines.append("")
+        lines.append(f"Measured op costs ({self.probe_count} probes per point):")
+        rows = []
+        for structure, series in self.timings.items():
+            for t in series:
+                rows.append(
+                    [structure, t.population, f"{t.insert_ns:.0f}", f"{t.lookup_ns:.0f}",
+                     f"{t.gc_ms:.2f}"]
+                )
+        lines.append(
+            render_table(["structure", "flows", "insert ns/op", "lookup ns/op", "GC ms"], rows)
+        )
+        return "\n".join(lines)
+
+
+def _time_hashlist(population: int, probes: int, rng: random.Random) -> OpTiming:
+    table = FlowHashTable(num_buckets=16384)
+    keys = _random_keys(population, rng)
+    for key in keys:
+        table.insert(key, FlowState(1e18))
+    new_keys = _random_keys(probes, rng)
+    t0 = time.perf_counter()
+    for key in new_keys:
+        table.insert(key, FlowState(1e18))
+    insert_ns = (time.perf_counter() - t0) / probes * 1e9
+    lookup_keys = [keys[rng.randrange(population)] for _ in range(probes)]
+    t0 = time.perf_counter()
+    for key in lookup_keys:
+        table.get(key)
+    lookup_ns = (time.perf_counter() - t0) / probes * 1e9
+    t0 = time.perf_counter()
+    table.sweep_expired(0.0)  # nothing expires; pure traversal cost
+    gc_ms = (time.perf_counter() - t0) * 1e3
+    return OpTiming(population, insert_ns, lookup_ns, gc_ms)
+
+
+def _time_avl(population: int, probes: int, rng: random.Random) -> OpTiming:
+    tree = AvlTree()
+    keys = _random_keys(population, rng)
+    for key in keys:
+        tree.put(key, FlowState(1e18))
+    new_keys = _random_keys(probes, rng)
+    t0 = time.perf_counter()
+    for key in new_keys:
+        tree.put(key, FlowState(1e18))
+    insert_ns = (time.perf_counter() - t0) / probes * 1e9
+    lookup_keys = [keys[rng.randrange(population)] for _ in range(probes)]
+    t0 = time.perf_counter()
+    for key in lookup_keys:
+        tree.get(key)
+    lookup_ns = (time.perf_counter() - t0) / probes * 1e9
+    t0 = time.perf_counter()
+    # Traverse everything (the GC pattern); nothing is expired.
+    for _key, state in tree.items():
+        if state.expires_at <= 0.0:
+            pass
+    gc_ms = (time.perf_counter() - t0) * 1e3
+    return OpTiming(population, insert_ns, lookup_ns, gc_ms)
+
+
+def _time_bitmap(population: int, probes: int, rng: random.Random, order: int = 20) -> OpTiming:
+    bitmap = Bitmap(4, order)
+    hashes = HashFamily(3, order)
+    keys = [key[:4] for key in _random_keys(population, rng)]
+    for key in keys:
+        bitmap.mark(hashes.indices(key))
+    new_keys = [key[:4] for key in _random_keys(probes, rng)]
+    t0 = time.perf_counter()
+    for key in new_keys:
+        bitmap.mark(hashes.indices(key))
+    insert_ns = (time.perf_counter() - t0) / probes * 1e9
+    lookup_keys = [keys[rng.randrange(population)] for _ in range(probes)]
+    t0 = time.perf_counter()
+    for key in lookup_keys:
+        bitmap.test_current(hashes.indices(key))
+    lookup_ns = (time.perf_counter() - t0) / probes * 1e9
+    t0 = time.perf_counter()
+    bitmap.rotate()  # the bitmap's whole GC: one memset
+    gc_ms = (time.perf_counter() - t0) * 1e3
+    return OpTiming(population, insert_ns, lookup_ns, gc_ms)
+
+
+def run_table1(
+    sizes: Sequence[int] = (10_000, 40_000, 160_000),
+    probes: int = 4_000,
+    seed: int = 5,
+) -> Table1Result:
+    rng = random.Random(seed)
+    timings = {
+        "hash+link-list": [_time_hashlist(n, probes, rng) for n in sizes],
+        "AVL-tree": [_time_avl(n, probes, rng) for n in sizes],
+        "bitmap filter": [_time_bitmap(n, probes, rng) for n in sizes],
+    }
+    return Table1Result(
+        storage_rows=paper_storage_rows(),
+        timings=timings,
+        probe_count=probes,
+    )

@@ -1,0 +1,30 @@
+"""Network model substrate: addresses, packets, flows, and protocol constants.
+
+This package provides the packet-level vocabulary shared by every other
+subsystem: integer-backed IPv4 addresses and networks (:mod:`repro.net.address`),
+the :class:`~repro.net.packet.Packet` object and its columnar NumPy twin
+:class:`~repro.net.packet.PacketArray`, flow/tuple keys with the directional
+hashing rules the bitmap filter uses (:mod:`repro.net.flow`), and protocol
+constants (:mod:`repro.net.protocols`).
+"""
+
+from repro.net.address import IPv4Address, IPv4Network, AddressSpace
+from repro.net.flow import AddressTuple, bitmap_key_incoming, bitmap_key_outgoing
+from repro.net.packet import Direction, Packet, PacketArray, TcpFlags
+from repro.net.protocols import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Network",
+    "AddressSpace",
+    "AddressTuple",
+    "bitmap_key_incoming",
+    "bitmap_key_outgoing",
+    "Direction",
+    "Packet",
+    "PacketArray",
+    "TcpFlags",
+    "IPPROTO_ICMP",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+]

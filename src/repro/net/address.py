@@ -1,0 +1,248 @@
+"""Integer-backed IPv4 addresses and networks.
+
+The standard library :mod:`ipaddress` module is convenient but heavyweight for
+simulation loops that touch millions of addresses.  Here an address is a plain
+``int`` wrapped in a tiny value type, and a network is a (prefix, mask) pair.
+Everything interoperates with bare integers so hot paths can skip the wrappers
+entirely.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+_MAX_IPV4 = 0xFFFFFFFF
+
+AddressLike = Union["IPv4Address", int, str]
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad notation into an integer.
+
+    Raises :class:`ValueError` for malformed input (wrong number of octets,
+    out-of-range octets, or non-numeric parts).
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {text!r}: expected 4 octets")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part, 10)
+        except ValueError as exc:
+            raise ValueError(f"invalid IPv4 address {text!r}: bad octet {part!r}") from exc
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 address {text!r}: octet {octet} out of range")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format an integer as dotted-quad notation."""
+    if not 0 <= value <= _MAX_IPV4:
+        raise ValueError(f"IPv4 address value {value:#x} out of range")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def coerce_address(value: AddressLike) -> int:
+    """Coerce an address-like value (int, str, IPv4Address) to an integer."""
+    if isinstance(value, IPv4Address):
+        return value.value
+    if isinstance(value, int):
+        if not 0 <= value <= _MAX_IPV4:
+            raise ValueError(f"IPv4 address value {value:#x} out of range")
+        return value
+    if isinstance(value, str):
+        return parse_ipv4(value)
+    raise TypeError(f"cannot interpret {value!r} as an IPv4 address")
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """An IPv4 address as an immutable value type around an integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _MAX_IPV4:
+            raise ValueError(f"IPv4 address value {self.value:#x} out of range")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        return cls(parse_ipv4(text))
+
+    def __str__(self) -> str:
+        return format_ipv4(self.value)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self.value + offset)
+
+
+@dataclass(frozen=True)
+class IPv4Network:
+    """An IPv4 network (prefix + prefix length).
+
+    The host bits of ``prefix`` must be zero; use :meth:`containing` to build
+    the network that contains an arbitrary address.
+    """
+
+    prefix: int
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix_len <= 32:
+            raise ValueError(f"prefix length {self.prefix_len} out of range")
+        if self.prefix & ~self.netmask & _MAX_IPV4:
+            raise ValueError(
+                f"prefix {format_ipv4(self.prefix)} has host bits set for /{self.prefix_len}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Network":
+        """Parse CIDR notation, e.g. ``"192.168.1.0/24"``."""
+        if "/" not in text:
+            raise ValueError(f"invalid CIDR {text!r}: missing prefix length")
+        addr_text, _, len_text = text.partition("/")
+        prefix_len = int(len_text, 10)
+        return cls(parse_ipv4(addr_text), prefix_len)
+
+    @classmethod
+    def containing(cls, address: AddressLike, prefix_len: int) -> "IPv4Network":
+        """Return the /prefix_len network containing ``address``."""
+        value = coerce_address(address)
+        mask = _mask_for(prefix_len)
+        return cls(value & mask, prefix_len)
+
+    @property
+    def netmask(self) -> int:
+        return _mask_for(self.prefix_len)
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.prefix_len)
+
+    @property
+    def first(self) -> int:
+        return self.prefix
+
+    @property
+    def last(self) -> int:
+        return self.prefix | (~self.netmask & _MAX_IPV4)
+
+    def __contains__(self, address: object) -> bool:
+        if isinstance(address, (IPv4Address, int, str)):
+            return (coerce_address(address) & self.netmask) == self.prefix
+        return False
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.prefix)}/{self.prefix_len}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Network({str(self)!r})"
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.first, self.last + 1))
+
+    def host(self, index: int) -> int:
+        """Return the ``index``-th address in the network (0-based)."""
+        if not 0 <= index < self.num_addresses:
+            raise IndexError(f"host index {index} out of range for {self}")
+        return self.prefix + index
+
+    def usable_hosts(self) -> Iterator[int]:
+        """Iterate host addresses, skipping network/broadcast for /30 and wider."""
+        if self.prefix_len >= 31:
+            yield from self
+        else:
+            yield from range(self.first + 1, self.last)
+
+    def random_host(self, rng: random.Random) -> int:
+        """Sample a uniformly random usable host address."""
+        if self.prefix_len >= 31:
+            return rng.randint(self.first, self.last)
+        return rng.randint(self.first + 1, self.last - 1)
+
+
+def _mask_for(prefix_len: int) -> int:
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"prefix length {prefix_len} out of range")
+    if prefix_len == 0:
+        return 0
+    return (_MAX_IPV4 << (32 - prefix_len)) & _MAX_IPV4
+
+
+class AddressSpace:
+    """A set of networks forming a protected client address space.
+
+    The bitmap filter needs a fast "is this address inside the client
+    network?" predicate.  For a handful of networks, a linear scan over
+    (prefix, mask) pairs is fastest; membership is O(#networks).
+    """
+
+    def __init__(self, networks: Iterable[Union[IPv4Network, str]]):
+        self._networks: List[IPv4Network] = []
+        for net in networks:
+            if isinstance(net, str):
+                net = IPv4Network.parse(net)
+            self._networks.append(net)
+        if not self._networks:
+            raise ValueError("AddressSpace requires at least one network")
+        # Pre-extract (mask, prefix) pairs for the hot-path membership test.
+        self._pairs = tuple((net.netmask, net.prefix) for net in self._networks)
+
+    @classmethod
+    def class_c_block(cls, first_network: AddressLike, count: int) -> "AddressSpace":
+        """Build ``count`` consecutive /24 networks starting at ``first_network``.
+
+        Mirrors the paper's setup of six consecutive class-C campus networks.
+        """
+        base = coerce_address(first_network) & ~0xFF
+        nets = [IPv4Network(base + (i << 8), 24) for i in range(count)]
+        return cls(nets)
+
+    @property
+    def networks(self) -> Sequence[IPv4Network]:
+        return tuple(self._networks)
+
+    @property
+    def num_addresses(self) -> int:
+        return sum(net.num_addresses for net in self._networks)
+
+    def contains(self, address: AddressLike) -> bool:
+        value = coerce_address(address)
+        return any(value & mask == prefix for mask, prefix in self._pairs)
+
+    __contains__ = contains
+
+    def contains_int(self, value: int) -> bool:
+        """Hot-path membership test for a bare integer address (no coercion)."""
+        return any(value & mask == prefix for mask, prefix in self._pairs)
+
+    def random_host(self, rng: random.Random) -> int:
+        """Sample a random host, weighting networks by their size."""
+        weights = [net.num_addresses for net in self._networks]
+        net = rng.choices(self._networks, weights=weights, k=1)[0]
+        return net.random_host(rng)
+
+    def hosts(self, per_network: Optional[int] = None) -> List[int]:
+        """Enumerate host addresses, optionally limited per network."""
+        out: List[int] = []
+        for net in self._networks:
+            hosts = net.usable_hosts()
+            if per_network is None:
+                out.extend(hosts)
+            else:
+                out.extend(addr for _, addr in zip(range(per_network), hosts))
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(net) for net in self._networks)
+        return f"AddressSpace([{inner}])"

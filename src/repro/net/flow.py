@@ -1,0 +1,98 @@
+"""Flow address tuples and the bitmap filter's directional keys.
+
+The paper (Section 3.2) defines an address tuple
+``τ = {source-address, source-port, destination-address, destination-port}``
+and the inverse tuple ``τ⁻¹`` obtained by swapping endpoints.  An outgoing
+packet with tuple ``τ_out`` corresponds to an incoming packet whose tuple
+``τ_in`` satisfies ``τ_in⁻¹ == τ_out``.
+
+Section 3.3 further specifies that the bitmap does **not** hash the full
+4-tuple: for an outgoing packet only ``{saddr, sport, daddr}`` is hashed
+(the remote port is omitted) and for an incoming packet only
+``{daddr, dport, saddr}``.  Both reduce to the same key
+``(local-address, local-port, remote-address)``, which is what lets
+protocols that switch remote ports mid-session (and the Section 5.1 hole
+punching trick, where the client cannot know the remote source port in
+advance) keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.address import format_ipv4
+from repro.net.packet import Packet
+
+#: The bitmap key type: (protocol, local address, local port, remote address).
+BitmapKey = Tuple[int, int, int, int]
+
+#: Exact flow key used by SPI filters: full 5-tuple in local-first order.
+FlowKey = Tuple[int, int, int, int, int]
+
+
+@dataclass(frozen=True, order=True)
+class AddressTuple:
+    """The 4-tuple τ of Section 3.2, plus the transport protocol.
+
+    The paper's τ omits the protocol for brevity; a deployed filter must
+    distinguish TCP from UDP flows, so we carry it along.
+    """
+
+    proto: int
+    saddr: int
+    sport: int
+    daddr: int
+    dport: int
+
+    @classmethod
+    def of_packet(cls, pkt: Packet) -> "AddressTuple":
+        return cls(pkt.proto, pkt.src, pkt.sport, pkt.dst, pkt.dport)
+
+    def inverse(self) -> "AddressTuple":
+        """τ⁻¹: swap the two endpoints."""
+        return AddressTuple(self.proto, self.daddr, self.dport, self.saddr, self.sport)
+
+    def __str__(self) -> str:
+        return (
+            f"{format_ipv4(self.saddr)}:{self.sport} -> "
+            f"{format_ipv4(self.daddr)}:{self.dport}/{self.proto}"
+        )
+
+
+def bitmap_key_outgoing(proto: int, saddr: int, sport: int, daddr: int) -> BitmapKey:
+    """Key marked for an outgoing packet: {saddr, sport, daddr} (Sec. 3.3).
+
+    ``saddr``/``sport`` are the client-side (local) endpoint.
+    """
+    return (proto, saddr, sport, daddr)
+
+
+def bitmap_key_incoming(proto: int, daddr: int, dport: int, saddr: int) -> BitmapKey:
+    """Key looked up for an incoming packet: {daddr, dport, saddr} (Sec. 3.3).
+
+    ``daddr``/``dport`` are the client-side (local) endpoint, ``saddr`` the
+    outside sender.  For a genuine reply this equals the key its request
+    marked via :func:`bitmap_key_outgoing`.
+    """
+    return (proto, daddr, dport, saddr)
+
+
+def bitmap_key_of_packet(pkt: Packet, outgoing: bool) -> BitmapKey:
+    """Directional bitmap key for a packet."""
+    if outgoing:
+        return bitmap_key_outgoing(pkt.proto, pkt.src, pkt.sport, pkt.dst)
+    return bitmap_key_incoming(pkt.proto, pkt.dst, pkt.dport, pkt.src)
+
+
+def flow_key_of_packet(pkt: Packet, outgoing: bool) -> FlowKey:
+    """Canonical (local-first) exact flow key for SPI filters."""
+    if outgoing:
+        return (pkt.proto, pkt.src, pkt.sport, pkt.dst, pkt.dport)
+    return (pkt.proto, pkt.dst, pkt.dport, pkt.src, pkt.sport)
+
+
+def flow_key_of_tuple(tup: AddressTuple, outgoing: bool) -> FlowKey:
+    if outgoing:
+        return (tup.proto, tup.saddr, tup.sport, tup.daddr, tup.dport)
+    return (tup.proto, tup.daddr, tup.dport, tup.saddr, tup.sport)

@@ -1,0 +1,72 @@
+"""Protocol numbers and well-known port registry used by the traffic models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+PROTOCOL_NAMES: Dict[int, str] = {
+    IPPROTO_ICMP: "icmp",
+    IPPROTO_TCP: "tcp",
+    IPPROTO_UDP: "udp",
+}
+
+# Well-known server ports referenced by the paper's compatibility discussion
+# (Section 5.1) and by the application profiles in repro.traffic.applications.
+PORT_FTP_DATA = 20
+PORT_FTP = 21
+PORT_SSH = 22
+PORT_TELNET = 23
+PORT_SMTP = 25
+PORT_DNS = 53
+PORT_HTTP = 80
+PORT_POP3 = 110
+PORT_NTP = 123
+PORT_IMAP = 143
+PORT_HTTPS = 443
+PORT_SMB = 445
+PORT_IMAPS = 993
+PORT_POP3S = 995
+
+# Default ephemeral (dynamic) client port range.  Windows XP era used
+# 1025-5000; modern stacks use 49152-65535.  The paper's port-reuse effect
+# arises because this range is finite and ports are recycled.
+EPHEMERAL_PORT_RANGE: Tuple[int, int] = (1024, 65535)
+
+
+@dataclass(frozen=True)
+class ServicePort:
+    """A well-known service port with its transport protocol."""
+
+    port: int
+    protocol: int
+    name: str
+
+
+WELL_KNOWN_SERVICES: Dict[str, ServicePort] = {
+    "ftp-data": ServicePort(PORT_FTP_DATA, IPPROTO_TCP, "ftp-data"),
+    "ftp": ServicePort(PORT_FTP, IPPROTO_TCP, "ftp"),
+    "ssh": ServicePort(PORT_SSH, IPPROTO_TCP, "ssh"),
+    "telnet": ServicePort(PORT_TELNET, IPPROTO_TCP, "telnet"),
+    "smtp": ServicePort(PORT_SMTP, IPPROTO_TCP, "smtp"),
+    "dns": ServicePort(PORT_DNS, IPPROTO_UDP, "dns"),
+    "http": ServicePort(PORT_HTTP, IPPROTO_TCP, "http"),
+    "pop3": ServicePort(PORT_POP3, IPPROTO_TCP, "pop3"),
+    "ntp": ServicePort(PORT_NTP, IPPROTO_UDP, "ntp"),
+    "imap": ServicePort(PORT_IMAP, IPPROTO_TCP, "imap"),
+    "https": ServicePort(PORT_HTTPS, IPPROTO_TCP, "https"),
+    "smb": ServicePort(PORT_SMB, IPPROTO_TCP, "smb"),
+}
+
+
+def protocol_name(proto: int) -> str:
+    """Human-readable protocol name, falling back to the raw number."""
+    return PROTOCOL_NAMES.get(proto, f"proto-{proto}")
+
+
+def is_valid_port(port: int) -> bool:
+    return 0 <= port <= 65535

@@ -1,0 +1,161 @@
+"""Evaluation metrics: confusion counts and per-second time series.
+
+Terminology follows Section 4.1: a *false positive* is normal traffic the
+filter drops; a *false negative* is attack traffic that penetrates the
+filter.  Counts are computed from the ground-truth ``label`` field carried
+by every packet — labels are invisible to the filters themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.net.packet import PacketArray
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Outcome counts over the *incoming* packets of one filter run."""
+
+    attack_dropped: int      # true positives (attack filtered)
+    attack_passed: int       # false negatives (penetrations)
+    normal_dropped: int      # false positives (legitimate traffic lost)
+    normal_passed: int       # true negatives
+    background_dropped: int = 0  # unsolicited radiation filtered (not FP)
+    background_passed: int = 0
+
+    @property
+    def incoming_total(self) -> int:
+        return (
+            self.attack_dropped + self.attack_passed
+            + self.normal_dropped + self.normal_passed
+            + self.background_dropped + self.background_passed
+        )
+
+    @property
+    def attack_total(self) -> int:
+        return self.attack_dropped + self.attack_passed
+
+    @property
+    def normal_total(self) -> int:
+        return self.normal_dropped + self.normal_passed
+
+    @property
+    def attack_filter_rate(self) -> float:
+        """Fraction of attack packets filtered out (Fig. 5b's metric)."""
+        if not self.attack_total:
+            return 0.0
+        return self.attack_dropped / self.attack_total
+
+    @property
+    def penetration_rate(self) -> float:
+        """Fraction of attack packets that got through (false negatives)."""
+        if not self.attack_total:
+            return 0.0
+        return self.attack_passed / self.attack_total
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of normal incoming packets wrongly dropped."""
+        if not self.normal_total:
+            return 0.0
+        return self.normal_dropped / self.normal_total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "attack_dropped": self.attack_dropped,
+            "attack_passed": self.attack_passed,
+            "normal_dropped": self.normal_dropped,
+            "normal_passed": self.normal_passed,
+            "background_dropped": self.background_dropped,
+            "background_passed": self.background_passed,
+            "attack_filter_rate": self.attack_filter_rate,
+            "penetration_rate": self.penetration_rate,
+            "false_positive_rate": self.false_positive_rate,
+        }
+
+
+@dataclass(frozen=True)
+class PerSecondSeries:
+    """Per-second packet counts over a run (the Fig. 5a series)."""
+
+    seconds: np.ndarray          # bin start times
+    normal_incoming: np.ndarray
+    attack_incoming: np.ndarray
+    passed_incoming: np.ndarray  # everything that penetrated or legitimately passed
+    dropped_incoming: np.ndarray
+
+    def attack_filter_rate_series(self) -> np.ndarray:
+        """Per-second attack filtering rate (Fig. 5b), NaN where no attack."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            passed_attack = self.attack_incoming - np.minimum(
+                self.dropped_incoming, self.attack_incoming
+            )
+            rate = 1.0 - passed_attack / self.attack_incoming
+        return rate
+
+
+@dataclass
+class FilterRunResult:
+    """Everything produced by one filter run over one labelled trace."""
+
+    verdicts: np.ndarray                # PASS=True per packet (all directions)
+    incoming_mask: np.ndarray           # which packets were incoming
+    confusion: ConfusionCounts
+    series: PerSecondSeries
+    filter_stats: Dict[str, int] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    @property
+    def incoming_drop_rate(self) -> float:
+        incoming = int(self.incoming_mask.sum())
+        if not incoming:
+            return 0.0
+        dropped = int((~self.verdicts[self.incoming_mask]).sum())
+        return dropped / incoming
+
+
+def score_run(
+    packets: PacketArray,
+    verdicts: np.ndarray,
+    incoming_mask: np.ndarray,
+    duration: Optional[float] = None,
+) -> "tuple[ConfusionCounts, PerSecondSeries]":
+    """Compute confusion counts and per-second series from raw verdicts."""
+    labels = packets.label
+    inc = incoming_mask
+    attack_in = (labels == 1) & inc
+    normal_in = (labels == 0) & inc
+    background_in = (labels == 2) & inc
+    passed = verdicts
+
+    confusion = ConfusionCounts(
+        attack_dropped=int((attack_in & ~passed).sum()),
+        attack_passed=int((attack_in & passed).sum()),
+        normal_dropped=int((normal_in & ~passed).sum()),
+        normal_passed=int((normal_in & passed).sum()),
+        background_dropped=int((background_in & ~passed).sum()),
+        background_passed=int((background_in & passed).sum()),
+    )
+
+    ts = packets.ts
+    if duration is None:
+        duration = float(ts.max()) + 1.0 if len(ts) else 1.0
+    edges = np.arange(0.0, np.ceil(duration) + 1.0, 1.0)
+    seconds = edges[:-1]
+
+    def bucket(mask: np.ndarray) -> np.ndarray:
+        counts, _ = np.histogram(ts[mask], bins=edges)
+        return counts
+
+    series = PerSecondSeries(
+        seconds=seconds,
+        normal_incoming=bucket(normal_in),
+        attack_incoming=bucket(attack_in),
+        passed_incoming=bucket(inc & passed),
+        dropped_incoming=bucket(inc & ~passed),
+    )
+    return confusion, series

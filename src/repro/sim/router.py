@@ -1,0 +1,102 @@
+"""The edge-router model: link accounting around a filter.
+
+An :class:`EdgeRouter` represents the ISP-side device of Figure 1 where a
+bitmap filter is installed: it fronts one client network's up-link, counts
+bytes/packets per direction, applies its filter to every forwarded packet,
+and exposes the link-state the APD indicators monitor (bandwidth
+utilization, in/out packet ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.bitmap_filter import BitmapFilter, Decision
+from repro.net.address import AddressSpace
+from repro.net.packet import Direction, Packet
+from repro.spi.base import StatefulFilter
+
+
+@dataclass
+class LinkCounters:
+    """Per-direction link accounting."""
+
+    packets_in: int = 0
+    packets_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    dropped_in: int = 0
+    dropped_bytes_in: int = 0
+
+    @property
+    def in_out_ratio(self) -> float:
+        if not self.packets_out:
+            return float("inf") if self.packets_in else 0.0
+        return self.packets_in / self.packets_out
+
+
+class EdgeRouter:
+    """An ISP edge router protecting one client network."""
+
+    def __init__(
+        self,
+        name: str,
+        protected: AddressSpace,
+        filt: Optional[Union[BitmapFilter, StatefulFilter]] = None,
+        downlink_capacity_bps: float = 100e6,
+    ):
+        if downlink_capacity_bps <= 0:
+            raise ValueError("link capacity must be positive")
+        self.name = name
+        self.protected = protected
+        self.filter = filt
+        self.downlink_capacity_bps = downlink_capacity_bps
+        self.counters = LinkCounters()
+        self._window_start = 0.0
+        self._window_bytes_in = 0
+        self._utilization = 0.0
+        self._utilization_window = 1.0
+
+    def forward(self, pkt: Packet) -> Decision:
+        """Account for a packet and apply the installed filter."""
+        direction = pkt.direction(self.protected)
+        counters = self.counters
+        if direction is Direction.OUTGOING:
+            counters.packets_out += 1
+            counters.bytes_out += pkt.size
+        elif direction is Direction.INCOMING:
+            counters.packets_in += 1
+            counters.bytes_in += pkt.size
+            self._account_utilization(pkt)
+
+        if self.filter is None:
+            return Decision.PASS
+        decision = self.filter.process(pkt)
+        if decision is Decision.DROP and direction is Direction.INCOMING:
+            counters.dropped_in += 1
+            counters.dropped_bytes_in += pkt.size
+        return decision
+
+    def _account_utilization(self, pkt: Packet) -> None:
+        """Rolling 1-second estimate of downlink utilization."""
+        if pkt.ts - self._window_start >= self._utilization_window:
+            elapsed = max(pkt.ts - self._window_start, self._utilization_window)
+            self._utilization = min(
+                1.0, self._window_bytes_in * 8.0 / elapsed / self.downlink_capacity_bps
+            )
+            self._window_start = pkt.ts
+            self._window_bytes_in = 0
+        self._window_bytes_in += pkt.size
+
+    @property
+    def downlink_utilization(self) -> float:
+        """Most recent completed-window utilization estimate."""
+        return self._utilization
+
+    def __repr__(self) -> str:
+        c = self.counters
+        return (
+            f"EdgeRouter({self.name!r}, in={c.packets_in}, out={c.packets_out}, "
+            f"dropped={c.dropped_in})"
+        )

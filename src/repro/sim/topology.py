@@ -1,0 +1,169 @@
+"""The ISP topology of Figure 1 and filter-placement analysis.
+
+Figure 1 shows an ISP as core routers (white), edge routers (black), client
+networks hanging off edge routers, and peer-ISP links.  "The bitmap filter
+can be installed at any location through which traffic from client networks
+must pass."  :meth:`IspTopology.valid_filter_locations` computes exactly that
+set: the routers present on *every* path from any peering point to the
+client network (via dominator analysis on the routing graph).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, List, Optional, Set
+
+import networkx as nx
+
+from repro.net.address import AddressSpace
+
+
+class NodeKind(enum.Enum):
+    CORE = "core"
+    EDGE = "edge"
+    CLIENT_NETWORK = "client"
+    PEER = "peer"
+
+
+class IspTopology:
+    """An undirected ISP graph with typed nodes."""
+
+    _VIRTUAL_SOURCE = "__internet__"
+
+    def __init__(self):
+        self._graph = nx.Graph()
+        self._client_spaces: Dict[str, AddressSpace] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_core_router(self, name: str) -> None:
+        self._add_node(name, NodeKind.CORE)
+
+    def add_edge_router(self, name: str) -> None:
+        self._add_node(name, NodeKind.EDGE)
+
+    def add_peer(self, name: str) -> None:
+        """A peering point where external (attack) traffic enters."""
+        self._add_node(name, NodeKind.PEER)
+
+    def add_client_network(
+        self, name: str, attach_to: str, address_space: Optional[AddressSpace] = None
+    ) -> None:
+        """A client network hanging off an edge router."""
+        if attach_to not in self._graph:
+            raise KeyError(f"unknown attachment router {attach_to!r}")
+        if self.kind(attach_to) is not NodeKind.EDGE:
+            raise ValueError("client networks attach to edge routers")
+        self._add_node(name, NodeKind.CLIENT_NETWORK)
+        self._graph.add_edge(name, attach_to)
+        if address_space is not None:
+            self._client_spaces[name] = address_space
+
+    def connect(self, a: str, b: str) -> None:
+        """Link two routers (or a router and a peer)."""
+        for node in (a, b):
+            if node not in self._graph:
+                raise KeyError(f"unknown node {node!r}")
+            if self.kind(node) is NodeKind.CLIENT_NETWORK:
+                raise ValueError("use add_client_network to attach client networks")
+        self._graph.add_edge(a, b)
+
+    def _add_node(self, name: str, kind: NodeKind) -> None:
+        if name in self._graph:
+            raise ValueError(f"duplicate node name {name!r}")
+        if name == self._VIRTUAL_SOURCE:
+            raise ValueError(f"{name!r} is reserved")
+        self._graph.add_node(name, kind=kind)
+
+    # -- queries -------------------------------------------------------------------
+
+    def attach_address_space(self, client_network: str, space: AddressSpace) -> None:
+        """Attach (or replace) the address space of an existing client network."""
+        if self.kind(client_network) is not NodeKind.CLIENT_NETWORK:
+            raise ValueError(f"{client_network!r} is not a client network")
+        self._client_spaces[client_network] = space
+
+    def kind(self, name: str) -> NodeKind:
+        return self._graph.nodes[name]["kind"]
+
+    def nodes_of_kind(self, kind: NodeKind) -> List[str]:
+        return [n for n, data in self._graph.nodes(data=True) if data["kind"] is kind]
+
+    def address_space(self, client_network: str) -> Optional[AddressSpace]:
+        return self._client_spaces.get(client_network)
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    def valid_filter_locations(self, client_network: str) -> FrozenSet[str]:
+        """Routers through which *all* peer-to-client traffic must pass.
+
+        Computed as the dominators of the client network relative to a
+        virtual source connected to every peer: a node dominates the client
+        iff every path from outside reaches the client through it.  Client
+        networks and peers themselves are excluded — only routers are valid
+        installation points.
+        """
+        if client_network not in self._graph:
+            raise KeyError(f"unknown client network {client_network!r}")
+        if self.kind(client_network) is not NodeKind.CLIENT_NETWORK:
+            raise ValueError(f"{client_network!r} is not a client network")
+        peers = self.nodes_of_kind(NodeKind.PEER)
+        if not peers:
+            raise ValueError("topology has no peering points")
+
+        directed = self._graph.to_directed()
+        directed.add_node(self._VIRTUAL_SOURCE)
+        for peer in peers:
+            directed.add_edge(self._VIRTUAL_SOURCE, peer)
+        if not nx.has_path(directed, self._VIRTUAL_SOURCE, client_network):
+            return frozenset()
+
+        dominators = nx.immediate_dominators(directed, self._VIRTUAL_SOURCE)
+        chain: Set[str] = set()
+        node = client_network
+        while node != self._VIRTUAL_SOURCE:
+            chain.add(node)
+            node = dominators[node]
+        routers = {
+            n for n in chain
+            if self.kind(n) in (NodeKind.CORE, NodeKind.EDGE)
+        }
+        return frozenset(routers)
+
+    def covers_aggregate(self, router: str, client_networks: List[str]) -> bool:
+        """True if one filter at ``router`` protects all listed networks.
+
+        Figure 1's "core router aggregating two or more client networks"
+        case: the router must be a valid location for each network.
+        """
+        return all(
+            router in self.valid_filter_locations(net) for net in client_networks
+        )
+
+    @classmethod
+    def paper_example(cls) -> "IspTopology":
+        """A topology in the shape of Figure 1.
+
+        Three client networks: two behind their own edge routers that share
+        an aggregating core router, one behind a separate edge router, and a
+        peer-ISP link into the core mesh.
+        """
+        topo = cls()
+        for core in ("core1", "core2", "core3"):
+            topo.add_core_router(core)
+        for edge in ("edge1", "edge2", "edge3"):
+            topo.add_edge_router(edge)
+        topo.add_peer("peer-isp")
+        topo.connect("core1", "core2")
+        topo.connect("core2", "core3")
+        topo.connect("core1", "core3")
+        topo.connect("peer-isp", "core2")
+        topo.connect("edge1", "core1")
+        topo.connect("edge2", "core1")
+        topo.connect("edge3", "core3")
+        topo.add_client_network("clientA", "edge1")
+        topo.add_client_network("clientB", "edge2")
+        topo.add_client_network("clientC", "edge3")
+        return topo

@@ -1,0 +1,32 @@
+"""Stateful packet inspection (SPI) baselines the paper compares against.
+
+Three implementations of the same per-flow-state filtering semantics:
+
+- :class:`~repro.spi.naive.NaiveExactFilter` — a dict of exact tuples with
+  per-tuple timers; the "naive solution" of Section 3.3 and the semantic
+  reference the bitmap filter approximates.
+- :class:`~repro.spi.hashlist.HashListFilter` — hash buckets + linked lists,
+  the structure used by Linux netfilter conntrack (Table 1, column 1).
+- :class:`~repro.spi.avltree.AvlTreeFilter` — an AVL tree keyed by flow
+  tuple (Table 1, column 2).
+
+All share the :class:`~repro.spi.base.StatefulFilter` front end: outgoing
+packets create/refresh flow state, incoming packets pass only if matching
+state exists, and idle states are garbage-collected after a timeout
+(default 240 s — the Windows TIME_WAIT value used in Section 4.3).
+"""
+
+from repro.spi.avltree import AvlTree, AvlTreeFilter
+from repro.spi.base import FLOW_STATE_BYTES, SpiStats, StatefulFilter
+from repro.spi.hashlist import HashListFilter
+from repro.spi.naive import NaiveExactFilter
+
+__all__ = [
+    "AvlTree",
+    "AvlTreeFilter",
+    "FLOW_STATE_BYTES",
+    "SpiStats",
+    "StatefulFilter",
+    "HashListFilter",
+    "NaiveExactFilter",
+]

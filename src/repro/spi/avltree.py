@@ -1,0 +1,244 @@
+"""AVL-tree SPI filter (Table 1, column 2).
+
+A self-balancing binary search tree keyed by the flow tuple gives
+O(log n) insert and lookup at the price of rebalancing work and pointer-rich
+nodes.  The tree below is a full from-scratch implementation (recursive
+insert/delete with rotations) so the Table 1 micro-benchmarks exercise real
+AVL costs; garbage collection still has to traverse all states, like the
+hash+linked-list design.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.net.flow import FlowKey
+from repro.spi.base import FlowState, StatefulFilter
+
+
+class _AvlNode:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: Any, value: Any):
+        self.key = key
+        self.value = value
+        self.left: Optional["_AvlNode"] = None
+        self.right: Optional["_AvlNode"] = None
+        self.height = 1
+
+
+def _height(node: Optional[_AvlNode]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update_height(node: _AvlNode) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _AvlNode) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(y: _AvlNode) -> _AvlNode:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _update_height(y)
+    _update_height(x)
+    return x
+
+
+def _rotate_left(x: _AvlNode) -> _AvlNode:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _update_height(x)
+    _update_height(y)
+    return y
+
+
+def _rebalance(node: _AvlNode) -> _AvlNode:
+    _update_height(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:  # left-right case
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:  # right-left case
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AvlTree:
+    """A generic AVL-balanced map with ordered keys."""
+
+    def __init__(self):
+        self._root: Optional[_AvlNode] = None
+        self._size = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, key: Any) -> Optional[Any]:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node.value
+        return None
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return _height(self._root)
+
+    def min_key(self) -> Optional[Any]:
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max_key(self) -> Optional[Any]:
+        node = self._root
+        if node is None:
+            return None
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """In-order (sorted by key) iteration, without recursion."""
+        stack: List[_AvlNode] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[Any]:
+        for key, _ in self.items():
+            yield key
+
+    # -- mutation ------------------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> bool:
+        """Insert or update; returns True if the key was newly inserted."""
+        self._root, inserted = self._put(self._root, key, value)
+        if inserted:
+            self._size += 1
+        return inserted
+
+    def _put(self, node: Optional[_AvlNode], key: Any, value: Any) -> Tuple[_AvlNode, bool]:
+        if node is None:
+            return _AvlNode(key, value), True
+        if key < node.key:
+            node.left, inserted = self._put(node.left, key, value)
+        elif node.key < key:
+            node.right, inserted = self._put(node.right, key, value)
+        else:
+            node.value = value
+            return node, False
+        return _rebalance(node), inserted
+
+    def remove(self, key: Any) -> bool:
+        """Delete ``key``; returns True if it was present."""
+        self._root, removed = self._remove(self._root, key)
+        if removed:
+            self._size -= 1
+        return removed
+
+    def _remove(self, node: Optional[_AvlNode], key: Any) -> Tuple[Optional[_AvlNode], bool]:
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._remove(node.left, key)
+        elif node.key < key:
+            node.right, removed = self._remove(node.right, key)
+        else:
+            removed = True
+            if node.left is None:
+                return node.right, True
+            if node.right is None:
+                return node.left, True
+            # Two children: replace with the in-order successor.
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key = successor.key
+            node.value = successor.value
+            node.right, _ = self._remove(node.right, successor.key)
+        return _rebalance(node), removed
+
+    # -- invariant checking (used by property tests) ---------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if AVL/BST invariants are violated."""
+
+        def check(node: Optional[_AvlNode]) -> Tuple[int, int]:
+            """Return (height, size) while validating the subtree."""
+            if node is None:
+                return 0, 0
+            left_height, left_size = check(node.left)
+            right_height, right_size = check(node.right)
+            assert abs(left_height - right_height) <= 1, "balance factor out of range"
+            height = 1 + max(left_height, right_height)
+            assert node.height == height, "stale cached height"
+            if node.left is not None:
+                assert node.left.key < node.key, "BST order violated (left)"
+            if node.right is not None:
+                assert node.key < node.right.key, "BST order violated (right)"
+            return height, 1 + left_size + right_size
+
+        _, size = check(self._root)
+        assert size == self._size, f"size bookkeeping off: {size} != {self._size}"
+
+
+class AvlTreeFilter(StatefulFilter):
+    """SPI filter storing flow states in an :class:`AvlTree`."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._tree = AvlTree()
+
+    def _get(self, key: FlowKey) -> Optional[FlowState]:
+        return self._tree.get(key)
+
+    def _insert(self, key: FlowKey, state: FlowState) -> None:
+        self._tree.put(key, state)
+
+    def _gc(self, now: float) -> int:
+        # Full in-order traversal to find expired states, then delete each —
+        # the O(n) garbage collection Table 1 charges to tree-based SPI.
+        expired = [key for key, state in self._tree.items() if state.expires_at <= now]
+        for key in expired:
+            self._tree.remove(key)
+        return len(expired)
+
+    @property
+    def num_flows(self) -> int:
+        return len(self._tree)
+
+    @property
+    def tree(self) -> AvlTree:
+        return self._tree
+
+    def __repr__(self) -> str:
+        return f"AvlTreeFilter(flows={self.num_flows}, timeout={self.idle_timeout})"

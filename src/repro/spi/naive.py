@@ -1,0 +1,42 @@
+"""The "naive solution" of Section 3.3: exact tuples with per-tuple timers.
+
+A dict mapping each outgoing flow tuple to its state.  Semantically this is
+the ideal the bitmap approximates — no hash collisions, exact expiry — and
+tests use it as the ground-truth oracle: every genuine reply the naive
+filter passes inside the bitmap's guaranteed window must also pass the
+bitmap (the bitmap may additionally pass false negatives).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.flow import FlowKey
+from repro.spi.base import FlowState, StatefulFilter
+
+
+class NaiveExactFilter(StatefulFilter):
+    """Dict-backed exact-tuple stateful filter."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._table: Dict[FlowKey, FlowState] = {}
+
+    def _get(self, key: FlowKey) -> Optional[FlowState]:
+        return self._table.get(key)
+
+    def _insert(self, key: FlowKey, state: FlowState) -> None:
+        self._table[key] = state
+
+    def _gc(self, now: float) -> int:
+        expired = [key for key, state in self._table.items() if state.expires_at <= now]
+        for key in expired:
+            del self._table[key]
+        return len(expired)
+
+    @property
+    def num_flows(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:
+        return f"NaiveExactFilter(flows={self.num_flows}, timeout={self.idle_timeout})"

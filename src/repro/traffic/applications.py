@@ -1,0 +1,258 @@
+"""Application profiles composing the client-network traffic mix.
+
+A client network's traffic is a blend of client-initiated applications.
+Each :class:`ApplicationProfile` describes one application's shape: transport
+protocol, server port(s), request/response exchange pacing, packets per
+exchange, and — crucial for reproducing Figure 2b — the *server idle-close*
+behaviour: HTTP-era servers tear down idle persistent connections after a
+keep-alive timeout that is almost always a multiple of 15/30/60 seconds,
+which is exactly what produces the paper's out-in delay peaks "interleaved
+with intervals of roughly 30 or 60 seconds".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.net.protocols import (
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    PORT_DNS,
+    PORT_FTP,
+    PORT_HTTP,
+    PORT_HTTPS,
+    PORT_IMAP,
+    PORT_NTP,
+    PORT_POP3,
+    PORT_SMTP,
+    PORT_SSH,
+    PORT_TELNET,
+)
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Statistical shape of one application's sessions.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    protocol:
+        IPPROTO_TCP or IPPROTO_UDP.
+    server_ports:
+        Candidate destination ports (one is drawn per session).
+    weight:
+        Relative share of *sessions* (not packets) in the mix.
+    mean_think_time:
+        Mean seconds between request/response exchanges inside a session.
+    request_packets / response_packets:
+        (lo, hi) packets per exchange in each direction.
+    server_close_probability:
+        Chance the *server* ends the session by an idle-timeout FIN instead
+        of the client closing actively.
+    server_idle_close_choices:
+        Candidate keep-alive timeouts for a server-initiated close (seconds;
+        multiples of 15/30/60 in the wild).
+    lifetime_scale:
+        Multiplier applied to the sampled base lifetime — lets SSH sessions
+        run long and DNS exchanges stay short without separate samplers.
+    inbound_channels:
+        (lo, hi) count of *server-initiated* data channels per session —
+        active-mode FTP and P2P behaviour (Section 5.1).  Zero for ordinary
+        client-initiated applications.
+    hole_punch_probability:
+        Chance the client punches a hole (sends the Section 5.1 marking
+        packet) before each inbound channel.  1.0 models a filter-aware
+        client; 0.0 models a legacy client whose inbound channels a bitmap
+        filter will break.
+    """
+
+    name: str
+    protocol: int
+    server_ports: Tuple[int, ...]
+    weight: float
+    mean_think_time: float = 5.0
+    request_packets: Tuple[int, int] = (1, 2)
+    response_packets: Tuple[int, int] = (1, 4)
+    server_close_probability: float = 0.0
+    server_idle_close_choices: Tuple[float, ...] = ()
+    lifetime_scale: float = 1.0
+    inbound_channels: Tuple[int, int] = (0, 0)
+    hole_punch_probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in (IPPROTO_TCP, IPPROTO_UDP):
+            raise ValueError(f"unsupported protocol {self.protocol} for {self.name}")
+        if self.weight < 0:
+            raise ValueError("profile weight cannot be negative")
+        if self.server_close_probability and not self.server_idle_close_choices:
+            raise ValueError(
+                f"{self.name}: server_close_probability needs idle-close choices"
+            )
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.protocol == IPPROTO_TCP
+
+    def pick_port(self, rng: random.Random) -> int:
+        return rng.choice(self.server_ports)
+
+    def pick_idle_close(self, rng: random.Random) -> float:
+        """One server keep-alive timeout, with +-10% jitter."""
+        base = rng.choice(self.server_idle_close_choices)
+        return base * rng.uniform(0.92, 1.08)
+
+
+def default_application_mix() -> Sequence[ApplicationProfile]:
+    """The calibrated default mix.
+
+    Weights are *session* shares chosen so the generated *packet* mix lands
+    near the paper's 96.25% TCP / 3.75% UDP (UDP sessions carry only a
+    handful of packets each, so they need a much larger session share than
+    packet share).
+    """
+    return (
+        ApplicationProfile(
+            name="http",
+            protocol=IPPROTO_TCP,
+            server_ports=(PORT_HTTP, 8080),
+            weight=0.34,
+            mean_think_time=4.0,
+            request_packets=(1, 2),
+            response_packets=(2, 6),
+            server_close_probability=0.20,
+            server_idle_close_choices=(15.0, 30.0, 60.0),
+        ),
+        ApplicationProfile(
+            name="https",
+            protocol=IPPROTO_TCP,
+            server_ports=(PORT_HTTPS,),
+            weight=0.17,
+            mean_think_time=4.0,
+            request_packets=(1, 2),
+            response_packets=(2, 6),
+            server_close_probability=0.20,
+            server_idle_close_choices=(30.0, 60.0, 120.0),
+        ),
+        ApplicationProfile(
+            name="smtp",
+            protocol=IPPROTO_TCP,
+            server_ports=(PORT_SMTP,),
+            weight=0.03,
+            mean_think_time=2.0,
+            response_packets=(1, 2),
+        ),
+        ApplicationProfile(
+            name="pop3",
+            protocol=IPPROTO_TCP,
+            server_ports=(PORT_POP3,),
+            weight=0.03,
+            mean_think_time=2.0,
+            response_packets=(1, 3),
+        ),
+        ApplicationProfile(
+            name="imap",
+            protocol=IPPROTO_TCP,
+            server_ports=(PORT_IMAP,),
+            weight=0.02,
+            mean_think_time=8.0,
+            response_packets=(1, 3),
+            server_close_probability=0.30,
+            server_idle_close_choices=(60.0, 120.0, 240.0),
+        ),
+        ApplicationProfile(
+            name="ssh",
+            protocol=IPPROTO_TCP,
+            server_ports=(PORT_SSH,),
+            weight=0.03,
+            mean_think_time=12.0,
+            request_packets=(1, 1),
+            response_packets=(1, 2),
+            lifetime_scale=4.0,
+        ),
+        ApplicationProfile(
+            name="telnet",
+            protocol=IPPROTO_TCP,
+            server_ports=(PORT_TELNET,),
+            weight=0.01,
+            mean_think_time=10.0,
+            request_packets=(1, 1),
+            response_packets=(1, 1),
+            lifetime_scale=3.0,
+        ),
+        ApplicationProfile(
+            name="ftp",
+            protocol=IPPROTO_TCP,
+            server_ports=(PORT_FTP,),
+            weight=0.02,
+            mean_think_time=6.0,
+            response_packets=(2, 8),
+        ),
+        ApplicationProfile(
+            name="dns",
+            protocol=IPPROTO_UDP,
+            server_ports=(PORT_DNS,),
+            weight=0.33,
+            mean_think_time=0.5,
+            request_packets=(1, 1),
+            response_packets=(1, 1),
+        ),
+        ApplicationProfile(
+            name="ntp",
+            protocol=IPPROTO_UDP,
+            server_ports=(PORT_NTP,),
+            weight=0.07,
+            mean_think_time=1.0,
+            request_packets=(1, 1),
+            response_packets=(1, 1),
+        ),
+    )
+
+
+def p2p_profile(weight: float = 0.05, hole_punch_probability: float = 1.0) -> ApplicationProfile:
+    """A peer-to-peer profile with server-initiated data channels.
+
+    Not part of :func:`default_application_mix` (the paper's campus trace
+    predates heavy P2P symmetry); add it explicitly to study the Section 5.1
+    compatibility question inside the full workload.
+    """
+    return ApplicationProfile(
+        name="p2p",
+        protocol=IPPROTO_TCP,
+        server_ports=(6881, 6889, 4662),
+        weight=weight,
+        mean_think_time=8.0,
+        request_packets=(1, 2),
+        response_packets=(1, 4),
+        lifetime_scale=2.0,
+        inbound_channels=(1, 3),
+        hole_punch_probability=hole_punch_probability,
+    )
+
+
+def active_ftp_profile(weight: float = 0.02,
+                       hole_punch_probability: float = 1.0) -> ApplicationProfile:
+    """Active-mode FTP: one server-initiated data channel per session."""
+    return ApplicationProfile(
+        name="ftp-active",
+        protocol=IPPROTO_TCP,
+        server_ports=(PORT_FTP,),
+        weight=weight,
+        mean_think_time=6.0,
+        response_packets=(1, 3),
+        inbound_channels=(1, 1),
+        hole_punch_probability=hole_punch_probability,
+    )
+
+
+def profile_by_name(
+    name: str, mix: Optional[Sequence[ApplicationProfile]] = None
+) -> ApplicationProfile:
+    """Look up a profile in a mix (default mix if none given)."""
+    for profile in mix or default_application_mix():
+        if profile.name == name:
+            return profile
+    raise KeyError(f"no application profile named {name!r}")

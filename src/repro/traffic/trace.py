@@ -1,0 +1,177 @@
+"""Trace containers: a packet stream plus the client networks it belongs to.
+
+A :class:`Trace` bundles a time-sorted :class:`~repro.net.packet.PacketArray`
+with the protected :class:`~repro.net.address.AddressSpace` and metadata.
+It supports merging (e.g. normal + attack traffic), slicing, persistence to
+``.npz``/CSV, and a :class:`TraceSummary` mirroring the fields the paper
+reports for its capture (packet rate, TCP/UDP shares, mean size, bandwidth).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.net.address import AddressSpace, IPv4Network
+from repro.net.packet import PACKET_DTYPE, PacketArray
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics in the shape of the paper's Section 3.2 summary."""
+
+    num_packets: int
+    duration: float
+    packets_per_second: float
+    tcp_fraction: float
+    udp_fraction: float
+    mean_packet_size: float
+    bandwidth_mbps: float
+    attack_fraction: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_packets} packets over {self.duration:.1f}s "
+            f"({self.packets_per_second / 1000.0:.2f}K pps), "
+            f"{self.tcp_fraction * 100:.2f}% TCP / {self.udp_fraction * 100:.2f}% UDP, "
+            f"mean size {self.mean_packet_size:.0f}B, "
+            f"{self.bandwidth_mbps:.2f} Mbps, "
+            f"{self.attack_fraction * 100:.2f}% attack"
+        )
+
+
+class Trace:
+    """A packet trace bound to the client address space it was captured at."""
+
+    def __init__(
+        self,
+        packets: PacketArray,
+        protected: AddressSpace,
+        metadata: Optional[Dict[str, object]] = None,
+    ):
+        self.packets = packets
+        self.protected = protected
+        self.metadata: Dict[str, object] = dict(metadata or {})
+
+    # -- basic accessors ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    @property
+    def duration(self) -> float:
+        """Configured duration if present in metadata, else the packet span."""
+        configured = self.metadata.get("duration")
+        if isinstance(configured, (int, float)) and configured > 0:
+            return float(configured)
+        if not len(self.packets):
+            return 0.0
+        return float(self.packets.ts.max() - self.packets.ts.min())
+
+    def summary(self) -> TraceSummary:
+        pkts = self.packets
+        n = len(pkts)
+        duration = self.duration or 1.0
+        if not n:
+            return TraceSummary(0, duration, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        tcp = int((pkts.proto == IPPROTO_TCP).sum())
+        udp = int((pkts.proto == IPPROTO_UDP).sum())
+        mean_size = float(pkts.size.mean())
+        total_bytes = float(pkts.size.sum(dtype=np.int64))
+        return TraceSummary(
+            num_packets=n,
+            duration=duration,
+            packets_per_second=n / duration,
+            tcp_fraction=tcp / n,
+            udp_fraction=udp / n,
+            mean_packet_size=mean_size,
+            bandwidth_mbps=total_bytes * 8.0 / duration / 1e6,
+            attack_fraction=float((pkts.label == 1).mean()),
+        )
+
+    # -- combination ----------------------------------------------------------
+
+    def merged_with(self, *others: "Trace") -> "Trace":
+        """Time-sorted union of this trace with others (same address space)."""
+        arrays = [self.packets] + [other.packets for other in others]
+        merged = PacketArray.concatenate(arrays).sorted_by_time()
+        metadata = dict(self.metadata)
+        metadata["merged_from"] = 1 + len(others)
+        durations = [self.duration] + [other.duration for other in others]
+        metadata["duration"] = max(durations)
+        return Trace(merged, self.protected, metadata)
+
+    def time_slice(self, start: float, end: float) -> "Trace":
+        sliced = self.packets.time_slice(start, end)
+        metadata = dict(self.metadata)
+        metadata["duration"] = end - start
+        return Trace(sliced, self.protected, metadata)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save_npz(self, path: Union[str, Path]) -> None:
+        """Binary persistence: packet table + JSON-encoded metadata."""
+        path = Path(path)
+        meta = dict(self.metadata)
+        meta["protected_networks"] = [str(net) for net in self.protected.networks]
+        np.savez_compressed(path, packets=self.packets.data, metadata=json.dumps(meta))
+
+    @classmethod
+    def load_npz(cls, path: Union[str, Path]) -> "Trace":
+        with np.load(Path(path), allow_pickle=False) as archive:
+            data = archive["packets"]
+            meta = json.loads(str(archive["metadata"]))
+        if data.dtype != PACKET_DTYPE:
+            raise ValueError(f"unexpected packet dtype in {path}: {data.dtype}")
+        networks = [IPv4Network.parse(text) for text in meta.pop("protected_networks")]
+        return cls(PacketArray(data.copy()), AddressSpace(networks), meta)
+
+    def save_csv(self, path: Union[str, Path]) -> None:
+        """Human-inspectable CSV dump (ts, proto, src, sport, dst, dport, flags, size, label)."""
+        pkts = self.packets
+        header = "ts,proto,src,sport,dst,dport,flags,size,label"
+        columns = np.column_stack(
+            [
+                pkts.ts,
+                pkts.proto,
+                pkts.src,
+                pkts.sport,
+                pkts.dst,
+                pkts.dport,
+                pkts.flags,
+                pkts.size,
+                pkts.label,
+            ]
+        )
+        np.savetxt(
+            Path(path),
+            columns,
+            delimiter=",",
+            header=header,
+            comments="",
+            fmt=["%.6f"] + ["%d"] * 8,
+        )
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path], protected: AddressSpace) -> "Trace":
+        raw = np.loadtxt(Path(path), delimiter=",", skiprows=1, ndmin=2)
+        packets = PacketArray.from_fields(
+            ts=raw[:, 0],
+            proto=raw[:, 1].astype(np.uint8),
+            src=raw[:, 2].astype(np.uint32),
+            sport=raw[:, 3].astype(np.uint16),
+            dst=raw[:, 4].astype(np.uint32),
+            dport=raw[:, 5].astype(np.uint16),
+            flags=raw[:, 6].astype(np.uint8),
+            size=raw[:, 7].astype(np.uint16),
+            label=raw[:, 8].astype(np.uint8),
+        )
+        return cls(packets, protected)
+
+    def __repr__(self) -> str:
+        return f"Trace(n={len(self)}, duration={self.duration:.1f}s)"

@@ -1,0 +1,286 @@
+"""The session model: application profiles → packet timelines.
+
+A *session* is one client-initiated connection (TCP) or transaction train
+(UDP).  :class:`SessionFactory` expands a session into a list of packet
+tuples — ``(ts, proto, src, sport, dst, dport, flags, size)`` — which the
+generator batches into a :class:`~repro.net.packet.PacketArray` without ever
+materializing per-packet objects (sessions are the unit of work, packets are
+rows).
+
+Timeline of a TCP session::
+
+    out SYN ──> in SYN+ACK ──> out ACK            (handshake)
+    repeat: out request(s) ──> in response(s) ──> out ACK   (exchanges)
+    close:  client FIN / server idle-timeout FIN / RST
+
+Server idle-timeout closes arrive 15-240 s (multiples of ~15/30/60 s, with
+jitter) after the last activity — the mechanism behind Figure 2b's comb of
+out-in-delay peaks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.net.packet import TcpFlags
+from repro.traffic.applications import ApplicationProfile
+from repro.traffic.distributions import (
+    LifetimeDistribution,
+    PacketSizeDistribution,
+    ReplyDelayDistribution,
+)
+
+#: A packet as a plain tuple (ts, proto, src, sport, dst, dport, flags, size).
+PacketTuple = Tuple[float, int, int, int, int, int, int, int]
+
+_SYN = int(TcpFlags.SYN)
+_SYNACK = int(TcpFlags.SYN | TcpFlags.ACK)
+_ACK = int(TcpFlags.ACK)
+_PSH_ACK = int(TcpFlags.PSH | TcpFlags.ACK)
+_FIN_ACK = int(TcpFlags.FIN | TcpFlags.ACK)
+_RST = int(TcpFlags.RST)
+_NONE = int(TcpFlags.NONE)
+
+#: Client-side turnaround between receiving and answering (seconds).
+_TURNAROUND = 0.002
+#: Gap between back-to-back packets of one train.
+_TRAIN_GAP = 0.0015
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Everything needed to expand one session into packets."""
+
+    profile: ApplicationProfile
+    client_addr: int
+    client_port: int
+    server_addr: int
+    server_port: int
+    start_ts: float
+
+
+class SessionFactory:
+    """Expands :class:`SessionSpec` into packet tuples.
+
+    One factory per workload; owns the calibrated distributions and an RNG
+    so expansions are deterministic given the seed.
+    """
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self.lifetimes = LifetimeDistribution()
+        self.delays = ReplyDelayDistribution()
+        self.sizes = PacketSizeDistribution()
+        #: Fraction of TCP sessions that end in an abortive RST.
+        self.rst_close_probability = 0.05
+        #: Fraction of TCP sessions followed by a post-close straggler — a
+        #: retransmitted/duplicate packet from the server arriving after the
+        #: connection is torn down (real traces are full of these; they are
+        #: the packets a close-tracking SPI filter drops "precisely").
+        self.straggler_probability = 0.19
+        #: Of the stragglers, how many arrive shortly after the close (inside
+        #: the bitmap's expiry window) versus much later (outside it).
+        self.short_straggler_fraction = 0.82
+
+    # -- public ------------------------------------------------------------
+
+    def build(self, spec: SessionSpec) -> List[PacketTuple]:
+        """All packets of one session, in timestamp order."""
+        if spec.profile.is_tcp:
+            return self._build_tcp(spec)
+        return self._build_udp(spec)
+
+    def sample_lifetime(self, profile: ApplicationProfile) -> float:
+        return self.lifetimes.sample(self._rng) * profile.lifetime_scale
+
+    # -- helpers -------------------------------------------------------------
+
+    def _out(
+        self, pkts: List[PacketTuple], ts: float, spec: SessionSpec, flags: int, size: int
+    ) -> None:
+        pkts.append(
+            (
+                ts,
+                spec.profile.protocol,
+                spec.client_addr,
+                spec.client_port,
+                spec.server_addr,
+                spec.server_port,
+                flags,
+                size,
+            )
+        )
+
+    def _in(
+        self, pkts: List[PacketTuple], ts: float, spec: SessionSpec, flags: int, size: int
+    ) -> None:
+        pkts.append(
+            (
+                ts,
+                spec.profile.protocol,
+                spec.server_addr,
+                spec.server_port,
+                spec.client_addr,
+                spec.client_port,
+                flags,
+                size,
+            )
+        )
+
+    # -- TCP ------------------------------------------------------------------
+
+    def _build_tcp(self, spec: SessionSpec) -> List[PacketTuple]:
+        rng = self._rng
+        profile = spec.profile
+        pkts: List[PacketTuple] = []
+        lifetime = self.sample_lifetime(profile)
+        deadline = spec.start_ts + lifetime
+
+        # Handshake.
+        now = spec.start_ts
+        self._out(pkts, now, spec, _SYN, self.sizes.sample_control(rng))
+        handshake_delay = self.delays.sample(rng)
+        now += handshake_delay
+        self._in(pkts, now, spec, _SYNACK, self.sizes.sample_control(rng))
+        now += _TURNAROUND
+        self._out(pkts, now, spec, _ACK, self.sizes.sample_control(rng))
+
+        # Request/response exchanges until the sampled lifetime is spent.
+        last_incoming = now
+        while True:
+            now = self._exchange(pkts, now, spec)
+            last_incoming = now
+            think = rng.expovariate(1.0 / profile.mean_think_time)
+            if now + think >= deadline:
+                break
+            now += think
+
+        # Close.
+        close_roll = rng.random()
+        if close_roll < self.rst_close_probability:
+            # Abortive close: a bare RST from whichever side gives up.
+            now += rng.uniform(0.001, 0.5)
+            if rng.random() < 0.5:
+                self._out(pkts, now, spec, _RST, 40)
+            else:
+                self._in(pkts, now, spec, _RST, 40)
+            close_ts = now
+        elif (
+            profile.server_close_probability
+            and close_roll < self.rst_close_probability + profile.server_close_probability
+        ):
+            # Server idle-timeout close: the FIN arrives a keep-alive
+            # timeout after the last activity (Figure 2b's peaks).
+            idle = profile.pick_idle_close(rng)
+            fin_ts = last_incoming + idle
+            self._in(pkts, fin_ts, spec, _FIN_ACK, 40)
+            t = fin_ts + _TURNAROUND
+            self._out(pkts, t, spec, _ACK, 40)
+            self._out(pkts, t + _TRAIN_GAP, spec, _FIN_ACK, 40)
+            self._in(pkts, t + _TRAIN_GAP + self.delays.sample(rng), spec, _ACK, 40)
+            close_ts = t + _TRAIN_GAP
+        else:
+            # Active client close.
+            now += rng.uniform(0.001, 0.5)
+            self._out(pkts, now, spec, _FIN_ACK, 40)
+            reply_ts = now + self.delays.sample(rng)
+            self._in(pkts, reply_ts, spec, _FIN_ACK, 40)
+            self._out(pkts, reply_ts + _TURNAROUND, spec, _ACK, 40)
+            close_ts = reply_ts + _TURNAROUND
+
+        # Post-close straggler: a duplicate/retransmitted server packet.
+        if rng.random() < self.straggler_probability:
+            if rng.random() < self.short_straggler_fraction:
+                delay = rng.uniform(3.0, 12.0)    # inside the bitmap's window
+            else:
+                delay = rng.uniform(25.0, 90.0)   # outside it
+            self._in(pkts, close_ts + delay, spec, _PSH_ACK, self.sizes.sample_data(rng))
+
+        # Server-initiated data channels (active FTP / P2P, Section 5.1).
+        lo, hi = profile.inbound_channels
+        if hi > 0:
+            pkts.extend(self._inbound_channels(spec, rng.randint(lo, hi),
+                                               spec.start_ts + 0.5))
+            pkts.sort(key=lambda row: row[0])
+        return pkts
+
+    def _inbound_channels(self, spec: SessionSpec, count: int,
+                          start: float) -> List[PacketTuple]:
+        """Server-initiated data channels, optionally hole-punched first.
+
+        The remote side connects from a fresh source port to a new local
+        port the client announced in-band.  A filter-aware client sends the
+        Section 5.1 punch packet (from the announced local port toward the
+        server) right before each inbound connect.
+        """
+        rng = self._rng
+        rows: List[PacketTuple] = []
+        t = start
+        for channel in range(count):
+            local_port = (spec.client_port + 1 + channel) % 64512 + 1024
+            remote_port = rng.randint(1024, 65535)
+            t += rng.uniform(0.2, 3.0)
+            if rng.random() < spec.profile.hole_punch_probability:
+                # The punch: any outgoing packet from (client, local_port)
+                # to the server (its port is irrelevant to the bitmap key).
+                rows.append((t, spec.profile.protocol, spec.client_addr,
+                             local_port, spec.server_addr,
+                             rng.randint(1024, 65535), _ACK, 40))
+                t += 0.01
+            # Inbound SYN from the server's fresh source port.
+            rows.append((t, spec.profile.protocol, spec.server_addr,
+                         remote_port, spec.client_addr, local_port, _SYN, 48))
+            handshake = t + self.delays.sample(rng)
+            rows.append((handshake, spec.profile.protocol, spec.client_addr,
+                         local_port, spec.server_addr, remote_port,
+                         _SYNACK, 48))
+            # A short burst of inbound data, acked by the client.
+            data_t = handshake + _TURNAROUND
+            for i in range(rng.randint(2, 6)):
+                rows.append((data_t + i * _TRAIN_GAP, spec.profile.protocol,
+                             spec.server_addr, remote_port, spec.client_addr,
+                             local_port, _PSH_ACK, self.sizes.sample_data(rng)))
+            rows.append((data_t + 6 * _TRAIN_GAP, spec.profile.protocol,
+                         spec.client_addr, local_port, spec.server_addr,
+                         remote_port, _ACK, 40))
+            t = data_t + 6 * _TRAIN_GAP
+        return rows
+
+    def _exchange(self, pkts: List[PacketTuple], now: float, spec: SessionSpec) -> float:
+        """One request/response round; returns the finish timestamp."""
+        rng = self._rng
+        profile = spec.profile
+        n_req = rng.randint(*profile.request_packets)
+        for i in range(n_req):
+            self._out(pkts, now + i * _TRAIN_GAP, spec, _PSH_ACK, self.sizes.sample_data(rng))
+        now += (n_req - 1) * _TRAIN_GAP + self.delays.sample(rng)
+        n_resp = rng.randint(*profile.response_packets)
+        for i in range(n_resp):
+            self._in(pkts, now + i * _TRAIN_GAP, spec, _PSH_ACK, self.sizes.sample_data(rng))
+        now += (n_resp - 1) * _TRAIN_GAP + _TURNAROUND
+        # Client acknowledges the response train.
+        self._out(pkts, now, spec, _ACK, self.sizes.sample_control(rng))
+        return now
+
+    # -- UDP ---------------------------------------------------------------------
+
+    def _build_udp(self, spec: SessionSpec) -> List[PacketTuple]:
+        rng = self._rng
+        profile = spec.profile
+        pkts: List[PacketTuple] = []
+        now = spec.start_ts
+        rounds = rng.randint(1, 3)
+        for round_index in range(rounds):
+            n_req = rng.randint(*profile.request_packets)
+            for i in range(n_req):
+                self._out(pkts, now + i * _TRAIN_GAP, spec, _NONE, rng.randint(60, 300))
+            now += (n_req - 1) * _TRAIN_GAP + self.delays.sample(rng)
+            n_resp = rng.randint(*profile.response_packets)
+            for i in range(n_resp):
+                self._in(pkts, now + i * _TRAIN_GAP, spec, _NONE, rng.randint(80, 500))
+            now += (n_resp - 1) * _TRAIN_GAP
+            if round_index + 1 < rounds:
+                now += rng.expovariate(1.0 / profile.mean_think_time)
+        return pkts

@@ -1,0 +1,62 @@
+"""Tests for repro.analysis.composition."""
+
+import pytest
+
+from repro.analysis.composition import composition
+from repro.net.packet import PacketArray
+from tests.conftest import make_reply, make_request
+
+
+class TestComposition:
+    def test_empty_trace(self, protected):
+        report = composition(PacketArray.empty(), protected)
+        assert report.total_packets == 0
+        assert report.shares == []
+
+    def test_simple_classification(self, protected, client_addr, server_addr):
+        http = make_request(1.0, client_addr, server_addr, dport=80)
+        packets = PacketArray.from_packets([
+            http,
+            make_reply(http, 1.1),                                    # sport=80
+            make_request(2.0, client_addr, server_addr, dport=22),    # ssh
+            make_request(3.0, client_addr, server_addr, dport=31337), # other
+        ])
+        report = composition(packets, protected)
+        assert report.fraction_of("http") == pytest.approx(0.5)
+        assert report.fraction_of("ssh") == pytest.approx(0.25)
+        assert report.fraction_of("other-tcp") == pytest.approx(0.25)
+
+    def test_incoming_uses_source_port(self, protected, client_addr, server_addr):
+        """A reply from server:80 counts as HTTP even though dport is the
+        client's ephemeral port."""
+        request = make_request(1.0, client_addr, server_addr, dport=80)
+        report = composition(PacketArray.from_packets([make_reply(request, 1.1)]),
+                             protected)
+        assert report.fraction_of("http") == 1.0
+
+    def test_shares_sum_to_one(self, tiny_trace):
+        report = composition(tiny_trace.packets, tiny_trace.protected)
+        assert sum(s.fraction for s in report.shares) == pytest.approx(1.0)
+        assert report.total_packets == len(tiny_trace)
+
+    def test_generated_trace_matches_configured_mix(self, tiny_trace):
+        """The workload's dominant applications show up as the top shares."""
+        report = composition(tiny_trace.packets, tiny_trace.protected)
+        top_names = {share.name for share in report.top(4)}
+        assert "http" in top_names
+        assert "https" in top_names
+        # HTTP carries the most packets by construction (largest TCP weight).
+        assert report.shares[0].name in ("http", "https")
+        # DNS is a large *session* share but a small *packet* share.
+        assert 0.005 < report.fraction_of("dns") < 0.08
+
+    def test_describe_renders(self, tiny_trace):
+        report = composition(tiny_trace.packets, tiny_trace.protected)
+        text = report.describe()
+        assert "application" in text
+        assert "%" in text
+
+    def test_bytes_accounted(self, protected, client_addr, server_addr):
+        request = make_request(1.0, client_addr, server_addr, dport=80)
+        report = composition(PacketArray.from_packets([request]), protected)
+        assert report.shares[0].bytes == request.size

@@ -1,0 +1,102 @@
+"""Tests for repro.analysis.delay — the Section 3.2 measurement procedure."""
+
+import pytest
+
+from repro.analysis.delay import OutInDelayExtractor, out_in_delays
+from repro.net.packet import PacketArray
+from tests.conftest import make_reply, make_request
+
+
+class TestProcedure:
+    def test_basic_delay(self, protected, client_addr, server_addr):
+        extractor = OutInDelayExtractor(protected, expiry_timer=600.0)
+        request = make_request(10.0, client_addr, server_addr)
+        extractor.observe(request)
+        extractor.observe(make_reply(request, 10.4))
+        assert extractor.delays == [pytest.approx(0.4)]
+
+    def test_refresh_resets_t0(self, protected, client_addr, server_addr):
+        """'Otherwise, the existing tuple is updated with the timestamp t.'"""
+        extractor = OutInDelayExtractor(protected, expiry_timer=600.0)
+        request = make_request(10.0, client_addr, server_addr)
+        extractor.observe(request)
+        extractor.observe(request.with_ts(20.0))
+        extractor.observe(make_reply(request, 20.5))
+        assert extractor.delays == [pytest.approx(0.5)]
+
+    def test_unmatched_incoming_ignored(self, protected, client_addr, server_addr):
+        extractor = OutInDelayExtractor(protected)
+        request = make_request(10.0, client_addr, server_addr)
+        extractor.observe(make_reply(request, 10.5))  # nothing stored
+        assert extractor.delays == []
+
+    def test_expiry_timer_discards_stale_tuples(self, protected, client_addr, server_addr):
+        """'An expiry timer Te deletes existing address tuples when t-t0 > Te.'"""
+        extractor = OutInDelayExtractor(protected, expiry_timer=600.0)
+        request = make_request(10.0, client_addr, server_addr)
+        extractor.observe(request)
+        extractor.observe(make_reply(request, 700.0))
+        assert extractor.delays == []
+        assert extractor.stored_tuples == 0
+
+    def test_delay_at_te_boundary_recorded(self, protected, client_addr, server_addr):
+        extractor = OutInDelayExtractor(protected, expiry_timer=600.0)
+        request = make_request(10.0, client_addr, server_addr)
+        extractor.observe(request)
+        extractor.observe(make_reply(request, 609.9))
+        assert extractor.delays == [pytest.approx(599.9)]
+
+    def test_internal_and_transit_ignored(self, protected):
+        extractor = OutInDelayExtractor(protected)
+        internal = make_request(1.0, protected.networks[0].host(1),
+                                protected.networks[1].host(1))
+        transit = make_request(1.0, 0x01010101, 0x02020202)
+        extractor.observe(internal)
+        extractor.observe(transit)
+        assert extractor.stored_tuples == 0
+
+    def test_exact_four_tuple_matching(self, protected, client_addr, server_addr):
+        """Unlike the bitmap key, the measurement stores the full tuple."""
+        from dataclasses import replace
+
+        extractor = OutInDelayExtractor(protected)
+        request = make_request(10.0, client_addr, server_addr, dport=80)
+        extractor.observe(request)
+        wrong_sport = replace(make_reply(request, 10.2), sport=8080)
+        extractor.observe(wrong_sport)
+        assert extractor.delays == []
+
+    def test_multiple_replies_each_measured(self, protected, client_addr, server_addr):
+        extractor = OutInDelayExtractor(protected)
+        request = make_request(10.0, client_addr, server_addr)
+        extractor.observe(request)
+        extractor.observe(make_reply(request, 10.2))
+        extractor.observe(make_reply(request, 10.4))
+        assert extractor.delays == [pytest.approx(0.2), pytest.approx(0.4)]
+
+    def test_validation(self, protected):
+        with pytest.raises(ValueError):
+            OutInDelayExtractor(protected, expiry_timer=0)
+
+
+class TestArrayPath:
+    def test_matches_scalar(self, protected, client_addr, server_addr):
+        request = make_request(10.0, client_addr, server_addr)
+        packets = [
+            request,
+            make_reply(request, 10.3),
+            make_request(11.0, client_addr, server_addr, sport=6000),
+            make_reply(request, 12.0),
+        ]
+        scalar = OutInDelayExtractor(protected)
+        for pkt in packets:
+            scalar.observe(pkt)
+        vector = OutInDelayExtractor(protected)
+        vector.observe_array(PacketArray.from_packets(packets))
+        assert vector.delays == scalar.delays
+
+    def test_trace_delays_match_paper_band(self, tiny_trace):
+        delays = out_in_delays(tiny_trace.packets, tiny_trace.protected)
+        assert len(delays) > 1000
+        fast = sum(1 for d in delays if d < 2.8) / len(delays)
+        assert fast > 0.95

@@ -1,0 +1,113 @@
+"""Tests for repro.analysis.lifetime."""
+
+import pytest
+
+from repro.analysis.lifetime import (
+    ConnectionLifetimeExtractor,
+    active_connection_counts,
+    connection_lifetimes,
+)
+from repro.net.packet import PacketArray, TcpFlags
+from repro.net.protocols import IPPROTO_UDP
+from tests.conftest import make_reply, make_request
+
+
+class TestExtractor:
+    def test_syn_to_fin(self, client_addr, server_addr):
+        extractor = ConnectionLifetimeExtractor()
+        extractor.observe(make_request(10.0, client_addr, server_addr,
+                                       flags=TcpFlags.SYN))
+        extractor.observe(make_request(25.0, client_addr, server_addr,
+                                       flags=TcpFlags.FIN | TcpFlags.ACK))
+        assert extractor.lifetimes == [pytest.approx(15.0)]
+
+    def test_syn_to_rst(self, client_addr, server_addr):
+        extractor = ConnectionLifetimeExtractor()
+        extractor.observe(make_request(10.0, client_addr, server_addr))
+        extractor.observe(make_request(12.0, client_addr, server_addr,
+                                       flags=TcpFlags.RST))
+        assert extractor.lifetimes == [pytest.approx(2.0)]
+
+    def test_fin_from_either_direction_ends(self, client_addr, server_addr):
+        extractor = ConnectionLifetimeExtractor()
+        request = make_request(10.0, client_addr, server_addr)
+        extractor.observe(request)
+        extractor.observe(make_reply(request, 40.0, flags=TcpFlags.FIN | TcpFlags.ACK))
+        assert extractor.lifetimes == [pytest.approx(30.0)]
+
+    def test_syn_retransmit_keeps_first_timestamp(self, client_addr, server_addr):
+        extractor = ConnectionLifetimeExtractor()
+        request = make_request(10.0, client_addr, server_addr)
+        extractor.observe(request)
+        extractor.observe(request.with_ts(13.0))  # SYN retransmit
+        extractor.observe(make_request(20.0, client_addr, server_addr,
+                                       flags=TcpFlags.FIN | TcpFlags.ACK))
+        assert extractor.lifetimes == [pytest.approx(10.0)]
+
+    def test_fin_without_syn_ignored(self, client_addr, server_addr):
+        extractor = ConnectionLifetimeExtractor()
+        extractor.observe(make_request(10.0, client_addr, server_addr,
+                                       flags=TcpFlags.FIN | TcpFlags.ACK))
+        assert extractor.lifetimes == []
+
+    def test_synack_does_not_open(self, client_addr, server_addr):
+        """Only a pure SYN starts the clock."""
+        extractor = ConnectionLifetimeExtractor()
+        extractor.observe(make_request(10.0, client_addr, server_addr,
+                                       flags=TcpFlags.SYN | TcpFlags.ACK))
+        assert extractor.open_connections == 0
+
+    def test_udp_ignored(self, client_addr, server_addr):
+        extractor = ConnectionLifetimeExtractor()
+        extractor.observe(make_request(10.0, client_addr, server_addr,
+                                       proto=IPPROTO_UDP, flags=TcpFlags.NONE))
+        assert extractor.open_connections == 0
+
+    def test_double_fin_counts_once(self, client_addr, server_addr):
+        extractor = ConnectionLifetimeExtractor()
+        extractor.observe(make_request(10.0, client_addr, server_addr))
+        fin = make_request(20.0, client_addr, server_addr,
+                           flags=TcpFlags.FIN | TcpFlags.ACK)
+        extractor.observe(fin)
+        extractor.observe(fin.with_ts(21.0))
+        assert len(extractor.lifetimes) == 1
+
+    def test_open_connections_tracked(self, client_addr, server_addr):
+        extractor = ConnectionLifetimeExtractor()
+        extractor.observe(make_request(10.0, client_addr, server_addr, sport=1025))
+        extractor.observe(make_request(10.0, client_addr, server_addr, sport=1026))
+        assert extractor.open_connections == 2
+
+
+class TestArrayPath:
+    def test_observe_array_matches_scalar(self, client_addr, server_addr):
+        request = make_request(10.0, client_addr, server_addr)
+        packets = [
+            request,
+            make_reply(request, 10.1, flags=TcpFlags.SYN | TcpFlags.ACK),
+            make_request(10.2, client_addr, server_addr, flags=TcpFlags.ACK),
+            make_request(42.0, client_addr, server_addr,
+                         flags=TcpFlags.FIN | TcpFlags.ACK),
+        ]
+        scalar = ConnectionLifetimeExtractor()
+        for pkt in packets:
+            scalar.observe(pkt)
+        vectorized = ConnectionLifetimeExtractor()
+        vectorized.observe_array(PacketArray.from_packets(packets))
+        assert vectorized.lifetimes == scalar.lifetimes
+
+    def test_connection_lifetimes_on_trace(self, tiny_trace):
+        lifetimes = connection_lifetimes(tiny_trace.packets)
+        assert len(lifetimes) > 50
+        assert all(lt >= 0 for lt in lifetimes)
+
+
+class TestActiveConnectionCounts:
+    def test_counts_distinct_tuples(self, tiny_trace):
+        counts = active_connection_counts(tiny_trace.packets, tiny_trace.protected,
+                                          window=20.0)
+        assert len(counts) >= 2
+        assert all(c > 0 for c in counts)
+
+    def test_empty_trace(self, protected):
+        assert active_connection_counts(PacketArray.empty(), protected, 20.0) == []

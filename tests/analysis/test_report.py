@@ -1,0 +1,43 @@
+"""Tests for repro.analysis.report."""
+
+from repro.analysis.report import render_comparison, render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows have equal width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456], [1.23e-7], [2.5e8]])
+        assert "0.1235" in text
+        assert "e-07" in text
+        assert "e+08" in text
+
+
+class TestRenderSeries:
+    def test_downsamples(self):
+        pairs = [(float(i), float(i * 2)) for i in range(100)]
+        text = render_series("s", pairs, max_rows=10)
+        assert len(text.splitlines()) <= 12
+
+    def test_header(self):
+        text = render_series("name", [(1.0, 2.0)], x_label="t", y_label="v")
+        assert "name" in text and "t -> v" in text
+
+
+class TestRenderComparison:
+    def test_merges_keys(self):
+        text = render_comparison("cmp", {"a": 1}, {"a": 2, "b": 3})
+        assert "metric" in text
+        assert "paper" in text and "measured" in text
+        lines = text.splitlines()
+        assert any("a" in line and "1" in line and "2" in line for line in lines)
+        assert any("b" in line and "-" in line for line in lines)

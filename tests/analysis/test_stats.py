@@ -1,0 +1,81 @@
+"""Tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import Cdf, Histogram, per_second_series, summarize_percentiles
+
+
+class TestHistogram:
+    def test_linear_bins(self):
+        hist = Histogram.of([1.0, 2.0, 2.5, 9.0], bins=10, value_range=(0, 10))
+        assert hist.counts.sum() == 4
+        assert len(hist.edges) == 11
+        assert len(hist.centers) == 10
+
+    def test_log_bins(self):
+        hist = Histogram.of([0.01, 0.1, 1.0, 10.0, 100.0], bins=20, log=True,
+                            value_range=(0.01, 100.0))
+        assert hist.counts.sum() == 5
+        ratios = hist.edges[1:] / hist.edges[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_auto_range(self):
+        hist = Histogram.of([5.0, 6.0, 7.0], bins=4)
+        assert hist.edges[0] == 5.0
+        assert hist.edges[-1] == 7.0
+
+    def test_peak_bins_finds_comb(self):
+        """A comb-shaped histogram yields its spikes."""
+        counts = np.ones(50)
+        counts[10] = 100
+        counts[30] = 80
+        hist = Histogram(edges=np.arange(51.0), counts=counts.astype(int))
+        peaks = hist.peak_bins(min_prominence=2.0)
+        assert 10 in peaks and 30 in peaks
+
+    def test_peak_bins_flat_histogram(self):
+        hist = Histogram(edges=np.arange(11.0), counts=np.full(10, 5))
+        assert hist.peak_bins() == []
+
+
+class TestCdf:
+    def test_percentile(self):
+        cdf = Cdf.of(list(range(1, 101)))
+        assert cdf.percentile(50) == pytest.approx(50.5)
+        assert cdf.percentile(0) == 1
+        assert cdf.percentile(100) == 100
+
+    def test_fraction_below(self):
+        cdf = Cdf.of([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_below(2.5) == pytest.approx(0.5)
+        assert cdf.fraction_below(0.5) == 0.0
+        assert cdf.fraction_below(10.0) == 1.0
+        assert cdf.fraction_below(2.0) == pytest.approx(0.5)  # inclusive
+
+    def test_series_monotone(self):
+        cdf = Cdf.of(np.random.default_rng(0).exponential(1.0, 1000))
+        x, y = cdf.series(points=50)
+        assert bool(np.all(np.diff(x) >= 0))
+        assert bool(np.all(np.diff(y) >= 0))
+        assert y[-1] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf.of([])
+
+    def test_len(self):
+        assert len(Cdf.of([1, 2, 3])) == 3
+
+
+class TestHelpers:
+    def test_summarize_percentiles(self):
+        summary = summarize_percentiles(list(range(100)), qs=(50, 90))
+        assert set(summary) == {50, 90}
+        assert summary[50] < summary[90]
+
+    def test_per_second_series(self):
+        ts = np.array([0.5, 0.7, 1.2, 3.9])
+        seconds, counts = per_second_series(ts, duration=5.0)
+        assert counts.tolist() == [2, 1, 0, 1, 0]
+        assert seconds[0] == 0.0

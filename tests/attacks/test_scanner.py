@@ -1,0 +1,94 @@
+"""Tests for repro.attacks.scanner — the Section 4.3 random-scan generator."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.scanner import RandomScanAttack, ScanConfig
+from repro.net.packet import PacketLabel, TcpFlags
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+
+
+@pytest.fixture()
+def attack(protected):
+    config = ScanConfig(rate_pps=1000.0, start=50.0, duration=20.0, seed=3)
+    return RandomScanAttack(config, protected).generate()
+
+
+class TestScanShape:
+    def test_count_matches_rate(self, attack):
+        assert len(attack) == 20_000
+
+    def test_time_bounds(self, attack):
+        assert attack.ts.min() >= 50.0
+        assert attack.ts.max() <= 70.0 + 1e-6
+
+    def test_sorted(self, attack):
+        assert bool(np.all(np.diff(attack.ts) >= 0))
+
+    def test_rate_is_steady(self, attack):
+        counts, _ = np.histogram(attack.ts, bins=np.arange(50.0, 71.0, 1.0))
+        assert counts.min() > 700
+        assert counts.max() < 1300
+
+    def test_labelled_attack(self, attack):
+        assert bool(np.all(attack.label == int(PacketLabel.ATTACK)))
+
+    def test_label_override(self, protected):
+        config = ScanConfig(rate_pps=100.0, start=0.0, duration=1.0,
+                            label=PacketLabel.BACKGROUND)
+        pkts = RandomScanAttack(config, protected).generate()
+        assert bool(np.all(pkts.label == int(PacketLabel.BACKGROUND)))
+
+
+class TestAddressing:
+    def test_destinations_confined_to_protected(self, attack, protected):
+        """'daddr is confined to the address space of the given sub-networks'."""
+        for dst in np.unique(attack.dst):
+            assert protected.contains_int(int(dst))
+
+    def test_sources_outside_protected(self, attack, protected):
+        for src in np.unique(attack.src)[:1000]:
+            assert not protected.contains_int(int(src))
+
+    def test_sources_spoofed_diverse(self, attack):
+        assert len(np.unique(attack.src)) > 0.95 * len(attack)
+
+    def test_ports_random(self, attack):
+        assert len(np.unique(attack.dport)) > 10_000
+        assert len(np.unique(attack.sport)) > 10_000
+
+    def test_all_protected_networks_hit(self, attack, protected):
+        hit = {net.prefix for net in protected.networks
+               if bool(((attack.dst & np.uint32(net.netmask)) == np.uint32(net.prefix)).any())}
+        assert len(hit) == len(protected.networks)
+
+
+class TestProtocolMix:
+    def test_tcp_fraction(self, attack):
+        tcp = float((attack.proto == IPPROTO_TCP).mean())
+        assert 0.85 < tcp < 0.95
+
+    def test_syn_probes_dominate(self, attack):
+        tcp_mask = attack.proto == IPPROTO_TCP
+        syn = float((attack.flags[tcp_mask] == int(TcpFlags.SYN)).mean())
+        assert syn > 0.9
+
+    def test_udp_has_no_flags(self, attack):
+        udp_mask = attack.proto == IPPROTO_UDP
+        assert bool(np.all(attack.flags[udp_mask] == 0))
+
+
+class TestConfig:
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ScanConfig(rate_pps=100.0, start=0.0, duration=0.0)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ScanConfig(rate_pps=100.0, start=0.0, duration=1.0, tcp_fraction=1.5)
+
+    def test_deterministic(self, protected):
+        config = ScanConfig(rate_pps=100.0, start=0.0, duration=2.0, seed=9)
+        a = RandomScanAttack(config, protected).generate()
+        b = RandomScanAttack(config, protected).generate()
+        assert bool(np.array_equal(a.data, b.data))

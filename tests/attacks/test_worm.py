@@ -1,0 +1,191 @@
+"""Tests for repro.attacks.worm — the epidemic model."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.worm import WormModel, WormParameters
+from repro.net.packet import PacketLabel
+from repro.net.protocols import IPPROTO_TCP
+
+
+@pytest.fixture()
+def fast_params():
+    return WormParameters(vulnerable_hosts=10_000, scan_rate=5000.0,
+                          initially_infected=10, target_port=80)
+
+
+class TestParameters:
+    def test_beta(self, fast_params):
+        assert fast_params.beta == pytest.approx(
+            5000.0 * 10_000 / 2**32
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WormParameters(vulnerable_hosts=0)
+        with pytest.raises(ValueError):
+            WormParameters(initially_infected=100, vulnerable_hosts=10)
+        with pytest.raises(ValueError):
+            WormParameters(scan_rate=0)
+
+
+class TestInfectionCurve:
+    def test_logistic_shape(self, fast_params):
+        model = WormModel(fast_params)
+        t, infected = model.infection_curve(duration=2000.0, step=1.0)
+        assert infected[0] == pytest.approx(10.0)
+        assert bool(np.all(np.diff(infected) >= -1e-9))  # monotone
+        assert infected[-1] <= fast_params.vulnerable_hosts
+        # Reaches near-saturation within the horizon.
+        assert infected[-1] > 0.9 * fast_params.vulnerable_hosts
+
+    def test_growth_is_s_shaped(self, fast_params):
+        model = WormModel(fast_params)
+        _, infected = model.infection_curve(duration=2000.0, step=1.0)
+        fraction = infected / fast_params.vulnerable_hosts
+        # Growth rate peaks near the 50% point (logistic property).
+        growth = np.diff(infected)
+        peak_at = float(fraction[np.argmax(growth)])
+        assert 0.3 < peak_at < 0.7
+
+    def test_time_to_fraction_consistent_with_curve(self, fast_params):
+        model = WormModel(fast_params)
+        t_half = model.time_to_fraction(0.5, step=0.5)
+        t, infected = model.infection_curve(duration=t_half * 2, step=0.5)
+        idx = int(np.searchsorted(t, t_half))
+        assert infected[idx] == pytest.approx(0.5 * fast_params.vulnerable_hosts,
+                                              rel=0.05)
+
+    def test_faster_scan_rate_spreads_faster(self):
+        slow = WormModel(WormParameters(vulnerable_hosts=10_000, scan_rate=1000.0,
+                                        initially_infected=10))
+        fast = WormModel(WormParameters(vulnerable_hosts=10_000, scan_rate=4000.0,
+                                        initially_infected=10))
+        assert fast.time_to_fraction(0.5) < slow.time_to_fraction(0.5)
+
+    def test_validation(self, fast_params):
+        model = WormModel(fast_params)
+        with pytest.raises(ValueError):
+            model.infection_curve(duration=0)
+        with pytest.raises(ValueError):
+            model.time_to_fraction(1.5)
+
+
+class TestInboundScans:
+    def test_scan_rate_tracks_infection(self, fast_params, protected):
+        model = WormModel(fast_params)
+        scans = model.inbound_scans(protected, duration=1500.0, seed=1)
+        assert len(scans) > 0
+        # Scans in the second half (saturated) outnumber the first half.
+        mid = 750.0
+        early = int((scans.ts < mid).sum())
+        late = int((scans.ts >= mid).sum())
+        assert late > early
+
+    def test_scan_fields(self, fast_params, protected):
+        model = WormModel(fast_params)
+        scans = model.inbound_scans(protected, duration=1000.0, seed=2)
+        assert bool(np.all(scans.proto == IPPROTO_TCP))
+        assert bool(np.all(scans.dport == 80))
+        assert bool(np.all(scans.label == int(PacketLabel.ATTACK)))
+        for dst in np.unique(scans.dst):
+            assert protected.contains_int(int(dst))
+
+    def test_expected_volume(self, fast_params, protected):
+        """Total scans ~= integral of I(t)*s*coverage."""
+        model = WormModel(fast_params)
+        t, infected = model.infection_curve(1000.0, step=1.0)
+        coverage = protected.num_addresses / 2.0**32
+        expected = float(infected[:-1].sum()) * fast_params.scan_rate * coverage
+        scans = model.inbound_scans(protected, duration=1000.0, seed=3)
+        assert len(scans) == pytest.approx(expected, rel=0.25)
+
+    def test_empty_when_rate_negligible(self, protected):
+        tiny = WormModel(WormParameters(vulnerable_hosts=2, scan_rate=0.001,
+                                        initially_infected=1))
+        scans = tiny.inbound_scans(protected, duration=5.0, seed=4)
+        assert len(scans) == 0
+
+
+class TestStochasticCurve:
+    def test_tracks_mean_field_at_scale(self, fast_params):
+        """With large counts, Monte Carlo runs bracket the mean-field curve."""
+        model = WormModel(fast_params)
+        t, mean_field = model.infection_curve(duration=1500.0, step=1.0)
+        finals = []
+        for seed in range(5):
+            _, stochastic = model.infection_curve_stochastic(
+                duration=1500.0, step=1.0, seed=seed)
+            finals.append(stochastic[-1])
+        assert min(finals) > 0.5 * mean_field[-1]
+        assert max(finals) < 1.5 * mean_field[-1] + 1
+
+    def test_monotone_and_bounded(self, fast_params):
+        model = WormModel(fast_params)
+        _, infected = model.infection_curve_stochastic(duration=800.0, seed=3)
+        assert bool(np.all(np.diff(infected) >= 0))
+        assert infected[-1] <= fast_params.vulnerable_hosts
+        assert infected[0] == fast_params.initially_infected
+
+    def test_seed_variance_exists_early(self, fast_params):
+        """Different seeds diverge during the stochastic early phase."""
+        model = WormModel(fast_params)
+        curves = [model.infection_curve_stochastic(duration=400.0, seed=s)[1]
+                  for s in range(4)]
+        mid = len(curves[0]) // 2
+        values = {c[mid] for c in curves}
+        assert len(values) > 1
+
+    def test_validation(self, fast_params):
+        model = WormModel(fast_params)
+        with pytest.raises(ValueError):
+            model.infection_curve_stochastic(duration=0)
+
+
+class TestLocalPreference:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WormParameters(local_preference=1.5)
+        with pytest.raises(ValueError):
+            WormParameters(local_prefix_len=0)
+
+    def test_nearby_infected_amplify_inbound_scans(self, protected):
+        """Code Red II locality: infected hosts in our /16 hit us far more."""
+        uniform = WormModel(WormParameters(
+            vulnerable_hosts=20_000, scan_rate=2000.0, initially_infected=50))
+        local = WormModel(WormParameters(
+            vulnerable_hosts=20_000, scan_rate=2000.0, initially_infected=50,
+            local_preference=0.5, local_prefix_len=16))
+        far = uniform.inbound_scans(protected, duration=400.0, seed=1)
+        near = local.inbound_scans(protected, duration=400.0, seed=1,
+                                   infected_near_fraction=0.01)
+        # 1% of infected sharing our /16 and aiming half their scans
+        # locally beats uniform scanning by orders of magnitude: the /16
+        # holds 2^16 of the 2^32 addresses, a 65536-fold densification.
+        assert len(near) > 10 * max(len(far), 1)
+
+    def test_no_near_infected_reduces_inbound(self, protected):
+        """With full locality but nobody infected nearby, we see *less*."""
+        uniform = WormModel(WormParameters(
+            vulnerable_hosts=20_000, scan_rate=4000.0, initially_infected=50))
+        local = WormModel(WormParameters(
+            vulnerable_hosts=20_000, scan_rate=4000.0, initially_infected=50,
+            local_preference=0.9))
+        far = uniform.inbound_scans(protected, duration=400.0, seed=2)
+        sheltered = local.inbound_scans(protected, duration=400.0, seed=2,
+                                        infected_near_fraction=0.0)
+        assert len(sheltered) < len(far)
+
+    def test_expected_rate_formula(self, protected):
+        model = WormModel(WormParameters(
+            vulnerable_hosts=30_000, scan_rate=3000.0, initially_infected=100,
+            local_preference=0.4, local_prefix_len=16))
+        near_fraction = 0.05
+        t, infected = model.infection_curve(300.0, step=1.0)
+        local_fraction = protected.num_addresses / 2.0**16
+        per_host = (0.6 * protected.num_addresses / 2.0**32
+                    + 0.4 * near_fraction * min(1.0, local_fraction))
+        expected = float(infected[:-1].sum()) * 3000.0 * per_host
+        scans = model.inbound_scans(protected, duration=300.0, seed=3,
+                                    infected_near_fraction=near_fraction)
+        assert len(scans) == pytest.approx(expected, rel=0.2)

@@ -1,0 +1,158 @@
+"""Tests for repro.baselines.throttle."""
+
+import pytest
+
+from repro.baselines.throttle import Aggregate, AggregateRateLimiter, TokenBucket
+from repro.core.bitmap_filter import Decision
+from repro.net.packet import Packet, TcpFlags
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+from tests.conftest import make_request
+
+
+class TestTokenBucket:
+    def test_burst_then_rate(self):
+        bucket = TokenBucket(rate=10.0, burst=5.0)
+        # The burst drains first...
+        assert all(bucket.allow(0.0) for _ in range(5))
+        assert not bucket.allow(0.0)
+        # ...then refills at the configured rate.
+        assert bucket.allow(0.1)   # 1 token accrued
+        assert not bucket.allow(0.1)
+
+    def test_capacity_capped(self):
+        bucket = TokenBucket(rate=10.0, burst=5.0)
+        bucket.allow(100.0)  # long idle -> tokens capped at burst
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_steady_state_rate(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        allowed = sum(bucket.allow(t * 0.01) for t in range(1000))  # 100 pps offered
+        # 10 s at 10 allowed/s plus the burst.
+        assert 95 <= allowed <= 110
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+    def test_time_going_backwards_is_safe(self):
+        bucket = TokenBucket(rate=10.0, burst=5.0)
+        bucket.allow(10.0)
+        assert isinstance(bucket.allow(5.0), bool)  # no crash, no refill
+
+
+class TestAggregate:
+    def test_matching(self):
+        agg = Aggregate(IPPROTO_UDP, 53)
+        pkt = Packet(0.0, IPPROTO_UDP, 1, 2, 3, 53)
+        assert agg.matches(pkt)
+        assert not agg.matches(Packet(0.0, IPPROTO_TCP, 1, 2, 3, 53))
+        assert not agg.matches(Packet(0.0, IPPROTO_UDP, 1, 2, 3, 54))
+
+    def test_host_scoped(self):
+        agg = Aggregate(IPPROTO_UDP, 53, daddr=99)
+        assert agg.matches(Packet(0.0, IPPROTO_UDP, 1, 2, 99, 53))
+        assert not agg.matches(Packet(0.0, IPPROTO_UDP, 1, 2, 98, 53))
+
+    def test_str(self):
+        assert "dport 53" in str(Aggregate(IPPROTO_UDP, 53))
+
+
+class TestAggregateRateLimiter:
+    def _flood(self, limiter, victim, count, rate=1000.0, sport=4444, dport=53,
+               start=0.0):
+        passed = 0
+        for i in range(count):
+            pkt = Packet(start + i / rate, IPPROTO_UDP, 0x01010101, sport,
+                         victim, dport)
+            if limiter.process(pkt) is Decision.PASS:
+                passed += 1
+        return passed
+
+    def test_hot_aggregate_gets_limited(self, protected):
+        limiter = AggregateRateLimiter(protected, trigger_pps=100.0,
+                                       limit_pps=20.0)
+        victim = protected.networks[0].host(9)
+        passed = self._flood(limiter, victim, count=5000, rate=1000.0)
+        # 5 s of flood: ~trigger ramp + 20 pps afterwards << 5000.
+        assert passed < 1500
+        assert limiter.packets_limited > 3000
+        assert (IPPROTO_UDP, 53) in limiter.active_limiters
+
+    def test_quiet_aggregate_untouched(self, protected):
+        limiter = AggregateRateLimiter(protected, trigger_pps=100.0,
+                                       limit_pps=20.0)
+        victim = protected.networks[0].host(9)
+        passed = self._flood(limiter, victim, count=50, rate=10.0)
+        assert passed == 50
+        assert not limiter.active_limiters
+
+    def test_outgoing_never_limited(self, protected, client_addr, server_addr):
+        limiter = AggregateRateLimiter(protected, trigger_pps=1.0, limit_pps=1.0)
+        for i in range(100):
+            pkt = make_request(i * 0.001, client_addr, server_addr)
+            assert limiter.process(pkt) is Decision.PASS
+
+    def test_limiter_removed_when_rate_subsides(self, protected):
+        limiter = AggregateRateLimiter(protected, trigger_pps=100.0,
+                                       limit_pps=20.0, window=5.0)
+        victim = protected.networks[0].host(9)
+        self._flood(limiter, victim, count=2000, rate=1000.0)
+        assert limiter.active_limiters
+        # Trickle traffic afterwards: the window drains, the limiter lifts.
+        passed = self._flood(limiter, victim, count=20, rate=1.0, start=30.0)
+        assert not limiter.active_limiters
+        assert passed >= 19
+
+    def test_sport_key(self, protected):
+        limiter = AggregateRateLimiter(protected, trigger_pps=50.0,
+                                       limit_pps=10.0, key="sport")
+        victim = protected.networks[0].host(9)
+        self._flood(limiter, victim, count=2000, rate=1000.0, sport=53,
+                    dport=60000)
+        assert (IPPROTO_UDP, 53) in limiter.active_limiters
+
+    def test_validation(self, protected):
+        with pytest.raises(ValueError):
+            AggregateRateLimiter(protected, trigger_pps=0, limit_pps=1)
+        with pytest.raises(ValueError):
+            AggregateRateLimiter(protected, trigger_pps=1, limit_pps=1,
+                                 key="saddr")
+
+
+class TestSection2Comparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.config import ExperimentScale
+        from repro.experiments.throttle_cmp import run_throttle_comparison
+
+        xs = ExperimentScale(name="xs", duration=60.0, normal_pps=200.0,
+                             bitmap_order=13)
+        return run_throttle_comparison(xs)
+
+    def test_throttling_catches_identifiable_flood(self, result):
+        outcome = result.get("reflection flood", "aggregate throttling")
+        assert outcome.attack_filter_rate > 0.9
+
+    def test_but_damages_the_shared_aggregate(self, result):
+        """Criticism 2: legit DNS replies die with the reflection flood."""
+        throttled = result.get("reflection flood", "aggregate throttling")
+        bitmap = result.get("reflection flood", "bitmap filter")
+        assert throttled.legit_damage_rate > bitmap.legit_damage_rate
+
+    def test_misses_randomized_attack(self, result):
+        """Criticism 1: no identifiable aggregate, nothing limited."""
+        outcome = result.get("randomized scan", "aggregate throttling")
+        assert outcome.attack_filter_rate < 0.1
+
+    def test_misses_slow_attack(self, result):
+        """Criticism 3: below the trigger, nothing limited."""
+        outcome = result.get("slow attack", "aggregate throttling")
+        assert outcome.attack_filter_rate < 0.1
+
+    def test_bitmap_handles_all_three(self, result):
+        for scenario in ("reflection flood", "randomized scan", "slow attack"):
+            outcome = result.get(scenario, "bitmap filter")
+            assert outcome.attack_filter_rate > 0.99, scenario
+            assert outcome.legit_damage_rate < 0.03, scenario

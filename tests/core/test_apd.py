@@ -1,0 +1,171 @@
+"""Tests for repro.core.apd — adaptive packet dropping (Section 5.3)."""
+
+import pytest
+
+from repro.core.apd import (
+    AdaptiveDroppingPolicy,
+    BandwidthIndicator,
+    PacketRatioIndicator,
+    SlidingWindowCounter,
+    classify_signal_packet,
+)
+from repro.net.packet import Packet, TcpFlags
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+
+
+def _pkt(ts=0.0, proto=IPPROTO_TCP, flags=TcpFlags.NONE, size=500):
+    return Packet(ts=ts, proto=proto, src=1, sport=2, dst=3, dport=4,
+                  flags=flags, size=size)
+
+
+class TestSignalClassification:
+    """The Section 5.3 marking table."""
+
+    @pytest.mark.parametrize("flags", [
+        TcpFlags.SYN | TcpFlags.ACK,
+        TcpFlags.FIN | TcpFlags.ACK,
+        TcpFlags.RST,
+        TcpFlags.RST | TcpFlags.ACK,
+    ])
+    def test_non_marking_signals(self, flags):
+        assert classify_signal_packet(IPPROTO_TCP, flags) is True
+
+    @pytest.mark.parametrize("flags", [
+        TcpFlags.SYN,                        # lone SYN marks (exception)
+        TcpFlags.FIN,                        # lone FIN marks (exception)
+        TcpFlags.ACK,                        # data/ack marks
+        TcpFlags.PSH | TcpFlags.ACK,
+        TcpFlags.NONE,
+    ])
+    def test_marking_packets(self, flags):
+        assert classify_signal_packet(IPPROTO_TCP, flags) is False
+
+    def test_udp_always_marks(self):
+        assert classify_signal_packet(IPPROTO_UDP, TcpFlags.NONE) is False
+
+
+class TestSlidingWindowCounter:
+    def test_accumulates_within_window(self):
+        counter = SlidingWindowCounter(window=10.0)
+        counter.add(0.0, 5)
+        counter.add(1.0, 3)
+        assert counter.total(1.0) == 8
+
+    def test_expires_old_bins(self):
+        counter = SlidingWindowCounter(window=5.0)
+        counter.add(0.0, 10)
+        counter.add(20.0, 1)
+        assert counter.total(20.0) == 1
+
+    def test_rate(self):
+        counter = SlidingWindowCounter(window=10.0)
+        for t in range(10):
+            counter.add(float(t), 2)
+        assert counter.rate(9.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowCounter(window=0)
+
+
+class TestBandwidthIndicator:
+    def test_idle_link_low_probability(self):
+        indicator = BandwidthIndicator(link_capacity_bps=1e6, window=1.0)
+        indicator.observe_incoming(_pkt(ts=0.0, size=100))
+        assert indicator.drop_probability() < 0.01
+
+    def test_saturated_link_high_probability(self):
+        indicator = BandwidthIndicator(link_capacity_bps=1e6, window=1.0)
+        # 1 Mbps capacity; push ~2 Mbps of traffic.
+        for i in range(200):
+            indicator.observe_incoming(_pkt(ts=i * 0.005, size=1250))
+        assert indicator.drop_probability() == 1.0
+
+    def test_probability_tracks_utilization(self):
+        indicator = BandwidthIndicator(link_capacity_bps=1e6, window=1.0)
+        # ~0.5 Mbps on a 1 Mbps link.
+        for i in range(50):
+            indicator.observe_incoming(_pkt(ts=i * 0.02, size=1250))
+        assert 0.3 < indicator.drop_probability() < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthIndicator(link_capacity_bps=0)
+
+
+class TestPacketRatioIndicator:
+    def _push(self, indicator, n_out, n_in, t0=0.0):
+        for i in range(n_out):
+            indicator.observe_outgoing(_pkt(ts=t0 + i * 0.001))
+        for i in range(n_in):
+            indicator.observe_incoming(_pkt(ts=t0 + i * 0.001))
+
+    def test_balanced_traffic_no_drops(self):
+        indicator = PacketRatioIndicator(low=1.5, high=4.0)
+        self._push(indicator, 100, 100)
+        assert indicator.drop_probability() == 0.0
+
+    def test_flood_saturates(self):
+        indicator = PacketRatioIndicator(low=1.5, high=4.0)
+        self._push(indicator, 100, 1000)
+        assert indicator.drop_probability() == 1.0
+
+    def test_linear_between_thresholds(self):
+        indicator = PacketRatioIndicator(low=1.0, high=3.0)
+        self._push(indicator, 100, 200)  # r = 2.0 -> p = 0.5
+        assert indicator.drop_probability() == pytest.approx(0.5)
+
+    def test_no_outgoing_traffic(self):
+        indicator = PacketRatioIndicator()
+        self._push(indicator, 0, 10)
+        assert indicator.ratio() == float("inf")
+        assert indicator.drop_probability() == 1.0
+
+    def test_silence_is_safe(self):
+        indicator = PacketRatioIndicator()
+        assert indicator.ratio() == 0.0
+        assert indicator.drop_probability() == 0.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PacketRatioIndicator(low=4.0, high=4.0)
+
+
+class TestAdaptiveDroppingPolicy:
+    def test_should_drop_follows_probability(self):
+        class Fixed:
+            def __init__(self, p):
+                self.p = p
+
+            def observe_outgoing(self, pkt):
+                pass
+
+            def observe_incoming(self, pkt):
+                pass
+
+            def drop_probability(self):
+                return self.p
+
+        always = AdaptiveDroppingPolicy(Fixed(1.0), seed=1)
+        assert all(always.should_drop() for _ in range(50))
+        never = AdaptiveDroppingPolicy(Fixed(0.0), seed=1)
+        assert not any(never.should_drop() for _ in range(50))
+        half = AdaptiveDroppingPolicy(Fixed(0.5), seed=1)
+        outcomes = [half.should_drop() for _ in range(2000)]
+        assert 0.4 < sum(outcomes) / len(outcomes) < 0.6
+
+    def test_stats_track_outcomes(self):
+        policy = AdaptiveDroppingPolicy(PacketRatioIndicator(), seed=0)
+        policy.should_drop()
+        assert policy.stats.admitted + policy.stats.dropped == 1
+
+    def test_should_mark_uses_signal_policy(self):
+        policy = AdaptiveDroppingPolicy(PacketRatioIndicator())
+        synack = _pkt(flags=TcpFlags.SYN | TcpFlags.ACK)
+        assert not policy.should_mark(synack)
+        assert policy.should_mark(_pkt(flags=TcpFlags.SYN))
+
+    def test_signal_policy_can_be_disabled(self):
+        policy = AdaptiveDroppingPolicy(PacketRatioIndicator(), signal_policy=False)
+        synack = _pkt(flags=TcpFlags.SYN | TcpFlags.ACK)
+        assert policy.should_mark(synack)

@@ -1,0 +1,164 @@
+"""Tests for repro.core.bitmap — the {k x n}-bitmap and Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap import Bitmap
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        bitmap = Bitmap(4, 10)
+        assert bitmap.num_vectors == 4
+        assert bitmap.order == 10
+        assert bitmap.num_bits_per_vector == 1024
+        assert bitmap.memory_bytes == 4 * 1024 // 8
+
+    def test_paper_memory_footprint(self):
+        """Section 4.3: a {4 x 20}-bitmap occupies 512K bytes."""
+        assert Bitmap(4, 20).memory_bytes == 512 * 1024
+
+    def test_table1_memory_footprint(self):
+        """Table 1 footnote (c): {4 x 24} handles 2.56M connections in 8MB."""
+        assert Bitmap(4, 24).memory_bytes == 8 * 1024 * 1024
+
+    def test_starts_empty_at_index_zero(self):
+        bitmap = Bitmap(3, 8)
+        assert bitmap.current_index == 0
+        assert bitmap.is_empty()
+        assert bitmap.utilization() == 0.0
+
+    def test_rejects_too_few_vectors(self):
+        with pytest.raises(ValueError):
+            Bitmap(1, 8)
+
+
+class TestRotate:
+    def test_index_cycles(self):
+        bitmap = Bitmap(4, 8)
+        seen = [bitmap.rotate() for _ in range(8)]
+        assert seen == [1, 2, 3, 0, 1, 2, 3, 0]
+        assert bitmap.rotations == 8
+
+    def test_rotate_clears_previous_current(self):
+        """Algorithm 1: 'last = idx; idx = (idx+1) mod k; clear last'."""
+        bitmap = Bitmap(3, 8)
+        bitmap.mark([5])
+        assert all(vec.test(5) for vec in bitmap.vectors)
+        bitmap.rotate()
+        assert not bitmap.vector(0).test(5)   # cleared
+        assert bitmap.vector(1).test(5)       # preserved
+        assert bitmap.vector(2).test(5)       # preserved
+
+    def test_rotate_preserves_other_vectors(self):
+        bitmap = Bitmap(4, 8)
+        bitmap.mark([1, 2, 3])
+        before = [vec.copy() for vec in bitmap.vectors]
+        bitmap.rotate()
+        for i in (1, 2, 3):
+            assert bitmap.vector(i) == before[i]
+
+    def test_mark_visible_for_k_minus_1_rotations(self):
+        """A mark survives lookups for k-1 rotations, gone after k."""
+        k = 4
+        bitmap = Bitmap(k, 8)
+        bitmap.mark([99])
+        for _ in range(k - 1):
+            bitmap.rotate()
+            assert bitmap.test_current([99])
+        bitmap.rotate()
+        assert not bitmap.test_current([99])
+
+    def test_empty_after_k_rotations_without_marking(self):
+        bitmap = Bitmap(4, 8)
+        bitmap.mark([1, 50, 200])
+        for _ in range(4):
+            bitmap.rotate()
+        assert bitmap.is_empty()
+
+
+class TestMarkAndTest:
+    def test_mark_sets_all_vectors(self):
+        bitmap = Bitmap(3, 8)
+        bitmap.mark([10, 20])
+        for vec in bitmap.vectors:
+            assert vec.test(10) and vec.test(20)
+
+    def test_test_current_requires_all_bits(self):
+        bitmap = Bitmap(2, 8)
+        bitmap.mark([10])
+        assert bitmap.test_current([10])
+        assert not bitmap.test_current([10, 11])
+
+    def test_mark_idempotent(self):
+        bitmap = Bitmap(2, 8)
+        bitmap.mark([10])
+        bitmap.mark([10])
+        assert bitmap.vector(0).count() == 1
+
+    def test_utilization_reads_current_vector(self):
+        bitmap = Bitmap(2, 8)  # 256 bits per vector
+        bitmap.mark(range(64))
+        assert bitmap.utilization() == pytest.approx(0.25)
+        assert bitmap.utilizations() == [pytest.approx(0.25)] * 2
+
+    def test_clear_all(self):
+        bitmap = Bitmap(3, 8)
+        bitmap.mark([1, 2, 3])
+        bitmap.rotate()
+        bitmap.clear_all()
+        assert bitmap.is_empty()
+        assert bitmap.current_index == 0
+
+
+class TestVectorizedOps:
+    def test_mark_vec_matches_scalar(self):
+        scalar, vectorized = Bitmap(3, 10), Bitmap(3, 10)
+        rng = np.random.default_rng(0)
+        matrix = rng.integers(0, 1024, size=(3, 50), dtype=np.uint64)
+        for column in matrix.T:
+            scalar.mark(column.tolist())
+        vectorized.mark_vec(matrix)
+        for a, b in zip(scalar.vectors, vectorized.vectors):
+            assert a == b
+
+    def test_test_current_vec_matches_scalar(self):
+        bitmap = Bitmap(2, 10)
+        rng = np.random.default_rng(1)
+        bitmap.mark_vec(rng.integers(0, 1024, size=(3, 30), dtype=np.uint64))
+        probes = rng.integers(0, 1024, size=(3, 100), dtype=np.uint64)
+        results = bitmap.test_current_vec(probes)
+        assert results.shape == (100,)
+        for i in range(100):
+            assert results[i] == bitmap.test_current(probes[:, i].tolist())
+
+    def test_repr_mentions_shape(self):
+        assert "k=4" in repr(Bitmap(4, 8))
+
+
+class TestMemoryExactness:
+    def test_backing_storage_matches_reported_bytes(self):
+        """memory_bytes is not an estimate: it equals the bytearray sizes."""
+        bitmap = Bitmap(4, 12)
+        actual = sum(vec.num_bytes for vec in bitmap.vectors)
+        assert bitmap.memory_bytes == actual
+
+    def test_peak_utilization_tracks_pre_rotation_high_water(self):
+        bitmap = Bitmap(2, 8)
+        bitmap.mark(range(64))  # U = 0.25
+        bitmap.rotate()
+        bitmap.rotate()  # everything cleared
+        assert bitmap.utilization() == 0.0
+        assert bitmap.peak_utilization == pytest.approx(0.25)
+
+    def test_peak_utilization_includes_live_current(self):
+        bitmap = Bitmap(2, 8)
+        bitmap.mark(range(128))  # U = 0.5, no rotation yet
+        assert bitmap.peak_utilization == pytest.approx(0.5)
+
+    def test_clear_all_resets_peak(self):
+        bitmap = Bitmap(2, 8)
+        bitmap.mark(range(64))
+        bitmap.rotate()
+        bitmap.clear_all()
+        assert bitmap.peak_utilization == 0.0

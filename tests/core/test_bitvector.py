@@ -1,0 +1,132 @@
+"""Tests for repro.core.bitvector."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitvector import BitVector
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        vec = BitVector(10)
+        assert vec.count() == 0
+        assert not vec.any()
+        assert vec.num_bits == 1024
+        assert vec.num_bytes == 128
+        assert len(vec) == 1024
+
+    def test_set_and_test(self):
+        vec = BitVector(8)
+        vec.set(0)
+        vec.set(7)
+        vec.set(255)
+        assert vec.test(0)
+        assert vec.test(7)
+        assert vec.test(255)
+        assert not vec.test(1)
+        assert vec.count() == 3
+
+    def test_set_idempotent(self):
+        vec = BitVector(8)
+        vec.set(42)
+        vec.set(42)
+        assert vec.count() == 1
+
+    def test_getitem_bounds_checked(self):
+        vec = BitVector(8)
+        with pytest.raises(IndexError):
+            vec[256]
+        assert vec[0] is False
+
+    def test_order_bounds(self):
+        with pytest.raises(ValueError):
+            BitVector(2)
+        with pytest.raises(ValueError):
+            BitVector(33)
+
+    def test_set_many_and_test_all(self):
+        vec = BitVector(10)
+        vec.set_many([1, 100, 1000])
+        assert vec.test_all([1, 100, 1000])
+        assert not vec.test_all([1, 100, 999])
+        assert vec.test_all([])  # vacuous truth
+
+    def test_clear(self):
+        vec = BitVector(8)
+        vec.set_many(range(0, 256, 3))
+        vec.clear()
+        assert vec.count() == 0
+        assert not vec.any()
+
+    def test_utilization(self):
+        vec = BitVector(8)  # 256 bits
+        vec.set_many(range(64))
+        assert vec.utilization() == pytest.approx(0.25)
+
+    def test_copy_independent(self):
+        vec = BitVector(8)
+        vec.set(1)
+        clone = vec.copy()
+        clone.set(2)
+        assert not vec.test(2)
+        assert clone.test(1)
+
+    def test_equality(self):
+        a, b = BitVector(8), BitVector(8)
+        a.set(5)
+        assert a != b
+        b.set(5)
+        assert a == b
+        assert a != BitVector(9)
+        assert a.__eq__(42) is NotImplemented
+
+    def test_set_bit_indices(self):
+        vec = BitVector(8)
+        vec.set_many([3, 200, 11])
+        assert vec.set_bit_indices() == [3, 11, 200]
+
+
+class TestVectorizedOps:
+    def test_set_many_vec_matches_scalar(self):
+        scalar = BitVector(12)
+        vectorized = BitVector(12)
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, 4096, size=500, dtype=np.uint64)
+        scalar.set_many(indices.tolist())
+        vectorized.set_many_vec(indices)
+        assert scalar == vectorized
+
+    def test_set_many_vec_handles_duplicates(self):
+        vec = BitVector(8)
+        vec.set_many_vec(np.array([7, 7, 7, 8], dtype=np.uint64))
+        assert vec.count() == 2
+
+    def test_test_many_vec_matches_scalar(self):
+        vec = BitVector(10)
+        rng = np.random.default_rng(1)
+        set_indices = rng.integers(0, 1024, size=200, dtype=np.uint64)
+        vec.set_many_vec(set_indices)
+        probe = rng.integers(0, 1024, size=400, dtype=np.uint64)
+        results = vec.test_many_vec(probe)
+        for index, hit in zip(probe.tolist(), results.tolist()):
+            assert hit == vec.test(index)
+
+    def test_as_numpy_is_writable_view(self):
+        vec = BitVector(8)
+        view = vec.as_numpy()
+        view[0] = 0xFF
+        assert vec.count() == 8
+        assert vec.test(0) and vec.test(7)
+
+    def test_count_uses_all_bytes(self):
+        vec = BitVector(8)
+        vec.as_numpy()[:] = 0xFF
+        assert vec.count() == 256
+        assert vec.utilization() == 1.0
+
+    def test_clear_resets_numpy_view(self):
+        vec = BitVector(8)
+        view = vec.as_numpy()
+        view[:] = 0xAA
+        vec.clear()
+        assert view.sum() == 0

@@ -1,0 +1,127 @@
+"""Deterministic verification of Table 1's complexity columns via op counts."""
+
+import pytest
+
+from repro.core.costmodel import (
+    CountingAvlTree,
+    CountingBitmap,
+    CountingFlowTable,
+    OpCounts,
+    profile_structures,
+)
+from repro.spi.base import FlowState
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return profile_structures(populations=(1_000, 4_000, 16_000), probes=500)
+
+
+class TestOpCounts:
+    def test_per_op(self):
+        counts = OpCounts(hash_evaluations=100, memory_reads=300)
+        per = counts.per_op(100)
+        assert per.hash_evaluations == 1
+        assert per.memory_reads == 3
+
+    def test_per_op_validation(self):
+        with pytest.raises(ValueError):
+            OpCounts().per_op(0)
+
+    def test_total(self):
+        assert OpCounts(1, 2, 3, 4, 5).total == 15
+
+
+class TestBitmapIsConstantTime:
+    def test_insert_ops_independent_of_population(self, profiles):
+        series = profiles["bitmap filter"]
+        inserts = [p.insert.total for p in series]
+        assert len(set(inserts)) == 1, inserts
+
+    def test_lookup_ops_independent_of_population(self, profiles):
+        series = profiles["bitmap filter"]
+        lookups = [p.lookup.total for p in series]
+        assert len(set(lookups)) == 1, lookups
+
+    def test_exact_op_budget(self):
+        """m=3, k=4: mark = 1 hash + 12 writes; lookup = 1 hash + 3 reads."""
+        bitmap = CountingBitmap(4, 16, 3)
+        bitmap.mark((6, 1, 2, 3))
+        assert bitmap.counts.hash_evaluations == 1
+        assert bitmap.counts.memory_writes == 12
+        bitmap.counts = OpCounts()
+        bitmap.lookup((6, 1, 2, 3))
+        assert bitmap.counts.memory_reads == 3
+
+    def test_rotation_cost_is_fixed_memset(self, profiles):
+        series = profiles["bitmap filter"]
+        gcs = [p.gc.memory_writes for p in series]
+        assert len(set(gcs)) == 1
+        assert gcs[0] == (1 << 20) // 64  # 2^n bits / word size
+
+
+class TestHashListComplexity:
+    def test_gc_visits_every_state(self, profiles):
+        series = profiles["hash+link-list"]
+        for profile in series:
+            # GC dereferences all bucket heads + one per kept node.
+            assert profile.gc.pointer_derefs >= profile.population
+
+    def test_gc_grows_linearly_in_ops(self, profiles):
+        series = profiles["hash+link-list"]
+        small, large = series[0], series[-1]
+        read_growth = large.gc.memory_reads / small.gc.memory_reads
+        assert read_growth == pytest.approx(16.0, rel=0.35)
+
+    def test_lookup_ops_grow_with_load(self, profiles):
+        """Chains lengthen once flows outnumber buckets' comfort zone."""
+        series = profiles["hash+link-list"]
+        assert series[-1].lookup.key_comparisons >= series[0].lookup.key_comparisons
+
+    def test_insert_is_cheap_when_chains_short(self):
+        table = CountingFlowTable(num_buckets=16384)
+        table.insert((6, 1, 2, 3, 4), FlowState(1e18))
+        assert table.counts.hash_evaluations == 1
+        assert table.counts.key_comparisons == 0  # empty chain
+
+
+class TestAvlComplexity:
+    def test_lookup_grows_logarithmically(self, profiles):
+        """16x more keys -> ~+4 comparisons per lookup, not 16x."""
+        series = profiles["AVL-tree"]
+        small = series[0].lookup.key_comparisons
+        large = series[-1].lookup.key_comparisons
+        assert large > small
+        assert large < small * 2  # log growth, nowhere near linear
+
+    def test_path_length_near_log2(self):
+        import math
+
+        tree = CountingAvlTree()
+        for i in range(4096):
+            tree.insert((6, i, 0, 0, 0), FlowState(1e18))
+        tree.counts = OpCounts()
+        tree.lookup((6, 2048, 0, 0, 0))
+        depth = tree.counts.pointer_derefs
+        assert depth <= 1.44 * math.log2(4096) + 2
+
+    def test_gc_visits_every_node(self, profiles):
+        series = profiles["AVL-tree"]
+        for profile in series:
+            # The tree holds population + 500 probe keys when GC runs.
+            assert profile.gc.memory_reads == profile.population + 500
+
+
+class TestCrossStructure:
+    def test_bitmap_gc_cheapest_at_scale(self, profiles):
+        bitmap_gc = profiles["bitmap filter"][-1].gc.total
+        hash_gc = profiles["hash+link-list"][-1].gc.total
+        avl_gc = profiles["AVL-tree"][-1].gc.total
+        # n=20 memset = 16K word writes vs 16K flows -> ~32-48K ops for SPI.
+        assert bitmap_gc < hash_gc
+        assert bitmap_gc < avl_gc
+
+    def test_bitmap_lookup_fewest_memory_touches(self, profiles):
+        bitmap = profiles["bitmap filter"][-1].lookup
+        avl = profiles["AVL-tree"][-1].lookup
+        assert bitmap.total < avl.total

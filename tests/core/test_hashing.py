@@ -1,0 +1,157 @@
+"""Tests for repro.core.hashing."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import (
+    HashFamily,
+    fnv1a64,
+    pack_key,
+    splitmix64,
+    splitmix64_vec,
+    uniformity_chi2,
+)
+
+
+class TestMixers:
+    def test_splitmix64_deterministic(self):
+        assert splitmix64(0) == splitmix64(0)
+        assert splitmix64(1) != splitmix64(2)
+
+    def test_splitmix64_stays_64bit(self):
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(x) < 2**64
+
+    def test_splitmix64_vec_matches_scalar(self):
+        values = np.array([0, 1, 12345, 2**63, 2**64 - 1], dtype=np.uint64)
+        vec = splitmix64_vec(values)
+        for x, y in zip(values.tolist(), vec.tolist()):
+            assert splitmix64(x) == y
+
+    def test_fnv1a64_known_vector(self):
+        # FNV-1a 64-bit of empty input is the offset basis.
+        assert fnv1a64(b"") == 0xCBF29CE484222325
+        assert fnv1a64(b"a") != fnv1a64(b"b")
+
+
+class TestPackKey:
+    def test_fields_disjoint(self):
+        lo, hi = pack_key((6, 0xAABBCCDD, 0x1234, 0x01020304))
+        assert lo == (0xAABBCCDD << 32) | (0x1234 << 16) | 6
+        assert hi == 0x01020304
+
+    def test_different_keys_pack_differently(self):
+        assert pack_key((6, 1, 2, 3)) != pack_key((6, 1, 2, 4))
+        assert pack_key((6, 1, 2, 3)) != pack_key((17, 1, 2, 3))
+
+
+class TestHashFamily:
+    def test_deterministic(self):
+        fam = HashFamily(3, 16, seed=42)
+        key = (6, 0xC0A80101, 1234, 0x08080808)
+        assert fam.indices(key) == fam.indices(key)
+
+    def test_output_range(self):
+        fam = HashFamily(5, 10)
+        for i in range(100):
+            for index in fam.indices((6, i, i, i)):
+                assert 0 <= index < 1024
+
+    def test_num_indices(self):
+        assert len(HashFamily(7, 12).indices((6, 1, 2, 3))) == 7
+
+    def test_seed_changes_indices(self):
+        key = (6, 1, 2, 3)
+        a = HashFamily(3, 16, seed=1).indices(key)
+        b = HashFamily(3, 16, seed=2).indices(key)
+        assert a != b
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            HashFamily(0, 16)
+        with pytest.raises(ValueError):
+            HashFamily(3, 2)
+        with pytest.raises(ValueError):
+            HashFamily(3, 40)
+
+    def test_h2_odd_covers_ring(self):
+        # h2 is forced odd, so the m probes of one key never collide for
+        # m <= 2**n (the double-hash step is invertible mod 2**n).
+        fam = HashFamily(8, 6)  # 64-bit ring, 8 probes
+        for i in range(50):
+            indices = fam.indices((6, i, 1, 2))
+            assert len(set(indices)) == len(indices)
+
+    def test_vectorized_matches_scalar(self):
+        fam = HashFamily(4, 14, seed=9)
+        rng = np.random.default_rng(2)
+        n = 200
+        proto = rng.integers(0, 255, n).astype(np.uint8)
+        local = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+        port = rng.integers(0, 2**16, n).astype(np.uint16)
+        remote = rng.integers(0, 2**32, n, dtype=np.uint64).astype(np.uint32)
+        matrix = fam.indices_vec(proto, local, port, remote)
+        assert matrix.shape == (4, n)
+        for i in range(n):
+            key = (int(proto[i]), int(local[i]), int(port[i]), int(remote[i]))
+            assert tuple(matrix[:, i].tolist()) == fam.indices(key)
+
+    def test_uniformity(self):
+        """Hash outputs should pass a loose chi-square uniformity check."""
+        fam = HashFamily(1, 8)  # 256 bins
+        samples = [fam.indices((6, i, i >> 8, i * 31))[0] for i in range(25600)]
+        stat = uniformity_chi2(samples, 256)
+        # Expected value is 255; a catastrically non-uniform hash gives
+        # thousands.  99.9th percentile of chi2(255) is ~330.
+        assert stat < 400
+
+    def test_with_order_preserves_family(self):
+        fam = HashFamily(3, 20, seed=7)
+        small = fam.with_order(10)
+        assert small.num_hashes == 3
+        assert small.seed == fam.seed
+        assert small.order == 10
+
+    def test_repr(self):
+        assert "m=3" in repr(HashFamily(3, 16))
+
+
+class TestUniformityChi2:
+    def test_uniform_sample_low_stat(self):
+        samples = list(range(1000)) * 4
+        assert uniformity_chi2(samples, 100) == pytest.approx(0.0)
+
+    def test_skewed_sample_high_stat(self):
+        samples = [0] * 1000
+        assert uniformity_chi2(samples, 100) > 1000
+
+
+class TestAvalanche:
+    """Flipping any single input bit should flip ~half the output bits."""
+
+    def _avalanche(self, flip_field, flip_bit, samples=400):
+        import random as _random
+
+        fam = HashFamily(1, 32, seed=77)
+        rng = _random.Random(9)
+        total_flipped = 0
+        for _ in range(samples):
+            key = [6, rng.getrandbits(32), rng.getrandbits(16),
+                   rng.getrandbits(32)]
+            base = fam.indices(tuple(key))[0]
+            key[flip_field] ^= 1 << flip_bit
+            flipped = fam.indices(tuple(key))[0]
+            total_flipped += bin(base ^ flipped).count("1")
+        return total_flipped / samples / 32.0  # fraction of output bits
+
+    @pytest.mark.parametrize("field,bit", [
+        (1, 0), (1, 31),   # local address low/high bit
+        (2, 0), (2, 15),   # local port
+        (3, 0), (3, 31),   # remote address
+    ])
+    def test_single_bit_flip_avalanches(self, field, bit):
+        fraction = self._avalanche(field, bit)
+        assert 0.42 < fraction < 0.58
+
+    def test_protocol_bit_avalanches(self):
+        assert 0.42 < self._avalanche(0, 0) < 0.58

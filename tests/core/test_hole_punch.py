@@ -1,0 +1,87 @@
+"""Tests for repro.core.hole_punch — Section 5.1."""
+
+from repro.core.bitmap_filter import BitmapFilter, Decision
+from repro.core.hole_punch import HolePuncher, hole_punch_packet
+from repro.net.packet import Packet, TcpFlags
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+
+
+class TestHolePunchPacket:
+    def test_fields(self, client_addr, server_addr):
+        pkt = hole_punch_packet(1.0, IPPROTO_TCP, client_addr, 20, server_addr,
+                                random_port=9999)
+        assert pkt.src == client_addr
+        assert pkt.sport == 20
+        assert pkt.dst == server_addr
+        assert pkt.dport == 9999
+        assert pkt.is_tcp
+
+    def test_random_port_generated(self, client_addr, server_addr):
+        import random
+
+        pkt = hole_punch_packet(1.0, IPPROTO_TCP, client_addr, 20, server_addr,
+                                rng=random.Random(1))
+        assert 1024 <= pkt.dport <= 65535
+
+    def test_udp_has_no_flags(self, client_addr, server_addr):
+        pkt = hole_punch_packet(1.0, IPPROTO_UDP, client_addr, 20, server_addr,
+                                random_port=1)
+        assert pkt.flags == TcpFlags.NONE
+
+
+class TestActiveFtpScenario:
+    """The paper's worked example: active-mode FTP through the filter."""
+
+    def test_hole_punch_admits_server_initiated_channel(
+        self, bitmap_filter, client_addr, server_addr
+    ):
+        # Without a punch, the server's active connection is dropped.
+        inbound = Packet(1.0, IPPROTO_TCP, server_addr, 20, client_addr, 5001,
+                         TcpFlags.SYN)
+        assert bitmap_filter.process(inbound) is Decision.DROP
+
+        # Punch a hole for local port 5001, then the same inbound passes.
+        puncher = HolePuncher(client_addr, seed=7)
+        punch = puncher.punch(ts=2.0, local_port=5001, server_addr=server_addr)
+        assert bitmap_filter.process(punch) is Decision.PASS
+        retry = Packet(2.5, IPPROTO_TCP, server_addr, 20, client_addr, 5001,
+                       TcpFlags.SYN)
+        assert bitmap_filter.process(retry) is Decision.PASS
+
+    def test_hole_is_port_specific(self, bitmap_filter, client_addr, server_addr):
+        puncher = HolePuncher(client_addr)
+        bitmap_filter.process(puncher.punch(ts=1.0, local_port=5001,
+                                            server_addr=server_addr))
+        other_port = Packet(1.5, IPPROTO_TCP, server_addr, 20, client_addr, 5002,
+                            TcpFlags.SYN)
+        assert bitmap_filter.process(other_port) is Decision.DROP
+
+    def test_hole_is_server_specific(self, bitmap_filter, client_addr, server_addr):
+        puncher = HolePuncher(client_addr)
+        bitmap_filter.process(puncher.punch(ts=1.0, local_port=5001,
+                                            server_addr=server_addr))
+        other_server = Packet(1.5, IPPROTO_TCP, 0x01020304, 20, client_addr, 5001,
+                              TcpFlags.SYN)
+        assert bitmap_filter.process(other_server) is Decision.DROP
+
+    def test_hole_accepts_any_remote_source_port(
+        self, bitmap_filter, client_addr, server_addr
+    ):
+        """The remote port was unknown at punch time — any port must work."""
+        puncher = HolePuncher(client_addr)
+        bitmap_filter.process(puncher.punch(ts=1.0, local_port=5001,
+                                            server_addr=server_addr))
+        for sport in (20, 2020, 54321):
+            inbound = Packet(1.5, IPPROTO_TCP, server_addr, sport, client_addr,
+                             5001, TcpFlags.SYN)
+            assert bitmap_filter.process(inbound) is Decision.PASS
+
+    def test_hole_expires(self, small_config, protected, client_addr, server_addr):
+        from repro.core.bitmap_filter import BitmapFilter
+
+        filt = BitmapFilter(small_config, protected)
+        puncher = HolePuncher(client_addr)
+        filt.process(puncher.punch(ts=1.0, local_port=5001, server_addr=server_addr))
+        late = Packet(1.0 + small_config.expiry_timer + 5.1, IPPROTO_TCP,
+                      server_addr, 20, client_addr, 5001, TcpFlags.SYN)
+        assert filt.process(late) is Decision.DROP

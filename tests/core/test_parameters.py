@@ -1,0 +1,202 @@
+"""Tests for repro.core.parameters — Equations (1)-(5) and the advisor."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    BitmapParameters,
+    ParameterAdvisor,
+    expected_utilization,
+    insider_utilization_increase,
+    max_supported_connections,
+    memory_bytes,
+    optimal_num_hashes,
+    penetration_probability,
+    penetration_probability_for_load,
+    required_order,
+)
+
+
+class TestEquation1:
+    def test_penetration_is_u_to_the_m(self):
+        assert penetration_probability(0.5, 3) == pytest.approx(0.125)
+        assert penetration_probability(0.1, 2) == pytest.approx(0.01)
+
+    def test_zero_and_full_utilization(self):
+        assert penetration_probability(0.0, 3) == 0.0
+        assert penetration_probability(1.0, 3) == 1.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            penetration_probability(1.5, 3)
+        with pytest.raises(ValueError):
+            penetration_probability(0.5, 0)
+
+
+class TestEquation2:
+    def test_linear_utilization(self):
+        # c=1000, m=3, n=14: U = 3000/16384.
+        assert expected_utilization(1000, 3, 14) == pytest.approx(3000 / 16384)
+
+    def test_utilization_capped_at_one(self):
+        assert expected_utilization(10**9, 3, 10) == 1.0
+
+    def test_exact_occupancy_below_linear(self):
+        linear = expected_utilization(4000, 3, 14)
+        exact = expected_utilization(4000, 3, 14, exact=True)
+        assert exact < linear
+
+    def test_penetration_for_load(self):
+        p = penetration_probability_for_load(1000, 3, 14)
+        assert p == pytest.approx((3000 / 16384) ** 3)
+
+    def test_negative_connections_rejected(self):
+        with pytest.raises(ValueError):
+            expected_utilization(-1, 3, 14)
+
+
+class TestEquation4:
+    def test_optimal_m_formula(self):
+        # m* = 2^n / (e*c)
+        m = optimal_num_hashes(20, 15_000, integral=False)
+        assert m == pytest.approx((1 << 20) / (math.e * 15_000))
+
+    def test_integral_at_least_one(self):
+        assert optimal_num_hashes(10, 10**6) == 1.0
+
+    def test_integral_picks_better_neighbour(self):
+        m_star = optimal_num_hashes(14, 1500, integral=False)
+        m = int(optimal_num_hashes(14, 1500))
+        assert m in (math.floor(m_star), math.ceil(m_star))
+        # The chosen integer beats the other neighbour.
+        other = math.floor(m_star) if m == math.ceil(m_star) else math.ceil(m_star)
+        if other >= 1:
+            assert penetration_probability_for_load(1500, m, 14) <= (
+                penetration_probability_for_load(1500, other, 14)
+            )
+
+    def test_optimum_is_a_minimum(self):
+        """Eq. (2) is worse on both sides of the Eq. (4) optimum."""
+        c, n = 1500, 14
+        m_star = optimal_num_hashes(n, c, integral=False)
+        at = penetration_probability_for_load(c, m_star, n)
+        assert penetration_probability_for_load(c, m_star * 2, n) > at
+        assert penetration_probability_for_load(c, m_star / 2, n) > at
+
+    def test_rejects_nonpositive_connections(self):
+        with pytest.raises(ValueError):
+            optimal_num_hashes(20, 0)
+
+
+class TestEquation5:
+    """Section 4.1's worked capacities: 167K / 125K / 83K at n=20."""
+
+    def test_capacity_10_percent(self):
+        assert max_supported_connections(20, 0.10) == pytest.approx(167_000, rel=0.01)
+
+    def test_capacity_5_percent(self):
+        assert max_supported_connections(20, 0.05) == pytest.approx(128_000, rel=0.03)
+
+    def test_capacity_1_percent(self):
+        assert max_supported_connections(20, 0.01) == pytest.approx(83_700, rel=0.01)
+
+    def test_paper_trace_load_is_far_below_capacity(self):
+        """The paper's 15K active connections sit well under every bound."""
+        for target in (0.10, 0.05, 0.01):
+            assert max_supported_connections(20, target) > 15_000
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            max_supported_connections(20, 0.0)
+        with pytest.raises(ValueError):
+            max_supported_connections(20, 1.0)
+
+    def test_required_order_inverts_capacity(self):
+        order = required_order(15_000, 0.01)
+        assert max_supported_connections(order, 0.01) >= 15_000
+        assert max_supported_connections(order - 1, 0.01) < 15_000
+
+
+class TestMemory:
+    def test_paper_memory(self):
+        """Section 4.1: (k * 2^n)/8 = 512K bytes for k=4, n=20."""
+        assert memory_bytes(4, 20) == 512 * 1024
+
+    def test_table1_bitmap_memory(self):
+        assert memory_bytes(4, 24) == 8 * 1024 * 1024
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            memory_bytes(0, 20)
+
+
+class TestInsiderFormula:
+    def test_formula(self):
+        # dU = m*r*Te / 2^n
+        assert insider_utilization_increase(1000, 3, 20, 20.0) == pytest.approx(
+            3 * 1000 * 20 / 2**20
+        )
+
+    def test_capped_at_one(self):
+        assert insider_utilization_increase(10**9, 3, 10, 20.0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            insider_utilization_increase(-1, 3, 20, 20.0)
+
+
+class TestBitmapParameters:
+    def test_derived_values(self):
+        params = BitmapParameters(order=20, num_vectors=4, num_hashes=3,
+                                  rotation_interval=5.0, expected_connections=15_000)
+        assert params.expiry_timer == 20.0
+        assert params.memory_bytes == 512 * 1024
+        assert params.utilization == pytest.approx(45_000 / 2**20)
+        assert params.penetration == pytest.approx((45_000 / 2**20) ** 3)
+
+    def test_describe_mentions_shape(self):
+        params = BitmapParameters(20, 4, 3, 5.0, 15_000)
+        assert "{4 x 20}" in params.describe()
+
+
+class TestParameterAdvisor:
+    def test_num_vectors_from_timers(self):
+        assert ParameterAdvisor(expiry_timer=20.0, rotation_interval=5.0).num_vectors() == 4
+        assert ParameterAdvisor(expiry_timer=21.0, rotation_interval=5.0).num_vectors() == 5
+
+    def test_recommendation_meets_target(self):
+        advisor = ParameterAdvisor(expiry_timer=20.0, rotation_interval=5.0)
+        params = advisor.recommend(expected_connections=15_000, target_penetration=0.01)
+        assert params.penetration <= 0.01
+        assert params.num_vectors == 4
+
+    def test_recommendation_is_minimal_memory(self):
+        advisor = ParameterAdvisor(expiry_timer=20.0, rotation_interval=5.0)
+        params = advisor.recommend(expected_connections=15_000, target_penetration=0.01)
+        smaller = params.order - 1
+        # No m up to the cap meets the target at the next-smaller n.
+        assert all(
+            penetration_probability_for_load(15_000, m, smaller) > 0.01
+            for m in range(1, 9)
+        )
+
+    def test_recommendation_for_paper_load_fits_in_1mb(self):
+        """The abstract's claim: <1 MB filters >95% of attack traffic."""
+        advisor = ParameterAdvisor(expiry_timer=20.0, rotation_interval=5.0)
+        params = advisor.recommend(expected_connections=15_000, target_penetration=0.05)
+        assert params.memory_bytes < 1024 * 1024
+
+    def test_capacity_table_shape(self):
+        advisor = ParameterAdvisor()
+        rows = advisor.capacity_table(20, [0.10, 0.01])
+        assert len(rows) == 2
+        assert rows[0]["max_connections"] > rows[1]["max_connections"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterAdvisor(expiry_timer=-1)
+        with pytest.raises(ValueError):
+            ParameterAdvisor(expiry_timer=5.0, rotation_interval=10.0)
+        with pytest.raises(ValueError):
+            ParameterAdvisor().recommend(expected_connections=0)

@@ -1,0 +1,130 @@
+"""Tests for repro.core.persistence — filter checkpoint/restore."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap_filter import BitmapFilter, Decision
+from repro.core.persistence import load_filter, save_filter
+from tests.conftest import make_reply, make_request
+
+
+@pytest.fixture()
+def warmed_filter(small_config, protected, client_addr, server_addr):
+    filt = BitmapFilter(small_config, protected)
+    for sport in range(1024, 1100):
+        filt.process(make_request(10.0 + sport * 0.01, client_addr, server_addr,
+                                  sport=sport))
+    return filt
+
+
+class TestRoundTrip:
+    def test_bit_exact_restore(self, warmed_filter, tmp_path):
+        path = tmp_path / "filter.npz"
+        save_filter(warmed_filter, path)
+        restored = load_filter(path)
+        for a, b in zip(warmed_filter.bitmap.vectors, restored.bitmap.vectors):
+            assert a == b
+        assert restored.bitmap.current_index == warmed_filter.bitmap.current_index
+        assert restored.next_rotation == warmed_filter.next_rotation
+        assert restored.config == warmed_filter.config
+        assert restored.stats.as_dict() == warmed_filter.stats.as_dict()
+
+    def test_restored_filter_keeps_passing_replies(
+        self, warmed_filter, tmp_path, client_addr, server_addr
+    ):
+        """The point of checkpointing: no Te-long warm-up after restart."""
+        request = make_request(10.0 + 1050 * 0.01, client_addr, server_addr,
+                               sport=1050)
+        path = tmp_path / "filter.npz"
+        save_filter(warmed_filter, path)
+        restored = load_filter(path)
+        reply = make_reply(request, request.ts + 0.5)
+        assert restored.process(reply) is Decision.PASS
+        # And identical verdicts to the original going forward:
+        assert warmed_filter.process(reply.with_ts(reply.ts + 0.01)) is Decision.PASS
+
+    def test_cold_filter_would_have_dropped(
+        self, warmed_filter, small_config, protected, client_addr, server_addr
+    ):
+        request = make_request(20.0, client_addr, server_addr, sport=1050)
+        cold = BitmapFilter(small_config, protected, start_time=20.0)
+        assert cold.process(make_reply(request, 21.0)) is Decision.DROP
+
+    def test_protected_space_restored(self, warmed_filter, tmp_path):
+        path = tmp_path / "filter.npz"
+        save_filter(warmed_filter, path)
+        restored = load_filter(path)
+        assert [str(n) for n in restored.protected.networks] == [
+            str(n) for n in warmed_filter.protected.networks
+        ]
+
+    def test_rotation_schedule_continues(self, warmed_filter, tmp_path):
+        path = tmp_path / "filter.npz"
+        save_filter(warmed_filter, path)
+        restored = load_filter(path)
+        a = warmed_filter.advance_to(100.0)
+        b = restored.advance_to(100.0)
+        assert a == b
+        assert restored.bitmap.current_index == warmed_filter.bitmap.current_index
+
+
+class TestErrors:
+    def test_apd_filter_rejected(self, small_config, protected, tmp_path):
+        from repro.core.apd import AdaptiveDroppingPolicy, PacketRatioIndicator
+
+        filt = BitmapFilter(small_config, protected,
+                            apd=AdaptiveDroppingPolicy(PacketRatioIndicator()))
+        with pytest.raises(ValueError):
+            save_filter(filt, tmp_path / "x.npz")
+
+    def test_corrupted_vectors_rejected(self, warmed_filter, tmp_path):
+        import json
+
+        path = tmp_path / "filter.npz"
+        save_filter(warmed_filter, path)
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["metadata"]))
+            vectors = archive["vectors"][:, :16]  # truncate
+        np.savez_compressed(path, vectors=vectors, metadata=json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_filter(path)
+
+    def test_unknown_version_rejected(self, warmed_filter, tmp_path):
+        import json
+
+        path = tmp_path / "filter.npz"
+        save_filter(warmed_filter, path)
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["metadata"]))
+            vectors = archive["vectors"]
+        meta["format_version"] = 99
+        np.savez_compressed(path, vectors=vectors, metadata=json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_filter(path)
+
+
+class TestMidRunEquivalence:
+    def test_save_load_mid_trace_is_transparent(self, small_config, tiny_trace,
+                                                tmp_path):
+        """Splitting a run across a checkpoint changes nothing.
+
+        Run the first half of a real trace, snapshot, restore, run the
+        second half — the verdicts must equal an unbroken run.
+        """
+        import numpy as np
+
+        packets = tiny_trace.packets
+        half = len(packets) // 2
+
+        unbroken = BitmapFilter(small_config, tiny_trace.protected)
+        expected = unbroken.process_batch(packets, exact=True)
+
+        first = BitmapFilter(small_config, tiny_trace.protected)
+        v1 = first.process_batch(packets[:half], exact=True)
+        path = tmp_path / "mid.npz"
+        save_filter(first, path)
+        second = load_filter(path)
+        v2 = second.process_batch(packets[half:], exact=True)
+
+        assert bool(np.array_equal(np.concatenate([v1, v2]), expected))
+        assert second.stats.as_dict() == unbroken.stats.as_dict()

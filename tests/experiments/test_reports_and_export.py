@@ -1,0 +1,83 @@
+"""Unit tests for experiment result objects: reports and data export."""
+
+import csv
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+# A minimal scale keeping these report/export tests fast.
+XS = ExperimentScale(name="xs", duration=45.0, normal_pps=200.0, bitmap_order=13)
+
+
+class TestAggregationResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.aggregation import run_aggregation
+
+        return run_aggregation(XS)
+
+    def test_by_label(self, result):
+        assert result.by_label("per-edge (2 filters, n)").memory_bytes > 0
+        with pytest.raises(KeyError):
+            result.by_label("nonexistent")
+
+    def test_report_renders_all_rows(self, result):
+        text = result.report()
+        for outcome in result.outcomes:
+            assert outcome.label in text
+
+
+class TestTimingResult:
+    def test_report_contains_both_sweeps(self):
+        from repro.experiments.timing import run_timing_ablation
+
+        result = run_timing_ablation(XS)
+        text = result.report()
+        assert "Granularity sweep" in text
+        assert "Expiry sweep" in text
+        assert text.count("KiB") >= 8
+
+
+class TestCompatResult:
+    def test_report_shape(self):
+        from repro.experiments.compat import CompatResult
+
+        result = CompatResult(
+            sessions=10,
+            data_channel_success_without_punch=0.0,
+            data_channel_success_with_punch=1.0,
+            late_connect_success_with_punch=0.0,
+            normal_fp_without_punch=0.005,
+            normal_fp_with_punch=0.005,
+        )
+        text = result.report()
+        assert "100.0%" in text
+        assert "hole punched" in text
+
+
+class TestExportFigures:
+    def test_export_function_direct(self, tmp_path):
+        from repro.experiments.export import export_figures
+
+        files = export_figures(tmp_path, XS)
+        assert len(files) == 7
+        for name in files:
+            path = tmp_path / name
+            assert path.exists()
+            with path.open() as fh:
+                rows = list(csv.reader(fh))
+            assert len(rows) >= 2, name          # header + data
+            assert all(len(r) == len(rows[0]) for r in rows), name
+
+    def test_fig5_series_columns_consistent(self, tmp_path):
+        from repro.experiments.export import export_figures
+
+        export_figures(tmp_path, XS)
+        with (tmp_path / "fig5a_series.csv").open() as fh:
+            rows = list(csv.reader(fh))[1:]
+        for row in rows:
+            second, normal, attack, passed, dropped = map(float, row)
+            incoming = normal + attack
+            # passed + dropped counts every incoming packet (incl. background).
+            assert passed + dropped >= incoming - 1e-9

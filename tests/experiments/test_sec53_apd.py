@@ -1,0 +1,46 @@
+"""Section 5.3 APD experiment shapes (slower — module-scoped run)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+# An extra-small scale keeps the per-packet APD loop quick in CI.
+XS = ExperimentScale(name="xs", duration=60.0, normal_pps=200.0, bitmap_order=13)
+
+
+@pytest.fixture(scope="module")
+def sec53_result():
+    from repro.experiments.sec53 import run_sec53
+
+    return run_sec53(XS)
+
+
+class TestAdaptiveDropping:
+    def test_idle_phases_admit_most_rejects(self, sec53_result):
+        for phases in (sec53_result.bandwidth_phases, sec53_result.ratio_phases):
+            before = phases[0]
+            assert before.admission_rate > 0.7
+
+    def test_flood_phase_drops_heavily(self, sec53_result):
+        for phases in (sec53_result.bandwidth_phases, sec53_result.ratio_phases):
+            during = phases[1]
+            assert during.rejected + during.admitted > 1000
+            assert during.admission_rate < 0.5
+
+    def test_flood_phase_stricter_than_quiet_phases(self, sec53_result):
+        for phases in (sec53_result.bandwidth_phases, sec53_result.ratio_phases):
+            before, during, after = phases
+            assert during.admission_rate < before.admission_rate
+
+    def test_report_renders(self, sec53_result):
+        text = sec53_result.report()
+        assert "bandwidth indicator" in text
+        assert "signal-policy ablation" in text
+
+
+class TestSignalPolicyAblation:
+    def test_policy_blocks_scan_followups(self, sec53_result):
+        with_policy = sec53_result.ablation["with signal policy"]
+        without = sec53_result.ablation["without signal policy"]
+        assert with_policy < 0.05
+        assert without > 0.9

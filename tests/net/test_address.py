@@ -1,0 +1,190 @@
+"""Tests for repro.net.address."""
+
+import random
+
+import pytest
+
+from repro.net.address import (
+    AddressSpace,
+    IPv4Address,
+    IPv4Network,
+    coerce_address,
+    format_ipv4,
+    parse_ipv4,
+)
+
+
+class TestParseFormat:
+    def test_parse_dotted_quad(self):
+        assert parse_ipv4("192.168.1.10") == 0xC0A8010A
+
+    def test_parse_zero(self):
+        assert parse_ipv4("0.0.0.0") == 0
+
+    def test_parse_broadcast(self):
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+
+    def test_format_round_trip(self):
+        for text in ("10.0.0.1", "172.16.254.3", "8.8.8.8", "223.255.255.254"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "", "1..2.3"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(1 << 32)
+        with pytest.raises(ValueError):
+            format_ipv4(-1)
+
+
+class TestIPv4Address:
+    def test_construction_and_str(self):
+        addr = IPv4Address.parse("10.1.2.3")
+        assert str(addr) == "10.1.2.3"
+        assert int(addr) == 0x0A010203
+
+    def test_ordering(self):
+        assert IPv4Address.parse("10.0.0.1") < IPv4Address.parse("10.0.0.2")
+
+    def test_addition(self):
+        assert str(IPv4Address.parse("10.0.0.1") + 5) == "10.0.0.6"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            IPv4Address(1 << 32)
+
+    def test_hashable(self):
+        assert len({IPv4Address(1), IPv4Address(1), IPv4Address(2)}) == 2
+
+
+class TestCoerce:
+    def test_coerce_int(self):
+        assert coerce_address(42) == 42
+
+    def test_coerce_str(self):
+        assert coerce_address("1.2.3.4") == 0x01020304
+
+    def test_coerce_address(self):
+        assert coerce_address(IPv4Address(7)) == 7
+
+    def test_coerce_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            coerce_address(3.14)
+
+
+class TestIPv4Network:
+    def test_parse_cidr(self):
+        net = IPv4Network.parse("192.168.1.0/24")
+        assert net.prefix == 0xC0A80100
+        assert net.prefix_len == 24
+        assert net.num_addresses == 256
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            IPv4Network(parse_ipv4("192.168.1.1"), 24)
+
+    def test_containing_masks_host_bits(self):
+        net = IPv4Network.containing("192.168.1.77", 24)
+        assert str(net) == "192.168.1.0/24"
+
+    def test_membership(self):
+        net = IPv4Network.parse("10.0.0.0/8")
+        assert "10.255.1.2" in net
+        assert "11.0.0.1" not in net
+        assert parse_ipv4("10.0.0.1") in net
+
+    def test_membership_rejects_junk_objects(self):
+        assert object() not in IPv4Network.parse("10.0.0.0/8")
+
+    def test_first_last(self):
+        net = IPv4Network.parse("192.168.1.0/24")
+        assert format_ipv4(net.first) == "192.168.1.0"
+        assert format_ipv4(net.last) == "192.168.1.255"
+
+    def test_host_indexing(self):
+        net = IPv4Network.parse("192.168.1.0/24")
+        assert format_ipv4(net.host(5)) == "192.168.1.5"
+        with pytest.raises(IndexError):
+            net.host(256)
+
+    def test_usable_hosts_skips_network_and_broadcast(self):
+        net = IPv4Network.parse("192.168.1.0/29")
+        hosts = list(net.usable_hosts())
+        assert len(hosts) == 6
+        assert net.first not in hosts
+        assert net.last not in hosts
+
+    def test_usable_hosts_slash31(self):
+        net = IPv4Network.parse("192.168.1.0/31")
+        assert len(list(net.usable_hosts())) == 2
+
+    def test_random_host_in_range(self):
+        net = IPv4Network.parse("10.0.0.0/24")
+        rng = random.Random(7)
+        for _ in range(100):
+            host = net.random_host(rng)
+            assert host in net
+            assert host not in (net.first, net.last)
+
+    def test_iteration(self):
+        net = IPv4Network.parse("10.0.0.0/30")
+        assert list(net) == [0x0A000000, 0x0A000001, 0x0A000002, 0x0A000003]
+
+    def test_prefix_len_bounds(self):
+        with pytest.raises(ValueError):
+            IPv4Network(0, 33)
+
+    def test_parse_requires_slash(self):
+        with pytest.raises(ValueError):
+            IPv4Network.parse("10.0.0.0")
+
+
+class TestAddressSpace:
+    def test_class_c_block(self):
+        space = AddressSpace.class_c_block("172.16.0.0", 6)
+        assert len(space.networks) == 6
+        assert str(space.networks[0]) == "172.16.0.0/24"
+        assert str(space.networks[5]) == "172.16.5.0/24"
+        assert space.num_addresses == 6 * 256
+
+    def test_block_aligns_base(self):
+        space = AddressSpace.class_c_block("172.16.0.99", 2)
+        assert str(space.networks[0]) == "172.16.0.0/24"
+
+    def test_membership(self):
+        space = AddressSpace.class_c_block("172.16.0.0", 6)
+        assert space.contains("172.16.3.200")
+        assert "172.16.5.1" in space
+        assert not space.contains("172.16.6.1")
+        assert not space.contains("8.8.8.8")
+
+    def test_contains_int_matches_contains(self):
+        space = AddressSpace.class_c_block("172.16.0.0", 3)
+        rng = random.Random(3)
+        for _ in range(200):
+            addr = rng.getrandbits(32)
+            assert space.contains_int(addr) == space.contains(addr)
+
+    def test_random_host_inside(self):
+        space = AddressSpace.class_c_block("172.16.0.0", 6)
+        rng = random.Random(5)
+        for _ in range(100):
+            assert space.contains_int(space.random_host(rng))
+
+    def test_hosts_enumeration_limited(self):
+        space = AddressSpace.class_c_block("172.16.0.0", 2)
+        hosts = space.hosts(per_network=10)
+        assert len(hosts) == 20
+        assert all(space.contains_int(h) for h in hosts)
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace([])
+
+    def test_string_networks_accepted(self):
+        space = AddressSpace(["10.0.0.0/8", "192.168.0.0/16"])
+        assert space.contains("10.1.2.3")
+        assert space.contains("192.168.100.1")

@@ -1,0 +1,112 @@
+"""Tests for repro.net.flow — tuple inversion and directional bitmap keys."""
+
+from repro.net.flow import (
+    AddressTuple,
+    bitmap_key_incoming,
+    bitmap_key_of_packet,
+    bitmap_key_outgoing,
+    flow_key_of_packet,
+    flow_key_of_tuple,
+)
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+from tests.conftest import make_reply, make_request
+
+
+class TestAddressTuple:
+    def test_of_packet(self, client_addr, server_addr):
+        pkt = make_request(0.0, client_addr, server_addr, sport=1111, dport=80)
+        tup = AddressTuple.of_packet(pkt)
+        assert tup == AddressTuple(IPPROTO_TCP, client_addr, 1111, server_addr, 80)
+
+    def test_inverse_swaps_endpoints(self):
+        tup = AddressTuple(IPPROTO_TCP, 1, 2, 3, 4)
+        assert tup.inverse() == AddressTuple(IPPROTO_TCP, 3, 4, 1, 2)
+
+    def test_inverse_is_involution(self):
+        tup = AddressTuple(IPPROTO_UDP, 10, 20, 30, 40)
+        assert tup.inverse().inverse() == tup
+
+    def test_reply_tuple_inverse_equals_request_tuple(self, client_addr, server_addr):
+        """The paper's τ_in⁻¹ == τ_out identity."""
+        request = make_request(0.0, client_addr, server_addr)
+        reply = make_reply(request, 0.1)
+        assert AddressTuple.of_packet(reply).inverse() == AddressTuple.of_packet(request)
+
+    def test_str_is_readable(self):
+        text = str(AddressTuple(IPPROTO_TCP, 0x01020304, 80, 0x05060708, 443))
+        assert "1.2.3.4:80" in text
+        assert "5.6.7.8:443" in text
+
+    def test_ordering_exists(self):
+        a = AddressTuple(IPPROTO_TCP, 1, 2, 3, 4)
+        b = AddressTuple(IPPROTO_TCP, 1, 2, 3, 5)
+        assert a < b
+
+
+class TestBitmapKeys:
+    def test_outgoing_key_omits_remote_port(self, client_addr, server_addr):
+        """Section 3.3: only {saddr, sport, daddr} is hashed."""
+        a = make_request(0.0, client_addr, server_addr, sport=1111, dport=80)
+        b = make_request(0.0, client_addr, server_addr, sport=1111, dport=8080)
+        assert bitmap_key_of_packet(a, outgoing=True) == bitmap_key_of_packet(b, outgoing=True)
+
+    def test_incoming_key_omits_remote_port(self, client_addr, server_addr):
+        """An incoming packet's source port does not affect its key — the
+        property hole punching (Section 5.1) relies on."""
+        request = make_request(0.0, client_addr, server_addr, sport=1111, dport=80)
+        reply_a = make_reply(request, 0.1)
+        # Same server, different source port (e.g. active FTP data channel).
+        from dataclasses import replace
+
+        reply_b = replace(reply_a, sport=20)
+        key_a = bitmap_key_of_packet(reply_a, outgoing=False)
+        key_b = bitmap_key_of_packet(reply_b, outgoing=False)
+        assert key_a == key_b
+
+    def test_request_and_reply_share_the_key(self, client_addr, server_addr):
+        """The mark/lookup agreement at the heart of Algorithm 2."""
+        request = make_request(0.0, client_addr, server_addr)
+        reply = make_reply(request, 0.1)
+        out_key = bitmap_key_of_packet(request, outgoing=True)
+        in_key = bitmap_key_of_packet(reply, outgoing=False)
+        assert out_key == in_key
+
+    def test_different_clients_different_keys(self, protected, server_addr):
+        a = protected.networks[0].host(1)
+        b = protected.networks[0].host(2)
+        key_a = bitmap_key_outgoing(IPPROTO_TCP, a, 1000, server_addr)
+        key_b = bitmap_key_outgoing(IPPROTO_TCP, b, 1000, server_addr)
+        assert key_a != key_b
+
+    def test_protocol_distinguishes_keys(self, client_addr, server_addr):
+        tcp = bitmap_key_outgoing(IPPROTO_TCP, client_addr, 53, server_addr)
+        udp = bitmap_key_outgoing(IPPROTO_UDP, client_addr, 53, server_addr)
+        assert tcp != udp
+
+    def test_incoming_key_fields(self):
+        # incoming: {daddr (local), dport (local), saddr (remote)}
+        assert bitmap_key_incoming(6, 100, 200, 300) == (6, 100, 200, 300)
+
+
+class TestFlowKeys:
+    def test_flow_key_is_local_first(self, client_addr, server_addr):
+        request = make_request(0.0, client_addr, server_addr, sport=1111, dport=80)
+        reply = make_reply(request, 0.1)
+        out_key = flow_key_of_packet(request, outgoing=True)
+        in_key = flow_key_of_packet(reply, outgoing=False)
+        assert out_key == in_key
+        assert out_key == (IPPROTO_TCP, client_addr, 1111, server_addr, 80)
+
+    def test_flow_key_includes_remote_port(self, client_addr, server_addr):
+        """Unlike bitmap keys, SPI flow keys are exact 5-tuples."""
+        a = make_request(0.0, client_addr, server_addr, sport=1111, dport=80)
+        b = make_request(0.0, client_addr, server_addr, sport=1111, dport=8080)
+        assert flow_key_of_packet(a, True) != flow_key_of_packet(b, True)
+
+    def test_flow_key_of_tuple_matches_packet(self, client_addr, server_addr):
+        pkt = make_request(0.0, client_addr, server_addr)
+        tup = AddressTuple.of_packet(pkt)
+        assert flow_key_of_tuple(tup, True) == flow_key_of_packet(pkt, True)
+        reply = make_reply(pkt, 1.0)
+        rtup = AddressTuple.of_packet(reply)
+        assert flow_key_of_tuple(rtup, False) == flow_key_of_packet(reply, False)

@@ -1,0 +1,203 @@
+"""Tests for repro.net.packet."""
+
+import numpy as np
+import pytest
+
+from repro.net.address import AddressSpace
+from repro.net.packet import (
+    DIRECTION_INCOMING,
+    DIRECTION_INTERNAL,
+    DIRECTION_OUTGOING,
+    DIRECTION_TRANSIT,
+    Direction,
+    Packet,
+    PacketArray,
+    PacketLabel,
+    TcpFlags,
+)
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+from tests.conftest import make_reply, make_request
+
+
+class TestTcpFlags:
+    def test_pure_syn(self):
+        assert TcpFlags.SYN.is_pure_syn
+        assert not (TcpFlags.SYN | TcpFlags.ACK).is_pure_syn
+
+    def test_pure_fin(self):
+        assert TcpFlags.FIN.is_pure_fin
+        assert not (TcpFlags.FIN | TcpFlags.ACK).is_pure_fin
+
+    def test_closes_connection(self):
+        assert TcpFlags.FIN.closes_connection
+        assert TcpFlags.RST.closes_connection
+        assert (TcpFlags.FIN | TcpFlags.ACK).closes_connection
+        assert not TcpFlags.ACK.closes_connection
+        assert not TcpFlags.SYN.closes_connection
+
+    def test_flag_values_are_tcp_standard(self):
+        assert int(TcpFlags.FIN) == 0x01
+        assert int(TcpFlags.SYN) == 0x02
+        assert int(TcpFlags.RST) == 0x04
+        assert int(TcpFlags.ACK) == 0x10
+
+
+class TestPacket:
+    def test_direction_classification(self, protected, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        assert out.direction(protected) is Direction.OUTGOING
+        incoming = make_reply(out, 1.1)
+        assert incoming.direction(protected) is Direction.INCOMING
+
+    def test_internal_and_transit(self, protected):
+        inside_a = protected.networks[0].host(5)
+        inside_b = protected.networks[1].host(5)
+        internal = make_request(1.0, inside_a, inside_b)
+        assert internal.direction(protected) is Direction.INTERNAL
+        transit = make_request(1.0, 0x01010101, 0x02020202)
+        assert transit.direction(protected) is Direction.TRANSIT
+
+    def test_reply_swaps_endpoints(self, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr, sport=1234, dport=80)
+        back = make_reply(out, 2.0)
+        assert back.src == server_addr
+        assert back.sport == 80
+        assert back.dst == client_addr
+        assert back.dport == 1234
+        assert back.ts == 2.0
+
+    def test_proto_helpers(self, client_addr, server_addr):
+        tcp = make_request(0.0, client_addr, server_addr, proto=IPPROTO_TCP)
+        udp = make_request(0.0, client_addr, server_addr, proto=IPPROTO_UDP)
+        assert tcp.is_tcp and not tcp.is_udp
+        assert udp.is_udp and not udp.is_tcp
+
+    def test_str_contains_addresses_and_flags(self, client_addr, server_addr):
+        pkt = make_request(1.5, client_addr, server_addr, flags=TcpFlags.SYN)
+        text = str(pkt)
+        assert "SYN" in text
+        assert ":5555" in text
+
+    def test_is_attack(self, client_addr, server_addr):
+        pkt = make_request(0.0, client_addr, server_addr)
+        assert not pkt.is_attack
+        attack = Packet(0.0, IPPROTO_TCP, server_addr, 1, client_addr, 2,
+                        label=PacketLabel.ATTACK)
+        assert attack.is_attack
+
+    def test_frozen(self, client_addr, server_addr):
+        pkt = make_request(0.0, client_addr, server_addr)
+        with pytest.raises(AttributeError):
+            pkt.ts = 5.0  # type: ignore[misc]
+
+
+class TestPacketArray:
+    def _sample_packets(self, client, server):
+        req = make_request(1.0, client, server)
+        return [req, make_reply(req, 1.2), make_request(2.0, client, server, sport=6000)]
+
+    def test_round_trip(self, client_addr, server_addr):
+        packets = self._sample_packets(client_addr, server_addr)
+        arr = PacketArray.from_packets(packets)
+        assert arr.to_packets() == packets
+
+    def test_len_and_iteration(self, client_addr, server_addr):
+        arr = PacketArray.from_packets(self._sample_packets(client_addr, server_addr))
+        assert len(arr) == 3
+        assert [p.ts for p in arr] == [1.0, 1.2, 2.0]
+
+    def test_empty(self):
+        arr = PacketArray.empty()
+        assert len(arr) == 0
+        assert arr.to_packets() == []
+
+    def test_integer_indexing_returns_packet(self, client_addr, server_addr):
+        packets = self._sample_packets(client_addr, server_addr)
+        arr = PacketArray.from_packets(packets)
+        assert arr[1] == packets[1]
+
+    def test_slice_indexing_returns_array(self, client_addr, server_addr):
+        arr = PacketArray.from_packets(self._sample_packets(client_addr, server_addr))
+        sliced = arr[1:]
+        assert isinstance(sliced, PacketArray)
+        assert len(sliced) == 2
+
+    def test_boolean_mask_indexing(self, client_addr, server_addr):
+        arr = PacketArray.from_packets(self._sample_packets(client_addr, server_addr))
+        mask = arr.ts > 1.1
+        assert len(arr[mask]) == 2
+
+    def test_sorted_by_time(self, client_addr, server_addr):
+        packets = self._sample_packets(client_addr, server_addr)[::-1]
+        arr = PacketArray.from_packets(packets).sorted_by_time()
+        assert list(arr.ts) == sorted(p.ts for p in packets)
+
+    def test_sort_is_stable(self, client_addr, server_addr):
+        a = make_request(1.0, client_addr, server_addr, sport=1)
+        b = make_request(1.0, client_addr, server_addr, sport=2)
+        arr = PacketArray.from_packets([a, b]).sorted_by_time()
+        assert list(arr.sport) == [1, 2]
+
+    def test_time_slice(self, client_addr, server_addr):
+        arr = PacketArray.from_packets(self._sample_packets(client_addr, server_addr))
+        window = arr.time_slice(1.0, 1.5)
+        assert len(window) == 2
+        assert all(1.0 <= t < 1.5 for t in window.ts)
+
+    def test_concatenate(self, client_addr, server_addr):
+        packets = self._sample_packets(client_addr, server_addr)
+        a = PacketArray.from_packets(packets[:1])
+        b = PacketArray.from_packets(packets[1:])
+        merged = PacketArray.concatenate([a, b])
+        assert merged.to_packets() == packets
+
+    def test_concatenate_empty_list(self):
+        assert len(PacketArray.concatenate([])) == 0
+
+    def test_directions_vectorized_matches_scalar(self, protected, client_addr, server_addr):
+        inside_b = protected.networks[0].host(9)
+        packets = [
+            make_request(0.0, client_addr, server_addr),        # outgoing
+            make_request(0.0, server_addr, client_addr),        # incoming
+            make_request(0.0, 0x01010101, 0x02020202),          # transit
+            make_request(0.0, client_addr, inside_b),           # internal
+        ]
+        arr = PacketArray.from_packets(packets)
+        codes = arr.directions(protected)
+        assert list(codes) == [
+            DIRECTION_OUTGOING, DIRECTION_INCOMING, DIRECTION_TRANSIT, DIRECTION_INTERNAL,
+        ]
+        for pkt, code in zip(packets, codes):
+            scalar = pkt.direction(protected)
+            assert {Direction.OUTGOING: DIRECTION_OUTGOING,
+                    Direction.INCOMING: DIRECTION_INCOMING,
+                    Direction.TRANSIT: DIRECTION_TRANSIT,
+                    Direction.INTERNAL: DIRECTION_INTERNAL}[scalar] == code
+
+    def test_from_fields_defaults(self):
+        arr = PacketArray.from_fields(
+            ts=np.array([1.0]),
+            proto=np.array([6]),
+            src=np.array([1], dtype=np.uint32),
+            sport=np.array([2], dtype=np.uint16),
+            dst=np.array([3], dtype=np.uint32),
+            dport=np.array([4], dtype=np.uint16),
+        )
+        pkt = arr.packet(0)
+        assert pkt.size == 720
+        assert pkt.flags == TcpFlags.NONE
+        assert pkt.label == PacketLabel.NORMAL
+
+    def test_copy_is_independent(self, client_addr, server_addr):
+        arr = PacketArray.from_packets(self._sample_packets(client_addr, server_addr))
+        clone = arr.copy()
+        clone.data["sport"][0] = 9999
+        assert arr.sport[0] != 9999
+
+    def test_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            PacketArray(np.zeros(3, dtype=np.float64))
+
+    def test_repr_mentions_count(self, client_addr, server_addr):
+        arr = PacketArray.from_packets(self._sample_packets(client_addr, server_addr))
+        assert "n=3" in repr(arr)

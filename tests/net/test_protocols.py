@@ -1,0 +1,48 @@
+"""Tests for repro.net.protocols."""
+
+from repro.net.protocols import (
+    EPHEMERAL_PORT_RANGE,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    WELL_KNOWN_SERVICES,
+    is_valid_port,
+    protocol_name,
+)
+
+
+def test_protocol_numbers():
+    assert IPPROTO_TCP == 6
+    assert IPPROTO_UDP == 17
+
+
+def test_protocol_name_known():
+    assert protocol_name(IPPROTO_TCP) == "tcp"
+    assert protocol_name(IPPROTO_UDP) == "udp"
+
+
+def test_protocol_name_unknown_falls_back():
+    assert protocol_name(99) == "proto-99"
+
+
+def test_well_known_services_consistent():
+    for name, service in WELL_KNOWN_SERVICES.items():
+        assert service.name == name
+        assert is_valid_port(service.port)
+        assert service.protocol in (IPPROTO_TCP, IPPROTO_UDP)
+
+
+def test_http_is_port_80():
+    assert WELL_KNOWN_SERVICES["http"].port == 80
+    assert WELL_KNOWN_SERVICES["dns"].protocol == IPPROTO_UDP
+
+
+def test_ephemeral_range_sane():
+    lo, hi = EPHEMERAL_PORT_RANGE
+    assert 1023 < lo < hi <= 65535
+
+
+def test_is_valid_port_bounds():
+    assert is_valid_port(0)
+    assert is_valid_port(65535)
+    assert not is_valid_port(-1)
+    assert not is_valid_port(65536)

@@ -1,0 +1,96 @@
+"""Property tests for the adaptive-dropping components."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.apd import (
+    BandwidthIndicator,
+    PacketRatioIndicator,
+    SlidingWindowCounter,
+    classify_signal_packet,
+)
+from repro.net.packet import Packet, TcpFlags
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+
+
+class TestSlidingWindowModel:
+    @given(events=st.lists(
+        st.tuples(st.floats(0.0, 100.0), st.floats(0.1, 10.0)),
+        max_size=60,
+    ))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force_model(self, events):
+        """The binned counter equals a brute-force recount within one bin."""
+        window, bin_width = 10.0, 1.0
+        counter = SlidingWindowCounter(window=window, bin_width=bin_width)
+        log = []
+        now = 0.0
+        for gap, amount in events:
+            now += gap
+            counter.add(now, amount)
+            log.append((now, amount))
+        # Brute force: the counter keeps whole bins, so its horizon is the
+        # bin-aligned window [now_bin - window, now].
+        horizon = (int(now / bin_width) - int(window / bin_width)) * bin_width
+        expected = sum(a for t, a in log if int(t / bin_width) * bin_width > horizon)
+        assert counter.total(now) == abs(expected) or abs(
+            counter.total(now) - expected) < 1e-6
+
+    @given(amounts=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=30))
+    def test_total_never_negative(self, amounts):
+        counter = SlidingWindowCounter(window=5.0)
+        for i, amount in enumerate(amounts):
+            counter.add(float(i * 3), amount)
+            assert counter.total(float(i * 3)) >= 0
+
+
+class TestRatioIndicatorProperties:
+    @given(
+        out_count=st.integers(0, 500),
+        in_count=st.integers(0, 500),
+        low=st.floats(0.1, 3.0),
+        span=st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_probability_in_unit_interval_and_monotone(self, out_count, in_count,
+                                                       low, span):
+        indicator = PacketRatioIndicator(low=low, high=low + span, window=100.0)
+        for i in range(out_count):
+            indicator.observe_outgoing(
+                Packet(i * 0.01, IPPROTO_TCP, 1, 2, 3, 4))
+        for i in range(in_count):
+            indicator.observe_incoming(
+                Packet(i * 0.01, IPPROTO_TCP, 3, 4, 1, 2))
+        p = indicator.drop_probability()
+        assert 0.0 <= p <= 1.0
+        # Adding incoming packets can only raise (or keep) the probability.
+        indicator.observe_incoming(Packet(5.0, IPPROTO_TCP, 3, 4, 1, 2))
+        assert indicator.drop_probability() >= p - 1e-12
+
+
+class TestBandwidthIndicatorProperties:
+    @given(sizes=st.lists(st.integers(40, 1500), max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_utilization_bounded(self, sizes):
+        indicator = BandwidthIndicator(link_capacity_bps=1e6, window=2.0)
+        for i, size in enumerate(sizes):
+            indicator.observe_incoming(
+                Packet(i * 0.01, IPPROTO_TCP, 1, 2, 3, 4, size=size))
+        assert 0.0 <= indicator.drop_probability() <= 1.0
+
+
+class TestSignalClassificationProperties:
+    @given(flags=st.integers(0, 63))
+    def test_udp_never_signal(self, flags):
+        assert classify_signal_packet(IPPROTO_UDP, TcpFlags(flags)) is False
+
+    @given(flags=st.integers(0, 63))
+    def test_rst_always_signal_for_tcp(self, flags):
+        combined = TcpFlags(flags) | TcpFlags.RST
+        assert classify_signal_packet(IPPROTO_TCP, combined) is True
+
+    @given(flags=st.integers(0, 63))
+    def test_classification_total(self, flags):
+        """Every flag combination classifies without raising."""
+        result = classify_signal_packet(IPPROTO_TCP, TcpFlags(flags))
+        assert isinstance(result, bool)

@@ -1,0 +1,84 @@
+"""Property-based tests of the AVL tree under arbitrary operation sequences."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.spi.avltree import AvlTree
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["put", "remove"]), st.integers(0, 200)),
+    max_size=200,
+)
+
+
+class TestAvlAgainstDict:
+    @given(operations=ops)
+    def test_behaves_like_dict(self, operations):
+        tree = AvlTree()
+        model = {}
+        for op, key in operations:
+            if op == "put":
+                assert tree.put(key, key * 2) == (key not in model)
+                model[key] = key * 2
+            else:
+                assert tree.remove(key) == (key in model)
+                model.pop(key, None)
+        assert len(tree) == len(model)
+        assert dict(tree.items()) == model
+        assert list(tree.keys()) == sorted(model)
+        tree.check_invariants()
+
+    @given(operations=ops)
+    def test_height_logarithmic(self, operations):
+        tree = AvlTree()
+        for op, key in operations:
+            if op == "put":
+                tree.put(key, None)
+            else:
+                tree.remove(key)
+        n = len(tree)
+        if n:
+            # AVL height bound: 1.44 * log2(n + 2).
+            import math
+
+            assert tree.height <= 1.44 * math.log2(n + 2) + 1
+
+    @given(key_list=st.lists(st.integers(0, 1000), min_size=1))
+    def test_min_max(self, key_list):
+        tree = AvlTree()
+        for key in key_list:
+            tree.put(key, None)
+        assert tree.min_key() == min(key_list)
+        assert tree.max_key() == max(key_list)
+
+
+class AvlMachine(RuleBasedStateMachine):
+    """Stateful testing: interleaved puts/removes with invariant checks."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = AvlTree()
+        self.model = {}
+
+    @rule(key=st.integers(0, 100), value=st.integers())
+    def put(self, key, value):
+        self.tree.put(key, value)
+        self.model[key] = value
+
+    @rule(key=st.integers(0, 100))
+    def remove(self, key):
+        assert self.tree.remove(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=st.integers(0, 100))
+    def lookup(self, key):
+        assert self.tree.get(key) == self.model.get(key)
+
+    @invariant()
+    def balanced_and_consistent(self):
+        self.tree.check_invariants()
+        assert len(self.tree) == len(self.model)
+
+
+TestAvlMachine = AvlMachine.TestCase

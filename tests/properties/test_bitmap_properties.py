@@ -1,0 +1,103 @@
+"""Property-based tests of the bitmap filter's core invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.bitmap import Bitmap
+from repro.core.hashing import HashFamily
+
+keys = st.tuples(
+    st.sampled_from([6, 17]),
+    st.integers(0, 2**32 - 1),
+    st.integers(0, 2**16 - 1),
+    st.integers(0, 2**32 - 1),
+)
+
+
+class TestBitmapInvariants:
+    @given(key_list=st.lists(keys, max_size=50), order=st.integers(4, 10))
+    def test_marked_keys_always_found_before_rotation(self, key_list, order):
+        """No false negatives for marked keys (Bloom no-false-negative)."""
+        bitmap = Bitmap(4, order)
+        hashes = HashFamily(3, order)
+        for key in key_list:
+            bitmap.mark(hashes.indices(key))
+        for key in key_list:
+            assert bitmap.test_current(hashes.indices(key))
+
+    @given(key_list=st.lists(keys, min_size=1, max_size=30),
+           rotations=st.integers(0, 3))
+    def test_marks_survive_k_minus_1_rotations(self, key_list, rotations):
+        """The guaranteed-window invariant: visible through k-1 rotations."""
+        bitmap = Bitmap(4, 10)
+        hashes = HashFamily(3, 10)
+        for key in key_list:
+            bitmap.mark(hashes.indices(key))
+        for _ in range(rotations):  # up to k-1 = 3
+            bitmap.rotate()
+        for key in key_list:
+            assert bitmap.test_current(hashes.indices(key))
+
+    @given(key_list=st.lists(keys, max_size=30), extra=st.integers(4, 10))
+    def test_empty_after_k_rotations(self, key_list, extra):
+        bitmap = Bitmap(4, 8)
+        hashes = HashFamily(2, 8)
+        for key in key_list:
+            bitmap.mark(hashes.indices(key))
+        for _ in range(extra):
+            bitmap.rotate()
+        assert bitmap.is_empty()
+
+    @given(key_list=st.lists(keys, max_size=30))
+    def test_marking_is_idempotent(self, key_list):
+        a, b = Bitmap(3, 9), Bitmap(3, 9)
+        hashes = HashFamily(3, 9)
+        for key in key_list:
+            a.mark(hashes.indices(key))
+            b.mark(hashes.indices(key))
+            b.mark(hashes.indices(key))
+        for va, vb in zip(a.vectors, b.vectors):
+            assert va == vb
+
+    @given(steps=st.lists(st.booleans(), max_size=40))
+    def test_index_always_valid(self, steps):
+        bitmap = Bitmap(5, 8)
+        hashes = HashFamily(2, 8)
+        for do_rotate in steps:
+            if do_rotate:
+                bitmap.rotate()
+            else:
+                bitmap.mark(hashes.indices((6, 1, 2, 3)))
+            assert 0 <= bitmap.current_index < 5
+
+    @given(key_list=st.lists(keys, max_size=40), order=st.integers(4, 10),
+           num_hashes=st.integers(1, 5))
+    def test_utilization_bounded_by_marks(self, key_list, order, num_hashes):
+        """Current-vector popcount never exceeds m * #keys."""
+        bitmap = Bitmap(2, order)
+        hashes = HashFamily(num_hashes, order)
+        for key in key_list:
+            bitmap.mark(hashes.indices(key))
+        assert bitmap.current.count() <= num_hashes * len(key_list)
+
+
+class TestRotationStructure:
+    @given(rotations=st.integers(0, 25), k=st.integers(2, 6))
+    def test_rotation_index_is_modular(self, rotations, k):
+        bitmap = Bitmap(k, 8)
+        for _ in range(rotations):
+            bitmap.rotate()
+        assert bitmap.current_index == rotations % k
+
+    @given(key=keys, k=st.integers(2, 6))
+    def test_mark_lifetime_is_exactly_k_rotations(self, key, k):
+        """Visible for exactly k-1 further rotations after marking."""
+        bitmap = Bitmap(k, 10)
+        hashes = HashFamily(2, 10)
+        bitmap.mark(hashes.indices(key))
+        survived = 0
+        while bitmap.test_current(hashes.indices(key)):
+            bitmap.rotate()
+            survived += 1
+            assert survived <= k
+        assert survived == k - 1 + 1  # k-1 lookups succeed, k-th clears it

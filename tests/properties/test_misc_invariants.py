@@ -1,0 +1,79 @@
+"""Assorted invariants: token-bucket conservation, stdlib address oracle."""
+
+import ipaddress
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines.throttle import TokenBucket
+from repro.net.address import AddressSpace, IPv4Network, format_ipv4, parse_ipv4
+
+
+class TestTokenBucketConservation:
+    @given(
+        rate=st.floats(0.5, 100.0),
+        burst=st.floats(1.0, 50.0),
+        gaps=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=100),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_exceeds_rate_times_time_plus_burst(self, rate, burst, gaps):
+        """Over any arrival schedule, admissions <= burst + rate * elapsed."""
+        bucket = TokenBucket(rate=rate, burst=burst)
+        t = 0.0
+        admitted = 0
+        for gap in gaps:
+            t += gap
+            if bucket.allow(t):
+                admitted += 1
+        assert admitted <= burst + rate * t + 1e-6
+
+    @given(rate=st.floats(0.5, 100.0), burst=st.floats(1.0, 50.0),
+           gaps=st.lists(st.floats(0.0, 5.0), max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_tokens_bounded(self, rate, burst, gaps):
+        bucket = TokenBucket(rate=rate, burst=burst)
+        t = 0.0
+        for gap in gaps:
+            t += gap
+            bucket.allow(t)
+            assert 0.0 <= bucket.tokens <= burst + 1e-9
+
+
+class TestAddressOracle:
+    """Our int-backed addressing agrees with the stdlib ipaddress module."""
+
+    @given(value=st.integers(0, 2**32 - 1))
+    def test_format_matches_stdlib(self, value):
+        assert format_ipv4(value) == str(ipaddress.IPv4Address(value))
+
+    @given(value=st.integers(0, 2**32 - 1))
+    def test_parse_matches_stdlib(self, value):
+        text = str(ipaddress.IPv4Address(value))
+        assert parse_ipv4(text) == int(ipaddress.IPv4Address(text))
+
+    @given(prefix_host=st.integers(0, 2**32 - 1), prefix_len=st.integers(0, 32),
+           probe=st.integers(0, 2**32 - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_network_membership_matches_stdlib(self, prefix_host, prefix_len,
+                                               probe):
+        ours = IPv4Network.containing(prefix_host, prefix_len)
+        stdlib = ipaddress.ip_network(
+            (prefix_host, prefix_len), strict=False)
+        assert (probe in ours) == (
+            ipaddress.IPv4Address(probe) in stdlib)
+        assert ours.num_addresses == stdlib.num_addresses
+        assert ours.netmask == int(stdlib.netmask)
+
+    @given(base=st.integers(0, (2**32 - 1) >> 8), count=st.integers(1, 8),
+           probe=st.integers(0, 2**32 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_address_space_matches_stdlib_union(self, base, count, probe):
+        first = base << 8
+        if first + (count << 8) > 2**32:
+            count = 1
+        space = AddressSpace.class_c_block(first, count)
+        networks = [
+            ipaddress.ip_network((first + (i << 8), 24)) for i in range(count)
+        ]
+        expected = any(ipaddress.IPv4Address(probe) in net for net in networks)
+        assert space.contains_int(probe) == expected

@@ -1,0 +1,128 @@
+"""Property tests: representation round-trips and inversions."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.net.address import format_ipv4, parse_ipv4
+from repro.net.flow import AddressTuple
+from repro.net.packet import Packet, PacketArray, PacketLabel, TcpFlags
+
+addresses = st.integers(0, 2**32 - 1)
+ports = st.integers(0, 2**16 - 1)
+protos = st.sampled_from([1, 6, 17])
+
+packets = st.builds(
+    Packet,
+    ts=st.floats(0.0, 1e6, allow_nan=False),
+    proto=protos,
+    src=addresses,
+    sport=ports,
+    dst=addresses,
+    dport=ports,
+    flags=st.sampled_from([TcpFlags.NONE, TcpFlags.SYN, TcpFlags.ACK,
+                           TcpFlags.SYN | TcpFlags.ACK,
+                           TcpFlags.FIN | TcpFlags.ACK, TcpFlags.RST]),
+    size=st.integers(0, 65535),
+    label=st.sampled_from(list(PacketLabel)),
+)
+
+
+class TestAddressRoundTrip:
+    @given(value=addresses)
+    def test_format_parse_inverse(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+
+class TestTupleInversion:
+    @given(proto=protos, saddr=addresses, sport=ports, daddr=addresses, dport=ports)
+    def test_inverse_is_involution(self, proto, saddr, sport, daddr, dport):
+        tup = AddressTuple(proto, saddr, sport, daddr, dport)
+        assert tup.inverse().inverse() == tup
+
+    @given(proto=protos, saddr=addresses, sport=ports, daddr=addresses, dport=ports)
+    def test_inverse_differs_unless_symmetric(self, proto, saddr, sport, daddr, dport):
+        tup = AddressTuple(proto, saddr, sport, daddr, dport)
+        if (saddr, sport) != (daddr, dport):
+            assert tup.inverse() != tup
+
+
+class TestPacketArrayRoundTrip:
+    @given(packet_list=st.lists(packets, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_from_packets_to_packets(self, packet_list):
+        arr = PacketArray.from_packets(packet_list)
+        assert arr.to_packets() == packet_list
+
+    @given(packet_list=st.lists(packets, max_size=30))
+    def test_concat_split_identity(self, packet_list):
+        arr = PacketArray.from_packets(packet_list)
+        half = len(arr) // 2
+        rejoined = PacketArray.concatenate([arr[:half], arr[half:]])
+        assert rejoined.to_packets() == packet_list
+
+    @given(packet_list=st.lists(packets, max_size=30))
+    def test_sort_is_permutation(self, packet_list):
+        arr = PacketArray.from_packets(packet_list).sorted_by_time()
+        assert sorted(arr.ts.tolist()) == arr.ts.tolist()
+        assert len(arr) == len(packet_list)
+
+    @given(packet_list=st.lists(packets, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_npz_round_trip(self, packet_list, tmp_path_factory):
+        from repro.net.address import AddressSpace
+        from repro.traffic.trace import Trace
+
+        protected = AddressSpace.class_c_block("10.0.0.0", 1)
+        trace = Trace(PacketArray.from_packets(packet_list), protected)
+        path = tmp_path_factory.mktemp("npz") / "t.npz"
+        trace.save_npz(path)
+        loaded = Trace.load_npz(path)
+        assert loaded.packets.to_packets() == packet_list
+
+
+class TestReplySymmetry:
+    @given(pkt=packets, ts=st.floats(0.0, 1e6, allow_nan=False))
+    def test_reply_of_reply_restores_endpoints(self, pkt, ts):
+        back = pkt.reply(ts).reply(pkt.ts)
+        assert back.src == pkt.src
+        assert back.sport == pkt.sport
+        assert back.dst == pkt.dst
+        assert back.dport == pkt.dport
+
+
+class TestPcapRoundTrip:
+    @given(packet_list=st.lists(
+        st.builds(
+            Packet,
+            ts=st.floats(0.0, 1e5, allow_nan=False),
+            proto=st.sampled_from([6, 17]),
+            src=addresses,
+            sport=ports,
+            dst=addresses,
+            dport=ports,
+            flags=st.sampled_from([TcpFlags.NONE, TcpFlags.SYN, TcpFlags.ACK,
+                                   TcpFlags.FIN | TcpFlags.ACK, TcpFlags.RST]),
+            size=st.integers(40, 1500),
+            label=st.sampled_from(list(PacketLabel)),
+        ),
+        max_size=25,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_pcap_preserves_fields(self, packet_list, tmp_path_factory):
+        from repro.net.pcap import read_pcap, write_pcap
+
+        arr = PacketArray.from_packets(packet_list)
+        path = tmp_path_factory.mktemp("pcap") / "t.pcap"
+        write_pcap(arr, path)
+        loaded = read_pcap(path)
+        assert len(loaded) == len(arr)
+        for field in ("proto", "src", "sport", "dst", "dport", "label"):
+            assert np.array_equal(loaded.data[field], arr.data[field]), field
+        # UDP has no flag bits on the wire, so flags survive only for TCP.
+        expected_flags = np.where(arr.proto == 6, arr.flags, 0)
+        assert np.array_equal(loaded.flags, expected_flags)
+        # Sizes clamp up to the header stack (40B TCP / 28B UDP over IP).
+        assert bool(np.all(loaded.size >= np.minimum(arr.size, 28)))
+        # Timestamps round to microseconds.
+        assert np.allclose(loaded.ts, arr.ts, atol=1e-5)

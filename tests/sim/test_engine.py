@@ -1,0 +1,108 @@
+"""Tests for repro.sim.engine — the discrete-event timeline."""
+
+import pytest
+
+from repro.net.packet import PacketArray
+from repro.sim.engine import SimulationEngine, merge_packet_streams
+from tests.conftest import make_request
+
+
+class TestTimers:
+    def test_one_shot_timer(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(5.0, fired.append)
+        engine.run([], until=10.0)
+        assert fired == [5.0]
+        assert engine.timers_fired == 1
+
+    def test_recurring_timer(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(2.0, fired.append, interval=2.0)
+        engine.run([], until=9.0)
+        assert fired == [2.0, 4.0, 6.0, 8.0]
+
+    def test_timer_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(3.0, lambda ts: order.append("b"))
+        engine.schedule(1.0, lambda ts: order.append("a"))
+        engine.schedule(5.0, lambda ts: order.append("c"))
+        engine.run([], until=10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, lambda ts: order.append(1))
+        engine.schedule(1.0, lambda ts: order.append(2))
+        engine.run([], until=2.0)
+        assert order == [1, 2]
+
+    def test_interval_validation(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule(1.0, lambda ts: None, interval=0)
+
+    def test_pending_timers(self):
+        engine = SimulationEngine()
+        engine.schedule(100.0, lambda ts: None)
+        assert engine.pending_timers == 1
+
+
+class TestPacketDelivery:
+    def test_packets_delivered_in_order(self, client_addr, server_addr):
+        engine = SimulationEngine()
+        seen = []
+        engine.on_packet(lambda pkt: seen.append(pkt.ts))
+        packets = [make_request(float(t), client_addr, server_addr) for t in (1, 2, 3)]
+        engine.run(packets)
+        assert seen == [1.0, 2.0, 3.0]
+        assert engine.packets_processed == 3
+
+    def test_timers_interleave_with_packets(self, client_addr, server_addr):
+        engine = SimulationEngine()
+        events = []
+        engine.on_packet(lambda pkt: events.append(("pkt", pkt.ts)))
+        engine.schedule(1.5, lambda ts: events.append(("timer", ts)), interval=1.0)
+        packets = [make_request(float(t), client_addr, server_addr) for t in (1, 2, 3)]
+        engine.run(packets, until=3.5)
+        assert events == [
+            ("pkt", 1.0), ("timer", 1.5), ("pkt", 2.0),
+            ("timer", 2.5), ("pkt", 3.0), ("timer", 3.5),
+        ]
+
+    def test_tie_timer_fires_before_packet(self, client_addr, server_addr):
+        engine = SimulationEngine()
+        events = []
+        engine.on_packet(lambda pkt: events.append("pkt"))
+        engine.schedule(2.0, lambda ts: events.append("timer"))
+        engine.run([make_request(2.0, client_addr, server_addr)])
+        assert events == ["timer", "pkt"]
+
+    def test_run_array(self, client_addr, server_addr):
+        engine = SimulationEngine()
+        count = []
+        engine.on_packet(lambda pkt: count.append(1))
+        arr = PacketArray.from_packets(
+            [make_request(1.0, client_addr, server_addr)] * 3
+        )
+        engine.run_array(arr)
+        assert len(count) == 3
+
+    def test_multiple_handlers(self, client_addr, server_addr):
+        engine = SimulationEngine()
+        a, b = [], []
+        engine.on_packet(lambda pkt: a.append(pkt))
+        engine.on_packet(lambda pkt: b.append(pkt))
+        engine.run([make_request(1.0, client_addr, server_addr)])
+        assert len(a) == len(b) == 1
+
+
+class TestMerge:
+    def test_merge_packet_streams(self, client_addr, server_addr):
+        a = [make_request(float(t), client_addr, server_addr) for t in (1, 4)]
+        b = [make_request(float(t), client_addr, server_addr) for t in (2, 3)]
+        merged = list(merge_packet_streams(a, b))
+        assert [p.ts for p in merged] == [1.0, 2.0, 3.0, 4.0]

@@ -1,0 +1,97 @@
+"""Tests for repro.sim.metrics — confusion counts and series."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import PacketArray, PacketLabel
+from repro.sim.metrics import ConfusionCounts, score_run
+from tests.conftest import make_request
+
+
+class TestConfusionCounts:
+    def test_rates(self):
+        counts = ConfusionCounts(attack_dropped=90, attack_passed=10,
+                                 normal_dropped=5, normal_passed=95)
+        assert counts.attack_filter_rate == pytest.approx(0.9)
+        assert counts.penetration_rate == pytest.approx(0.1)
+        assert counts.false_positive_rate == pytest.approx(0.05)
+        assert counts.incoming_total == 200
+
+    def test_background_not_counted_as_fp(self):
+        counts = ConfusionCounts(attack_dropped=0, attack_passed=0,
+                                 normal_dropped=0, normal_passed=100,
+                                 background_dropped=50, background_passed=0)
+        assert counts.false_positive_rate == 0.0
+        assert counts.incoming_total == 150
+
+    def test_empty_safe(self):
+        counts = ConfusionCounts(0, 0, 0, 0)
+        assert counts.attack_filter_rate == 0.0
+        assert counts.penetration_rate == 0.0
+        assert counts.false_positive_rate == 0.0
+
+    def test_as_dict_complete(self):
+        counts = ConfusionCounts(1, 2, 3, 4, 5, 6)
+        d = counts.as_dict()
+        assert d["attack_dropped"] == 1
+        assert d["background_passed"] == 6
+        assert "attack_filter_rate" in d
+
+
+class TestScoreRun:
+    def _packets(self, client, server):
+        from dataclasses import replace
+
+        incoming_normal = make_request(1.0, server, client)
+        incoming_attack = replace(make_request(2.0, server, client),
+                                  label=PacketLabel.ATTACK)
+        incoming_background = replace(make_request(3.0, server, client),
+                                      label=PacketLabel.BACKGROUND)
+        outgoing = make_request(4.0, client, server)
+        return PacketArray.from_packets(
+            [incoming_normal, incoming_attack, incoming_background, outgoing]
+        )
+
+    def test_confusion_and_series(self, client_addr, server_addr):
+        packets = self._packets(client_addr, server_addr)
+        verdicts = np.array([True, False, False, True])
+        incoming = np.array([True, True, True, False])
+        confusion, series = score_run(packets, verdicts, incoming, duration=5.0)
+        assert confusion.normal_passed == 1
+        assert confusion.attack_dropped == 1
+        assert confusion.background_dropped == 1
+        assert confusion.normal_dropped == 0
+        assert series.normal_incoming.sum() == 1
+        assert series.attack_incoming.sum() == 1
+        assert series.dropped_incoming.sum() == 2
+        assert len(series.seconds) == 5
+
+    def test_series_binning(self, client_addr, server_addr):
+        packets = self._packets(client_addr, server_addr)
+        verdicts = np.ones(4, dtype=bool)
+        incoming = np.array([True, True, True, False])
+        _, series = score_run(packets, verdicts, incoming, duration=5.0)
+        # One incoming packet per second at t=1,2,3.
+        assert series.passed_incoming.tolist() == [0, 1, 1, 1, 0]
+
+
+class TestAttackFilterRateSeries:
+    def test_series_math(self):
+        import numpy as np
+
+        from repro.sim.metrics import PerSecondSeries
+
+        series = PerSecondSeries(
+            seconds=np.arange(3.0),
+            normal_incoming=np.array([10, 10, 10]),
+            attack_incoming=np.array([0, 100, 100]),
+            passed_incoming=np.array([10, 12, 10]),
+            dropped_incoming=np.array([0, 98, 100]),
+        )
+        rate = series.attack_filter_rate_series()
+        # Second 1: 98 dropped of 100 attack -> 98%.
+        assert rate[1] == pytest.approx(0.98)
+        # Second 2: dropped (100) >= attack -> clamped to 100%.
+        assert rate[2] == pytest.approx(1.0)
+        # Second 0: no attack -> NaN.
+        assert np.isnan(rate[0])

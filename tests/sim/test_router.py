@@ -1,0 +1,77 @@
+"""Tests for repro.sim.router."""
+
+import pytest
+
+from repro.core.bitmap_filter import BitmapFilter, Decision
+from repro.net.packet import Packet
+from repro.net.protocols import IPPROTO_TCP
+from repro.sim.router import EdgeRouter
+from tests.conftest import make_reply, make_request
+
+
+class TestAccounting:
+    def test_counts_directions(self, protected, client_addr, server_addr):
+        router = EdgeRouter("edge1", protected)
+        out = make_request(1.0, client_addr, server_addr)
+        router.forward(out)
+        router.forward(make_reply(out, 1.1))
+        assert router.counters.packets_out == 1
+        assert router.counters.packets_in == 1
+        assert router.counters.bytes_out == out.size
+
+    def test_in_out_ratio(self, protected, client_addr, server_addr):
+        router = EdgeRouter("edge1", protected)
+        out = make_request(1.0, client_addr, server_addr)
+        router.forward(out)
+        for i in range(3):
+            router.forward(make_reply(out, 1.1 + i * 0.01))
+        assert router.counters.in_out_ratio == pytest.approx(3.0)
+
+    def test_ratio_with_no_outgoing(self, protected, client_addr, server_addr):
+        router = EdgeRouter("edge1", protected)
+        stray = Packet(1.0, IPPROTO_TCP, server_addr, 1, client_addr, 2)
+        router.forward(stray)
+        assert router.counters.in_out_ratio == float("inf")
+
+    def test_no_filter_passes_everything(self, protected, client_addr, server_addr):
+        router = EdgeRouter("edge1", protected)
+        stray = Packet(1.0, IPPROTO_TCP, server_addr, 1, client_addr, 2)
+        assert router.forward(stray) is Decision.PASS
+        assert router.counters.dropped_in == 0
+
+
+class TestFilterIntegration:
+    def test_drops_counted(self, protected, small_config, client_addr, server_addr):
+        router = EdgeRouter("edge1", protected,
+                            filt=BitmapFilter(small_config, protected))
+        stray = Packet(1.0, IPPROTO_TCP, server_addr, 1, client_addr, 2)
+        assert router.forward(stray) is Decision.DROP
+        assert router.counters.dropped_in == 1
+        assert router.counters.dropped_bytes_in == stray.size
+
+    def test_legit_flow_forwarded(self, protected, small_config, client_addr, server_addr):
+        router = EdgeRouter("edge1", protected,
+                            filt=BitmapFilter(small_config, protected))
+        out = make_request(1.0, client_addr, server_addr)
+        assert router.forward(out) is Decision.PASS
+        assert router.forward(make_reply(out, 1.1)) is Decision.PASS
+        assert router.counters.dropped_in == 0
+
+
+class TestUtilization:
+    def test_utilization_estimate(self, protected, client_addr, server_addr):
+        router = EdgeRouter("edge1", protected, downlink_capacity_bps=8000.0)
+        # 1000 bytes/sec = 8000 bps = 100% of capacity.
+        out = make_request(0.0, client_addr, server_addr)
+        for i in range(30):
+            pkt = Packet(i * 0.1, IPPROTO_TCP, server_addr, 80, client_addr,
+                         out.sport, size=100)
+            router.forward(pkt)
+        assert router.downlink_utilization == pytest.approx(1.0, abs=0.3)
+
+    def test_capacity_validated(self, protected):
+        with pytest.raises(ValueError):
+            EdgeRouter("edge1", protected, downlink_capacity_bps=0)
+
+    def test_repr(self, protected):
+        assert "edge1" in repr(EdgeRouter("edge1", protected))

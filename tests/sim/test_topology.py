@@ -1,0 +1,131 @@
+"""Tests for repro.sim.topology — Figure 1 placement analysis."""
+
+import pytest
+
+from repro.sim.topology import IspTopology, NodeKind
+
+
+@pytest.fixture()
+def topo():
+    return IspTopology.paper_example()
+
+
+class TestConstruction:
+    def test_paper_example_shape(self, topo):
+        assert len(topo.nodes_of_kind(NodeKind.CORE)) == 3
+        assert len(topo.nodes_of_kind(NodeKind.EDGE)) == 3
+        assert len(topo.nodes_of_kind(NodeKind.CLIENT_NETWORK)) == 3
+        assert len(topo.nodes_of_kind(NodeKind.PEER)) == 1
+
+    def test_duplicate_names_rejected(self):
+        topo = IspTopology()
+        topo.add_core_router("c1")
+        with pytest.raises(ValueError):
+            topo.add_core_router("c1")
+
+    def test_client_attaches_only_to_edge(self):
+        topo = IspTopology()
+        topo.add_core_router("c1")
+        with pytest.raises(ValueError):
+            topo.add_client_network("net", "c1")
+
+    def test_connect_unknown_node(self):
+        topo = IspTopology()
+        topo.add_core_router("c1")
+        with pytest.raises(KeyError):
+            topo.connect("c1", "nope")
+
+    def test_clients_not_connectable_directly(self, topo):
+        with pytest.raises(ValueError):
+            topo.connect("clientA", "core1")
+
+    def test_address_space_attachment(self):
+        from repro.net.address import AddressSpace
+
+        topo = IspTopology()
+        topo.add_edge_router("e1")
+        space = AddressSpace.class_c_block("10.1.0.0", 2)
+        topo.add_client_network("net", "e1", space)
+        assert topo.address_space("net") is space
+        assert topo.address_space("missing") is None
+
+
+class TestFilterPlacement:
+    def test_edge_router_always_valid(self, topo):
+        """The edge router a client hangs off is always a choke point."""
+        assert "edge1" in topo.valid_filter_locations("clientA")
+        assert "edge3" in topo.valid_filter_locations("clientC")
+
+    def test_placement_excludes_other_edges(self, topo):
+        locations = topo.valid_filter_locations("clientA")
+        assert "edge2" not in locations
+        assert "edge3" not in locations
+
+    def test_core_mesh_not_a_choke_point(self, topo):
+        """core1 and core3 are alternatives, so neither dominates clientA...
+        but core2 (sole peer attachment) does not dominate either since the
+        virtual source enters at the peer which attaches only to core2."""
+        locations = topo.valid_filter_locations("clientA")
+        # Traffic from the peer goes peer->core2->{core1 | core3->core1}:
+        # core1 is on every path to edge1; core3 is not.
+        assert "core1" in locations
+        assert "core3" not in locations
+
+    def test_aggregating_core_covers_multiple_clients(self, topo):
+        """Figure 1: a core router aggregating two client networks."""
+        assert topo.covers_aggregate("core1", ["clientA", "clientB"])
+        assert not topo.covers_aggregate("edge1", ["clientA", "clientB"])
+
+    def test_redundant_uplinks_shrink_placement(self):
+        """With two disjoint uplinks only the shared edge dominates."""
+        topo = IspTopology()
+        topo.add_core_router("c1")
+        topo.add_core_router("c2")
+        topo.add_edge_router("e1")
+        topo.add_peer("p1")
+        topo.add_peer("p2")
+        topo.connect("p1", "c1")
+        topo.connect("p2", "c2")
+        topo.connect("c1", "e1")
+        topo.connect("c2", "e1")
+        topo.add_client_network("net", "e1")
+        locations = topo.valid_filter_locations("net")
+        assert locations == frozenset({"e1"})
+
+    def test_requires_peers(self):
+        topo = IspTopology()
+        topo.add_edge_router("e1")
+        topo.add_client_network("net", "e1")
+        with pytest.raises(ValueError):
+            topo.valid_filter_locations("net")
+
+    def test_unknown_client(self, topo):
+        with pytest.raises(KeyError):
+            topo.valid_filter_locations("nope")
+        with pytest.raises(ValueError):
+            topo.valid_filter_locations("core1")
+
+    def test_disconnected_client_has_no_locations(self):
+        topo = IspTopology()
+        topo.add_peer("p1")
+        topo.add_core_router("c1")
+        topo.connect("p1", "c1")
+        topo.add_edge_router("e1")  # not connected to the core
+        topo.add_client_network("net", "e1")
+        assert topo.valid_filter_locations("net") == frozenset()
+
+
+class TestAttachAddressSpace:
+    def test_attach_after_creation(self, topo):
+        from repro.net.address import AddressSpace
+
+        space = AddressSpace.class_c_block("10.9.0.0", 1)
+        topo.attach_address_space("clientA", space)
+        assert topo.address_space("clientA") is space
+
+    def test_attach_to_router_rejected(self, topo):
+        from repro.net.address import AddressSpace
+
+        with pytest.raises(ValueError):
+            topo.attach_address_space("core1",
+                                      AddressSpace.class_c_block("10.9.0.0", 1))

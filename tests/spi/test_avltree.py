@@ -1,0 +1,131 @@
+"""Tests for the AVL tree implementation."""
+
+import random
+
+import pytest
+
+from repro.spi.avltree import AvlTree
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree = AvlTree()
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert 1 not in tree
+        assert tree.height == 0
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+
+    def test_put_and_get(self):
+        tree = AvlTree()
+        assert tree.put(5, "five")
+        assert tree.get(5) == "five"
+        assert 5 in tree
+        assert len(tree) == 1
+
+    def test_put_updates_in_place(self):
+        tree = AvlTree()
+        tree.put(5, "a")
+        assert not tree.put(5, "b")
+        assert tree.get(5) == "b"
+        assert len(tree) == 1
+
+    def test_remove(self):
+        tree = AvlTree()
+        tree.put(1, "a")
+        tree.put(2, "b")
+        assert tree.remove(1)
+        assert tree.get(1) is None
+        assert len(tree) == 1
+        assert not tree.remove(1)
+
+    def test_remove_node_with_two_children(self):
+        tree = AvlTree()
+        for key in (50, 25, 75, 10, 30, 60, 90):
+            tree.put(key, key)
+        assert tree.remove(50)
+        assert tree.get(50) is None
+        assert len(tree) == 6
+        tree.check_invariants()
+        assert list(tree.keys()) == [10, 25, 30, 60, 75, 90]
+
+    def test_min_max(self):
+        tree = AvlTree()
+        for key in (5, 3, 9, 1, 7):
+            tree.put(key, None)
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+    def test_in_order_iteration_sorted(self):
+        tree = AvlTree()
+        keys = [9, 2, 7, 4, 1, 8, 3, 6, 5]
+        for key in keys:
+            tree.put(key, key * 10)
+        assert list(tree.keys()) == sorted(keys)
+        assert [v for _, v in tree.items()] == [k * 10 for k in sorted(keys)]
+
+
+class TestBalancing:
+    def test_sequential_insert_stays_logarithmic(self):
+        """Inserting 1..1023 in order must not degenerate to a list."""
+        tree = AvlTree()
+        for key in range(1023):
+            tree.put(key, None)
+        assert tree.height <= 11  # 1.44*log2(1024) ~ 14; perfect is 10
+        tree.check_invariants()
+
+    def test_reverse_insert(self):
+        tree = AvlTree()
+        for key in reversed(range(500)):
+            tree.put(key, None)
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(500))
+
+    def test_all_four_rotation_cases(self):
+        # LL
+        tree = AvlTree()
+        for key in (3, 2, 1):
+            tree.put(key, None)
+        tree.check_invariants()
+        # RR
+        tree = AvlTree()
+        for key in (1, 2, 3):
+            tree.put(key, None)
+        tree.check_invariants()
+        # LR
+        tree = AvlTree()
+        for key in (3, 1, 2):
+            tree.put(key, None)
+        tree.check_invariants()
+        # RL
+        tree = AvlTree()
+        for key in (1, 3, 2):
+            tree.put(key, None)
+        tree.check_invariants()
+
+    def test_random_churn_preserves_invariants(self):
+        rng = random.Random(42)
+        tree = AvlTree()
+        alive = set()
+        for _ in range(2000):
+            key = rng.randrange(300)
+            if key in alive and rng.random() < 0.5:
+                tree.remove(key)
+                alive.discard(key)
+            else:
+                tree.put(key, key)
+                alive.add(key)
+        tree.check_invariants()
+        assert set(tree.keys()) == alive
+        assert len(tree) == len(alive)
+
+    def test_tuple_keys(self):
+        """Flow-tuple keys (the real use) order correctly."""
+        tree = AvlTree()
+        keys = [(6, i, j, 0, 0) for i in range(5) for j in range(5)]
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            tree.put(key, None)
+        assert list(tree.keys()) == sorted(keys)
+        tree.check_invariants()

@@ -1,0 +1,103 @@
+"""Tests for the hash+linked-list store itself."""
+
+import random
+
+import pytest
+
+from repro.spi.base import FlowState
+from repro.spi.hashlist import FlowHashTable, _hash_flow_key
+
+
+def _key(i):
+    return (6, i, i & 0xFFFF, i * 7, (i * 13) & 0xFFFF)
+
+
+class TestFlowHashTable:
+    def test_insert_and_get(self):
+        table = FlowHashTable(64)
+        state = FlowState(10.0)
+        table.insert(_key(1), state)
+        assert table.get(_key(1)) is state
+        assert table.get(_key(2)) is None
+        assert len(table) == 1
+
+    def test_chaining_under_few_buckets(self):
+        """With 1 bucket everything chains; behaviour must stay correct."""
+        table = FlowHashTable(1)
+        for i in range(50):
+            table.insert(_key(i), FlowState(float(i)))
+        assert len(table) == 50
+        for i in range(50):
+            assert table.get(_key(i)).expires_at == float(i)
+        assert table.chain_lengths() == [50]
+
+    def test_remove(self):
+        table = FlowHashTable(8)
+        for i in range(10):
+            table.insert(_key(i), FlowState(1.0))
+        assert table.remove(_key(3))
+        assert table.get(_key(3)) is None
+        assert len(table) == 9
+        assert not table.remove(_key(3))
+
+    def test_remove_head_and_middle_of_chain(self):
+        table = FlowHashTable(1)
+        for i in range(3):
+            table.insert(_key(i), FlowState(1.0))
+        # Key 2 is the chain head (inserted last); key 1 is in the middle.
+        assert table.remove(_key(2))
+        assert table.remove(_key(0))
+        assert table.get(_key(1)) is not None
+        assert len(table) == 1
+
+    def test_sweep_expired(self):
+        table = FlowHashTable(16)
+        for i in range(20):
+            table.insert(_key(i), FlowState(float(i)))
+        removed = table.sweep_expired(9.5)  # expires_at <= 9.5 -> 0..9
+        assert removed == 10
+        assert len(table) == 10
+        assert table.get(_key(5)) is None
+        assert table.get(_key(15)) is not None
+
+    def test_sweep_expired_from_single_chain(self):
+        table = FlowHashTable(1)
+        for i in range(10):
+            table.insert(_key(i), FlowState(float(i % 2)))  # alternate 0.0/1.0
+        removed = table.sweep_expired(0.5)
+        assert removed == 5
+        assert len(table) == 5
+
+    def test_items_yields_everything(self):
+        table = FlowHashTable(32)
+        keys = {_key(i) for i in range(25)}
+        for key in keys:
+            table.insert(key, FlowState(1.0))
+        assert {key for key, _ in table.items()} == keys
+
+    def test_non_power_of_two_buckets(self):
+        table = FlowHashTable(37)
+        for i in range(100):
+            table.insert(_key(i), FlowState(1.0))
+        assert len(table) == 100
+        assert all(table.get(_key(i)) for i in range(100))
+
+    def test_bucket_count_validated(self):
+        with pytest.raises(ValueError):
+            FlowHashTable(0)
+
+    def test_load_distribution_is_reasonable(self):
+        """The flow-key hash should spread random keys across buckets."""
+        table = FlowHashTable(256)
+        rng = random.Random(0)
+        for _ in range(2560):
+            key = (6, rng.getrandbits(32), rng.getrandbits(16),
+                   rng.getrandbits(32), rng.getrandbits(16))
+            table.insert(key, FlowState(1.0))
+        lengths = table.chain_lengths()
+        # Mean load 10; a terrible hash would give chains of hundreds.
+        assert max(lengths) < 30
+
+    def test_hash_flow_key_is_deterministic(self):
+        assert _hash_flow_key(_key(1)) == _hash_flow_key(_key(1))
+        assert _hash_flow_key(_key(1)) != _hash_flow_key(_key(2))

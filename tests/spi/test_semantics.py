@@ -1,0 +1,193 @@
+"""Shared-behaviour tests run against all three SPI backends."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap_filter import Decision
+from repro.net.packet import Packet, PacketArray, TcpFlags
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+from repro.spi.avltree import AvlTreeFilter
+from repro.spi.base import FLOW_STATE_BYTES
+from repro.spi.hashlist import HashListFilter
+from repro.spi.naive import NaiveExactFilter
+from tests.conftest import make_reply, make_request
+
+BACKENDS = [NaiveExactFilter, HashListFilter, AvlTreeFilter]
+
+
+@pytest.fixture(params=BACKENDS, ids=[cls.__name__ for cls in BACKENDS])
+def spi(request, protected):
+    return request.param(protected, idle_timeout=240.0, gc_interval=10.0)
+
+
+class TestBasicSemantics:
+    def test_outgoing_passes_and_creates_state(self, spi, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        assert spi.process(out) is Decision.PASS
+        assert spi.num_flows == 1
+        assert spi.stats.inserts == 1
+
+    def test_reply_passes(self, spi, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        spi.process(out)
+        assert spi.process(make_reply(out, 1.1)) is Decision.PASS
+
+    def test_unsolicited_dropped(self, spi, client_addr, server_addr):
+        stray = Packet(1.0, IPPROTO_TCP, server_addr, 1, client_addr, 2)
+        assert spi.process(stray) is Decision.DROP
+
+    def test_exact_five_tuple_matching(self, spi, client_addr, server_addr):
+        """Unlike the bitmap, SPI keys include the remote port."""
+        out = make_request(1.0, client_addr, server_addr, dport=21)
+        spi.process(out)
+        wrong_port = Packet(1.5, IPPROTO_TCP, server_addr, 20, client_addr,
+                            out.sport, TcpFlags.SYN)
+        assert spi.process(wrong_port) is Decision.DROP
+
+    def test_refresh_does_not_duplicate_state(self, spi, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        spi.process(out)
+        spi.process(out.with_ts(2.0))
+        assert spi.num_flows == 1
+        assert spi.stats.refreshes >= 1
+
+    def test_transit_and_internal_pass_without_state(self, spi, protected):
+        transit = make_request(1.0, 0x01010101, 0x02020202)
+        assert spi.process(transit) is Decision.PASS
+        internal = make_request(
+            1.0, protected.networks[0].host(1), protected.networks[1].host(2)
+        )
+        assert spi.process(internal) is Decision.PASS
+        assert spi.num_flows == 0
+
+    def test_udp_flows_tracked(self, spi, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr, proto=IPPROTO_UDP,
+                           flags=TcpFlags.NONE, dport=53)
+        spi.process(out)
+        assert spi.process(make_reply(out, 1.05, flags=TcpFlags.NONE)) is Decision.PASS
+
+
+class TestIdleTimeout:
+    def test_reply_after_idle_timeout_dropped(self, spi, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        spi.process(out)
+        late = make_reply(out, 1.0 + 240.0 + 1.0)
+        assert spi.process(late) is Decision.DROP
+
+    def test_reply_within_timeout_passes(self, spi, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        spi.process(out)
+        assert spi.process(make_reply(out, 200.0)) is Decision.PASS
+
+    def test_activity_refreshes_timeout(self, spi, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        spi.process(out)
+        spi.process(out.with_ts(200.0))
+        assert spi.process(make_reply(out, 430.0)) is Decision.PASS
+
+    def test_gc_removes_expired_states(self, spi, client_addr, server_addr):
+        spi.process(make_request(1.0, client_addr, server_addr))
+        assert spi.num_flows == 1
+        spi.advance_to(1.0 + 240.0 + spi.gc_interval + 1.0)
+        assert spi.num_flows == 0
+        assert spi.stats.gc_removed == 1
+
+    def test_gc_keeps_live_states(self, spi, client_addr, server_addr):
+        spi.process(make_request(1.0, client_addr, server_addr))
+        spi.advance_to(100.0)
+        assert spi.num_flows == 1
+
+
+class TestCloseTracking:
+    """Section 4.3: SPI knows the exact time of closed connections."""
+
+    def test_packet_after_close_grace_dropped(self, spi, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        spi.process(out)
+        fin = make_request(5.0, client_addr, server_addr,
+                           flags=TcpFlags.FIN | TcpFlags.ACK)
+        spi.process(fin)
+        straggler = make_reply(out, 5.0 + spi.close_grace + 1.0,
+                               flags=TcpFlags.PSH | TcpFlags.ACK)
+        assert spi.process(straggler) is Decision.DROP
+        assert spi.stats.dropped_after_close == 1
+
+    def test_close_handshake_within_grace_passes(self, spi, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        spi.process(out)
+        fin = make_request(5.0, client_addr, server_addr,
+                           flags=TcpFlags.FIN | TcpFlags.ACK)
+        spi.process(fin)
+        fin_reply = make_reply(out, 5.1, flags=TcpFlags.FIN | TcpFlags.ACK)
+        assert spi.process(fin_reply) is Decision.PASS
+
+    def test_rst_closes_flow(self, spi, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        spi.process(out)
+        rst = make_request(3.0, client_addr, server_addr, flags=TcpFlags.RST)
+        spi.process(rst)
+        late = make_reply(out, 3.0 + spi.close_grace + 1.0)
+        assert spi.process(late) is Decision.DROP
+
+    def test_incoming_fin_also_closes(self, spi, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        spi.process(out)
+        fin = make_reply(out, 4.0, flags=TcpFlags.FIN | TcpFlags.ACK)
+        assert spi.process(fin) is Decision.PASS
+        straggler = make_reply(out, 4.0 + spi.close_grace + 1.0)
+        assert spi.process(straggler) is Decision.DROP
+
+    def test_bitmap_passes_what_close_aware_spi_drops(
+        self, spi, small_config, protected, client_addr, server_addr
+    ):
+        """The Fig. 4 asymmetry: short post-close stragglers."""
+        from repro.core.bitmap_filter import BitmapFilter
+
+        bitmap = BitmapFilter(small_config, protected)
+        out = make_request(1.0, client_addr, server_addr)
+        fin = make_request(2.0, client_addr, server_addr,
+                           flags=TcpFlags.FIN | TcpFlags.ACK)
+        straggler = make_reply(out, 8.0)  # 6s after close, within Te
+        for filt in (spi, bitmap):
+            filt.process(out)
+            filt.process(fin)
+        assert spi.process(straggler) is Decision.DROP
+        assert bitmap.process(straggler) is Decision.PASS
+
+
+class TestBatchPath:
+    def test_process_array_matches_scalar(self, protected, client_addr, server_addr):
+        out = make_request(1.0, client_addr, server_addr)
+        packets = [
+            out,
+            make_reply(out, 1.2),
+            Packet(2.0, IPPROTO_TCP, server_addr, 1, client_addr, 2),
+            make_request(3.0, client_addr, server_addr,
+                         flags=TcpFlags.FIN | TcpFlags.ACK),
+            make_reply(out, 9.0),       # post-close straggler
+            make_reply(out, 250.0),     # also idle-expired
+        ]
+        batch = PacketArray.from_packets(packets)
+        for cls in BACKENDS:
+            scalar = cls(protected)
+            expected = [scalar.process(p) is Decision.PASS for p in packets]
+            batched = cls(protected)
+            verdicts = batched.process_array(batch)
+            assert verdicts.tolist() == expected, cls.__name__
+            assert batched.num_flows == scalar.num_flows
+
+    def test_empty_batch(self, spi):
+        assert len(spi.process_array(PacketArray.empty())) == 0
+
+
+class TestStorageAccounting:
+    def test_storage_bytes(self, spi, client_addr, server_addr):
+        for sport in range(100):
+            spi.process(make_request(1.0, client_addr, server_addr, sport=sport + 1024))
+        assert spi.storage_bytes == 100 * FLOW_STATE_BYTES
+
+    def test_validation(self, protected):
+        with pytest.raises(ValueError):
+            NaiveExactFilter(protected, idle_timeout=0)
+        with pytest.raises(ValueError):
+            NaiveExactFilter(protected, close_grace=-1)

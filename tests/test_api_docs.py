@@ -1,0 +1,29 @@
+"""The API reference stays regenerable and in sync with the package."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_generator_runs_and_matches_committed_doc():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "gen_api_docs.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    generated = result.stdout
+    committed = (REPO / "docs" / "api_reference.md").read_text()
+    assert generated == committed, (
+        "docs/api_reference.md is stale; regenerate with "
+        "`python scripts/gen_api_docs.py > docs/api_reference.md`"
+    )
+
+
+def test_reference_covers_core_api():
+    text = (REPO / "docs" / "api_reference.md").read_text()
+    for symbol in ("BitmapFilter", "Bitmap", "HashFamily", "StatefulFilter",
+                   "ClientNetworkWorkload", "RandomScanAttack", "IspTopology",
+                   "AggregateRateLimiter", "CloseAwareBitmapFilter"):
+        assert symbol in text, symbol

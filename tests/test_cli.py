@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        parser = build_parser()
+        for name in ("fig2a", "fig2b", "fig2c", "table1", "capacity", "fig4",
+                     "fig5", "insider", "apd", "sweep", "worm", "aggregate", "timing",
+                     "compat", "robustness", "throttle", "collusion", "all"):
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_scale_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig4", "--scale", "small"])
+        assert args.scale == "small"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig4", "--scale", "huge"])
+
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_capacity_runs(self, capsys):
+        assert main(["capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "512 KB" in out
+        assert "167K" in out
+
+    def test_sweep_runs(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq.(2)" in out
+
+    def test_fig2_small_runs(self, capsys):
+        assert main(["fig2c", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "delay frac < 2.8 s" in out
+
+
+class TestTraceTools:
+    def test_trace_gen_and_info(self, capsys, tmp_path):
+        out = tmp_path / "t.npz"
+        assert main(["trace-gen", "--duration", "10", "--pps", "150",
+                     "--seed", "3", "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["trace-info", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "packets" in text
+        assert "172.16.0.0/24" in text
+
+    def test_trace_gen_pcap_export(self, capsys, tmp_path):
+        out = tmp_path / "t.npz"
+        pcap = tmp_path / "t.pcap"
+        assert main(["trace-gen", "--duration", "5", "--pps", "100",
+                     "--out", str(out), "--pcap", str(pcap)]) == 0
+        from repro.net.pcap import read_pcap, verify_checksums
+
+        loaded = read_pcap(pcap)
+        assert len(loaded) > 50
+        assert verify_checksums(pcap) == len(loaded)
+
+
+class TestExport:
+    def test_export_writes_all_figures(self, capsys, tmp_path):
+        out = tmp_path / "figs"
+        assert main(["export", "--out", str(out), "--scale", "small"]) == 0
+        expected = {
+            "fig2a_lifetime_hist.csv", "fig2b_delay_hist.csv",
+            "fig2c_delay_cdf.csv", "fig4_scatter.csv", "fig5a_series.csv",
+            "fig5b_filter_rate.csv", "worm_curve.csv",
+        }
+        assert {p.name for p in out.iterdir()} == expected
+        # CDF file is monotone and ends at 1.0.
+        import csv
+
+        with (out / "fig2c_delay_cdf.csv").open() as fh:
+            rows = list(csv.reader(fh))[1:]
+        ys = [float(r[1]) for r in rows]
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+
+class TestFilterCommand:
+    def test_filter_npz(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.npz"
+        out_path = tmp_path / "filtered.npz"
+        main(["trace-gen", "--duration", "10", "--pps", "200", "--seed", "2",
+              "--out", str(trace_path)])
+        capsys.readouterr()
+        assert main(["filter", str(trace_path), "--order", "13",
+                     "--out", str(out_path)]) == 0
+        text = capsys.readouterr().out
+        assert "incoming drop rate" in text
+        from repro.traffic.trace import Trace
+
+        filtered = Trace.load_npz(out_path)
+        original = Trace.load_npz(trace_path)
+        assert 0 < len(filtered) <= len(original)
+
+    def test_filter_pcap_requires_protected(self, tmp_path):
+        pcap = tmp_path / "t.pcap"
+        pcap.write_bytes(b"")
+        with pytest.raises(SystemExit):
+            main(["filter", str(pcap)])
+
+    def test_pcap_and_npz_paths_agree(self, capsys, tmp_path):
+        """The same trace filtered from either format gives identical stats."""
+        npz = tmp_path / "t.npz"
+        pcap = tmp_path / "t.pcap"
+        main(["trace-gen", "--duration", "10", "--pps", "200", "--seed", "2",
+              "--out", str(npz), "--pcap", str(pcap)])
+        capsys.readouterr()
+        main(["filter", str(npz), "--order", "13"])
+        npz_report = capsys.readouterr().out
+        nets = ",".join(f"172.16.{i}.0/24" for i in range(6))
+        main(["filter", str(pcap), "--protected", nets, "--order", "13"])
+        pcap_report = capsys.readouterr().out
+        pick = lambda text: [l for l in text.splitlines() if "drop rate" in l]
+        assert pick(npz_report) == pick(pcap_report)

@@ -1,0 +1,79 @@
+"""Tests for repro.traffic.applications."""
+
+import random
+
+import pytest
+
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+from repro.traffic.applications import (
+    ApplicationProfile,
+    default_application_mix,
+    profile_by_name,
+)
+
+
+class TestDefaultMix:
+    def test_has_both_transports(self):
+        mix = default_application_mix()
+        protos = {p.protocol for p in mix}
+        assert protos == {IPPROTO_TCP, IPPROTO_UDP}
+
+    def test_udp_session_share_sized_for_packet_target(self):
+        """UDP needs a big session share to reach 3.75% of *packets*."""
+        mix = default_application_mix()
+        total = sum(p.weight for p in mix)
+        udp = sum(p.weight for p in mix if p.protocol == IPPROTO_UDP)
+        assert 0.25 < udp / total < 0.5
+
+    def test_http_like_profiles_have_idle_close(self):
+        http = profile_by_name("http")
+        assert http.server_close_probability > 0
+        assert all(t in (15.0, 30.0, 60.0) for t in http.server_idle_close_choices)
+
+    def test_names_unique(self):
+        mix = default_application_mix()
+        names = [p.name for p in mix]
+        assert len(names) == len(set(names))
+
+    def test_well_known_ports(self):
+        assert 80 in profile_by_name("http").server_ports
+        assert profile_by_name("dns").server_ports == (53,)
+        assert profile_by_name("ssh").lifetime_scale > 1.0
+
+
+class TestProfileBehaviour:
+    def test_pick_port(self):
+        rng = random.Random(0)
+        profile = profile_by_name("http")
+        for _ in range(20):
+            assert profile.pick_port(rng) in profile.server_ports
+
+    def test_pick_idle_close_jitters(self):
+        rng = random.Random(0)
+        profile = profile_by_name("http")
+        values = {profile.pick_idle_close(rng) for _ in range(50)}
+        assert len(values) > 10
+        assert all(13.0 < v < 66.0 for v in values)
+
+    def test_is_tcp(self):
+        assert profile_by_name("http").is_tcp
+        assert not profile_by_name("dns").is_tcp
+
+
+class TestValidation:
+    def test_bad_protocol(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile("x", 99, (1,), 0.1)
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile("x", IPPROTO_TCP, (1,), -0.1)
+
+    def test_server_close_needs_choices(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile("x", IPPROTO_TCP, (1,), 0.1,
+                               server_close_probability=0.5)
+
+    def test_unknown_profile_name(self):
+        with pytest.raises(KeyError):
+            profile_by_name("gopher")

@@ -1,0 +1,106 @@
+"""Calibration tests: samplers must match the paper's Figure 2 statistics."""
+
+import random
+
+import pytest
+
+from repro.traffic.distributions import (
+    LifetimeDistribution,
+    PacketSizeDistribution,
+    ReplyDelayDistribution,
+    percentile,
+)
+
+
+@pytest.fixture(scope="module")
+def lifetime_samples():
+    rng = random.Random(1)
+    return sorted(LifetimeDistribution().sample_many(rng, 50_000))
+
+
+@pytest.fixture(scope="module")
+def delay_samples():
+    rng = random.Random(2)
+    return sorted(ReplyDelayDistribution().sample_many(rng, 50_000))
+
+
+class TestLifetimeCalibration:
+    """Fig. 2a: 90% < 76 s, 95% < 6 min, <1% > 515 s."""
+
+    def test_p90_near_paper(self, lifetime_samples):
+        p90 = percentile(lifetime_samples, 90)
+        assert 40 < p90 < 90
+
+    def test_p95_under_six_minutes(self, lifetime_samples):
+        assert percentile(lifetime_samples, 95) < 360
+
+    def test_tail_fraction_over_515s(self, lifetime_samples):
+        frac = sum(1 for v in lifetime_samples if v > 515) / len(lifetime_samples)
+        assert frac < 0.01
+        assert frac > 0.0005  # the tail exists (the trace max was 6 hours)
+
+    def test_capped_at_six_hours(self, lifetime_samples):
+        assert lifetime_samples[-1] <= 6 * 3600.0
+
+    def test_positive(self, lifetime_samples):
+        assert lifetime_samples[0] > 0
+
+    def test_wide_dynamic_range(self, lifetime_samples):
+        """Milliseconds to hours, as in the paper's Fig. 2a."""
+        assert percentile(lifetime_samples, 1) < 0.5
+        assert lifetime_samples[-1] > 1000
+
+
+class TestDelayCalibration:
+    """Fig. 2c: 95% < 0.8 s, 99% < 2.8 s."""
+
+    def test_p95_under_0_8(self, delay_samples):
+        assert percentile(delay_samples, 95) < 0.8
+
+    def test_p99_under_2_8(self, delay_samples):
+        assert percentile(delay_samples, 99) < 2.8
+
+    def test_bulk_is_fast(self, delay_samples):
+        assert percentile(delay_samples, 50) < 0.1
+
+    def test_capped(self, delay_samples):
+        assert delay_samples[-1] <= ReplyDelayDistribution.MAX_DELAY
+
+
+class TestPacketSizes:
+    def test_data_sizes_bimodal(self):
+        rng = random.Random(3)
+        dist = PacketSizeDistribution()
+        sizes = [dist.sample_data(rng) for _ in range(20_000)]
+        small = sum(1 for s in sizes if s <= 120)
+        large = sum(1 for s in sizes if s >= 1200)
+        assert small + large == len(sizes)
+        assert 0.2 < small / len(sizes) < 0.35
+
+    def test_control_sizes(self):
+        rng = random.Random(4)
+        dist = PacketSizeDistribution()
+        for _ in range(100):
+            assert 40 <= dist.sample_control(rng) <= 60
+
+
+class TestPercentileHelper:
+    def test_nearest_rank(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 50) == 2.0
+        assert percentile(data, 100) == 4.0
+        assert percentile(data, 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestMixtureValidation:
+    def test_weights_must_sum_to_one(self):
+        from repro.traffic.distributions import _LogNormalComponent, _LogNormalMixture
+
+        with pytest.raises(ValueError):
+            _LogNormalMixture([_LogNormalComponent(0.5, 1.0, 1.0)], cap=10.0)

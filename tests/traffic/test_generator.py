@@ -1,0 +1,132 @@
+"""Tests for repro.traffic.generator — the full workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+from repro.traffic.generator import (
+    ClientNetworkWorkload,
+    WorkloadConfig,
+    generate_client_trace,
+)
+
+
+class TestConfigValidation:
+    def test_requires_exactly_one_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(duration=10.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(duration=10.0, session_rate=1.0, target_pps=100.0)
+
+    def test_duration_positive(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(duration=0, session_rate=1.0)
+
+    def test_networks_positive(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(duration=1.0, session_rate=1.0, num_networks=0)
+
+
+class TestGeneratedTrace:
+    def test_trace_sorted(self, tiny_trace):
+        ts = tiny_trace.packets.ts
+        assert bool(np.all(np.diff(ts) >= 0))
+
+    def test_paper_trace_shape(self, tiny_trace):
+        """TCP/UDP mix and mean size track the paper's capture."""
+        summary = tiny_trace.summary()
+        assert 0.93 < summary.tcp_fraction < 0.985
+        assert 0.015 < summary.udp_fraction < 0.07
+        assert 600 < summary.mean_packet_size < 850
+
+    def test_target_pps_calibration(self, tiny_trace):
+        summary = tiny_trace.summary()
+        # Heavy-tailed sessions make pps noisy; 2x band is the contract.
+        assert 150 < summary.packets_per_second < 600
+
+    def test_sessions_metadata(self, tiny_trace):
+        assert tiny_trace.metadata["sessions"] > 100
+        assert tiny_trace.metadata["kind"] == "client-workload"
+
+    def test_addresses_respect_protected_space(self, tiny_trace):
+        pkts = tiny_trace.packets
+        directions = pkts.directions(tiny_trace.protected)
+        # No transit traffic: everything touches the client networks.
+        assert int((directions == 2).sum()) == 0
+
+    def test_background_noise_present_and_labelled(self, tiny_trace):
+        labels = tiny_trace.packets.label
+        background = int((labels == 2).sum())
+        assert background > 0
+        assert background < 0.05 * len(labels)
+        assert int((labels == 1).sum()) == 0  # no attack traffic in clean trace
+
+    def test_deterministic_given_seed(self):
+        config = WorkloadConfig(duration=20.0, target_pps=200.0, seed=5)
+        a = ClientNetworkWorkload(config).generate()
+        b = ClientNetworkWorkload(config).generate()
+        assert len(a) == len(b)
+        assert bool(np.array_equal(a.packets.data, b.packets.data))
+
+    def test_different_seeds_differ(self):
+        a = generate_client_trace(duration=20.0, target_pps=200.0, seed=1)
+        b = generate_client_trace(duration=20.0, target_pps=200.0, seed=2)
+        assert not np.array_equal(a.packets.data[:100], b.packets.data[:100])
+
+    def test_noise_can_be_disabled(self):
+        config = WorkloadConfig(duration=20.0, target_pps=200.0, seed=5,
+                                background_noise_fraction=0.0)
+        trace = ClientNetworkWorkload(config).generate()
+        assert int((trace.packets.label != 0).sum()) == 0
+
+
+class TestEphemeralPorts:
+    def test_ports_cycle_within_range(self):
+        config = WorkloadConfig(duration=5.0, session_rate=20.0, seed=8,
+                                hosts_per_network=2, num_networks=1)
+        workload = ClientNetworkWorkload(config)
+        client = workload._clients[0]
+        ports = [workload._next_port(client) for _ in range(100)]
+        assert all(1024 <= p <= 65535 for p in ports)
+        # Sequential allocation: consecutive values differ by 1 (mod span).
+        assert ports[1] == 1024 + (ports[0] - 1024 + 1) % (65535 - 1024 + 1)
+
+
+class TestCalibration:
+    def test_estimate_packets_per_session_stable(self):
+        config = WorkloadConfig(duration=10.0, target_pps=100.0, seed=3)
+        workload = ClientNetworkWorkload(config)
+        estimate = workload.estimate_packets_per_session()
+        assert 5 < estimate < 200
+
+    def test_estimate_does_not_disturb_generation(self):
+        config = WorkloadConfig(duration=20.0, target_pps=200.0, seed=5)
+        a = ClientNetworkWorkload(config)
+        a.estimate_packets_per_session()
+        trace_a = a.generate()
+        trace_b = ClientNetworkWorkload(config).generate()
+        assert len(trace_a) == len(trace_b)
+
+    def test_explicit_session_rate(self):
+        config = WorkloadConfig(duration=30.0, session_rate=10.0, seed=4)
+        trace = ClientNetworkWorkload(config).generate()
+        assert 150 < trace.metadata["sessions"] < 450
+
+
+class TestServerPool:
+    def test_servers_outside_protected(self):
+        config = WorkloadConfig(duration=5.0, session_rate=5.0, seed=6)
+        workload = ClientNetworkWorkload(config)
+        assert not any(workload.protected.contains_int(s) for s in workload._servers)
+
+    def test_zipf_popularity_concentrates(self):
+        """The most popular servers should carry a visible share of sessions."""
+        config = WorkloadConfig(duration=60.0, session_rate=30.0, seed=7)
+        workload = ClientNetworkWorkload(config)
+        trace = workload.generate()
+        pkts = trace.packets
+        outgoing = pkts[pkts.directions(trace.protected) == 0]
+        counts = np.unique(outgoing.dst, return_counts=True)[1]
+        counts.sort()
+        top_share = counts[-10:].sum() / counts.sum()
+        assert top_share > 0.15

@@ -1,0 +1,109 @@
+"""Tests for repro.traffic.trace — persistence, merging, summaries."""
+
+import numpy as np
+import pytest
+
+from repro.net.address import AddressSpace
+from repro.net.packet import PacketArray, PacketLabel
+from repro.traffic.trace import Trace
+from tests.conftest import make_reply, make_request
+
+
+@pytest.fixture()
+def small_trace(protected, client_addr, server_addr):
+    request = make_request(1.0, client_addr, server_addr)
+    packets = PacketArray.from_packets(
+        [request, make_reply(request, 1.5), make_request(3.0, client_addr, server_addr)]
+    )
+    return Trace(packets, protected, {"duration": 10.0, "kind": "test"})
+
+
+class TestSummary:
+    def test_fields(self, small_trace):
+        summary = small_trace.summary()
+        assert summary.num_packets == 3
+        assert summary.duration == 10.0
+        assert summary.packets_per_second == pytest.approx(0.3)
+        assert summary.tcp_fraction == 1.0
+        assert summary.udp_fraction == 0.0
+        assert summary.attack_fraction == 0.0
+
+    def test_bandwidth(self, small_trace):
+        summary = small_trace.summary()
+        total_bits = float(small_trace.packets.size.sum()) * 8
+        assert summary.bandwidth_mbps == pytest.approx(total_bits / 10.0 / 1e6)
+
+    def test_empty_trace(self, protected):
+        trace = Trace(PacketArray.empty(), protected)
+        summary = trace.summary()
+        assert summary.num_packets == 0
+        assert summary.packets_per_second == 0.0
+
+    def test_describe_readable(self, small_trace):
+        text = small_trace.summary().describe()
+        assert "packets" in text and "TCP" in text
+
+    def test_duration_falls_back_to_span(self, protected, client_addr, server_addr):
+        packets = PacketArray.from_packets(
+            [make_request(2.0, client_addr, server_addr),
+             make_request(7.0, client_addr, server_addr)]
+        )
+        trace = Trace(packets, protected)
+        assert trace.duration == pytest.approx(5.0)
+
+
+class TestMerge:
+    def test_merged_sorted(self, small_trace, protected, client_addr, server_addr):
+        other = Trace(
+            PacketArray.from_packets([make_request(0.5, client_addr, server_addr),
+                                      make_request(2.0, client_addr, server_addr)]),
+            protected,
+            {"duration": 4.0},
+        )
+        merged = small_trace.merged_with(other)
+        assert len(merged) == 5
+        assert bool(np.all(np.diff(merged.packets.ts) >= 0))
+        assert merged.duration == 10.0
+        assert merged.metadata["merged_from"] == 2
+
+    def test_time_slice(self, small_trace):
+        sliced = small_trace.time_slice(1.2, 3.5)
+        assert len(sliced) == 2
+        assert sliced.duration == pytest.approx(2.3)
+
+
+class TestPersistence:
+    def test_npz_round_trip(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        small_trace.save_npz(path)
+        loaded = Trace.load_npz(path)
+        assert len(loaded) == len(small_trace)
+        assert bool(np.array_equal(loaded.packets.data, small_trace.packets.data))
+        assert loaded.metadata["kind"] == "test"
+        assert [str(n) for n in loaded.protected.networks] == [
+            str(n) for n in small_trace.protected.networks
+        ]
+
+    def test_csv_round_trip(self, small_trace, tmp_path, protected):
+        path = tmp_path / "trace.csv"
+        small_trace.save_csv(path)
+        loaded = Trace.load_csv(path, protected)
+        assert len(loaded) == len(small_trace)
+        assert bool(np.array_equal(loaded.packets.src, small_trace.packets.src))
+        assert loaded.packets.ts == pytest.approx(small_trace.packets.ts)
+
+    def test_csv_is_human_readable(self, small_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        small_trace.save_csv(path)
+        header = path.read_text().splitlines()[0]
+        assert header == "ts,proto,src,sport,dst,dport,flags,size,label"
+
+    def test_labels_survive_round_trip(self, protected, client_addr, server_addr, tmp_path):
+        from dataclasses import replace
+
+        pkt = replace(make_request(1.0, client_addr, server_addr),
+                      label=PacketLabel.ATTACK)
+        trace = Trace(PacketArray.from_packets([pkt]), protected)
+        path = tmp_path / "t.npz"
+        trace.save_npz(path)
+        assert Trace.load_npz(path).packets.packet(0).label == PacketLabel.ATTACK

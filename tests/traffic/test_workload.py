@@ -1,0 +1,140 @@
+"""Tests for repro.traffic.workload — the session model."""
+
+import random
+
+import pytest
+
+from repro.net.packet import TcpFlags
+from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+from repro.traffic.applications import profile_by_name
+from repro.traffic.workload import SessionFactory, SessionSpec
+
+CLIENT = 0xAC100A0A
+SERVER = 0x08080808
+
+_SYN = int(TcpFlags.SYN)
+_ACK = int(TcpFlags.ACK)
+_FIN = int(TcpFlags.FIN)
+_RST = int(TcpFlags.RST)
+
+
+def _spec(profile_name="http", start=100.0, sport=30000, dport=None):
+    profile = profile_by_name(profile_name)
+    return SessionSpec(
+        profile=profile,
+        client_addr=CLIENT,
+        client_port=sport,
+        server_addr=SERVER,
+        server_port=dport or profile.server_ports[0],
+        start_ts=start,
+    )
+
+
+def _build(seed=0, **kwargs):
+    factory = SessionFactory(random.Random(seed))
+    return factory.build(_spec(**kwargs))
+
+
+class TestTcpSessions:
+    def test_starts_with_syn_handshake(self):
+        pkts = _build()
+        ts0, proto, src, sport, dst, dport, flags, _ = pkts[0]
+        assert proto == IPPROTO_TCP
+        assert src == CLIENT and dst == SERVER
+        assert flags == _SYN
+        # SYN+ACK back, then client ACK.
+        assert pkts[1][2] == SERVER and pkts[1][6] == (_SYN | _ACK)
+        assert pkts[2][2] == CLIENT and pkts[2][6] == _ACK
+
+    def test_timestamps_monotonic_nondecreasing(self):
+        for seed in range(10):
+            pkts = _build(seed=seed)
+            times = [p[0] for p in pkts]
+            assert times == sorted(times)
+
+    def test_session_contains_close(self):
+        pkts = _build(seed=1)
+        assert any(p[6] & (_FIN | _RST) for p in pkts)
+
+    def test_endpoints_never_change(self):
+        for p in _build(seed=2):
+            endpoints = {(p[2], p[3]), (p[4], p[5])}
+            assert endpoints == {(CLIENT, 30000), (SERVER, 80)}
+
+    def test_starts_at_requested_time(self):
+        pkts = _build(start=777.0)
+        assert pkts[0][0] == 777.0
+
+    def test_bidirectional(self):
+        pkts = _build(seed=3)
+        out = sum(1 for p in pkts if p[2] == CLIENT)
+        inc = sum(1 for p in pkts if p[2] == SERVER)
+        assert out > 0 and inc > 0
+
+    def test_deterministic_given_seed(self):
+        assert _build(seed=7) == _build(seed=7)
+        assert _build(seed=7) != _build(seed=8)
+
+
+class TestServerIdleClose:
+    def test_some_sessions_close_via_late_incoming_fin(self):
+        """The Figure 2b mechanism: server FIN after a keep-alive timeout."""
+        factory = SessionFactory(random.Random(5))
+        late_fin_gaps = []
+        for i in range(300):
+            pkts = factory.build(_spec(sport=20000 + i))
+            # Find incoming FINs and the latest prior outgoing packet.
+            for idx, p in enumerate(pkts):
+                if p[2] == SERVER and p[6] & _FIN:
+                    prior_out = [q[0] for q in pkts[:idx] if q[2] == CLIENT]
+                    if prior_out:
+                        late_fin_gaps.append(p[0] - max(prior_out))
+                    break
+        long_gaps = [g for g in late_fin_gaps if g > 10.0]
+        assert long_gaps, "no server idle-closes generated"
+        # Gaps cluster near the configured keep-alive choices (15/30/60 +-8%).
+        for gap in long_gaps:
+            assert any(abs(gap - base) <= base * 0.12 for base in (15.0, 30.0, 60.0))
+
+
+class TestStragglers:
+    def test_straggler_rate_matches_probability(self):
+        factory = SessionFactory(random.Random(6))
+        factory.straggler_probability = 1.0
+        pkts = factory.build(_spec())
+        # With probability 1 the last packet is an incoming straggler.
+        last = pkts[-1]
+        assert last[2] == SERVER
+        close_times = [p[0] for p in pkts if p[6] & (_FIN | _RST)]
+        assert last[0] > max(close_times) + 2.9
+
+    def test_no_stragglers_when_disabled(self):
+        factory = SessionFactory(random.Random(6))
+        factory.straggler_probability = 0.0
+        factory.rst_close_probability = 0.0
+        pkts = factory.build(_spec())
+        # Session ends with the close handshake (an ACK within ~seconds).
+        tail_gap = pkts[-1][0] - pkts[-2][0]
+        assert tail_gap < 10.0
+
+
+class TestUdpSessions:
+    def test_no_flags_and_alternating_directions(self):
+        factory = SessionFactory(random.Random(9))
+        pkts = factory.build(_spec(profile_name="dns", dport=53))
+        assert all(p[1] == IPPROTO_UDP for p in pkts)
+        assert all(p[6] == 0 for p in pkts)
+        assert pkts[0][2] == CLIENT  # client initiates
+
+    def test_short(self):
+        factory = SessionFactory(random.Random(10))
+        pkts = factory.build(_spec(profile_name="dns", dport=53))
+        assert 2 <= len(pkts) <= 20
+
+
+class TestLifetimeScaling:
+    def test_ssh_sessions_longer_on_average(self):
+        factory = SessionFactory(random.Random(11))
+        ssh = [factory.sample_lifetime(profile_by_name("ssh")) for _ in range(500)]
+        http = [factory.sample_lifetime(profile_by_name("http")) for _ in range(500)]
+        assert sum(ssh) / len(ssh) > 2.0 * sum(http) / len(http)

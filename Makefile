@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures experiments examples clean
+.PHONY: install test bench chaos figures experiments examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fault-injection acceptance run: headline metrics under injected faults.
+# Works without `make install` by putting src/ on the path.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience.py -m faults -s
 
 # Regenerate every paper table/figure report on stdout.
 experiments:

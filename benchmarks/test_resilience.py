@@ -1,0 +1,78 @@
+"""Chaos bench: the headline metrics must survive injected faults.
+
+Acceptance bounds (ISSUE 1): with a rotation stall of <= 2*dt, a mid-trace
+crash+restore, or <= 0.01% random bit flips, the attack filter rate stays
+above 99% and the benign drop rate stays within 2x the fault-free baseline;
+a fail-closed outage drops all inbound and a fail-open outage admits all
+inbound.  Run via ``make chaos`` or ``pytest benchmarks/ -m faults``.
+"""
+
+import pytest
+
+from repro.experiments.config import SMALL
+from repro.experiments.resilience import BIT_FLIP_FRACTION, run_resilience
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_resilience(SMALL)
+
+
+def _within_bounds(result, name):
+    scenario = result.outcome(name)
+    assert scenario.attack_filter_rate > 0.99, (
+        f"{name}: attack filter rate fell to "
+        f"{scenario.attack_filter_rate:.4%}"
+    )
+    assert scenario.benign_drop_rate <= 2 * result.baseline.benign_drop_rate, (
+        f"{name}: benign drop rate {scenario.benign_drop_rate:.4%} exceeds "
+        f"2x baseline {result.baseline.benign_drop_rate:.4%}"
+    )
+
+
+class TestChaosResilience:
+    def test_report_and_benchmark(self, benchmark):
+        res = benchmark.pedantic(
+            lambda: run_resilience(SMALL), rounds=1, iterations=1
+        )
+        print("\n" + res.report())
+
+    def test_rotation_stall_within_bounds(self, result):
+        """A stall of 2*dt that catches up on resume barely moves the needle."""
+        _within_bounds(result, "rotation stall 2Δt (catch-up)")
+
+    def test_catch_up_no_worse_than_naive_timer(self, result):
+        """Catching up missed rotations never filters less than stretching Te."""
+        catch_up = result.outcome("rotation stall 2Δt (catch-up)")
+        naive = result.outcome("rotation stall 2Δt (no catch-up)")
+        assert catch_up.attack_filter_rate >= naive.attack_filter_rate - 1e-9
+
+    def test_crash_restore_within_bounds(self, result):
+        """Crash + checkpoint restore: warm-up grace absorbs the blind window."""
+        _within_bounds(result, "crash+restore (snapshot)")
+
+    def test_cold_restart_within_bounds(self, result):
+        """Even a snapshot-less restart stays in bounds thanks to Te grace."""
+        _within_bounds(result, "crash+cold restart")
+
+    def test_bit_flips_within_bounds(self, result):
+        _within_bounds(result, f"bit flips {BIT_FLIP_FRACTION:.2%}")
+
+    def test_trace_faults_within_benign_bound(self, result):
+        """Reordering/duplication/gaps cost benign drops, boundedly."""
+        for name in ("packet reordering", "packet duplication", "trace gap"):
+            scenario = result.outcome(name)
+            assert (scenario.benign_drop_rate
+                    <= 2 * result.baseline.benign_drop_rate), name
+
+    def test_fail_closed_outage_drops_all_inbound(self, result):
+        scenario = result.outcome("fail-closed outage")
+        assert scenario.outage_pass_fraction == 0.0
+
+    def test_fail_open_outage_admits_all_inbound(self, result):
+        scenario = result.outcome("fail-open outage")
+        assert scenario.outage_pass_fraction == 1.0
+        # The price of staying open: attack traffic flows for the outage.
+        assert scenario.delta_filter_rate < -0.05

@@ -6,7 +6,7 @@ Usage::
     repro fig4 --scale medium
 
 Experiments: fig2a fig2b fig2c table1 capacity fig4 fig5 insider apd sweep
-worm aggregate timing compat robustness throttle collusion all
+worm aggregate timing compat robustness resilience throttle collusion all
 """
 
 from __future__ import annotations
@@ -128,6 +128,12 @@ def _cmd_robustness(args: argparse.Namespace) -> str:
     return run_robustness(_resolve_scale(args) if args.scale == "small" else SMALL).report()
 
 
+def _cmd_resilience(args: argparse.Namespace) -> str:
+    from repro.experiments.resilience import run_resilience
+
+    return run_resilience(_resolve_scale(args) if args.scale == "small" else SMALL).report()
+
+
 def _cmd_throttle(args: argparse.Namespace) -> str:
     from repro.experiments.throttle_cmp import run_throttle_comparison
 
@@ -156,6 +162,7 @@ _EXPERIMENTS = {
     "timing": _cmd_timing,
     "compat": _cmd_compat,
     "robustness": _cmd_robustness,
+    "resilience": _cmd_resilience,
     "throttle": _cmd_throttle,
     "collusion": _cmd_collusion,
 }
@@ -251,8 +258,8 @@ def build_parser() -> argparse.ArgumentParser:
     for name in list(_EXPERIMENTS) + ["all"]:
         p = sub.add_parser(name, help=f"regenerate {name}")
         default = "small" if name in ("apd", "worm", "aggregate", "timing", "compat",
-                                      "robustness", "throttle", "collusion",
-                                      "all") else "medium"
+                                      "robustness", "resilience", "throttle",
+                                      "collusion", "all") else "medium"
         _scale_arg(p, default)
 
     gen = sub.add_parser("trace-gen", help="generate a synthetic trace file")

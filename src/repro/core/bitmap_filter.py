@@ -6,11 +6,17 @@
 - the directional tuple keys of Section 3.3 (outgoing marks
   ``{saddr, sport, daddr}``; incoming checks ``{daddr, dport, saddr}``),
 - timestamp-driven rotation (``b.rotate`` every ``dt`` seconds),
-- optional adaptive packet dropping (Section 5.3), and
+- optional adaptive packet dropping (Section 5.3),
 - two batch paths: an *exact* one that preserves per-packet ordering while
   vectorizing the hashing, and a *windowed* one that additionally vectorizes
   the bit operations by processing each rotation window mark-first (see
-  ``process_batch_windowed`` for the approximation argument).
+  ``process_batch_windowed`` for the approximation argument), and
+- degraded-mode machinery for operational faults: a
+  :class:`~repro.core.resilience.FailPolicy` applied while the filter is
+  down (:meth:`BitmapFilter.fail` / :meth:`BitmapFilter.recover`), a
+  post-restore warm-up grace window (:meth:`BitmapFilter.begin_warmup`),
+  and rotation-stall handling with missed-rotation catch-up
+  (:meth:`BitmapFilter.stall_rotations` / :meth:`BitmapFilter.resume_rotations`).
 """
 
 from __future__ import annotations
@@ -24,11 +30,14 @@ import numpy as np
 from repro.core.apd import AdaptiveDroppingPolicy
 from repro.core.bitmap import Bitmap
 from repro.core.hashing import HashFamily
+from repro.core.resilience import FailPolicy
 from repro.net.address import AddressSpace
 from repro.net.flow import bitmap_key_incoming, bitmap_key_outgoing
 from repro.net.packet import (
     DIRECTION_INCOMING,
+    DIRECTION_INTERNAL,
     DIRECTION_OUTGOING,
+    DIRECTION_TRANSIT,
     Direction,
     Packet,
     PacketArray,
@@ -99,6 +108,10 @@ class FilterStats:
     apd_admitted: int = 0  # would-be drops admitted by adaptive dropping
     marks_suppressed: int = 0  # outgoing signal packets not marked (APD policy)
     rotations: int = 0
+    degraded_admitted: int = 0   # inbound admitted by FAIL_OPEN while down
+    degraded_dropped: int = 0    # inbound dropped by FAIL_CLOSED while down
+    warmup_admitted: int = 0     # bitmap misses admitted by the warm-up grace
+    unmarked_outgoing: int = 0   # outgoing seen while down (marks lost)
 
     @property
     def total(self) -> int:
@@ -121,6 +134,10 @@ class FilterStats:
             "apd_admitted": self.apd_admitted,
             "marks_suppressed": self.marks_suppressed,
             "rotations": self.rotations,
+            "degraded_admitted": self.degraded_admitted,
+            "degraded_dropped": self.degraded_dropped,
+            "warmup_admitted": self.warmup_admitted,
+            "unmarked_outgoing": self.unmarked_outgoing,
         }
 
 
@@ -133,14 +150,19 @@ class BitmapFilter:
         protected: AddressSpace,
         start_time: float = 0.0,
         apd: Optional[AdaptiveDroppingPolicy] = None,
+        fail_policy: FailPolicy = FailPolicy.FAIL_CLOSED,
     ):
         self.config = config
         self.protected = protected
         self.bitmap = Bitmap(config.num_vectors, config.order)
         self.hashes = HashFamily(config.num_hashes, config.order, config.seed)
         self.apd = apd
+        self.fail_policy = fail_policy
         self.stats = FilterStats()
         self._next_rotation = start_time + config.rotation_interval
+        self._down = False
+        self._stalled = False
+        self._warmup_until = float("-inf")
 
     # -- time ---------------------------------------------------------------
 
@@ -149,7 +171,13 @@ class BitmapFilter:
         return self._next_rotation
 
     def advance_to(self, ts: float) -> int:
-        """Run every rotation due at or before ``ts``; returns how many ran."""
+        """Run every rotation due at or before ``ts``; returns how many ran.
+
+        While the rotation timer is stalled (:meth:`stall_rotations`) this is
+        a no-op — the schedule is frozen until :meth:`resume_rotations`.
+        """
+        if self._stalled:
+            return 0
         ran = 0
         while self._next_rotation <= ts:
             self.bitmap.rotate()
@@ -158,10 +186,90 @@ class BitmapFilter:
         self.stats.rotations += ran
         return ran
 
+    # -- degraded-mode operation ---------------------------------------------
+
+    @property
+    def is_down(self) -> bool:
+        """True while the filter is failed (``fail`` called, no ``recover``)."""
+        return self._down
+
+    @property
+    def rotations_stalled(self) -> bool:
+        return self._stalled
+
+    @property
+    def warmup_until(self) -> float:
+        """End of the current warm-up grace window (-inf when inactive)."""
+        return self._warmup_until
+
+    def in_warmup(self, ts: float) -> bool:
+        return ts < self._warmup_until
+
+    def fail(self) -> None:
+        """Take the filter down: packets are judged by ``fail_policy`` only.
+
+        The bit state and rotation schedule freeze; nothing is marked or
+        rotated until :meth:`recover`.
+        """
+        self._down = True
+
+    def recover(self, now: float, warmup_grace: Optional[float] = None) -> int:
+        """Bring a failed filter back at ``now``; returns rotations caught up.
+
+        Rotations missed during the outage run immediately (the schedule is
+        not silently stretched).  ``warmup_grace`` opens a grace window of
+        that many seconds during which bitmap *misses* on inbound packets are
+        admitted instead of dropped — outgoing packets seen while down were
+        never marked, so their replies would otherwise all be dropped.  The
+        default grace is ``Te`` when the outage spanned at least one rotation
+        and 0 otherwise (a sub-rotation blip loses no marks).
+        """
+        self._down = False
+        missed = self.advance_to(now)
+        if warmup_grace is None:
+            warmup_grace = self.config.expiry_timer if missed else 0.0
+        if warmup_grace > 0:
+            self.begin_warmup(now + warmup_grace)
+        return missed
+
+    def begin_warmup(self, until: float) -> None:
+        """Admit inbound bitmap misses until time ``until`` (grace window)."""
+        self._warmup_until = until
+
+    def stall_rotations(self) -> None:
+        """Freeze the rotation timer (models a stalled/stuck timer thread).
+
+        Packets keep flowing and keep being marked/checked; vectors are just
+        never cleared, so utilization — and with it the penetration
+        probability U^m — creeps up for the duration of the stall.
+        """
+        self._stalled = True
+
+    def resume_rotations(self, now: float, catch_up: bool = True) -> int:
+        """Un-stall the timer at ``now``; returns the rotations performed.
+
+        ``catch_up=True`` (the robust behavior) performs every rotation the
+        stall missed, restoring the nominal Te immediately.  ``catch_up=False``
+        models the naive late-firing timer: one rotation runs and the
+        schedule restarts from ``now``, silently stretching every mark's
+        lifetime by the stall duration.
+        """
+        self._stalled = False
+        if catch_up:
+            return self.advance_to(now)
+        if self._next_rotation <= now:
+            self.bitmap.rotate()
+            self.stats.rotations += 1
+            self._next_rotation = now + self.config.rotation_interval
+            return 1
+        return 0
+
     # -- Algorithm 2: per-packet path -------------------------------------------
 
     def process(self, pkt: Packet) -> Decision:
         """Filter one packet, advancing rotations to its timestamp first."""
+        if self._down:
+            return self._process_down(pkt)
         self.advance_to(pkt.ts)
         direction = pkt.direction(self.protected)
         if direction is Direction.OUTGOING:
@@ -193,12 +301,39 @@ class BitmapFilter:
         if self.bitmap.test_current(self.hashes.indices(key)):
             self.stats.incoming_passed += 1
             return Decision.PASS
+        if pkt.ts < self._warmup_until:
+            self.stats.warmup_admitted += 1
+            self.stats.incoming_passed += 1
+            return Decision.PASS
         if self.apd is not None and not self.apd.should_drop():
             self.stats.apd_admitted += 1
             self.stats.incoming_passed += 1
             return Decision.PASS
         self.stats.incoming_dropped += 1
         return Decision.DROP
+
+    def _process_down(self, pkt: Packet) -> Decision:
+        """Judge one packet while the filter is down: policy only, no state."""
+        direction = pkt.direction(self.protected)
+        stats = self.stats
+        if direction is Direction.OUTGOING:
+            stats.outgoing += 1
+            stats.unmarked_outgoing += 1
+            return Decision.PASS
+        if direction is Direction.INCOMING:
+            stats.incoming += 1
+            if self.fail_policy is FailPolicy.FAIL_OPEN:
+                stats.degraded_admitted += 1
+                stats.incoming_passed += 1
+                return Decision.PASS
+            stats.degraded_dropped += 1
+            stats.incoming_dropped += 1
+            return Decision.DROP
+        if direction is Direction.INTERNAL:
+            stats.internal += 1
+        else:
+            stats.transit += 1
+        return Decision.PASS
 
     # -- batch paths -----------------------------------------------------------
 
@@ -214,9 +349,34 @@ class BitmapFilter:
         """
         if self.apd is not None:
             raise NotImplementedError("batch paths do not support adaptive dropping")
+        if self._down:
+            return self._process_batch_down(packets)
         if exact:
             return self._process_batch_exact(packets)
         return self.process_batch_windowed(packets)
+
+    def _process_batch_down(self, packets: PacketArray) -> np.ndarray:
+        """Vectorized down-state verdicts: ``fail_policy`` decides everything."""
+        directions = packets.directions(self.protected)
+        incoming = directions == DIRECTION_INCOMING
+        outgoing = directions == DIRECTION_OUTGOING
+        stats = self.stats
+        n_in = int(incoming.sum())
+        n_out = int(outgoing.sum())
+        stats.outgoing += n_out
+        stats.unmarked_outgoing += n_out
+        stats.incoming += n_in
+        stats.internal += int((directions == DIRECTION_INTERNAL).sum())
+        stats.transit += int((directions == DIRECTION_TRANSIT).sum())
+        verdict = np.ones(len(packets), dtype=bool)
+        if self.fail_policy is FailPolicy.FAIL_OPEN:
+            stats.degraded_admitted += n_in
+            stats.incoming_passed += n_in
+        else:
+            verdict[incoming] = False
+            stats.degraded_dropped += n_in
+            stats.incoming_dropped += n_in
+        return verdict
 
     def _directional_indices(self, packets: PacketArray, directions: np.ndarray) -> np.ndarray:
         """(m, N) index matrix using local/remote fields per direction.
@@ -247,9 +407,13 @@ class BitmapFilter:
         bitmap = self.bitmap
         stats = self.stats
         interval = self.config.rotation_interval
+        # Stall/warm-up state cannot change mid-batch (only the fault harness
+        # toggles it, between batches), so hoist both out of the hot loop.
+        stalled = self._stalled
+        warmup_until = self._warmup_until
         for i in range(n):
             ts = ts_list[i]
-            while self._next_rotation <= ts:
+            while not stalled and self._next_rotation <= ts:
                 bitmap.rotate()
                 self._next_rotation += interval
                 stats.rotations += 1
@@ -260,6 +424,9 @@ class BitmapFilter:
             elif direction == DIRECTION_INCOMING:
                 stats.incoming += 1
                 if bitmap.test_current(idx_lists[i]):
+                    stats.incoming_passed += 1
+                elif ts < warmup_until:
+                    stats.warmup_admitted += 1
                     stats.incoming_passed += 1
                 else:
                     stats.incoming_dropped += 1
@@ -297,7 +464,8 @@ class BitmapFilter:
 
         start = 0
         while start < n:
-            boundary = self._next_rotation
+            # A stalled rotation timer means the remainder is one window.
+            boundary = float("inf") if self._stalled else self._next_rotation
             end = int(np.searchsorted(ts[start:], boundary, side="left")) + start
             if end > start:
                 window = slice(start, end)
@@ -308,6 +476,11 @@ class BitmapFilter:
                     stats.outgoing += int(out_in_window.sum())
                 if in_in_window.any():
                     ok = self.bitmap.test_current_vec(index_matrix[:, window][:, in_in_window])
+                    if self._warmup_until > ts[start]:
+                        grace = ~ok & (ts[window][in_in_window] < self._warmup_until)
+                        if grace.any():
+                            ok = ok | grace
+                            stats.warmup_admitted += int(grace.sum())
                     incoming_positions = np.nonzero(in_in_window)[0] + start
                     verdict[incoming_positions[~ok]] = False
                     stats.incoming += int(in_in_window.sum())

@@ -20,6 +20,10 @@ PacketHandler = Callable[[Packet], None]
 TimerHandler = Callable[[float], None]
 
 
+class OutOfOrderPacketError(ValueError):
+    """A packet's timestamp went backwards past already-fired timers."""
+
+
 @dataclass(order=True)
 class TimerEvent:
     """A scheduled callback, optionally recurring."""
@@ -29,18 +33,34 @@ class TimerEvent:
     handler: TimerHandler = field(compare=False)
     interval: Optional[float] = field(default=None, compare=False)
     name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
 
 
 class SimulationEngine:
-    """Merges packet streams and timers into one ordered event loop."""
+    """Merges packet streams and timers into one ordered event loop.
 
-    def __init__(self, start_time: float = 0.0):
+    ``reorder_tolerance`` selects the out-of-order policy: ``None`` (the
+    default) raises :class:`OutOfOrderPacketError` for any packet whose
+    timestamp precedes the current clock — a late packet would otherwise
+    silently rewind ``now`` past timers that already fired.  A float value
+    opts into tolerating up to that many seconds of reordering: late packets
+    within the bound are delivered at the *current* clock (timers never
+    rewind), matching how a real filter judges a reordered packet against
+    present bitmap state.  The packet-reordering fault injector uses this.
+    """
+
+    def __init__(self, start_time: float = 0.0,
+                 reorder_tolerance: Optional[float] = None):
+        if reorder_tolerance is not None and reorder_tolerance < 0:
+            raise ValueError("reorder tolerance must be non-negative")
         self.now = start_time
+        self.reorder_tolerance = reorder_tolerance
         self._timers: List[TimerEvent] = []
         self._seq = itertools.count()
         self._packet_handlers: List[PacketHandler] = []
         self._packets_processed = 0
         self._timers_fired = 0
+        self._packets_reordered = 0
 
     # -- registration ---------------------------------------------------------
 
@@ -63,6 +83,16 @@ class SimulationEngine:
         heapq.heappush(self._timers, event)
         return event
 
+    def cancel(self, event: TimerEvent) -> None:
+        """Cancel a scheduled event: it will neither fire nor recur.
+
+        The handle returned by :meth:`schedule` stays live for recurring
+        timers (recurrence reuses the event object), so cancelling it tears
+        the timer down no matter how many times it has already fired.
+        Cancelling an already-fired one-shot event is a no-op.
+        """
+        event.cancelled = True
+
     # -- execution ---------------------------------------------------------------
 
     def run(self, packets: Iterable[Packet], until: Optional[float] = None) -> None:
@@ -72,10 +102,32 @@ class SimulationEngine:
         matching the filter semantics where a rotation at t applies to a
         packet arriving at t).  After the stream ends, remaining timers up
         to ``until`` still fire.
+
+        A packet whose timestamp precedes the current clock raises
+        :class:`OutOfOrderPacketError` unless the engine was constructed
+        with a ``reorder_tolerance``; tolerated packets are delivered at the
+        current clock so timers that already fired are never rewound.
         """
         for pkt in packets:
-            self._fire_timers(pkt.ts)
-            self.now = pkt.ts
+            if pkt.ts < self.now:
+                lateness = self.now - pkt.ts
+                if self.reorder_tolerance is None:
+                    raise OutOfOrderPacketError(
+                        f"packet at t={pkt.ts:.6f} arrived after the clock "
+                        f"reached t={self.now:.6f} ({lateness:.6f}s late); "
+                        "sort the stream, or construct the engine with "
+                        "reorder_tolerance to accept bounded reordering"
+                    )
+                if lateness > self.reorder_tolerance:
+                    raise OutOfOrderPacketError(
+                        f"packet at t={pkt.ts:.6f} is {lateness:.6f}s late, "
+                        f"beyond the {self.reorder_tolerance:.6f}s tolerance"
+                    )
+                self._packets_reordered += 1
+                # Deliver at the current clock: self.now stands, no timer rewind.
+            else:
+                self._fire_timers(pkt.ts)
+                self.now = pkt.ts
             for handler in self._packet_handlers:
                 handler(pkt)
             self._packets_processed += 1
@@ -90,14 +142,16 @@ class SimulationEngine:
     def _fire_timers(self, horizon: float) -> None:
         while self._timers and self._timers[0].ts <= horizon:
             event = heapq.heappop(self._timers)
+            if event.cancelled:
+                continue
             self.now = event.ts
             event.handler(event.ts)
             self._timers_fired += 1
             if event.interval is not None:
-                self.schedule(
-                    event.ts + event.interval, event.handler,
-                    interval=event.interval, name=event.name,
-                )
+                # Reuse the event object so the caller's handle from
+                # schedule() remains cancellable across recurrences.
+                event.ts += event.interval
+                heapq.heappush(self._timers, event)
 
     # -- stats ---------------------------------------------------------------------
 
@@ -111,7 +165,12 @@ class SimulationEngine:
 
     @property
     def pending_timers(self) -> int:
-        return len(self._timers)
+        return sum(1 for event in self._timers if not event.cancelled)
+
+    @property
+    def packets_reordered(self) -> int:
+        """Late packets delivered under the reorder tolerance."""
+        return self._packets_reordered
 
 
 def merge_packet_streams(*streams: Iterable[Packet]) -> Iterator[Packet]:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.core.bitmap_filter import BitmapFilter, Decision
+from repro.core.resilience import FailPolicy
 from repro.net.address import AddressSpace
 from repro.net.packet import Direction, Packet
 from repro.spi.base import StatefulFilter
@@ -28,6 +29,7 @@ class LinkCounters:
     bytes_out: int = 0
     dropped_in: int = 0
     dropped_bytes_in: int = 0
+    filter_errors: int = 0  # packets judged by fail policy, not the filter
 
     @property
     def in_out_ratio(self) -> float:
@@ -45,6 +47,7 @@ class EdgeRouter:
         protected: AddressSpace,
         filt: Optional[Union[BitmapFilter, StatefulFilter]] = None,
         downlink_capacity_bps: float = 100e6,
+        fail_policy: FailPolicy = FailPolicy.FAIL_CLOSED,
     ):
         if downlink_capacity_bps <= 0:
             raise ValueError("link capacity must be positive")
@@ -52,6 +55,7 @@ class EdgeRouter:
         self.protected = protected
         self.filter = filt
         self.downlink_capacity_bps = downlink_capacity_bps
+        self.fail_policy = fail_policy
         self.counters = LinkCounters()
         self._window_start = 0.0
         self._window_bytes_in = 0
@@ -59,7 +63,13 @@ class EdgeRouter:
         self._utilization_window = 1.0
 
     def forward(self, pkt: Packet) -> Decision:
-        """Account for a packet and apply the installed filter."""
+        """Account for a packet and apply the installed filter.
+
+        A filter that raises does not take the link down with it: the
+        packet is judged by the router's ``fail_policy`` instead (fail-open
+        admits it, fail-closed drops inbound), and ``counters.filter_errors``
+        records the degraded verdict.
+        """
         direction = pkt.direction(self.protected)
         counters = self.counters
         if direction is Direction.OUTGOING:
@@ -72,7 +82,15 @@ class EdgeRouter:
 
         if self.filter is None:
             return Decision.PASS
-        decision = self.filter.process(pkt)
+        try:
+            decision = self.filter.process(pkt)
+        except Exception:
+            counters.filter_errors += 1
+            if (self.fail_policy is FailPolicy.FAIL_CLOSED
+                    and direction is Direction.INCOMING):
+                decision = Decision.DROP
+            else:
+                decision = Decision.PASS
         if decision is Decision.DROP and direction is Direction.INCOMING:
             counters.dropped_in += 1
             counters.dropped_bytes_in += pkt.size

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.net.packet import PacketArray
-from repro.sim.engine import SimulationEngine, merge_packet_streams
+from repro.sim.engine import (
+    OutOfOrderPacketError,
+    SimulationEngine,
+    merge_packet_streams,
+)
 from tests.conftest import make_request
 
 
@@ -98,6 +102,86 @@ class TestPacketDelivery:
         engine.on_packet(lambda pkt: b.append(pkt))
         engine.run([make_request(1.0, client_addr, server_addr)])
         assert len(a) == len(b) == 1
+
+
+class TestOutOfOrder:
+    def test_reordered_packet_raises_by_default(self, client_addr, server_addr):
+        engine = SimulationEngine()
+        packets = [make_request(2.0, client_addr, server_addr),
+                   make_request(1.0, client_addr, server_addr)]
+        with pytest.raises(OutOfOrderPacketError):
+            engine.run(packets)
+
+    def test_tolerance_delivers_late_packet_at_current_clock(
+        self, client_addr, server_addr
+    ):
+        engine = SimulationEngine(reorder_tolerance=2.0)
+        seen = []
+        engine.on_packet(lambda pkt: seen.append(pkt.ts))
+        packets = [make_request(3.0, client_addr, server_addr),
+                   make_request(1.5, client_addr, server_addr),
+                   make_request(4.0, client_addr, server_addr)]
+        engine.run(packets)
+        assert seen == [3.0, 1.5, 4.0]
+        assert engine.packets_reordered == 1
+        assert engine.now == 4.0
+
+    def test_tolerance_does_not_rewind_timers(self, client_addr, server_addr):
+        engine = SimulationEngine(reorder_tolerance=5.0)
+        fired = []
+        engine.schedule(2.0, fired.append, interval=2.0)
+        packets = [make_request(3.0, client_addr, server_addr),
+                   make_request(1.0, client_addr, server_addr),
+                   make_request(5.0, client_addr, server_addr)]
+        engine.run(packets)
+        # The late 1.0s packet must not re-fire the 2.0s timer.
+        assert fired == [2.0, 4.0]
+
+    def test_lateness_beyond_tolerance_raises(self, client_addr, server_addr):
+        engine = SimulationEngine(reorder_tolerance=1.0)
+        packets = [make_request(10.0, client_addr, server_addr),
+                   make_request(2.0, client_addr, server_addr)]
+        with pytest.raises(OutOfOrderPacketError):
+            engine.run(packets)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine(reorder_tolerance=-1.0)
+
+
+class TestCancel:
+    def test_cancel_one_shot_before_it_fires(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule(5.0, fired.append)
+        engine.cancel(event)
+        engine.run([], until=10.0)
+        assert fired == []
+        assert engine.pending_timers == 0
+
+    def test_cancel_recurring_from_inside_its_handler(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def handler(ts):
+            fired.append(ts)
+            if len(fired) == 2:
+                engine.cancel(event)
+
+        event = engine.schedule(2.0, handler, interval=2.0)
+        engine.run([], until=20.0)
+        assert fired == [2.0, 4.0]
+
+    def test_cancel_recurring_between_runs(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule(1.0, fired.append, interval=1.0)
+        engine.run([], until=3.0)
+        assert fired == [1.0, 2.0, 3.0]
+        engine.cancel(event)
+        engine.run([], until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+        assert engine.pending_timers == 0
 
 
 class TestMerge:

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos figures experiments examples clean
+.PHONY: install test bench chaos profile figures experiments examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,6 +17,10 @@ bench:
 # Works without `make install` by putting src/ on the path.
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience.py -m faults -s
+
+# Profile fig5 with live telemetry: stage breakdown + metric exports.
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro stats --experiment fig5 --profile --every 20
 
 # Regenerate every paper table/figure report on stdout.
 experiments:

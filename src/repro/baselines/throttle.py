@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.apd import SlidingWindowCounter
-from repro.core.bitmap_filter import Decision
+from repro.core.filter_api import Decision, PacketFilterMixin, deprecated_alias
 from repro.net.address import AddressSpace
 from repro.net.packet import Direction, Packet
 
@@ -78,7 +78,7 @@ class Aggregate:
         return f"proto {self.proto} dport {self.dport}{host}"
 
 
-class AggregateRateLimiter:
+class AggregateRateLimiter(PacketFilterMixin):
     """Trigger-based aggregate rate limiting at a client network's edge.
 
     Incoming packets are binned into (proto, dport) aggregates.  When an
@@ -161,11 +161,21 @@ class AggregateRateLimiter:
         self.packets_limited += 1
         return Decision.DROP
 
-    def process_array(self, packets) -> "object":
-        """Batch wrapper mirroring the SPI/bitmap batch APIs."""
+    def process_batch(self, packets, exact: bool = True) -> "object":
+        """Batch wrapper mirroring the unified PacketFilter API.
+
+        ``exact`` is accepted for conformance; the scalar loop is always
+        exact.
+        """
         import numpy as np
 
         verdicts = np.ones(len(packets), dtype=bool)
         for i, pkt in enumerate(packets):
             verdicts[i] = self.process(pkt) is Decision.PASS
         return verdicts
+
+    def process_array(self, packets) -> "object":
+        """Deprecated alias of :meth:`process_batch`."""
+        deprecated_alias("AggregateRateLimiter.process_array",
+                         "AggregateRateLimiter.process_batch")
+        return self.process_batch(packets)

@@ -4,9 +4,12 @@ Usage::
 
     python -m repro <experiment> [--scale small|medium|large] [options]
     repro fig4 --scale medium
+    repro fig5 --profile               # append a stage breakdown
+    repro stats --experiment fig5      # live telemetry + exporters
 
-Experiments: fig2a fig2b fig2c table1 capacity fig4 fig5 insider apd sweep
-worm aggregate timing compat robustness resilience throttle collusion all
+Experiment names come from :mod:`repro.experiments.registry`; the parser is
+built from that table, so registering a new experiment there is all it
+takes to appear here (and in ``repro all``).
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.experiments.config import SMALL, get_scale
+from repro.experiments.registry import EXPERIMENTS, run_experiment
 
 
 def _scale_arg(parser: argparse.ArgumentParser, default: str = "medium") -> None:
@@ -33,9 +36,20 @@ def _scale_arg(parser: argparse.ArgumentParser, default: str = "medium") -> None
     )
 
 
+def _experiment_args(parser: argparse.ArgumentParser, default: str) -> None:
+    _scale_arg(parser, default)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect per-stage wall times and append the breakdown",
+    )
+
+
 def _resolve_scale(args: argparse.Namespace):
     """The selected scale, with an optional --seed override applied."""
     from dataclasses import replace
+
+    from repro.experiments.config import get_scale
 
     scale = get_scale(args.scale)
     if getattr(args, "seed", None) is not None:
@@ -43,129 +57,59 @@ def _resolve_scale(args: argparse.Namespace):
     return scale
 
 
-def _cmd_fig2(args: argparse.Namespace, which: str) -> str:
-    from repro.experiments.fig2 import delay_comb_offsets, run_fig2
-
-    result = run_fig2(_resolve_scale(args))
-    if which == "fig2b":
-        offsets = delay_comb_offsets(result)
-        comb = ", ".join(f"{x:.0f}s" for x in offsets) or "(none found)"
-        return result.report() + f"\n\nFig 2b delay-comb peaks: {comb}"
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    result = run_experiment(
+        name,
+        args.scale,
+        seed=getattr(args, "seed", None),
+        profile=getattr(args, "profile", False),
+    )
     return result.report()
 
 
-def _cmd_table1(args: argparse.Namespace) -> str:
-    from repro.experiments.table1 import run_table1
+def _cmd_stats(args: argparse.Namespace) -> str:
+    """Run an experiment under a live registry with periodic summaries.
 
-    sizes = (4_000, 16_000, 64_000) if args.scale == "small" else (10_000, 40_000, 160_000)
-    return run_table1(sizes=sizes).report()
+    While the run progresses, a one-line summary of admits/drops/marks/
+    rotations prints every ``--every`` simulated Δt ticks.  Afterwards the
+    full registry is exported in Prometheus text format and as a JSON-lines
+    time series (inline, or to ``--prom-out``/``--jsonl-out`` files).
+    """
+    from repro.telemetry import (
+        JsonLinesSampler,
+        LiveSummarySampler,
+        to_prometheus,
+        use_registry,
+    )
 
+    with use_registry() as registry:
+        jsonl = JsonLinesSampler()
+        registry.add_sampler(jsonl)
+        registry.add_sampler(LiveSummarySampler(every=args.every))
+        result = run_experiment(
+            args.experiment_name,
+            args.scale,
+            seed=args.seed,
+            profile=args.profile,
+        )
+        prom_text = to_prometheus(registry)
+        jsonl_text = jsonl.to_jsonl()
 
-def _cmd_capacity(args: argparse.Namespace) -> str:
-    from repro.experiments.sec41 import run_sec41
-
-    return run_sec41().report()
-
-
-def _cmd_fig4(args: argparse.Namespace) -> str:
-    from repro.experiments.fig4 import run_fig4
-
-    return run_fig4(_resolve_scale(args)).report()
-
-
-def _cmd_fig5(args: argparse.Namespace) -> str:
-    from repro.experiments.fig5 import run_fig5
-
-    return run_fig5(_resolve_scale(args)).report()
-
-
-def _cmd_insider(args: argparse.Namespace) -> str:
-    from repro.experiments.sec52 import run_sec52
-
-    return run_sec52(_resolve_scale(args)).report()
-
-
-def _cmd_apd(args: argparse.Namespace) -> str:
-    from repro.experiments.sec53 import run_sec53
-
-    scale = _resolve_scale(args) if args.scale == "small" else SMALL
-    return run_sec53(scale).report()
-
-
-def _cmd_sweep(args: argparse.Namespace) -> str:
-    from repro.experiments.sweep import run_sweep
-
-    return run_sweep().report()
-
-
-def _cmd_worm(args: argparse.Namespace) -> str:
-    from repro.experiments.worm import run_worm
-
-    return run_worm(_resolve_scale(args) if args.scale == "small" else SMALL).report()
-
-
-def _cmd_aggregate(args: argparse.Namespace) -> str:
-    from repro.experiments.aggregation import run_aggregation
-
-    return run_aggregation(_resolve_scale(args) if args.scale == "small" else SMALL).report()
-
-
-def _cmd_timing(args: argparse.Namespace) -> str:
-    from repro.experiments.timing import run_timing_ablation
-
-    return run_timing_ablation(_resolve_scale(args) if args.scale == "small" else SMALL).report()
-
-
-def _cmd_compat(args: argparse.Namespace) -> str:
-    from repro.experiments.compat import run_compat
-
-    return run_compat(_resolve_scale(args) if args.scale == "small" else SMALL).report()
-
-
-def _cmd_robustness(args: argparse.Namespace) -> str:
-    from repro.experiments.robustness import run_robustness
-
-    return run_robustness(_resolve_scale(args) if args.scale == "small" else SMALL).report()
-
-
-def _cmd_resilience(args: argparse.Namespace) -> str:
-    from repro.experiments.resilience import run_resilience
-
-    return run_resilience(_resolve_scale(args) if args.scale == "small" else SMALL).report()
-
-
-def _cmd_throttle(args: argparse.Namespace) -> str:
-    from repro.experiments.throttle_cmp import run_throttle_comparison
-
-    return run_throttle_comparison(_resolve_scale(args) if args.scale == "small" else SMALL).report()
-
-
-def _cmd_collusion(args: argparse.Namespace) -> str:
-    from repro.experiments.sec54 import run_sec54
-
-    return run_sec54(_resolve_scale(args) if args.scale == "small" else SMALL).report()
-
-
-_EXPERIMENTS = {
-    "fig2a": lambda a: _cmd_fig2(a, "fig2a"),
-    "fig2b": lambda a: _cmd_fig2(a, "fig2b"),
-    "fig2c": lambda a: _cmd_fig2(a, "fig2c"),
-    "table1": _cmd_table1,
-    "capacity": _cmd_capacity,
-    "fig4": _cmd_fig4,
-    "fig5": _cmd_fig5,
-    "insider": _cmd_insider,
-    "apd": _cmd_apd,
-    "sweep": _cmd_sweep,
-    "worm": _cmd_worm,
-    "aggregate": _cmd_aggregate,
-    "timing": _cmd_timing,
-    "compat": _cmd_compat,
-    "robustness": _cmd_robustness,
-    "resilience": _cmd_resilience,
-    "throttle": _cmd_throttle,
-    "collusion": _cmd_collusion,
-}
+    sections = [result.report()]
+    if args.prom_out:
+        with open(args.prom_out, "w") as fh:
+            fh.write(prom_text)
+        sections.append(f"wrote Prometheus metrics to {args.prom_out}")
+    else:
+        sections.append("--- prometheus ---\n" + prom_text.rstrip("\n"))
+    if args.jsonl_out:
+        with open(args.jsonl_out, "w") as fh:
+            fh.write(jsonl_text)
+        sections.append(f"wrote {len(jsonl.rows)} JSON-lines samples "
+                        f"to {args.jsonl_out}")
+    else:
+        sections.append("--- jsonl ---\n" + jsonl_text.rstrip("\n"))
+    return "\n\n".join(sections)
 
 
 def _cmd_trace_gen(args: argparse.Namespace) -> str:
@@ -186,9 +130,7 @@ def _cmd_trace_gen(args: argparse.Namespace) -> str:
 
 def _cmd_filter(args: argparse.Namespace) -> str:
     """Run a bitmap filter over a saved trace/capture, write the survivors."""
-    import numpy as np
-
-    from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+    from repro.core.bitmap_filter import BitmapFilter, FilterConfig
     from repro.net.address import AddressSpace
     from repro.traffic.trace import Trace
 
@@ -207,10 +149,10 @@ def _cmd_filter(args: argparse.Namespace) -> str:
             trace = Trace(trace.packets, AddressSpace(args.protected.split(",")),
                           trace.metadata)
 
-    config = BitmapFilterConfig(order=args.order, num_vectors=args.k,
-                                num_hashes=args.m,
-                                rotation_interval=args.dt, seed=args.hash_seed)
-    filt = BitmapFilter(config, trace.protected)
+    config = FilterConfig(order=args.order, num_vectors=args.k,
+                          num_hashes=args.m,
+                          rotation_interval=args.dt, seed=args.hash_seed)
+    filt = BitmapFilter.from_config(config, trace.protected)
     verdicts = filt.process_batch(trace.packets, exact=True)
 
     lines = [
@@ -255,12 +197,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
-    for name in list(_EXPERIMENTS) + ["all"]:
-        p = sub.add_parser(name, help=f"regenerate {name}")
-        default = "small" if name in ("apd", "worm", "aggregate", "timing", "compat",
-                                      "robustness", "resilience", "throttle",
-                                      "collusion", "all") else "medium"
-        _scale_arg(p, default)
+    for spec in EXPERIMENTS.values():
+        p = sub.add_parser(spec.name, help=spec.help)
+        _experiment_args(p, spec.default_scale)
+    p = sub.add_parser("all", help="regenerate every experiment")
+    _experiment_args(p, "small")
+
+    stats = sub.add_parser(
+        "stats",
+        help="run an experiment with live telemetry and export the metrics",
+    )
+    stats.add_argument("--experiment", dest="experiment_name", required=True,
+                       choices=tuple(EXPERIMENTS),
+                       help="which experiment to instrument")
+    stats.add_argument("--every", type=int, default=1,
+                       help="print a live summary every N simulated Δt ticks")
+    stats.add_argument("--prom-out", default=None,
+                       help="write Prometheus text-format metrics here "
+                            "(default: inline)")
+    stats.add_argument("--jsonl-out", default=None,
+                       help="write the JSON-lines time series here "
+                            "(default: inline)")
+    _experiment_args(stats, "small")
 
     gen = sub.add_parser("trace-gen", help="generate a synthetic trace file")
     gen.add_argument("--duration", type=float, default=60.0)
@@ -304,6 +262,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.experiment == "filter":
         print(_cmd_filter(args))
         return 0
+    if args.experiment == "stats":
+        print(_cmd_stats(args))
+        return 0
     if args.experiment == "export":
         from repro.experiments.export import export_figures
 
@@ -313,11 +274,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name}")
         return 0
     if args.experiment == "all":
-        for name, fn in _EXPERIMENTS.items():
+        for name in EXPERIMENTS:
             print(f"\n{'=' * 72}\n>> {name}\n{'=' * 72}")
-            print(fn(args))
+            print(_run_one(name, args))
         return 0
-    print(_EXPERIMENTS[args.experiment](args))
+    print(_run_one(args.experiment, args))
     return 0
 
 

@@ -10,25 +10,38 @@
 - two batch paths: an *exact* one that preserves per-packet ordering while
   vectorizing the hashing, and a *windowed* one that additionally vectorizes
   the bit operations by processing each rotation window mark-first (see
-  ``process_batch_windowed`` for the approximation argument), and
+  ``process_batch_windowed`` for the approximation argument),
 - degraded-mode machinery for operational faults: a
   :class:`~repro.core.resilience.FailPolicy` applied while the filter is
   down (:meth:`BitmapFilter.fail` / :meth:`BitmapFilter.recover`), a
   post-restore warm-up grace window (:meth:`BitmapFilter.begin_warmup`),
   and rotation-stall handling with missed-rotation catch-up
-  (:meth:`BitmapFilter.stall_rotations` / :meth:`BitmapFilter.resume_rotations`).
+  (:meth:`BitmapFilter.stall_rotations` / :meth:`BitmapFilter.resume_rotations`), and
+- optional runtime telemetry (see :mod:`repro.telemetry`): admits/drops/
+  marks counters per admission path, rotation count/duration, and
+  degraded-mode gauges, all behind a single ``is not None`` guard so the
+  default (null-registry) hot path pays nothing.
+
+Construction accepts either the legacy positional
+:class:`BitmapFilterConfig`, the keyword-only :class:`FilterConfig` (which
+also carries fail policy and warm-up grace), or bare keyword fields::
+
+    BitmapFilter(config, protected)                      # legacy, still fine
+    BitmapFilter.from_config(FilterConfig(order=16), protected)
+    BitmapFilter(protected=protected, order=16, rotation_interval=2.5)
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from repro.core.apd import AdaptiveDroppingPolicy
 from repro.core.bitmap import Bitmap
+from repro.core.filter_api import Decision, PacketFilterMixin
 from repro.core.hashing import HashFamily
 from repro.core.resilience import FailPolicy
 from repro.net.address import AddressSpace
@@ -42,16 +55,18 @@ from repro.net.packet import (
     Packet,
     PacketArray,
 )
+from repro.telemetry.registry import MetricsRegistry, get_registry
 
 if TYPE_CHECKING:
     pass
 
-
-class Decision(enum.Enum):
-    """Verdict of the filter for one packet."""
-
-    PASS = "pass"
-    DROP = "drop"
+__all__ = [
+    "BitmapFilter",
+    "BitmapFilterConfig",
+    "Decision",
+    "FilterConfig",
+    "FilterStats",
+]
 
 
 @dataclass(frozen=True)
@@ -93,6 +108,85 @@ class BitmapFilterConfig:
     def paper_default(cls) -> "BitmapFilterConfig":
         """The {4 x 20}-bitmap, m=3, dt=5 configuration of Section 4.3."""
         return cls(order=20, num_vectors=4, num_hashes=3, rotation_interval=5.0)
+
+
+@dataclass(frozen=True, kw_only=True)
+class FilterConfig:
+    """Keyword-only construction config for a deployed bitmap filter.
+
+    Bundles the bitmap geometry (k, n), hash family (m, seed), rotation
+    timing (Δt), and the *operational* knobs the plain
+    :class:`BitmapFilterConfig` never carried — fail policy and warm-up
+    grace — into one frozen object.  All fields are keyword-only, so call
+    sites name every parameter::
+
+        FilterConfig(order=16, num_vectors=4, rotation_interval=2.5,
+                     fail_policy=FailPolicy.FAIL_OPEN, warmup_grace=10.0)
+
+    Feed it to :meth:`BitmapFilter.from_config` (or pass it anywhere a
+    ``BitmapFilterConfig`` was accepted before).
+    """
+
+    order: int = 20              # n: each vector has 2**n bits
+    num_vectors: int = 4         # k: number of bloom-filter rows
+    num_hashes: int = 3          # m: hash functions
+    rotation_interval: float = 5.0  # dt seconds
+    seed: int = 0x5EED           # hash-family seed
+    fail_policy: FailPolicy = FailPolicy.FAIL_CLOSED
+    warmup_grace: float = 0.0    # grace window opened at construction
+
+    def __post_init__(self) -> None:
+        if self.rotation_interval <= 0:
+            raise ValueError("rotation interval must be positive")
+        if self.num_hashes < 1:
+            raise ValueError("need at least one hash function")
+        if self.warmup_grace < 0:
+            raise ValueError("warm-up grace cannot be negative")
+
+    @property
+    def expiry_timer(self) -> float:
+        """Te = k * dt — the nominal lifetime of a mark."""
+        return self.num_vectors * self.rotation_interval
+
+    @property
+    def guaranteed_window(self) -> float:
+        """(k-1) * dt — a mark is *guaranteed* visible for this long."""
+        return (self.num_vectors - 1) * self.rotation_interval
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.num_vectors * (1 << self.order) // 8
+
+    def bitmap_config(self) -> BitmapFilterConfig:
+        """The plain bitmap-geometry view (what snapshots persist)."""
+        return BitmapFilterConfig(
+            order=self.order,
+            num_vectors=self.num_vectors,
+            num_hashes=self.num_hashes,
+            rotation_interval=self.rotation_interval,
+            seed=self.seed,
+        )
+
+    @classmethod
+    def from_bitmap_config(cls, config: BitmapFilterConfig,
+                           **extra) -> "FilterConfig":
+        """Lift a legacy :class:`BitmapFilterConfig` (plus operational extras)."""
+        return cls(
+            order=config.order,
+            num_vectors=config.num_vectors,
+            num_hashes=config.num_hashes,
+            rotation_interval=config.rotation_interval,
+            seed=config.seed,
+            **extra,
+        )
+
+    @classmethod
+    def paper_default(cls) -> "FilterConfig":
+        """The {4 x 20}-bitmap, m=3, dt=5 configuration of Section 4.3."""
+        return cls()
+
+
+AnyFilterConfig = Union[BitmapFilterConfig, FilterConfig]
 
 
 @dataclass
@@ -141,17 +235,138 @@ class FilterStats:
         }
 
 
-class BitmapFilter:
-    """A deployed bitmap filter protecting one client address space."""
+#: Admission-path labels used by the telemetry counters.
+_PATHS = ("scalar", "exact_batch", "windowed_batch")
+
+
+class _FilterInstruments:
+    """Bound telemetry instruments for one live-registry filter instance.
+
+    Created only when the registry is enabled; the filter stores ``None``
+    otherwise, so every hot-path guard is a single identity check.
+    """
+
+    __slots__ = (
+        "registry", "marks", "admits", "drops", "rotations",
+        "rotation_seconds", "degraded", "stalled", "warmup_until",
+        "warmup_admits", "degraded_admits", "degraded_drops",
+    )
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.marks = {
+            path: registry.counter(
+                "repro_filter_marks_total",
+                "Outgoing packets marked into the bitmap, by admission path",
+                path=path,
+            ) for path in _PATHS
+        }
+        self.admits = {
+            path: registry.counter(
+                "repro_filter_admits_total",
+                "Incoming packets admitted while the filter is up, by path",
+                path=path,
+            ) for path in _PATHS
+        }
+        self.drops = {
+            path: registry.counter(
+                "repro_filter_drops_total",
+                "Incoming packets dropped while the filter is up, by path",
+                path=path,
+            ) for path in _PATHS
+        }
+        self.rotations = registry.counter(
+            "repro_filter_rotations_total", "Bitmap rotations performed")
+        self.rotation_seconds = registry.histogram(
+            "repro_filter_rotation_seconds",
+            "Wall-clock duration of each bitmap rotation")
+        self.degraded = registry.gauge(
+            "repro_filter_degraded",
+            "1 while the filter is down and verdicts come from the fail policy")
+        self.stalled = registry.gauge(
+            "repro_filter_rotations_stalled",
+            "1 while the rotation timer is wedged")
+        self.warmup_until = registry.gauge(
+            "repro_filter_warmup_until_seconds",
+            "End of the active warm-up grace window in simulated time "
+            "(0 when inactive)")
+        self.warmup_admits = registry.counter(
+            "repro_filter_warmup_admits_total",
+            "Bitmap misses admitted by the warm-up grace window")
+        self.degraded_admits = registry.counter(
+            "repro_filter_degraded_admits_total",
+            "Inbound packets admitted by the fail policy while down")
+        self.degraded_drops = registry.counter(
+            "repro_filter_degraded_drops_total",
+            "Inbound packets dropped by the fail policy while down")
+        self.degraded.set(0)
+        self.stalled.set(0)
+        self.warmup_until.set(0)
+
+    def on_rotation(self, boundary_ts: float, seconds: float) -> None:
+        """One rotation finished: count it, time it, pulse the Δt samplers."""
+        self.rotations.inc()
+        self.rotation_seconds.observe(seconds)
+        self.registry.tick(boundary_ts)
+
+    @staticmethod
+    def stats_snapshot(stats: FilterStats) -> tuple:
+        """The stat fields batch accounting diffs against."""
+        return (stats.outgoing, stats.incoming_passed,
+                stats.incoming_dropped, stats.warmup_admitted)
+
+    def count_batch(self, path: str, stats: FilterStats, before: tuple) -> None:
+        """Credit one batch's stat deltas to the per-path counters."""
+        outgoing0, passed0, dropped0, warmup0 = before
+        marks = stats.outgoing - outgoing0
+        admits = stats.incoming_passed - passed0
+        drops = stats.incoming_dropped - dropped0
+        warmup = stats.warmup_admitted - warmup0
+        if marks:
+            self.marks[path].inc(marks)
+        if admits:
+            self.admits[path].inc(admits)
+        if drops:
+            self.drops[path].inc(drops)
+        if warmup:
+            self.warmup_admits.inc(warmup)
+
+
+class BitmapFilter(PacketFilterMixin):
+    """A deployed bitmap filter protecting one client address space.
+
+    Implements the unified :class:`~repro.core.filter_api.PacketFilter`
+    protocol (``observe_out``/``admit_in`` and their batch variants) on top
+    of the generic ``process``/``process_batch`` entry points.
+    """
 
     def __init__(
         self,
-        config: BitmapFilterConfig,
-        protected: AddressSpace,
+        config: Optional[AnyFilterConfig] = None,
+        protected: Optional[AddressSpace] = None,
         start_time: float = 0.0,
         apd: Optional[AdaptiveDroppingPolicy] = None,
-        fail_policy: FailPolicy = FailPolicy.FAIL_CLOSED,
+        fail_policy: Optional[FailPolicy] = None,
+        *,
+        telemetry: Optional[MetricsRegistry] = None,
+        **config_fields,
     ):
+        if protected is None:
+            raise TypeError("BitmapFilter requires a protected AddressSpace")
+        if config is None:
+            config = FilterConfig(**config_fields)
+        elif config_fields:
+            raise TypeError("pass either a config object or bare config "
+                            "fields, not both")
+        warmup_grace = 0.0
+        if isinstance(config, FilterConfig):
+            if fail_policy is None:
+                fail_policy = config.fail_policy
+            warmup_grace = config.warmup_grace
+            config = config.bitmap_config()
+        if fail_policy is None:
+            fail_policy = FailPolicy.FAIL_CLOSED
+
         self.config = config
         self.protected = protected
         self.bitmap = Bitmap(config.num_vectors, config.order)
@@ -163,6 +378,26 @@ class BitmapFilter:
         self._down = False
         self._stalled = False
         self._warmup_until = float("-inf")
+
+        registry = telemetry if telemetry is not None else get_registry()
+        self._tel = _FilterInstruments(registry) if registry.enabled else None
+        if warmup_grace > 0:
+            self.begin_warmup(start_time + warmup_grace)
+
+    @classmethod
+    def from_config(
+        cls,
+        config: AnyFilterConfig,
+        protected: AddressSpace,
+        *,
+        start_time: float = 0.0,
+        apd: Optional[AdaptiveDroppingPolicy] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+    ) -> "BitmapFilter":
+        """Build a filter from a :class:`FilterConfig` (fail policy and
+        warm-up grace included) or a plain :class:`BitmapFilterConfig`."""
+        return cls(config, protected, start_time=start_time, apd=apd,
+                   telemetry=telemetry)
 
     # -- time ---------------------------------------------------------------
 
@@ -179,8 +414,14 @@ class BitmapFilter:
         if self._stalled:
             return 0
         ran = 0
+        tel = self._tel
         while self._next_rotation <= ts:
-            self.bitmap.rotate()
+            if tel is None:
+                self.bitmap.rotate()
+            else:
+                begin = perf_counter()
+                self.bitmap.rotate()
+                tel.on_rotation(self._next_rotation, perf_counter() - begin)
             self._next_rotation += self.config.rotation_interval
             ran += 1
         self.stats.rotations += ran
@@ -212,6 +453,8 @@ class BitmapFilter:
         rotated until :meth:`recover`.
         """
         self._down = True
+        if self._tel is not None:
+            self._tel.degraded.set(1)
 
     def recover(self, now: float, warmup_grace: Optional[float] = None) -> int:
         """Bring a failed filter back at ``now``; returns rotations caught up.
@@ -225,6 +468,8 @@ class BitmapFilter:
         and 0 otherwise (a sub-rotation blip loses no marks).
         """
         self._down = False
+        if self._tel is not None:
+            self._tel.degraded.set(0)
         missed = self.advance_to(now)
         if warmup_grace is None:
             warmup_grace = self.config.expiry_timer if missed else 0.0
@@ -235,6 +480,8 @@ class BitmapFilter:
     def begin_warmup(self, until: float) -> None:
         """Admit inbound bitmap misses until time ``until`` (grace window)."""
         self._warmup_until = until
+        if self._tel is not None:
+            self._tel.warmup_until.set(until)
 
     def stall_rotations(self) -> None:
         """Freeze the rotation timer (models a stalled/stuck timer thread).
@@ -244,6 +491,8 @@ class BitmapFilter:
         probability U^m — creeps up for the duration of the stall.
         """
         self._stalled = True
+        if self._tel is not None:
+            self._tel.stalled.set(1)
 
     def resume_rotations(self, now: float, catch_up: bool = True) -> int:
         """Un-stall the timer at ``now``; returns the rotations performed.
@@ -255,10 +504,18 @@ class BitmapFilter:
         lifetime by the stall duration.
         """
         self._stalled = False
+        if self._tel is not None:
+            self._tel.stalled.set(0)
         if catch_up:
             return self.advance_to(now)
         if self._next_rotation <= now:
-            self.bitmap.rotate()
+            tel = self._tel
+            if tel is None:
+                self.bitmap.rotate()
+            else:
+                begin = perf_counter()
+                self.bitmap.rotate()
+                tel.on_rotation(now, perf_counter() - begin)
             self.stats.rotations += 1
             self._next_rotation = now + self.config.rotation_interval
             return 1
@@ -292,30 +549,43 @@ class BitmapFilter:
                 return
         key = bitmap_key_outgoing(pkt.proto, pkt.src, pkt.sport, pkt.dst)
         self.bitmap.mark(self.hashes.indices(key))
+        if self._tel is not None:
+            self._tel.marks["scalar"].inc()
 
     def _handle_incoming(self, pkt: Packet) -> Decision:
+        tel = self._tel
         self.stats.incoming += 1
         if self.apd is not None:
             self.apd.observe_incoming(pkt)
         key = bitmap_key_incoming(pkt.proto, pkt.dst, pkt.dport, pkt.src)
         if self.bitmap.test_current(self.hashes.indices(key)):
             self.stats.incoming_passed += 1
+            if tel is not None:
+                tel.admits["scalar"].inc()
             return Decision.PASS
         if pkt.ts < self._warmup_until:
             self.stats.warmup_admitted += 1
             self.stats.incoming_passed += 1
+            if tel is not None:
+                tel.admits["scalar"].inc()
+                tel.warmup_admits.inc()
             return Decision.PASS
         if self.apd is not None and not self.apd.should_drop():
             self.stats.apd_admitted += 1
             self.stats.incoming_passed += 1
+            if tel is not None:
+                tel.admits["scalar"].inc()
             return Decision.PASS
         self.stats.incoming_dropped += 1
+        if tel is not None:
+            tel.drops["scalar"].inc()
         return Decision.DROP
 
     def _process_down(self, pkt: Packet) -> Decision:
         """Judge one packet while the filter is down: policy only, no state."""
         direction = pkt.direction(self.protected)
         stats = self.stats
+        tel = self._tel
         if direction is Direction.OUTGOING:
             stats.outgoing += 1
             stats.unmarked_outgoing += 1
@@ -325,9 +595,13 @@ class BitmapFilter:
             if self.fail_policy is FailPolicy.FAIL_OPEN:
                 stats.degraded_admitted += 1
                 stats.incoming_passed += 1
+                if tel is not None:
+                    tel.degraded_admits.inc()
                 return Decision.PASS
             stats.degraded_dropped += 1
             stats.incoming_dropped += 1
+            if tel is not None:
+                tel.degraded_drops.inc()
             return Decision.DROP
         if direction is Direction.INTERNAL:
             stats.internal += 1
@@ -369,13 +643,18 @@ class BitmapFilter:
         stats.internal += int((directions == DIRECTION_INTERNAL).sum())
         stats.transit += int((directions == DIRECTION_TRANSIT).sum())
         verdict = np.ones(len(packets), dtype=bool)
+        tel = self._tel
         if self.fail_policy is FailPolicy.FAIL_OPEN:
             stats.degraded_admitted += n_in
             stats.incoming_passed += n_in
+            if tel is not None and n_in:
+                tel.degraded_admits.inc(n_in)
         else:
             verdict[incoming] = False
             stats.degraded_dropped += n_in
             stats.incoming_dropped += n_in
+            if tel is not None and n_in:
+                tel.degraded_drops.inc(n_in)
         return verdict
 
     def _directional_indices(self, packets: PacketArray, directions: np.ndarray) -> np.ndarray:
@@ -411,10 +690,21 @@ class BitmapFilter:
         # toggles it, between batches), so hoist both out of the hot loop.
         stalled = self._stalled
         warmup_until = self._warmup_until
+        tel = self._tel
+        before = tel.stats_snapshot(stats) if tel is not None else None
         for i in range(n):
             ts = ts_list[i]
             while not stalled and self._next_rotation <= ts:
-                bitmap.rotate()
+                if tel is None:
+                    bitmap.rotate()
+                else:
+                    # Flush this window's counter deltas before the tick so
+                    # samplers see per-Δt admits/drops, not batch totals.
+                    tel.count_batch("exact_batch", stats, before)
+                    before = tel.stats_snapshot(stats)
+                    begin = perf_counter()
+                    bitmap.rotate()
+                    tel.on_rotation(self._next_rotation, perf_counter() - begin)
                 self._next_rotation += interval
                 stats.rotations += 1
             direction = dir_list[i]
@@ -435,6 +725,8 @@ class BitmapFilter:
                 stats.internal += 1
             else:
                 stats.transit += 1
+        if tel is not None:
+            tel.count_batch("exact_batch", stats, before)
         return verdict
 
     def process_batch_windowed(self, packets: PacketArray) -> np.ndarray:
@@ -461,6 +753,8 @@ class BitmapFilter:
         incoming_mask = directions == DIRECTION_INCOMING
         stats.internal += int((directions == 3).sum())
         stats.transit += int((directions == 2).sum())
+        tel = self._tel
+        before = tel.stats_snapshot(stats) if tel is not None else None
 
         start = 0
         while start < n:
@@ -489,9 +783,19 @@ class BitmapFilter:
                 start = end
             if start < n:
                 # Next packet is at/after the boundary: rotate and continue.
-                self.bitmap.rotate()
+                if tel is None:
+                    self.bitmap.rotate()
+                else:
+                    # Per-window flush before the tick (see exact path).
+                    tel.count_batch("windowed_batch", stats, before)
+                    before = tel.stats_snapshot(stats)
+                    begin = perf_counter()
+                    self.bitmap.rotate()
+                    tel.on_rotation(self._next_rotation, perf_counter() - begin)
                 self._next_rotation += self.config.rotation_interval
                 stats.rotations += 1
+        if tel is not None:
+            tel.count_batch("windowed_batch", stats, before)
         return verdict
 
     # -- convenience ---------------------------------------------------------------

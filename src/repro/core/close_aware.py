@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.bitmap import Bitmap
 from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig, Decision
+from repro.core.filter_api import PacketFilterMixin, deprecated_alias
 from repro.net.address import AddressSpace
 from repro.net.flow import bitmap_key_incoming, bitmap_key_outgoing
 from repro.net.packet import Direction, Packet, TcpFlags
@@ -99,7 +100,7 @@ class TombstoneBitmap:
         return self._bitmap.utilization()
 
 
-class CloseAwareBitmapFilter:
+class CloseAwareBitmapFilter(PacketFilterMixin):
     """The paper's bitmap filter plus tombstoned closes.
 
     Same interface as :class:`~repro.core.bitmap_filter.BitmapFilter` for
@@ -165,12 +166,22 @@ class CloseAwareBitmapFilter:
             return Decision.PASS
         return Decision.PASS
 
-    def process_array(self, packets) -> np.ndarray:
-        """Batch wrapper (scalar loop; this is an ablation filter)."""
+    def process_batch(self, packets, exact: bool = True) -> np.ndarray:
+        """Batch wrapper (scalar loop; this is an ablation filter).
+
+        ``exact`` is accepted for PacketFilter conformance; the scalar loop
+        is always exact.
+        """
         verdicts = np.ones(len(packets), dtype=bool)
         for i, pkt in enumerate(packets):
             verdicts[i] = self.process(pkt) is Decision.PASS
         return verdicts
+
+    def process_array(self, packets) -> np.ndarray:
+        """Deprecated alias of :meth:`process_batch`."""
+        deprecated_alias("CloseAwareBitmapFilter.process_array",
+                         "CloseAwareBitmapFilter.process_batch")
+        return self.process_batch(packets)
 
     # -- introspection -------------------------------------------------------------
 

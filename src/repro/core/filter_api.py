@@ -1,0 +1,101 @@
+"""The unified admission API every filter in the repository speaks.
+
+Historically the bitmap filter exposed ``process``/``process_batch`` while
+the SPI baselines exposed ``process``/``process_array`` and ad-hoc helpers,
+so harnesses dispatched on concrete types.  This module defines the single
+:class:`PacketFilter` protocol they all implement now:
+
+- ``observe_out(pkt)`` / ``observe_out_batch(packets)`` — record outgoing
+  traffic (mark the bitmap, insert/refresh flow state);
+- ``admit_in(pkt) -> bool`` / ``admit_in_batch(packets) -> mask`` — judge
+  incoming traffic;
+- ``process(pkt) -> Decision`` / ``process_batch(packets) -> mask`` — the
+  direction-agnostic entry points the directional methods derive from.
+
+Batches are time-sorted :class:`~repro.net.packet.PacketArray` instances of
+*mixed* traffic; direction classification stays inside the filter, so
+``observe_out``/``admit_in`` on a packet of the other direction is safe
+(non-incoming packets always admit).  Old entry points
+(``StatefulFilter.process_array`` and friends) remain as thin deprecation
+shims delegating here.
+"""
+
+from __future__ import annotations
+
+import enum
+import warnings
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.net.packet import Packet, PacketArray
+
+
+class Decision(enum.Enum):
+    """Verdict of a filter for one packet."""
+
+    PASS = "pass"
+    DROP = "drop"
+
+
+@runtime_checkable
+class PacketFilter(Protocol):
+    """What every admission filter implements (bitmap, SPI, ablations)."""
+
+    def process(self, pkt: "Packet") -> Decision:
+        """Filter one packet of any direction, advancing time to it."""
+        ...
+
+    def process_batch(self, packets: "PacketArray",
+                      exact: bool = True) -> "np.ndarray":
+        """Filter a time-sorted mixed batch; returns a boolean PASS mask."""
+        ...
+
+    def observe_out(self, pkt: "Packet") -> None:
+        """Record one outgoing packet (mark/refresh state, advance time)."""
+        ...
+
+    def admit_in(self, pkt: "Packet") -> bool:
+        """Judge one incoming packet; True means admit."""
+        ...
+
+    def observe_out_batch(self, packets: "PacketArray") -> None:
+        """Record a time-sorted batch of (predominantly) outgoing packets."""
+        ...
+
+    def admit_in_batch(self, packets: "PacketArray") -> "np.ndarray":
+        """Judge a time-sorted batch; boolean admit mask per packet."""
+        ...
+
+
+class PacketFilterMixin:
+    """Default directional methods derived from ``process``/``process_batch``.
+
+    Mixing this into a class that provides the two generic entry points
+    completes the :class:`PacketFilter` protocol.  Implementations with a
+    cheaper direct path (no direction classification) may override any of
+    the four.
+    """
+
+    def observe_out(self, pkt: "Packet") -> None:
+        self.process(pkt)
+
+    def admit_in(self, pkt: "Packet") -> bool:
+        return self.process(pkt) is Decision.PASS
+
+    def observe_out_batch(self, packets: "PacketArray") -> None:
+        self.process_batch(packets)
+
+    def admit_in_batch(self, packets: "PacketArray") -> "np.ndarray":
+        return self.process_batch(packets)
+
+
+def deprecated_alias(old_name: str, new_name: str) -> None:
+    """Warn once per call site that ``old_name`` is a compatibility shim."""
+    warnings.warn(
+        f"{old_name} is deprecated; use {new_name} (the unified "
+        "PacketFilter API) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

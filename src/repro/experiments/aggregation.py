@@ -134,3 +134,8 @@ def run_aggregation(scale: ExperimentScale = SMALL) -> AggregationResult:
     evaluate("aggregated core (1 filter, n+1)", bigger)
 
     return AggregationResult(outcomes=outcomes)
+
+
+def run(scale=SMALL):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_aggregation(scale)

@@ -149,3 +149,8 @@ def run_compat(scale: ExperimentScale = SMALL, trace: Trace = None) -> CompatRes
         normal_fp_without_punch=fp_without,
         normal_fp_with_punch=fp_with,
     )
+
+
+def run(scale=SMALL):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_compat(scale)

@@ -104,3 +104,8 @@ def delay_comb_offsets(result: Fig2Result, lo: float = 10.0, hi: float = 140.0) 
     mask = (centers >= lo) & (centers <= hi)
     peaks = [i for i in hist.peak_bins(min_prominence=2.0) if mask[i]]
     return [float(centers[i]) for i in peaks]
+
+
+def run(scale=MEDIUM):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_fig2(scale)

@@ -90,3 +90,8 @@ def run_fig4(
         correlation=correlation,
         fitted_slope=slope,
     )
+
+
+def run(scale=MEDIUM):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_fig4(scale)

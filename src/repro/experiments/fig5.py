@@ -113,3 +113,8 @@ def run_fig5(
         attack_to_normal_ratio=scale.attack_multiplier,
         run=run,
     )
+
+
+def run(scale=MEDIUM):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_fig5(scale)

@@ -222,3 +222,8 @@ def run_resilience(scale: ExperimentScale = SMALL,
         ))
 
     return ResilienceResult(baseline=baseline, scenarios=scenarios)
+
+
+def run(scale=SMALL):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_resilience(scale)

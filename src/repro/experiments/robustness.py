@@ -76,3 +76,8 @@ def run_robustness(
             attack_filter_rate=fig5.attack_filter_rate,
         ))
     return RobustnessResult(outcomes=outcomes)
+
+
+def run(scale=SMALL):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_robustness(scale)

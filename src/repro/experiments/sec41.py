@@ -115,3 +115,11 @@ def run_sec41(
         measured_order=measure_order,
         measured_connections=scaled_connections,
     )
+
+
+def run(scale=None):
+    """Uniform experiment entry point (see repro.experiments.registry).
+
+    The capacity analysis is analytic; the trace scale does not apply.
+    """
+    return run_sec41()

@@ -144,3 +144,8 @@ def run_sec52(
     )
 
     return Sec52Result(attack_rate_pps=insider_rate_pps, scenarios=scenarios)
+
+
+def run(scale=MEDIUM):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_sec52(scale)

@@ -219,3 +219,8 @@ def run_sec53(scale: ExperimentScale = SMALL) -> Sec53Result:
         ratio_phases=ratio_phases,
         ablation=ablation,
     )
+
+
+def run(scale=SMALL):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_sec53(scale)

@@ -144,3 +144,8 @@ def run_sec54(scale: ExperimentScale = SMALL, trace: Trace = None) -> Sec54Resul
         points.append(_run_collusion(scale, trace, latency,
                                      rotation_interval=1.25, seed=100 + int(latency)))
     return Sec54Result(points=points)
+
+
+def run(scale=SMALL):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_sec54(scale)

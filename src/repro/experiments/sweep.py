@@ -118,3 +118,14 @@ def run_sweep(trials: int = 30_000, seed: int = 3) -> SweepResult:
         for m in (1, 2, 3, 4, 6, 8, 12)
     ]
     return SweepResult(points=points, optimum_curve=curve, optimum_m=m_star)
+
+
+def run(scale=None):
+    """Uniform experiment entry point (see repro.experiments.registry).
+
+    The sweep is a Monte-Carlo parameter study; the trace scale does not
+    apply, but its seed (when provided) drives the trials.
+    """
+    if scale is not None:
+        return run_sweep(seed=scale.seed)
+    return run_sweep()

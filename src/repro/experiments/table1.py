@@ -214,3 +214,15 @@ def run_table1(
         timings=timings,
         probe_count=probes,
     )
+
+
+def run(scale=None):
+    """Uniform experiment entry point (see repro.experiments.registry).
+
+    The state-cost comparison is parameterized by flow-count sizes, not a
+    trace scale; ``small`` keeps CI-friendly sizes, anything else uses the
+    full ladder.
+    """
+    if scale is not None and scale.name == "small":
+        return run_table1(sizes=(4_000, 16_000, 64_000))
+    return run_table1(sizes=(10_000, 40_000, 160_000))

@@ -92,7 +92,7 @@ def _evaluate(scale: ExperimentScale, trace: Trace, attack, scenario: str,
         limit_pps=scale.normal_pps * 0.1,
         key=aggregate_key,
     )
-    throttle_verdicts = throttle.process_array(packets)
+    throttle_verdicts = throttle.process_batch(packets)
     confusion, _ = score_run(packets, throttle_verdicts, incoming, mixed.duration)
     outcomes.append(ScenarioOutcome(
         scenario=scenario, defense="aggregate throttling",
@@ -134,3 +134,8 @@ def run_throttle_comparison(scale: ExperimentScale = SMALL) -> ThrottleCompariso
     _evaluate(scale, trace, slow, "slow attack", outcomes)
 
     return ThrottleComparisonResult(outcomes=outcomes)
+
+
+def run(scale=SMALL):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_throttle_comparison(scale)

@@ -106,3 +106,8 @@ def run_timing_ablation(
         for target_te in (5.0, 10.0, 20.0, 40.0)
     ]
     return TimingResult(granularity=granularity, expiry=expiry)
+
+
+def run(scale=SMALL):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_timing_ablation(scale)

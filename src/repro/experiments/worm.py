@@ -87,3 +87,8 @@ def run_worm(
         scan_filter_rate=run.confusion.attack_filter_rate,
         curve=curve,
     )
+
+
+def run(scale=SMALL):
+    """Uniform experiment entry point (see repro.experiments.registry)."""
+    return run_worm(scale)

@@ -20,7 +20,19 @@ import numpy as np
 from repro.core.bitmap_filter import BitmapFilter
 from repro.faults.injectors import FaultInjector
 from repro.sim.metrics import FilterRunResult, score_run
+from repro.telemetry.profiling import Timer
+from repro.telemetry.registry import get_registry
 from repro.traffic.trace import Trace
+
+
+def _injection_counter(registry, fault_name: str):
+    """The ``repro_faults_injected_total`` counter labelled by injector name."""
+    return registry.counter(
+        "repro_faults_injected_total",
+        "Fault injections fired (trace transforms and timed events), "
+        "by injector",
+        fault=fault_name,
+    )
 
 
 @dataclass
@@ -65,12 +77,20 @@ def run_with_faults(
     replace the filter instance (crash/restore); subsequent segments run
     against the replacement.
     """
-    for injector in injectors:
-        trace = injector.transform_trace(trace)
+    registry = get_registry()
+    tel = registry if registry.enabled else None
+
+    with Timer("fault_transform"):
+        for injector in injectors:
+            transformed = injector.transform_trace(trace)
+            if tel is not None and transformed is not trace:
+                _injection_counter(registry, injector.name).inc()
+            trace = transformed
 
     events = sorted(
-        (event for injector in injectors for event in injector.events()),
-        key=lambda event: event.ts,
+        ((event, injector.name)
+         for injector in injectors for event in injector.events()),
+        key=lambda pair: pair[0].ts,
     )
 
     packets = trace.packets
@@ -84,19 +104,23 @@ def run_with_faults(
     cursor = 0
 
     start_wall = time.perf_counter()
-    for event in events:
-        boundary = int(np.searchsorted(ts, event.ts, side="left"))
-        if boundary > cursor:
-            verdict_parts.append(filt.process_batch(packets[cursor:boundary],
+    with Timer("faulted_replay"):
+        for event, injector_name in events:
+            boundary = int(np.searchsorted(ts, event.ts, side="left"))
+            if boundary > cursor:
+                verdict_parts.append(
+                    filt.process_batch(packets[cursor:boundary], exact=exact))
+                cursor = boundary
+            replacement = event.apply(filt, event.ts)
+            if replacement is not None and replacement is not filt:
+                filt = replacement
+                swapped += 1
+            fault_log.append((event.ts, event.label))
+            if tel is not None:
+                _injection_counter(registry, injector_name).inc()
+        if cursor < len(packets):
+            verdict_parts.append(filt.process_batch(packets[cursor:],
                                                     exact=exact))
-            cursor = boundary
-        replacement = event.apply(filt, event.ts)
-        if replacement is not None and replacement is not filt:
-            filt = replacement
-            swapped += 1
-        fault_log.append((event.ts, event.label))
-    if cursor < len(packets):
-        verdict_parts.append(filt.process_batch(packets[cursor:], exact=exact))
     wall = time.perf_counter() - start_wall
 
     if verdict_parts:

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, List, Optional
 
 from repro.net.packet import Packet, PacketArray
+from repro.telemetry.registry import get_registry
 
 PacketHandler = Callable[[Packet], None]
 TimerHandler = Callable[[float], None]
@@ -61,6 +62,21 @@ class SimulationEngine:
         self._packets_processed = 0
         self._timers_fired = 0
         self._packets_reordered = 0
+        registry = get_registry()
+        if registry.enabled:
+            self._tel_packets = registry.counter(
+                "repro_engine_packets_total",
+                "Packets delivered by the simulation engine")
+            self._tel_timers = registry.counter(
+                "repro_engine_timers_fired_total",
+                "Timer events fired by the simulation engine")
+            self._tel_queue = registry.gauge(
+                "repro_engine_pending_timers",
+                "Timer events currently queued in the simulation engine")
+        else:
+            self._tel_packets = None
+            self._tel_timers = None
+            self._tel_queue = None
 
     # -- registration ---------------------------------------------------------
 
@@ -131,6 +147,8 @@ class SimulationEngine:
             for handler in self._packet_handlers:
                 handler(pkt)
             self._packets_processed += 1
+            if self._tel_packets is not None:
+                self._tel_packets.inc()
         if until is not None:
             self._fire_timers(until)
             self.now = max(self.now, until)
@@ -140,18 +158,23 @@ class SimulationEngine:
         self.run(iter(packets), until=until)
 
     def _fire_timers(self, horizon: float) -> None:
+        fired = 0
         while self._timers and self._timers[0].ts <= horizon:
             event = heapq.heappop(self._timers)
             if event.cancelled:
                 continue
             self.now = event.ts
             event.handler(event.ts)
-            self._timers_fired += 1
+            fired += 1
             if event.interval is not None:
                 # Reuse the event object so the caller's handle from
                 # schedule() remains cancellable across recurrences.
                 event.ts += event.interval
                 heapq.heappush(self._timers, event)
+        self._timers_fired += fired
+        if self._tel_timers is not None and fired:
+            self._tel_timers.inc(fired)
+            self._tel_queue.set(len(self._timers))
 
     # -- stats ---------------------------------------------------------------------
 

@@ -1,63 +1,93 @@
 """The experiment harness: run a filter over a labelled trace and score it.
 
-One entry point, :func:`run_filter_on_trace`, accepts any filter in the
-repository — a :class:`~repro.core.bitmap_filter.BitmapFilter` (batch paths)
-or a :class:`~repro.spi.base.StatefulFilter` baseline — plus a labelled
-:class:`~repro.traffic.trace.Trace`, and produces a
+One entry point, :func:`run_filter_on_trace`, accepts any filter speaking
+the :class:`~repro.core.filter_api.PacketFilter` protocol — the
+:class:`~repro.core.bitmap_filter.BitmapFilter`, the
+:class:`~repro.spi.base.StatefulFilter` baselines, ablations — plus a
+labelled :class:`~repro.traffic.trace.Trace`, and produces a
 :class:`~repro.sim.metrics.FilterRunResult` with verdicts, confusion counts
 (attack filter rate, penetration, false positives), and per-second series.
+
+The harness is annotated with :class:`~repro.telemetry.profiling.Timer`
+stages (``classify``/``filter``/``score``) so any run inside
+:func:`~repro.telemetry.profiling.profile_run` contributes to the stage
+breakdown, and publishes throughput metrics (packets filtered, packets/sec)
+when a live telemetry registry is installed.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Union
-
 import numpy as np
 
-from repro.core.bitmap_filter import BitmapFilter
+from repro.core.filter_api import PacketFilter
 from repro.sim.metrics import FilterRunResult, score_run
-from repro.spi.base import StatefulFilter
+from repro.telemetry.profiling import Timer
+from repro.telemetry.registry import get_registry
 from repro.traffic.trace import Trace
 
-AnyFilter = Union[BitmapFilter, StatefulFilter]
+AnyFilter = PacketFilter
 
 
 def run_filter_on_trace(
-    filt: AnyFilter,
+    filt: PacketFilter,
     trace: Trace,
     exact: bool = True,
 ) -> FilterRunResult:
     """Run ``filt`` over ``trace`` (time-sorted) and score the verdicts.
 
-    ``exact`` selects the bitmap filter's batch mode: ``True`` preserves
-    per-packet ordering; ``False`` uses the fully vectorized windowed path
-    (see BitmapFilter.process_batch_windowed for the approximation bound).
-    SPI filters always run their exact array path.
+    ``exact`` selects the batch mode where the filter offers a choice: the
+    bitmap filter's ``True`` preserves per-packet ordering while ``False``
+    uses the fully vectorized windowed path (see
+    ``BitmapFilter.process_batch_windowed`` for the approximation bound).
+    Filters without an approximate path ignore the flag.
     """
+    if not isinstance(filt, PacketFilter):
+        raise TypeError(
+            f"unsupported filter type {type(filt).__name__}: does not "
+            "implement the PacketFilter protocol")
     packets = trace.packets
-    directions = packets.directions(trace.protected)
-    incoming_mask = directions == 1
+    with Timer("classify"):
+        directions = packets.directions(trace.protected)
+        incoming_mask = directions == 1
 
-    start = time.perf_counter()
-    if isinstance(filt, BitmapFilter):
+    with Timer("filter") as timer:
         verdicts = filt.process_batch(packets, exact=exact)
-        filter_stats = filt.stats.as_dict()
-    elif isinstance(filt, StatefulFilter):
-        verdicts = filt.process_array(packets)
-        filter_stats = {
-            "outgoing": filt.stats.outgoing,
-            "incoming": filt.stats.incoming,
-            "incoming_dropped": filt.stats.incoming_dropped,
-            "inserts": filt.stats.inserts,
-            "gc_removed": filt.stats.gc_removed,
-            "flows_kept": filt.num_flows,
-        }
-    else:
-        raise TypeError(f"unsupported filter type {type(filt).__name__}")
-    wall = time.perf_counter() - start
+    wall = timer.elapsed
 
-    confusion, series = score_run(packets, verdicts, incoming_mask, trace.duration)
+    stats = getattr(filt, "stats", None)
+    if stats is not None and hasattr(stats, "as_dict"):
+        filter_stats = stats.as_dict()
+    elif stats is not None:
+        filter_stats = {"repr": repr(stats)}
+    else:
+        filter_stats = {}
+    num_flows = getattr(filt, "num_flows", None)
+    if num_flows is not None:
+        filter_stats["flows_kept"] = num_flows
+
+    registry = get_registry()
+    if registry.enabled:
+        n = len(packets)
+        registry.counter(
+            "repro_pipeline_packets_total",
+            "Packets pushed through run_filter_on_trace",
+        ).inc(n)
+        registry.counter(
+            "repro_pipeline_runs_total", "run_filter_on_trace invocations"
+        ).inc()
+        if wall > 0:
+            registry.gauge(
+                "repro_pipeline_packets_per_second",
+                "Throughput of the most recent filter run (packets/sec)",
+            ).set(n / wall)
+        registry.histogram(
+            "repro_pipeline_filter_seconds",
+            "Wall-clock duration of the filter stage per run",
+        ).observe(wall)
+
+    with Timer("score"):
+        confusion, series = score_run(packets, verdicts, incoming_mask,
+                                      trace.duration)
     return FilterRunResult(
         verdicts=verdicts,
         incoming_mask=incoming_mask,

@@ -17,6 +17,37 @@ from repro.core.resilience import FailPolicy
 from repro.net.address import AddressSpace
 from repro.net.packet import Direction, Packet
 from repro.spi.base import StatefulFilter
+from repro.telemetry.registry import get_registry
+
+
+class _RouterInstruments:
+    """Per-router telemetry (labelled by router name); live registries only."""
+
+    __slots__ = ("packets_in", "packets_out", "dropped_in", "filter_errors",
+                 "fail_policy_activations", "utilization")
+
+    def __init__(self, registry, name: str):
+        self.packets_in = registry.counter(
+            "repro_router_packets_total",
+            "Packets seen on the link, by direction", router=name,
+            direction="in")
+        self.packets_out = registry.counter(
+            "repro_router_packets_total",
+            "Packets seen on the link, by direction", router=name,
+            direction="out")
+        self.dropped_in = registry.counter(
+            "repro_router_dropped_in_total",
+            "Inbound packets dropped at this router", router=name)
+        self.filter_errors = registry.counter(
+            "repro_router_filter_errors_total",
+            "Packets whose filter raised (verdict from the fail policy)",
+            router=name)
+        self.fail_policy_activations = registry.counter(
+            "repro_router_fail_policy_activations_total",
+            "Fail-policy verdicts issued for inbound packets", router=name)
+        self.utilization = registry.gauge(
+            "repro_router_downlink_utilization",
+            "Rolling 1-second downlink utilization estimate", router=name)
 
 
 @dataclass
@@ -57,6 +88,9 @@ class EdgeRouter:
         self.downlink_capacity_bps = downlink_capacity_bps
         self.fail_policy = fail_policy
         self.counters = LinkCounters()
+        registry = get_registry()
+        self._tel = (_RouterInstruments(registry, name)
+                     if registry.enabled else None)
         self._window_start = 0.0
         self._window_bytes_in = 0
         self._utilization = 0.0
@@ -72,13 +106,18 @@ class EdgeRouter:
         """
         direction = pkt.direction(self.protected)
         counters = self.counters
+        tel = self._tel
         if direction is Direction.OUTGOING:
             counters.packets_out += 1
             counters.bytes_out += pkt.size
+            if tel is not None:
+                tel.packets_out.inc()
         elif direction is Direction.INCOMING:
             counters.packets_in += 1
             counters.bytes_in += pkt.size
             self._account_utilization(pkt)
+            if tel is not None:
+                tel.packets_in.inc()
 
         if self.filter is None:
             return Decision.PASS
@@ -86,14 +125,22 @@ class EdgeRouter:
             decision = self.filter.process(pkt)
         except Exception:
             counters.filter_errors += 1
-            if (self.fail_policy is FailPolicy.FAIL_CLOSED
-                    and direction is Direction.INCOMING):
-                decision = Decision.DROP
+            if tel is not None:
+                tel.filter_errors.inc()
+            if direction is Direction.INCOMING:
+                if tel is not None:
+                    tel.fail_policy_activations.inc()
+                if self.fail_policy is FailPolicy.FAIL_CLOSED:
+                    decision = Decision.DROP
+                else:
+                    decision = Decision.PASS
             else:
                 decision = Decision.PASS
         if decision is Decision.DROP and direction is Direction.INCOMING:
             counters.dropped_in += 1
             counters.dropped_bytes_in += pkt.size
+            if tel is not None:
+                tel.dropped_in.inc()
         return decision
 
     def _account_utilization(self, pkt: Packet) -> None:
@@ -105,6 +152,8 @@ class EdgeRouter:
             )
             self._window_start = pkt.ts
             self._window_bytes_in = 0
+            if self._tel is not None:
+                self._tel.utilization.set(self._utilization)
         self._window_bytes_in += pkt.size
 
     @property

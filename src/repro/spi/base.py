@@ -24,7 +24,7 @@ import abc
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.bitmap_filter import Decision
+from repro.core.filter_api import Decision, PacketFilterMixin, deprecated_alias
 from repro.net.address import AddressSpace
 from repro.net.flow import FlowKey, flow_key_of_packet
 from repro.net.packet import Direction, Packet, TcpFlags
@@ -77,8 +77,24 @@ class SpiStats:
             return 0.0
         return self.incoming_dropped / self.incoming
 
+    def as_dict(self) -> dict:
+        return {
+            "outgoing": self.outgoing,
+            "incoming": self.incoming,
+            "incoming_passed": self.incoming_passed,
+            "incoming_dropped": self.incoming_dropped,
+            "dropped_after_close": self.dropped_after_close,
+            "internal": self.internal,
+            "transit": self.transit,
+            "inserts": self.inserts,
+            "refreshes": self.refreshes,
+            "gc_runs": self.gc_runs,
+            "gc_removed": self.gc_removed,
+            "peak_flows": self.peak_flows,
+        }
 
-class StatefulFilter(abc.ABC):
+
+class StatefulFilter(PacketFilterMixin, abc.ABC):
     """Common SPI behaviour over an abstract flow-state store.
 
     Parameters
@@ -214,11 +230,14 @@ class StatefulFilter(abc.ABC):
 
     # -- batch path ------------------------------------------------------------
 
-    def process_array(self, packets: "PacketArray") -> "np.ndarray":
+    def process_batch(self, packets: "PacketArray",
+                      exact: bool = True) -> "np.ndarray":
         """Filter a time-sorted batch; returns a boolean PASS mask.
 
         Semantically identical to calling :meth:`process` per packet, but
         works on plain columns to avoid per-packet object construction.
+        SPI filters have no approximate path, so ``exact`` is accepted for
+        :class:`~repro.core.filter_api.PacketFilter` conformance and ignored.
         """
         import numpy as np  # local import keeps base importable without numpy
 
@@ -253,3 +272,9 @@ class StatefulFilter(abc.ABC):
             else:
                 stats.transit += 1
         return verdict
+
+    def process_array(self, packets: "PacketArray") -> "np.ndarray":
+        """Deprecated alias of :meth:`process_batch`."""
+        deprecated_alias("StatefulFilter.process_array",
+                         "StatefulFilter.process_batch")
+        return self.process_batch(packets)

@@ -1,0 +1,67 @@
+"""Runtime telemetry: metrics registry, profiling hooks, and exporters.
+
+The package gives the running system the observability layer the paper's
+operational claims need (O(1) admission, bounded memory, Δt-periodic
+rotation): counters, gauges, and fixed log-scale-bucket histograms in a
+zero-dependency :class:`MetricsRegistry`, plus lightweight profiling
+(:class:`Timer` / :func:`profiled`) and exporters (Prometheus text format,
+JSON-lines time series sampled every simulated Δt).
+
+Instrumentation is optional by design: the process-wide default registry is
+:data:`NULL_REGISTRY`, whose instruments are shared no-op singletons, and
+every instrumented hot path guards its telemetry behind a single ``is not
+None`` check so the uninstrumented fast path pays nothing.  Install a live
+registry with :func:`set_registry` or scoped via :func:`use_registry`::
+
+    from repro import telemetry
+
+    with telemetry.use_registry(telemetry.MetricsRegistry()) as registry:
+        run_fig5(SMALL)
+        print(telemetry.to_prometheus(registry))
+"""
+
+from repro.telemetry.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    log_buckets,
+    set_registry,
+    use_registry,
+)
+from repro.telemetry.profiling import (
+    StageTimings,
+    Timer,
+    current_profile,
+    profile_run,
+    profiled,
+)
+from repro.telemetry.exporters import (
+    JsonLinesSampler,
+    LiveSummarySampler,
+    to_prometheus,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSampler",
+    "LiveSummarySampler",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "StageTimings",
+    "Timer",
+    "current_profile",
+    "get_registry",
+    "log_buckets",
+    "profile_run",
+    "profiled",
+    "set_registry",
+    "to_prometheus",
+    "use_registry",
+]

@@ -1,0 +1,163 @@
+"""Exporters: Prometheus text format and JSON-lines simulated-time series.
+
+:func:`to_prometheus` renders a whole registry in the Prometheus text
+exposition format (``# HELP`` / ``# TYPE`` headers, cumulative histogram
+buckets with an ``+Inf`` edge).
+
+:class:`JsonLinesSampler` attaches to a registry and, on every simulated-Δt
+tick (see :meth:`~repro.telemetry.registry.MetricsRegistry.tick`), appends
+one JSON object holding the snapshot — cumulative counter/gauge values plus
+per-interval counter deltas — giving a replayable time series of the run.
+:class:`LiveSummarySampler` prints a compact one-line summary every N ticks
+for interactive runs (``repro stats``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Callable, Dict, List, Optional, TextIO
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_labels,
+)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every registered metric in Prometheus text exposition format."""
+    by_name: Dict[str, List] = {}
+    order: List[str] = []
+    for metric in registry.metrics():
+        if metric.name not in by_name:
+            by_name[metric.name] = []
+            order.append(metric.name)
+        by_name[metric.name].append(metric)
+
+    lines: List[str] = []
+    for name in order:
+        group = by_name[name]
+        first = group[0]
+        if first.help:
+            lines.append(f"# HELP {name} {first.help}")
+        lines.append(f"# TYPE {name} {first.kind}")
+        for metric in group:
+            suffix = format_labels(metric.labels)
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{name}{suffix} {_format_value(metric.value)}")
+            elif isinstance(metric, Histogram):
+                label_items = list(metric.labels)
+                cumulative = 0
+                for bound, count in zip(
+                    list(metric.bounds) + [math.inf], metric.bucket_counts
+                ):
+                    cumulative += count
+                    bucket_labels = format_labels(
+                        tuple(label_items + [("le", _format_value(float(bound)))])
+                    )
+                    lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+                lines.append(f"{name}_sum{suffix} {_format_value(metric.sum)}")
+                lines.append(f"{name}_count{suffix} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class JsonLinesSampler:
+    """Snapshot the registry into one JSON object per simulated-Δt tick.
+
+    Each row carries the tick's simulated timestamp, the cumulative value
+    of every counter and gauge, and per-interval deltas for the counters —
+    so ``deltas`` reads directly as "admits/drops/rotations this Δt".
+    Attach with ``registry.add_sampler(sampler)``; rows accumulate in
+    ``rows`` and are optionally streamed to ``stream`` as they happen.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self.stream = stream
+        self.rows: List[dict] = []
+        self._last_counters: Dict[str, float] = {}
+
+    def on_tick(self, ts: float, registry: MetricsRegistry) -> None:
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        for metric in registry.metrics():
+            if isinstance(metric, Counter):
+                counters[metric.full_name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[metric.full_name] = metric.value
+        deltas = {
+            name: value - self._last_counters.get(name, 0)
+            for name, value in counters.items()
+        }
+        self._last_counters = counters
+        row = {"ts": ts, "counters": counters, "deltas": deltas,
+               "gauges": gauges}
+        self.rows.append(row)
+        if self.stream is not None:
+            self.stream.write(json.dumps(row, sort_keys=True) + "\n")
+
+    def to_jsonl(self) -> str:
+        """All rows as newline-delimited JSON (one object per line)."""
+        return "".join(json.dumps(row, sort_keys=True) + "\n"
+                       for row in self.rows)
+
+
+class LiveSummarySampler:
+    """Print a one-line summary of selected counters every ``every`` ticks.
+
+    ``watch`` maps display keys to metric-name *prefixes*; each summary
+    line shows the per-interval delta summed over every counter whose full
+    name starts with the prefix.  The default watches the admission
+    headline: admits, drops, marks, rotations.
+    """
+
+    DEFAULT_WATCH = {
+        "admits": "repro_filter_admits_total",
+        "drops": "repro_filter_drops_total",
+        "marks": "repro_filter_marks_total",
+        "rotations": "repro_filter_rotations_total",
+    }
+
+    def __init__(self, every: int = 1,
+                 watch: Optional[Dict[str, str]] = None,
+                 emit: Callable[[str], None] = print):
+        if every < 1:
+            raise ValueError("summary interval must be at least one tick")
+        self.every = every
+        self.watch = dict(watch) if watch is not None else dict(self.DEFAULT_WATCH)
+        self.emit = emit
+        self.ticks = 0
+        self._last: Dict[str, float] = {}
+
+    def _totals(self, registry: MetricsRegistry) -> Dict[str, float]:
+        totals = {key: 0.0 for key in self.watch}
+        for metric in registry.metrics():
+            if not isinstance(metric, Counter):
+                continue
+            for key, prefix in self.watch.items():
+                if metric.full_name.startswith(prefix):
+                    totals[key] += metric.value
+        return totals
+
+    def on_tick(self, ts: float, registry: MetricsRegistry) -> None:
+        self.ticks += 1
+        if self.ticks % self.every:
+            return
+        totals = self._totals(registry)
+        parts = [f"t={ts:9.1f}s"]
+        for key, total in totals.items():
+            delta = total - self._last.get(key, 0.0)
+            parts.append(f"{key}={int(delta):>8} (Σ{int(total)})")
+        self._last = totals
+        self.emit("  ".join(parts))

@@ -1,0 +1,162 @@
+"""Lightweight profiling: per-stage wall-time breakdowns for experiments.
+
+A :class:`StageTimings` is an ordered accumulation of named stage
+durations.  :func:`profile_run` pushes one onto a thread-local stack;
+:class:`Timer` (a context manager) and :func:`profiled` (a decorator)
+record into whatever profile is active, so library code can be annotated
+once and pay two ``perf_counter`` calls per stage whether or not anyone is
+collecting — per *stage*, never per packet.
+
+    with profile_run() as timings:
+        with Timer("generate"):
+            trace = generate_trace(scale)
+        run_filter_on_trace(filt, trace)   # annotated internally
+    print(timings.report())
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class StageTimings:
+    """Ordered per-stage wall-time accumulation (seconds)."""
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    def add(self, stage: str, seconds: float) -> None:
+        self._stages[stage] = self._stages.get(stage, 0.0) + seconds
+        self._calls[stage] = self._calls.get(stage, 0) + 1
+
+    def get(self, stage: str) -> float:
+        return self._stages.get(stage, 0.0)
+
+    def calls(self, stage: str) -> int:
+        return self._calls.get(stage, 0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._stages.values())
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(self._stages.items())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._stages)
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def __contains__(self, stage: str) -> bool:
+        return stage in self._stages
+
+    def report(self, title: str = "stage breakdown") -> str:
+        """Render the breakdown as an aligned text table."""
+        if not self._stages:
+            return f"{title}: (no stages recorded)"
+        total = self.total
+        width = max(len(stage) for stage in self._stages)
+        lines = [f"{title} (total {total:.3f}s):"]
+        for stage, seconds in self._stages.items():
+            share = seconds / total * 100.0 if total else 0.0
+            calls = self._calls[stage]
+            lines.append(
+                f"  {stage:<{width}}  {seconds:>9.4f}s  {share:>5.1f}%"
+                f"  ({calls} call{'s' if calls != 1 else ''})"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:.4f}s" for k, v in self._stages.items())
+        return f"StageTimings({inner})"
+
+
+class _ProfileStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[StageTimings] = []
+
+
+_profiles = _ProfileStack()
+
+
+def current_profile() -> Optional[StageTimings]:
+    """The innermost active profile, or None when nothing is collecting."""
+    stack = _profiles.stack
+    return stack[-1] if stack else None
+
+
+class profile_run:
+    """Context manager collecting stage timings for everything inside it."""
+
+    def __init__(self, timings: Optional[StageTimings] = None):
+        self.timings = timings if timings is not None else StageTimings()
+
+    def __enter__(self) -> StageTimings:
+        _profiles.stack.append(self.timings)
+        return self.timings
+
+    def __exit__(self, *exc) -> None:
+        _profiles.stack.pop()
+
+
+class Timer:
+    """Measure one stage: records into the active profile (if any) on exit.
+
+    Usable standalone too — ``elapsed`` holds the duration after exit::
+
+        with Timer("filter") as t:
+            filt.process_batch(packets)
+        print(t.elapsed)
+    """
+
+    __slots__ = ("stage", "timings", "elapsed", "_start")
+
+    def __init__(self, stage: str, timings: Optional[StageTimings] = None):
+        self.stage = stage
+        self.timings = timings
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        target = self.timings if self.timings is not None else current_profile()
+        if target is not None:
+            target.add(self.stage, self.elapsed)
+
+
+def profiled(stage: Optional[str] = None) -> Callable:
+    """Decorator form of :class:`Timer`: times every call of the function.
+
+    ``stage`` defaults to the function's qualified name.  Works bare or
+    with an argument::
+
+        @profiled()
+        def score(...): ...
+
+        @profiled("filter")
+        def run_batch(...): ...
+    """
+    if callable(stage):  # @profiled without parentheses
+        func, stage = stage, None
+        return profiled(None)(func)
+
+    def decorate(func: Callable) -> Callable:
+        name = stage if stage is not None else func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with Timer(name):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

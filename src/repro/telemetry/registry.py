@@ -1,0 +1,353 @@
+"""The metrics registry: counters, gauges, and log-bucket histograms.
+
+Zero dependencies, two implementations of one interface:
+
+- :class:`MetricsRegistry` — a live registry.  ``counter``/``gauge``/
+  ``histogram`` get-or-create named instruments (optionally labelled), and
+  :meth:`MetricsRegistry.tick` fans a simulated-time pulse out to attached
+  samplers (the bitmap filter ticks once per rotation, i.e. once per
+  simulated Δt).
+- :class:`NullRegistry` — the process-wide default.  Every accessor returns
+  a shared no-op instrument and ``enabled`` is False, so instrumented
+  components can skip their telemetry blocks entirely; the uninstrumented
+  hot path pays one pointer comparison, nothing more.
+
+The module-level default registry (:func:`get_registry` /
+:func:`set_registry` / :func:`use_registry`) is what components capture at
+construction time when no explicit registry is passed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_labels(labels: LabelSet) -> str:
+    """Render a label set as the ``{k="v",...}`` suffix ("" when empty)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+def log_buckets(minimum: float, maximum: float, per_decade: int = 3) -> List[float]:
+    """Fixed log-scale bucket bounds from ``minimum`` up to >= ``maximum``.
+
+    ``per_decade`` bounds per factor of 10, log-uniformly spaced; the list
+    always starts at ``minimum`` and ends at the first bound >= ``maximum``.
+    """
+    if minimum <= 0 or maximum <= minimum:
+        raise ValueError("need 0 < minimum < maximum")
+    if per_decade < 1:
+        raise ValueError("need at least one bucket per decade")
+    step = 10.0 ** (1.0 / per_decade)
+    bounds = [minimum]
+    while bounds[-1] < maximum:
+        bounds.append(bounds[-1] * step)
+    return bounds
+
+
+#: Default histogram buckets: 1 µs to ~100 s, three per decade (wall times).
+DEFAULT_TIME_BUCKETS = tuple(log_buckets(1e-6, 100.0, per_decade=3))
+
+
+class Metric:
+    """Common identity of one registered instrument."""
+
+    kind = "untyped"
+
+    __slots__ = ("name", "labels", "help")
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+
+    @property
+    def full_name(self) -> str:
+        return self.name + format_labels(self.labels)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.full_name!r})"
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = ""):
+        super().__init__(name, labels, help)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = ""):
+        super().__init__(name, labels, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram(Metric):
+    """A distribution over fixed log-scale buckets.
+
+    ``bounds`` are upper bucket edges (ascending); an implicit +Inf bucket
+    catches the overflow.  ``observe`` is O(log #buckets) via bisection.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("bounds", "bucket_counts", "_sum", "_count")
+
+    def __init__(self, name: str, labels: LabelSet = (), help: str = "",
+                 bounds: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        super().__init__(name, labels, help)
+        bounds = list(bounds)
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly ascending")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # trailing +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper edge of the bucket)."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._count:
+            return math.nan
+        target = q * self._count
+        running = 0
+        for i, n in enumerate(self.bucket_counts):
+            running += n
+            if running >= target:
+                return self.bounds[i] if i < len(self.bounds) else math.inf
+        return math.inf
+
+
+class MetricsRegistry:
+    """A live registry of named instruments plus simulated-time samplers."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelSet], Metric] = {}
+        self._samplers: List[object] = []
+        self._lock = threading.Lock()
+
+    # -- instrument accessors (get-or-create) --------------------------------
+
+    def _get_or_create(self, factory: Callable[..., Metric], name: str,
+                       help: str, labels: Dict[str, object],
+                       **kwargs) -> Metric:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory(name, key[1], help, **kwargs)
+                self._metrics[key] = metric
+            elif not isinstance(metric, factory):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  bounds: Sequence[float] = DEFAULT_TIME_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   bounds=bounds)
+
+    # -- introspection ----------------------------------------------------------
+
+    def metrics(self) -> Iterator[Metric]:
+        """All registered instruments, in registration order."""
+        return iter(list(self._metrics.values()))
+
+    def get(self, name: str, **labels) -> Optional[Metric]:
+        """The registered instrument with this name/labels, or None."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current value of every counter and gauge, keyed by full name.
+
+        Histograms contribute their ``_count`` and ``_sum`` as two scalar
+        entries so a snapshot row is always flat.
+        """
+        out: Dict[str, float] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                out[metric.full_name + "_count"] = metric.count
+                out[metric.full_name + "_sum"] = metric.sum
+            else:
+                out[metric.full_name] = metric.value  # type: ignore[attr-defined]
+        return out
+
+    # -- simulated-time sampling ----------------------------------------------
+
+    def add_sampler(self, sampler) -> None:
+        """Attach a sampler: ``sampler.on_tick(ts, registry)`` per tick."""
+        self._samplers.append(sampler)
+
+    def remove_sampler(self, sampler) -> None:
+        self._samplers.remove(sampler)
+
+    def tick(self, ts: float) -> None:
+        """Pulse attached samplers at simulated time ``ts``.
+
+        Instrumented components call this on every Δt boundary they own
+        (the bitmap filter: once per rotation), giving samplers a
+        simulated-time series without any wall-clock machinery.
+        """
+        for sampler in self._samplers:
+            sampler.on_tick(ts, self)
+
+
+class _NullInstrument:
+    """Absorbs every instrument mutation; shared by all null metrics."""
+
+    __slots__ = ()
+
+    name = "null"
+    labels: LabelSet = ()
+    help = ""
+    kind = "null"
+    full_name = "null"
+    value = 0
+    sum = 0.0
+    count = 0
+    bounds: List[float] = []
+    bucket_counts: List[int] = []
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The default no-op registry: nothing is recorded, nothing is kept."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "",
+                  bounds: Sequence[float] = DEFAULT_TIME_BUCKETS,
+                  **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def add_sampler(self, sampler) -> None:
+        pass
+
+    def tick(self, ts: float) -> None:
+        pass
+
+
+#: The shared default: telemetry off unless a live registry is installed.
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry components capture when none is passed explicitly."""
+    return _default_registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` as the process default (None → the null one).
+
+    Returns the previously installed registry so callers can restore it.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Optional[MetricsRegistry] = None):
+    """Scoped :func:`set_registry`: yields the registry, restores on exit."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

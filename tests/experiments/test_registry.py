@@ -1,0 +1,134 @@
+"""Tests for the experiment registry and the uniform run(scale) API."""
+
+import sys
+import types
+
+import pytest
+
+from repro.experiments.config import SMALL, get_scale
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    ExperimentSpec,
+    run_experiment,
+)
+from repro.telemetry.profiling import StageTimings
+
+
+class TestRegistryTable:
+    def test_covers_every_experiment_module(self):
+        names = set(EXPERIMENTS)
+        expected = {"fig2a", "fig2b", "fig2c", "table1", "capacity", "fig4",
+                    "fig5", "insider", "apd", "sweep", "worm", "aggregate",
+                    "timing", "compat", "robustness", "resilience",
+                    "throttle", "collusion"}
+        assert names == expected
+
+    def test_every_module_exposes_run(self):
+        import importlib
+        import inspect
+
+        for spec in EXPERIMENTS.values():
+            run = importlib.import_module(spec.module).run
+            params = inspect.signature(run).parameters
+            assert "scale" in params, spec.name
+
+    def test_small_only_clamp(self):
+        clamped = EXPERIMENTS["worm"]
+        assert clamped.small_only
+        assert clamped.effective_scale("medium") is SMALL
+        assert clamped.effective_scale("small") is get_scale("small")
+
+    def test_unclamped_resolves_requested_scale(self):
+        spec = EXPERIMENTS["fig5"]
+        assert not spec.small_only
+        assert spec.effective_scale("medium") is get_scale("medium")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            EXPERIMENTS["fig5"].effective_scale("galactic")
+
+
+class _FakeValue:
+    def report(self):
+        return "fake report"
+
+
+def _install_fake_module(monkeypatch, run):
+    module = types.ModuleType("repro.experiments._fake")
+    module.run = run
+    monkeypatch.setitem(sys.modules, "repro.experiments._fake", module)
+    spec = ExperimentSpec(name="fake", module="repro.experiments._fake",
+                          help="test stub", small_only=False)
+    monkeypatch.setitem(EXPERIMENTS, "fake", spec)
+    return spec
+
+
+class TestRunExperiment:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("nope")
+
+    def test_runs_and_wraps(self, monkeypatch):
+        seen = {}
+
+        def run(scale):
+            seen["scale"] = scale
+            return _FakeValue()
+
+        _install_fake_module(monkeypatch, run)
+        result = run_experiment("fake", scale="small")
+        assert result.name == "fake"
+        assert seen["scale"] is get_scale("small")
+        assert result.scale is get_scale("small")
+        assert result.timings is None
+        assert result.report() == "fake report"
+
+    def test_seed_override(self, monkeypatch):
+        seen = {}
+        _install_fake_module(
+            monkeypatch, lambda scale: seen.setdefault("scale", scale))
+        run_experiment("fake", scale="small", seed=1234)
+        assert seen["scale"].seed == 1234
+
+    def test_seed_ignored_when_clamped(self, monkeypatch):
+        seen = {}
+        module = types.ModuleType("repro.experiments._fake")
+        module.run = lambda scale: seen.setdefault("scale", scale)
+        monkeypatch.setitem(sys.modules, "repro.experiments._fake", module)
+        spec = ExperimentSpec(name="fake", module="repro.experiments._fake",
+                              help="test stub", small_only=True)
+        monkeypatch.setitem(EXPERIMENTS, "fake", spec)
+        run_experiment("fake", scale="medium", seed=1234)
+        # The clamp discarded the request, so the seed stays SMALL's.
+        assert seen["scale"] is SMALL
+
+    def test_profile_collects_stage_breakdown(self, monkeypatch):
+        _install_fake_module(monkeypatch, lambda scale: _FakeValue())
+        result = run_experiment("fake", scale="small", profile=True)
+        assert result.timings is not None
+        assert result.timings.calls("run:fake") == 1
+        assert "stage breakdown" in result.report()
+        assert "run:fake" in result.report()
+
+    def test_render_extra_appended(self, monkeypatch):
+        module = types.ModuleType("repro.experiments._fake")
+        module.run = lambda scale: _FakeValue()
+        monkeypatch.setitem(sys.modules, "repro.experiments._fake", module)
+        spec = ExperimentSpec(name="fake", module="repro.experiments._fake",
+                              help="test stub", small_only=False,
+                              render=lambda value: "\nEXTRA LINE")
+        monkeypatch.setitem(EXPERIMENTS, "fake", spec)
+        report = run_experiment("fake", scale="small").report()
+        assert report == "fake report\nEXTRA LINE"
+
+
+class TestExperimentResult:
+    def test_report_falls_back_to_str(self):
+        result = ExperimentResult(name="x", scale=None, value=42)
+        assert result.report() == "42"
+
+    def test_empty_timings_not_rendered(self):
+        result = ExperimentResult(name="x", scale=None, value=42,
+                                  timings=StageTimings())
+        assert "breakdown" not in result.report()

@@ -6,10 +6,16 @@ import pytest
 from repro.core.bitmap_filter import BitmapFilter, Decision
 from repro.core.resilience import FailPolicy
 from repro.faults.harness import run_with_faults
-from repro.faults.injectors import CrashRestart, Outage, RotationStall
+from repro.faults.injectors import (
+    CrashRestart,
+    Outage,
+    PacketReorder,
+    RotationStall,
+)
 from repro.net.packet import PacketArray
 from repro.sim.pipeline import run_filter_on_trace
 from repro.sim.router import EdgeRouter
+from repro.telemetry.registry import use_registry
 from tests.conftest import make_reply, make_request
 
 
@@ -192,3 +198,95 @@ class TestHarness:
         )
         assert len(result.run.verdicts) == len(tiny_trace.packets)
         assert not result.filter.rotations_stalled
+
+
+@pytest.mark.telemetry
+class TestFaultTelemetry:
+    """Fault injections and degraded-mode transitions show up in metrics."""
+
+    def _injected(self, registry, name):
+        counter = registry.get("repro_faults_injected_total", fault=name)
+        return 0 if counter is None else counter.value
+
+    def test_event_injectors_increment_named_counters(
+        self, small_config, tiny_trace
+    ):
+        outage = Outage(at=20.0, duration=5.0, warmup_grace=0.0)
+        stall = RotationStall(at=30.0, duration=5.0)
+        with use_registry() as registry:
+            run_with_faults(
+                BitmapFilter(small_config, tiny_trace.protected), tiny_trace,
+                [outage, stall],
+            )
+        # Each injector fires two timed events (enter + leave).
+        assert self._injected(registry, outage.name) == 2
+        assert self._injected(registry, stall.name) == 2
+
+    def test_trace_transform_counts_one_injection(self, small_config,
+                                                  tiny_trace):
+        reorder = PacketReorder(fraction=0.1, max_delay=0.5)
+        with use_registry() as registry:
+            run_with_faults(
+                BitmapFilter(small_config, tiny_trace.protected), tiny_trace,
+                [reorder],
+            )
+        assert self._injected(registry, reorder.name) == 1
+
+    def test_no_faults_no_counter(self, small_config, tiny_trace):
+        with use_registry() as registry:
+            run_with_faults(
+                BitmapFilter(small_config, tiny_trace.protected), tiny_trace,
+                [],
+            )
+        assert registry.get("repro_faults_injected_total") is None
+
+    def test_degraded_gauge_tracks_fail_and_recover(self, small_config,
+                                                    protected):
+        with use_registry() as registry:
+            filt = BitmapFilter(small_config, protected)
+            gauge = registry.get("repro_filter_degraded")
+            assert gauge.value == 0
+            filt.fail()
+            assert gauge.value == 1
+            filt.recover(12.0)
+            assert gauge.value == 0
+
+    def test_degraded_admission_counters(self, small_config, protected,
+                                         client_addr, server_addr):
+        with use_registry() as registry:
+            filt = BitmapFilter(small_config, protected,
+                                fail_policy=FailPolicy.FAIL_OPEN)
+            filt.fail()
+            request = make_request(1.0, client_addr, server_addr)
+            filt.process(make_reply(request, 1.5))
+            assert registry.get("repro_filter_degraded_admits_total").value == 1
+            filt.recover(2.0)
+            closed = BitmapFilter(small_config, protected)
+            closed.fail()
+            closed.process(make_reply(request, 3.0))
+            assert registry.get("repro_filter_degraded_drops_total").value == 1
+
+    def test_stalled_gauge_and_warmup_deadline(self, small_config, protected):
+        with use_registry() as registry:
+            filt = BitmapFilter(small_config, protected)
+            filt.stall_rotations()
+            assert registry.get("repro_filter_rotations_stalled").value == 1
+            filt.resume_rotations(17.0, catch_up=True)
+            assert registry.get("repro_filter_rotations_stalled").value == 0
+            filt.begin_warmup(42.0)
+            assert (registry.get("repro_filter_warmup_until_seconds").value
+                    == 42.0)
+
+    def test_outage_run_records_transition_pair(self, small_config,
+                                                tiny_trace):
+        outage = Outage(at=20.0, duration=5.0, warmup_grace=0.0)
+        with use_registry() as registry:
+            result = run_with_faults(
+                BitmapFilter(small_config, tiny_trace.protected), tiny_trace,
+                [outage],
+            )
+        # The filter went down and came back: gauge ends at 0, and the
+        # degraded-mode drop counter saw the fail-closed window's traffic.
+        assert registry.get("repro_filter_degraded").value == 0
+        dropped = registry.get("repro_filter_degraded_drops_total").value
+        assert dropped == result.run.filter_stats["degraded_dropped"] > 0

@@ -1,0 +1,112 @@
+"""Tests for repro.telemetry.profiling — timers and stage breakdowns."""
+
+import pytest
+
+pytestmark = pytest.mark.telemetry
+
+from repro.telemetry.profiling import (
+    StageTimings,
+    Timer,
+    current_profile,
+    profile_run,
+    profiled,
+)
+
+
+class TestStageTimings:
+    def test_accumulates(self):
+        t = StageTimings()
+        t.add("a", 1.0)
+        t.add("a", 0.5)
+        t.add("b", 2.0)
+        assert t.get("a") == 1.5
+        assert t.calls("a") == 2
+        assert t.total == 3.5
+        assert "a" in t and "c" not in t
+        assert t.as_dict() == {"a": 1.5, "b": 2.0}
+
+    def test_report_renders(self):
+        t = StageTimings()
+        t.add("generate", 1.0)
+        t.add("filter", 3.0)
+        report = t.report()
+        assert "generate" in report
+        assert "filter" in report
+        assert "75.0%" in report
+
+    def test_empty_report(self):
+        assert "no stages" in StageTimings().report()
+
+
+class TestTimer:
+    def test_standalone_elapsed(self):
+        with Timer("x") as timer:
+            pass
+        assert timer.elapsed >= 0
+
+    def test_records_into_explicit_timings(self):
+        timings = StageTimings()
+        with Timer("stage", timings):
+            pass
+        assert timings.calls("stage") == 1
+
+    def test_no_active_profile_is_silent(self):
+        assert current_profile() is None
+        with Timer("orphan"):
+            pass  # nothing to record into; must not raise
+
+
+class TestProfileRun:
+    def test_collects_nested_timers(self):
+        with profile_run() as timings:
+            with Timer("a"):
+                pass
+            with Timer("a"):
+                pass
+            with Timer("b"):
+                pass
+        assert timings.calls("a") == 2
+        assert timings.calls("b") == 1
+
+    def test_stack_restored(self):
+        assert current_profile() is None
+        with profile_run() as outer:
+            assert current_profile() is outer
+            with profile_run() as inner:
+                assert current_profile() is inner
+                with Timer("deep"):
+                    pass
+            assert current_profile() is outer
+        assert current_profile() is None
+        # Innermost profile got the timing, outer did not.
+        assert "deep" in inner
+        assert "deep" not in outer
+
+
+class TestProfiled:
+    def test_with_stage_name(self):
+        @profiled("work")
+        def f(x):
+            return x + 1
+
+        with profile_run() as timings:
+            assert f(1) == 2
+        assert timings.calls("work") == 1
+
+    def test_bare_decorator_uses_qualname(self):
+        @profiled
+        def g():
+            return "ok"
+
+        with profile_run() as timings:
+            assert g() == "ok"
+        assert any("g" in stage for stage, _ in timings.items())
+
+    def test_with_parens_no_arg(self):
+        @profiled()
+        def h():
+            return 3
+
+        with profile_run() as timings:
+            assert h() == 3
+        assert len(timings) == 1

@@ -1,0 +1,206 @@
+"""Tests for repro.telemetry.registry — instruments and the registry."""
+
+import math
+import threading
+
+import pytest
+
+pytestmark = pytest.mark.telemetry
+
+from repro.telemetry.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    log_buckets,
+    set_registry,
+    use_registry,
+)
+
+
+class TestLogBuckets:
+    def test_spans_range(self):
+        bounds = log_buckets(1e-6, 1.0, per_decade=3)
+        assert bounds[0] == 1e-6
+        assert bounds[-1] >= 1.0
+        assert bounds == sorted(bounds)
+
+    def test_three_per_decade(self):
+        bounds = log_buckets(1.0, 10.0, per_decade=3)
+        # 1, 10^(1/3), 10^(2/3), 10
+        assert len(bounds) == 4
+        assert bounds[1] == pytest.approx(10 ** (1 / 3))
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_buckets(0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(2.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 10.0, per_decade=0)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class TestHistogram:
+    def test_observe_buckets(self):
+        h = Histogram("h", bounds=[1.0, 10.0, 100.0])
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_quantile(self):
+        h = Histogram("h", bounds=[1.0, 10.0, 100.0])
+        for _ in range(99):
+            h.observe(0.5)
+        h.observe(50.0)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 100.0
+        assert math.isnan(Histogram("e", bounds=[1.0]).quantile(0.5))
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=[10.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=[1.0, 1.0])
+
+
+class TestRegistry:
+    def test_get_or_create_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "help")
+        b = reg.counter("x")
+        assert a is b
+
+    def test_labels_distinguish(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", path="scalar")
+        b = reg.counter("x", path="batch")
+        assert a is not b
+        assert reg.get("x", path="scalar") is a
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", a="1", b="2")
+        b = reg.counter("x", b="2", a="1")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_flat(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=[1.0]).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 1.5
+        assert snap["h_count"] == 1
+        assert snap["h_sum"] == 0.5
+
+    def test_tick_fans_out(self):
+        reg = MetricsRegistry()
+        seen = []
+
+        class Sampler:
+            def on_tick(self, ts, registry):
+                seen.append((ts, registry))
+
+        sampler = Sampler()
+        reg.add_sampler(sampler)
+        reg.tick(5.0)
+        reg.remove_sampler(sampler)
+        reg.tick(10.0)
+        assert seen == [(5.0, reg)]
+
+    def test_thread_safe_get_or_create(self):
+        reg = MetricsRegistry()
+        results = []
+
+        def create():
+            results.append(reg.counter("shared"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is results[0] for c in results)
+
+
+class TestNullRegistry:
+    def test_disabled(self):
+        assert NullRegistry().enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_accessors_share_noop(self):
+        reg = NullRegistry()
+        c = reg.counter("x")
+        g = reg.gauge("y")
+        h = reg.histogram("z")
+        assert c is g is h
+        # All mutations absorb silently.
+        c.inc()
+        g.set(5)
+        h.observe(1.0)
+        assert c.value == 0
+
+    def test_tick_noop(self):
+        reg = NullRegistry()
+        reg.add_sampler(object())  # never called, never stored
+        reg.tick(1.0)
+
+
+class TestDefaultRegistry:
+    def test_default_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+
+    def test_set_and_restore(self):
+        live = MetricsRegistry()
+        previous = set_registry(live)
+        try:
+            assert get_registry() is live
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_use_registry_scopes(self):
+        with use_registry() as reg:
+            assert get_registry() is reg
+            assert reg.enabled
+        assert get_registry() is NULL_REGISTRY
+
+    def test_use_registry_accepts_explicit(self):
+        mine = MetricsRegistry()
+        with use_registry(mine) as reg:
+            assert reg is mine

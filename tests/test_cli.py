@@ -44,6 +44,47 @@ class TestExecution:
         assert "delay frac < 2.8 s" in out
 
 
+@pytest.mark.telemetry
+class TestStatsCommand:
+    def test_stats_inline_sections(self, capsys):
+        assert main(["stats", "--experiment", "capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "--- prometheus ---" in out
+        assert "--- jsonl ---" in out
+
+    def test_stats_fig5_exports_per_interval_series(self, capsys, tmp_path):
+        import json
+
+        prom_path = tmp_path / "metrics.prom"
+        jsonl_path = tmp_path / "series.jsonl"
+        assert main(["stats", "--experiment", "fig5", "--scale", "small",
+                     "--every", "50", "--prom-out", str(prom_path),
+                     "--jsonl-out", str(jsonl_path)]) == 0
+        out = capsys.readouterr().out
+        assert "penetration" in out.lower() or "utilization" in out.lower()
+
+        prom = prom_path.read_text()
+        assert "# TYPE repro_filter_admits_total counter" in prom
+        assert "# TYPE repro_filter_rotations_total counter" in prom
+        assert 'repro_filter_drops_total{path="exact_batch"}' in prom
+        assert "repro_filter_rotation_seconds_bucket" in prom
+        for line in prom.splitlines():
+            if line and not line.startswith("#"):
+                float(line.rsplit(" ", 1)[1])
+
+        rows = [json.loads(line)
+                for line in jsonl_path.read_text().splitlines()]
+        assert len(rows) > 10  # one row per Δt rotation tick
+        assert all({"ts", "counters", "deltas", "gauges"} <= set(row)
+                   for row in rows)
+        admit_key = 'repro_filter_admits_total{path="exact_batch"}'
+        assert sum(row["deltas"].get(admit_key, 0) for row in rows) > 0
+
+    def test_stats_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--experiment", "nope"])
+
+
 class TestTraceTools:
     def test_trace_gen_and_info(self, capsys, tmp_path):
         out = tmp_path / "t.npz"

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos profile figures experiments examples clean
+.PHONY: install test bench chaos differential profile figures experiments examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,6 +17,11 @@ bench:
 # Works without `make install` by putting src/ on the path.
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience.py -m faults -s
+
+# Serial-vs-sharded equivalence proof plus the workers-vs-pps table.
+differential:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/differential/ -m differential
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_parallel_scaling.py -s
 
 # Profile fig5 with live telemetry: stage breakdown + metric exports.
 profile:

@@ -1,0 +1,78 @@
+"""Workers-vs-throughput scaling of the sharded execution backend.
+
+Replays the MEDIUM-scale Fig. 5 attack trace through the bitmap filter on
+the serial backend and on the sharded backend at 1, 2, and 4 workers,
+printing a workers-vs-pps table (the numbers quoted in EXPERIMENTS.md).
+Verdict equality against the serial run is asserted unconditionally — the
+equivalence guarantee holds at any core count.  The >= 2x speedup
+assertion at 4 workers only makes sense with >= 4 usable cores, so it is
+skipped (after printing the table) on smaller machines.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap_filter import BitmapFilter
+from repro.experiments.config import MEDIUM
+from repro.parallel import ShardedBitmapFilter
+
+WORKER_COUNTS = (1, 2, 4)
+SPEEDUP_TARGET = 2.0     # at 4 workers, vs the serial baseline
+REQUIRED_CORES = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_run(filt, packets) -> float:
+    start = time.perf_counter()
+    filt.process_batch(packets, exact=True)
+    return time.perf_counter() - start
+
+
+def test_sharded_scaling(attacked_trace, capsys):
+    packets = attacked_trace.packets
+    protected = attacked_trace.protected
+    config = MEDIUM.bitmap_config()
+
+    serial = BitmapFilter(config, protected)
+    serial_wall = _timed_run(serial, packets)
+    serial_verdicts = BitmapFilter(config, protected).process_batch(
+        packets, exact=True)
+
+    rows = [("serial", serial_wall, len(packets) / serial_wall, 1.0)]
+    for workers in WORKER_COUNTS:
+        with ShardedBitmapFilter(config, protected,
+                                 num_workers=workers) as sharded:
+            wall = _timed_run(sharded, packets)
+        with ShardedBitmapFilter(config, protected,
+                                 num_workers=workers) as sharded:
+            assert np.array_equal(
+                sharded.process_batch(packets, exact=True), serial_verdicts
+            ), f"sharded verdicts diverged at {workers} workers"
+        rows.append((f"{workers} worker{'s' if workers > 1 else ''}",
+                     wall, len(packets) / wall, serial_wall / wall))
+
+    cores = _usable_cores()
+    with capsys.disabled():
+        print(f"\nsharded scaling, {len(packets)} packets, "
+              f"{cores} usable core(s):")
+        print(f"  {'backend':<12} {'wall (s)':>9} {'pps':>12} {'speedup':>8}")
+        for label, wall, pps, speedup in rows:
+            print(f"  {label:<12} {wall:>9.3f} {pps:>12,.0f} {speedup:>7.2f}x")
+
+    if cores < REQUIRED_CORES:
+        pytest.skip(
+            f"speedup assertion needs >= {REQUIRED_CORES} usable cores, "
+            f"have {cores}; verdict equality was still asserted above")
+    four_worker_speedup = rows[-1][3]
+    assert four_worker_speedup >= SPEEDUP_TARGET, (
+        f"expected >= {SPEEDUP_TARGET}x at 4 workers, "
+        f"measured {four_worker_speedup:.2f}x")

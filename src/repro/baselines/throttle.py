@@ -176,6 +176,6 @@ class AggregateRateLimiter(PacketFilterMixin):
 
     def process_array(self, packets) -> "object":
         """Deprecated alias of :meth:`process_batch`."""
-        deprecated_alias("AggregateRateLimiter.process_array",
-                         "AggregateRateLimiter.process_batch")
+        deprecated_alias(f"{type(self).__name__}.process_array",
+                         f"{type(self).__name__}.process_batch")
         return self.process_batch(packets)

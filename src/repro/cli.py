@@ -43,6 +43,15 @@ def _experiment_args(parser: argparse.ArgumentParser, default: str) -> None:
         action="store_true",
         help="collect per-stage wall times and append the breakdown",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run bitmap filters on the sharded backend with N worker "
+             "processes (results are bit-for-bit identical to serial; "
+             "see docs/parallel.md)",
+    )
 
 
 def _resolve_scale(args: argparse.Namespace):
@@ -251,8 +260,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _backend_scope(args: argparse.Namespace):
+    """The execution-backend context the run executes under.
+
+    ``--workers N`` installs the sharded backend for the whole command, so
+    every ``create_filter`` call inside the experiments fans out; without
+    it this is a no-op scope.
+    """
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        from contextlib import nullcontext
+
+        return nullcontext()
+    from repro.parallel import use_backend
+
+    return use_backend(name="sharded", workers=workers)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    with _backend_scope(args):
+        return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.experiment == "trace-gen":
         print(_cmd_trace_gen(args))
         return 0

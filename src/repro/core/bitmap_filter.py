@@ -805,6 +805,32 @@ class BitmapFilter(PacketFilterMixin):
         key = bitmap_key_outgoing(proto, local_addr, local_port, remote_addr)
         self.bitmap.mark(self.hashes.indices(key))
 
+    def flip_bits(self, fraction: float, seed: int = 0xB17F11) -> int:
+        """Flip each bit of every vector with probability ``fraction``.
+
+        The memory-corruption fault surface (see
+        :class:`~repro.faults.injectors.BitFlips`).  Deterministic in
+        ``seed``, so replicas fed the same call corrupt identically — the
+        sharded backend relies on this to keep worker bitmaps bit-for-bit
+        equal to the serial filter under fault injection.  Returns the
+        number of bits flipped.
+        """
+        if not 0 <= fraction <= 1:
+            raise ValueError("flip fraction must be within [0, 1]")
+        rng = np.random.default_rng(seed)
+        total = 0
+        for vec in self.bitmap.vectors:
+            count = int(rng.binomial(vec.num_bits, fraction))
+            if not count:
+                continue
+            indices = rng.choice(vec.num_bits, size=count, replace=False)
+            view = vec.as_numpy()
+            byte_idx = (indices >> 3).astype(np.int64)
+            masks = np.left_shift(np.uint8(1), (indices & 7).astype(np.uint8))
+            np.bitwise_xor.at(view, byte_idx, masks)
+            total += count
+        return total
+
     def would_pass_incoming(self, pkt: Packet) -> bool:
         """Non-mutating lookup: would this incoming packet pass right now?"""
         key = bitmap_key_incoming(pkt.proto, pkt.dst, pkt.dport, pkt.src)

@@ -179,8 +179,8 @@ class CloseAwareBitmapFilter(PacketFilterMixin):
 
     def process_array(self, packets) -> np.ndarray:
         """Deprecated alias of :meth:`process_batch`."""
-        deprecated_alias("CloseAwareBitmapFilter.process_array",
-                         "CloseAwareBitmapFilter.process_batch")
+        deprecated_alias(f"{type(self).__name__}.process_array",
+                         f"{type(self).__name__}.process_batch")
         return self.process_batch(packets)
 
     # -- introspection -------------------------------------------------------------

@@ -201,8 +201,11 @@ class BitFlips(FaultInjector):
 
     def events(self) -> List[FaultEvent]:
         def flip(filt: BitmapFilter, now: float) -> None:
-            rng = np.random.default_rng(self.seed)
-            self.flipped = flip_random_bits(filt.bitmap, self.fraction, rng)
+            # Going through the filter's own fault surface (instead of
+            # XORing filt.bitmap directly) keeps the injector working
+            # against the sharded proxy, which broadcasts the flip so
+            # every worker replica corrupts identically.
+            self.flipped = filt.flip_bits(self.fraction, self.seed)
 
         return [FaultEvent(self.at, self.name, flip)]
 
@@ -212,7 +215,9 @@ def flip_random_bits(bitmap: Bitmap, fraction: float,
     """Flip each bit of every vector with probability ``fraction``.
 
     Returns the total number of bits flipped (binomially sampled per
-    vector, XORed through the writable numpy views).
+    vector, XORed through the writable numpy views).  Kept for direct
+    bitmap-level corruption; :meth:`BitmapFilter.flip_bits` is the
+    filter-level twin the injectors use.
     """
     total = 0
     for vec in bitmap.vectors:

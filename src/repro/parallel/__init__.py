@@ -1,0 +1,44 @@
+"""Sharded parallel execution for the bitmap filter (docs/parallel.md).
+
+The package splits into three layers:
+
+- :mod:`repro.parallel.worker` — the per-shard worker process: one
+  :class:`~repro.core.bitmap_filter.BitmapFilter` replica plus its own
+  telemetry registry behind a tiny pickled-tuple pipe protocol.
+- :mod:`repro.parallel.sharded` — :class:`ShardedBitmapFilter`, the
+  parent-side proxy: vectorized ``local_addr % N`` routing (marks
+  broadcast, lookups partitioned), input-order verdict gather,
+  ownership-aware stats/telemetry merge, and the full serial control
+  surface (degraded mode, warm-up, stalls, bit flips, snapshots).
+- :mod:`repro.parallel.backend` — the ambient backend switch
+  (:func:`use_backend` / :func:`create_filter`) the CLI's ``--workers N``
+  flag and the experiments plug into.
+
+The design goal is *provable equivalence*, not just speed: every verdict,
+counter, and snapshot a sharded run produces is bit-for-bit identical to
+the serial filter's — ``tests/differential/`` enforces it.
+"""
+
+from repro.parallel.backend import (
+    SERIAL_BACKEND,
+    ExecutionBackend,
+    create_filter,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.parallel.sharded import ShardedBitmapFilter, shard_filter
+from repro.parallel.worker import ShardWorkerError, WorkerSpec
+
+__all__ = [
+    "ExecutionBackend",
+    "SERIAL_BACKEND",
+    "ShardWorkerError",
+    "ShardedBitmapFilter",
+    "WorkerSpec",
+    "create_filter",
+    "get_backend",
+    "set_backend",
+    "shard_filter",
+    "use_backend",
+]

@@ -1,0 +1,149 @@
+"""The execution-backend switch: serial or sharded, one ambient setting.
+
+Mirrors the telemetry-registry idiom (:mod:`repro.telemetry.registry`):
+components that build a bitmap filter call :func:`create_filter` instead of
+constructing :class:`~repro.core.bitmap_filter.BitmapFilter` directly, and
+the ambient :class:`ExecutionBackend` — installed process-wide with
+:func:`set_backend` or scoped with :func:`use_backend` — decides whether
+that returns a serial filter or a
+:class:`~repro.parallel.sharded.ShardedBitmapFilter` fan-out.  The CLI's
+``--workers N`` flag is exactly ``use_backend(name="sharded", workers=N)``
+around the experiment run, which is how every experiment runs parallel
+without any per-experiment plumbing.
+
+Requests the sharded backend cannot honor exactly fall back to serial
+rather than diverge: adaptive packet dropping (drop decisions depend on
+global arrival order, so it is inherently serial) builds a serial filter
+even under ``backend="sharded"``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.apd import AdaptiveDroppingPolicy
+from repro.core.bitmap_filter import AnyFilterConfig, BitmapFilter
+from repro.core.resilience import FailPolicy
+from repro.net.address import AddressSpace
+from repro.parallel.sharded import ShardedBitmapFilter
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = [
+    "ExecutionBackend",
+    "SERIAL_BACKEND",
+    "create_filter",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+_BACKEND_NAMES = ("serial", "sharded")
+
+
+@dataclass(frozen=True)
+class ExecutionBackend:
+    """Where filter work runs: in-process, or fanned out over workers."""
+
+    name: str = "serial"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.name not in _BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.name!r}; choose from {_BACKEND_NAMES}")
+        if self.workers < 1:
+            raise ValueError("backend needs at least one worker")
+        if self.name == "serial" and self.workers != 1:
+            raise ValueError("the serial backend has exactly one worker")
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.name == "sharded"
+
+
+#: The default: everything in-process, exactly as before this module existed.
+SERIAL_BACKEND = ExecutionBackend()
+
+_active_backend: ExecutionBackend = SERIAL_BACKEND
+
+
+def get_backend() -> ExecutionBackend:
+    """The backend :func:`create_filter` consults when building filters."""
+    return _active_backend
+
+
+def set_backend(backend: Optional[ExecutionBackend]) -> ExecutionBackend:
+    """Install ``backend`` process-wide (None → serial); returns the
+    previous one so callers can restore it."""
+    global _active_backend
+    previous = _active_backend
+    _active_backend = backend if backend is not None else SERIAL_BACKEND
+    return previous
+
+
+@contextmanager
+def use_backend(backend: Optional[ExecutionBackend] = None, *,
+                name: Optional[str] = None, workers: Optional[int] = None):
+    """Scoped :func:`set_backend`: yields the backend, restores on exit.
+
+    Accepts either a ready :class:`ExecutionBackend` or the ``name=``/
+    ``workers=`` fields to build one (``use_backend(name="sharded",
+    workers=4)``).
+    """
+    if backend is None:
+        fields = {}
+        if name is not None:
+            fields["name"] = name
+        if workers is not None:
+            fields["workers"] = workers
+        backend = ExecutionBackend(**fields)
+    elif name is not None or workers is not None:
+        raise TypeError("pass either a backend object or name=/workers= "
+                        "fields, not both")
+    previous = set_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)
+
+
+def create_filter(
+    config: Optional[AnyFilterConfig] = None,
+    protected: Optional[AddressSpace] = None,
+    start_time: float = 0.0,
+    apd: Optional[AdaptiveDroppingPolicy] = None,
+    fail_policy: Optional[FailPolicy] = None,
+    *,
+    telemetry: Optional[MetricsRegistry] = None,
+    backend: Optional[ExecutionBackend] = None,
+    **config_fields,
+) -> Union[BitmapFilter, ShardedBitmapFilter]:
+    """Build a bitmap filter on the active (or given) execution backend.
+
+    Signature-compatible with ``BitmapFilter(...)``, so switching a call
+    site is mechanical.  Serial-only features (currently: adaptive packet
+    dropping) silently fall back to a serial filter — the results are
+    identical either way, which is the backend contract.
+    """
+    backend = backend if backend is not None else get_backend()
+    if backend.is_sharded and apd is None:
+        return ShardedBitmapFilter(
+            config,
+            protected,
+            num_workers=backend.workers,
+            start_time=start_time,
+            fail_policy=fail_policy,
+            telemetry=telemetry,
+            **config_fields,
+        )
+    return BitmapFilter(
+        config,
+        protected,
+        start_time=start_time,
+        apd=apd,
+        fail_policy=fail_policy,
+        telemetry=telemetry,
+        **config_fields,
+    )

@@ -1,0 +1,143 @@
+"""The shard worker: one long-lived process hosting one filter replica.
+
+Each worker owns a full :class:`~repro.core.bitmap_filter.BitmapFilter`
+(not a partial-keyspace one — see :mod:`repro.parallel.sharded` for why
+replicated marking is what makes sharding bit-for-bit equivalent) plus,
+when the parent's telemetry is live, its own
+:class:`~repro.telemetry.registry.MetricsRegistry`.
+
+The wire protocol is deliberately tiny — pickled tuples over one duplex
+:func:`multiprocessing.Pipe` per worker, request/response in lockstep:
+
+========================  =====================================================
+request                   response payload
+========================  =====================================================
+``("batch", raw, exact)``  ``(verdict_bytes, stats_dict, next_rotation, dump)``
+``("call", name, a, kw)``  return value of ``getattr(filt, name)(*a, **kw)``
+``("get", name)``          ``getattr(filt, name)``
+``("set", name, value)``   ``None``
+``("state",)``             full picklable snapshot of the filter state
+``("telemetry",)``         cumulative registry dump (or ``None``)
+``("close",)``             ``None`` (the worker then exits)
+========================  =====================================================
+
+Every response is ``("ok", payload)`` or ``("err", formatted_traceback)``;
+the parent re-raises the latter as :class:`ShardWorkerError`.  Batch packet
+data crosses the pipe as raw structured-array bytes, verdicts come back as
+raw boolean bytes — no per-packet pickling.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+from repro.core.resilience import FailPolicy
+from repro.net.address import AddressSpace
+from repro.net.packet import PACKET_DTYPE, PacketArray
+from repro.telemetry.merge import dump_metrics
+from repro.telemetry.registry import MetricsRegistry, set_registry
+
+__all__ = ["ShardWorkerError", "WorkerSpec", "shard_worker_main"]
+
+
+class ShardWorkerError(RuntimeError):
+    """An exception raised inside a shard worker, re-raised in the parent."""
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to build its filter replica."""
+
+    config: BitmapFilterConfig
+    protected: AddressSpace
+    start_time: float = 0.0
+    fail_policy: FailPolicy = FailPolicy.FAIL_CLOSED
+    warmup_until: float = float("-inf")
+    telemetry: bool = False
+
+
+def _build_filter(spec: WorkerSpec):
+    registry = MetricsRegistry() if spec.telemetry else None
+    # Neutralize any live default registry inherited over fork() — the
+    # worker publishes through its own registry (or not at all), never
+    # through a copied parent one.
+    set_registry(registry)
+    filt = BitmapFilter(
+        spec.config,
+        spec.protected,
+        start_time=spec.start_time,
+        fail_policy=spec.fail_policy,
+        telemetry=registry,
+    )
+    if spec.warmup_until > float("-inf"):
+        filt.begin_warmup(spec.warmup_until)
+    return filt, registry
+
+
+def _filter_state(filt: BitmapFilter) -> dict:
+    """A picklable snapshot of the replica (bitmap bytes + bookkeeping)."""
+    bitmap = filt.bitmap
+    vectors = np.stack([vec.as_numpy().copy() for vec in bitmap.vectors])
+    return {
+        "vectors": vectors,
+        "current_index": bitmap.current_index,
+        "bitmap_rotations": bitmap.rotations,
+        "peak_utilization": bitmap.peak_utilization,
+        "next_rotation": filt.next_rotation,
+        "stats": filt.stats.as_dict(),
+        "warmup_until": filt.warmup_until,
+        "down": filt.is_down,
+        "stalled": filt.rotations_stalled,
+        "utilization": filt.utilization(),
+    }
+
+
+def shard_worker_main(conn, spec: WorkerSpec) -> None:
+    """The worker process entry point: serve requests until ``close``/EOF."""
+    filt, registry = _build_filter(spec)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = msg[0]
+        try:
+            if op == "batch":
+                raw, exact = msg[1], msg[2]
+                data = np.frombuffer(raw, dtype=PACKET_DTYPE).copy()
+                verdicts = filt.process_batch(PacketArray(data), exact=exact)
+                dump = dump_metrics(registry) if registry is not None else None
+                payload = (verdicts.tobytes(), filt.stats.as_dict(),
+                           filt.next_rotation, dump)
+            elif op == "call":
+                name, call_args, call_kwargs = msg[1], msg[2], msg[3]
+                payload = getattr(filt, name)(*call_args, **call_kwargs)
+            elif op == "get":
+                payload = getattr(filt, msg[1])
+            elif op == "set":
+                setattr(filt, msg[1], msg[2])
+                payload = None
+            elif op == "state":
+                payload = _filter_state(filt)
+            elif op == "telemetry":
+                payload = dump_metrics(registry) if registry is not None else None
+            elif op == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                raise ValueError(f"unknown shard-worker op {op!r}")
+        except Exception:  # noqa: BLE001 - everything crosses the pipe
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+            continue
+        try:
+            conn.send(("ok", payload))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()

@@ -32,6 +32,9 @@ def run_filter_on_trace(
     filt: PacketFilter,
     trace: Trace,
     exact: bool = True,
+    *,
+    backend: "str | None" = None,
+    workers: "int | None" = None,
 ) -> FilterRunResult:
     """Run ``filt`` over ``trace`` (time-sorted) and score the verdicts.
 
@@ -40,11 +43,41 @@ def run_filter_on_trace(
     uses the fully vectorized windowed path (see
     ``BitmapFilter.process_batch_windowed`` for the approximation bound).
     Filters without an approximate path ignore the flag.
+
+    ``backend="sharded"`` runs a pristine bitmap filter across ``workers``
+    processes via :func:`repro.parallel.shard_filter` — results are
+    bit-for-bit identical to the serial run (see docs/parallel.md); the
+    temporary worker pool is torn down before returning.  Most callers
+    should not pass these and instead rely on the ambient backend
+    (:func:`repro.parallel.create_filter`), which the CLI's ``--workers``
+    flag installs.
     """
     if not isinstance(filt, PacketFilter):
         raise TypeError(
             f"unsupported filter type {type(filt).__name__}: does not "
             "implement the PacketFilter protocol")
+    if backend not in (None, "serial", "sharded"):
+        raise ValueError(f"unknown backend {backend!r}")
+    if workers is not None and backend != "sharded":
+        raise ValueError('workers= requires backend="sharded"')
+    owned_pool = None
+    if backend == "sharded":
+        from repro.parallel import ShardedBitmapFilter, shard_filter
+
+        if not isinstance(filt, ShardedBitmapFilter):
+            filt = owned_pool = shard_filter(filt, workers or 2)
+    try:
+        return _run_scored(filt, trace, exact)
+    finally:
+        if owned_pool is not None:
+            owned_pool.close()
+
+
+def _run_scored(
+    filt: PacketFilter,
+    trace: Trace,
+    exact: bool,
+) -> FilterRunResult:
     packets = trace.packets
     with Timer("classify"):
         directions = packets.directions(trace.protected)

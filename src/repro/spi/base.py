@@ -275,6 +275,8 @@ class StatefulFilter(PacketFilterMixin, abc.ABC):
 
     def process_array(self, packets: "PacketArray") -> "np.ndarray":
         """Deprecated alias of :meth:`process_batch`."""
-        deprecated_alias("StatefulFilter.process_array",
-                         "StatefulFilter.process_batch")
+        # Name the concrete backend so the once-per-message warning dedup
+        # fires once per subclass, not once for all SPI backends combined.
+        deprecated_alias(f"{type(self).__name__}.process_array",
+                         f"{type(self).__name__}.process_batch")
         return self.process_batch(packets)

@@ -180,6 +180,22 @@ class Histogram(Metric):
                 return self.bounds[i] if i < len(self.bounds) else math.inf
         return math.inf
 
+    def merge_counts(self, bucket_deltas: Sequence[int], sum_delta: float,
+                     count_delta: int) -> None:
+        """Fold pre-aggregated observations in (cross-process merges).
+
+        ``bucket_deltas`` must use this histogram's bucket layout (same
+        bounds, trailing +Inf bucket included).
+        """
+        if len(bucket_deltas) != len(self.bucket_counts):
+            raise ValueError(
+                f"bucket layout mismatch: {len(bucket_deltas)} deltas for "
+                f"{len(self.bucket_counts)} buckets")
+        for i, delta in enumerate(bucket_deltas):
+            self.bucket_counts[i] += delta
+        self._sum += sum_delta
+        self._count += count_delta
+
 
 class MetricsRegistry:
     """A live registry of named instruments plus simulated-time samplers."""

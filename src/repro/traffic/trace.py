@@ -73,6 +73,19 @@ class Trace:
             return 0.0
         return float(self.packets.ts.max() - self.packets.ts.min())
 
+    def digest(self) -> str:
+        """SHA-256 over the raw packet table, as a hex string.
+
+        Two traces digest equal iff every field of every packet is
+        byte-for-byte identical, which makes this the seed-stability
+        fingerprint: the same workload seed must reproduce the same digest
+        across runs, platforms, and ``PYTHONHASHSEED`` values.
+        """
+        import hashlib
+
+        data = np.ascontiguousarray(self.packets.data)
+        return hashlib.sha256(data.tobytes()).hexdigest()
+
     def summary(self) -> TraceSummary:
         pkts = self.packets
         n = len(pkts)

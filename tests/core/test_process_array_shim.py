@@ -1,0 +1,102 @@
+"""Regression coverage for the ``process_array`` deprecation shims.
+
+Five classes still carry the pre-unification batch entry point:
+the three SPI backends (via ``StatefulFilter``), the close-aware bitmap
+filter, and the aggregate rate limiter.  Each shim must (a) return exactly
+what ``process_batch`` returns, and (b) emit a ``DeprecationWarning`` naming
+its own class — which, under Python's default once-per-message dedup, means
+exactly one warning per class no matter how many instances call it.
+"""
+
+import warnings
+
+import pytest
+
+from repro.baselines.throttle import AggregateRateLimiter
+from repro.core.bitmap_filter import BitmapFilterConfig
+from repro.core.close_aware import CloseAwareBitmapFilter
+from repro.net.packet import Packet, PacketArray, TcpFlags
+from repro.net.protocols import IPPROTO_TCP
+from repro.spi.avltree import AvlTreeFilter
+from repro.spi.hashlist import HashListFilter
+from repro.spi.naive import NaiveExactFilter
+from tests.strategies import PROTECTED, flow_endpoints
+
+CONFIG = BitmapFilterConfig(order=10, num_vectors=4, num_hashes=3,
+                            rotation_interval=5.0)
+
+SHIM_FACTORIES = {
+    "NaiveExactFilter": lambda: NaiveExactFilter(PROTECTED),
+    "HashListFilter": lambda: HashListFilter(PROTECTED),
+    "AvlTreeFilter": lambda: AvlTreeFilter(PROTECTED),
+    "CloseAwareBitmapFilter": lambda: CloseAwareBitmapFilter(CONFIG, PROTECTED),
+    "AggregateRateLimiter": lambda: AggregateRateLimiter(
+        PROTECTED, trigger_pps=5.0, limit_pps=2.0),
+}
+
+
+def _sample_batch():
+    packets = []
+    ts = 0.0
+    for i in range(12):
+        ts += 0.5
+        client, server, sport = flow_endpoints(i % 4)
+        if i % 3 != 2:
+            packets.append(Packet(ts, IPPROTO_TCP, client, sport, server, 80,
+                                  TcpFlags.ACK))
+        else:
+            packets.append(Packet(ts, IPPROTO_TCP, server, 80, client, sport,
+                                  TcpFlags.ACK))
+    return PacketArray.from_packets(packets)
+
+
+@pytest.mark.parametrize("name", sorted(SHIM_FACTORIES))
+def test_shim_returns_process_batch_results(name):
+    make = SHIM_FACTORIES[name]
+    batch = _sample_batch()
+    expected = make().process_batch(batch)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        got = make().process_array(batch)
+    assert got.tolist() == expected.tolist()
+
+
+@pytest.mark.parametrize("name", sorted(SHIM_FACTORIES))
+def test_shim_warning_names_the_concrete_class(name):
+    make = SHIM_FACTORIES[name]
+    batch = _sample_batch()
+    with pytest.warns(DeprecationWarning,
+                      match=rf"{name}\.process_array is deprecated"):
+        make().process_array(batch)
+
+
+def test_shim_warns_exactly_once_per_class():
+    """Under the stock 'default' warning filter, repeated calls — even from
+    fresh instances — surface one warning per class, because each shim's
+    message carries the concrete class name."""
+    batch = _sample_batch()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        for _ in range(2):  # two instances per class, same call site
+            for name in sorted(SHIM_FACTORIES):
+                SHIM_FACTORIES[name]().process_array(batch)
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    messages = [str(w.message) for w in dep]
+    assert len(dep) == len(SHIM_FACTORIES), messages
+    for name in SHIM_FACTORIES:
+        assert sum(name in m for m in messages) == 1, messages
+
+
+def test_spi_backends_warn_under_their_own_names():
+    """The shared StatefulFilter shim must not collapse the three SPI
+    backends into one warning (regression: it used to warn as
+    'StatefulFilter.process_array' for all of them)."""
+    batch = _sample_batch()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        for cls in (NaiveExactFilter, HashListFilter, AvlTreeFilter):
+            cls(PROTECTED).process_array(batch)
+    messages = [str(w.message) for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+    assert len(messages) == 3, messages
+    assert not any("StatefulFilter" in m for m in messages)

@@ -1,0 +1,66 @@
+"""Shared fixtures for the serial-vs-sharded differential suite.
+
+Every test here replays identical input through a serial
+:class:`~repro.core.bitmap_filter.BitmapFilter` and a
+:class:`~repro.parallel.ShardedBitmapFilter` and asserts *bit-for-bit*
+agreement — verdicts, merged stats, rotation schedule, and raw bitmap
+bytes.  The fixtures provide one session-scoped benign+flood trace and
+the state-comparison helper the whole suite leans on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.ddos import syn_flood
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+from repro.parallel import ShardedBitmapFilter
+from repro.traffic.generator import ClientNetworkWorkload, WorkloadConfig
+from repro.traffic.trace import Trace
+
+#: Worker counts every parametrized equivalence test sweeps.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Small geometry with a fast rotation clock: a 25 s trace crosses ~12
+#: rotation boundaries and several full expiry windows.
+CONFIG = BitmapFilterConfig(order=12, num_vectors=4, num_hashes=3,
+                            rotation_interval=2.0)
+
+
+@pytest.fixture(scope="session")
+def trace() -> Trace:
+    """Benign client-network workload with a SYN flood on top."""
+    base = ClientNetworkWorkload(
+        WorkloadConfig(duration=25.0, target_pps=250.0, seed=97)).generate()
+    victim = base.protected.networks[0].host(5)
+    flood = syn_flood(victim, 80, rate_pps=400.0, start=8.0, duration=6.0,
+                      seed=11)
+    # Session tails dribble on long past the nominal duration; bound the
+    # trace so fault schedules (and rotation counts) stay in a known window.
+    return base.merged_with(Trace(flood, base.protected)).time_slice(0.0, 26.0)
+
+
+def make_serial(protected, **kwargs) -> BitmapFilter:
+    return BitmapFilter(CONFIG, protected, **kwargs)
+
+
+def make_sharded(protected, num_workers, **kwargs) -> ShardedBitmapFilter:
+    return ShardedBitmapFilter(CONFIG, protected, num_workers=num_workers,
+                               **kwargs)
+
+
+def bitmap_state(filt):
+    """(stacked vector bytes, current index, rotation count) of a filter."""
+    bitmap = filt.bitmap
+    vectors = np.stack([vec.as_numpy() for vec in bitmap.vectors])
+    return vectors, bitmap.current_index, bitmap.rotations
+
+
+def assert_same_filter_state(serial, sharded) -> None:
+    """The full serial-equivalence contract on two post-replay filters."""
+    assert sharded.stats.as_dict() == serial.stats.as_dict()
+    assert sharded.next_rotation == serial.next_rotation
+    serial_vecs, serial_idx, serial_rot = bitmap_state(serial)
+    sharded_vecs, sharded_idx, sharded_rot = bitmap_state(sharded)
+    assert sharded_idx == serial_idx
+    assert sharded_rot == serial_rot
+    assert np.array_equal(sharded_vecs, serial_vecs)

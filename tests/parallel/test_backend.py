@@ -1,0 +1,141 @@
+"""Unit tests for the execution-backend switch and filter factory."""
+
+import pytest
+
+from repro.core.apd import AdaptiveDroppingPolicy, PacketRatioIndicator
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+from repro.parallel import (
+    SERIAL_BACKEND,
+    ExecutionBackend,
+    ShardedBitmapFilter,
+    create_filter,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from tests.strategies import PROTECTED
+
+CONFIG = BitmapFilterConfig(order=10, num_vectors=4, num_hashes=3,
+                            rotation_interval=5.0)
+
+
+class TestExecutionBackend:
+    def test_default_is_serial(self):
+        assert SERIAL_BACKEND.name == "serial"
+        assert SERIAL_BACKEND.workers == 1
+        assert not SERIAL_BACKEND.is_sharded
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ExecutionBackend(name="gpu")
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ExecutionBackend(name="sharded", workers=0)
+
+    def test_serial_with_many_workers_rejected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ExecutionBackend(name="serial", workers=3)
+
+
+class TestAmbientBackend:
+    def test_use_backend_scopes_and_restores(self):
+        assert get_backend() is SERIAL_BACKEND
+        with use_backend(name="sharded", workers=4) as backend:
+            assert get_backend() is backend
+            assert backend.workers == 4
+        assert get_backend() is SERIAL_BACKEND
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_backend(name="sharded", workers=2):
+                raise RuntimeError("boom")
+        assert get_backend() is SERIAL_BACKEND
+
+    def test_use_backend_rejects_mixed_arguments(self):
+        with pytest.raises(TypeError, match="not both"):
+            with use_backend(ExecutionBackend(), name="serial"):
+                pass
+
+    def test_set_backend_none_means_serial(self):
+        previous = set_backend(ExecutionBackend(name="sharded", workers=2))
+        try:
+            assert get_backend().is_sharded
+        finally:
+            set_backend(None)
+        assert get_backend() is SERIAL_BACKEND
+        assert previous is SERIAL_BACKEND
+
+
+class TestCreateFilter:
+    def test_serial_by_default(self):
+        filt = create_filter(CONFIG, PROTECTED)
+        assert isinstance(filt, BitmapFilter)
+
+    def test_sharded_under_ambient_backend(self):
+        with use_backend(name="sharded", workers=2):
+            filt = create_filter(CONFIG, PROTECTED)
+        try:
+            assert isinstance(filt, ShardedBitmapFilter)
+            assert filt.num_workers == 2
+        finally:
+            filt.close()
+
+    def test_explicit_backend_overrides_ambient(self):
+        filt = create_filter(
+            CONFIG, PROTECTED,
+            backend=ExecutionBackend(name="sharded", workers=3))
+        try:
+            assert isinstance(filt, ShardedBitmapFilter)
+            assert filt.num_workers == 3
+        finally:
+            filt.close()
+
+    def test_apd_falls_back_to_serial(self):
+        """APD drop decisions depend on global arrival order — the factory
+        must fall back to a serial filter rather than diverge."""
+        with use_backend(name="sharded", workers=2):
+            filt = create_filter(
+                CONFIG, PROTECTED,
+                apd=AdaptiveDroppingPolicy(PacketRatioIndicator()))
+        assert isinstance(filt, BitmapFilter)
+        assert filt.apd is not None
+
+
+class TestShardedLifecycle:
+    def test_close_is_idempotent(self):
+        filt = ShardedBitmapFilter(CONFIG, PROTECTED, num_workers=2)
+        assert not filt.closed
+        filt.close()
+        assert filt.closed
+        filt.close()  # second close is a no-op
+
+    def test_context_manager_closes(self):
+        with ShardedBitmapFilter(CONFIG, PROTECTED, num_workers=1) as filt:
+            assert not filt.closed
+        assert filt.closed
+
+    def test_workers_are_daemons_and_exit_on_close(self):
+        filt = ShardedBitmapFilter(CONFIG, PROTECTED, num_workers=2)
+        procs = list(filt._procs)
+        assert all(proc.daemon for proc in procs)
+        assert all(proc.is_alive() for proc in procs)
+        filt.close()
+        for proc in procs:
+            proc.join(timeout=5.0)
+        assert not any(proc.is_alive() for proc in procs)
+
+    def test_worker_errors_surface_with_traceback(self):
+        from repro.parallel import ShardWorkerError
+
+        with ShardedBitmapFilter(CONFIG, PROTECTED, num_workers=2) as filt:
+            with pytest.raises(ShardWorkerError, match="fraction"):
+                filt.flip_bits(3.5)  # invalid fraction raises in the worker
+
+    def test_requires_protected_space(self):
+        with pytest.raises(TypeError, match="protected"):
+            ShardedBitmapFilter(CONFIG)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            ShardedBitmapFilter(CONFIG, PROTECTED, num_workers=0)

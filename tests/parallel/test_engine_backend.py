@@ -1,0 +1,103 @@
+"""The simulation engine's sharded backend: same timers, same verdicts."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+from repro.sim.engine import SimulationEngine
+from tests.strategies import PROTECTED, script_to_packets
+
+CONFIG = BitmapFilterConfig(order=10, num_vectors=4, num_hashes=3,
+                            rotation_interval=5.0)
+
+
+def _fixed_batch():
+    """A deterministic 26 s mixed script crossing several rotations."""
+    events = []
+    for i in range(160):
+        events.append((0.16, i % 3 != 1, i % 6))
+    from repro.net.packet import PacketArray
+
+    return PacketArray.from_packets(script_to_packets(events))
+
+
+def test_engine_ctor_validation():
+    with pytest.raises(ValueError, match="unknown backend"):
+        SimulationEngine(backend="gpu")
+    with pytest.raises(ValueError, match='requires backend="sharded"'):
+        SimulationEngine(workers=2)
+
+
+def test_run_filter_matches_serial_engine_with_timers():
+    batch = _fixed_batch()
+    fired = {"serial": [], "sharded": []}
+
+    def run(backend_kwargs, key):
+        engine = SimulationEngine(**backend_kwargs)
+        filt = BitmapFilter(CONFIG, PROTECTED)
+        engine.schedule(2.0, lambda ts: fired[key].append(ts), interval=3.0)
+        try:
+            verdicts = engine.run_filter(filt, batch, until=30.0)
+        finally:
+            engine.close_shard_pools()
+        return verdicts, engine
+
+    serial_verdicts, serial_engine = run({}, "serial")
+    sharded_verdicts, sharded_engine = run(
+        {"backend": "sharded", "workers": 2}, "sharded")
+    assert np.array_equal(sharded_verdicts, serial_verdicts)
+    assert fired["sharded"] == fired["serial"]
+    assert (sharded_engine.packets_processed
+            == serial_engine.packets_processed == len(batch))
+    assert sharded_engine.timers_fired == serial_engine.timers_fired
+    assert sharded_engine.now == serial_engine.now == 30.0
+
+
+def test_engine_reuses_one_pool_per_filter_instance():
+    engine = SimulationEngine(backend="sharded", workers=2)
+    filt = BitmapFilter(CONFIG, PROTECTED)
+    batch = _fixed_batch()
+    try:
+        engine.run_filter(filt, batch[:50])
+        pool = engine._shard_pools[id(filt)]
+        engine.run_filter(filt, batch[50:100])
+        assert engine._shard_pools[id(filt)] is pool
+        assert len(engine._shard_pools) == 1
+    finally:
+        engine.close_shard_pools()
+    assert pool.closed
+    assert not engine._shard_pools
+
+
+def test_engine_accepts_presharded_filter():
+    from repro.parallel import ShardedBitmapFilter
+
+    batch = _fixed_batch()
+    engine = SimulationEngine(backend="sharded", workers=2)
+    with ShardedBitmapFilter(CONFIG, PROTECTED, num_workers=2) as filt:
+        verdicts = engine.run_filter(filt, batch[:100])
+        assert len(verdicts) == 100
+        assert not engine._shard_pools  # no second pool wrapped around it
+
+
+def test_timer_splits_batches_at_exact_timestamps():
+    """A timer that mutates the filter mid-batch must land between the
+    same two packets on both backends (ties: timer first)."""
+    batch = _fixed_batch()
+    boundary = float(batch.ts[len(batch) // 2])
+
+    def run(backend_kwargs):
+        engine = SimulationEngine(**backend_kwargs)
+        filt = BitmapFilter(CONFIG, PROTECTED)
+        engine.schedule(boundary, lambda ts: filt_proxy[0].flip_bits(0.02, 9))
+        filt_proxy = [filt]
+        try:
+            if engine.backend == "sharded":
+                filt_proxy[0] = engine._backend_filter(filt)
+            return engine.run_filter(filt, batch)
+        finally:
+            engine.close_shard_pools()
+
+    serial = run({})
+    sharded = run({"backend": "sharded", "workers": 3})
+    assert np.array_equal(sharded, serial)

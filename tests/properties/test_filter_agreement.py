@@ -6,53 +6,19 @@ must also pass the bitmap filter — the bitmap errs only on the permissive
 side (false negatives), never by dropping fresh legitimate replies.
 """
 
-import hypothesis.strategies as st
 import numpy as np
 from hypothesis import given, settings
 
 from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig, Decision
-from repro.net.address import AddressSpace
-from repro.net.packet import Packet, PacketArray, TcpFlags
-from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
+from repro.net.packet import PacketArray
+from tests.strategies import (
+    PROTECTED,
+    script_to_packets as _script_to_packets,
+    traffic_scripts,
+)
 
-PROTECTED = AddressSpace.class_c_block("172.16.0.0", 2)
 CONFIG = BitmapFilterConfig(order=10, num_vectors=4, num_hashes=3,
                             rotation_interval=5.0)
-
-
-@st.composite
-def traffic_scripts(draw):
-    """A short random script of (gap, direction, flow-id) events."""
-    n_events = draw(st.integers(1, 40))
-    events = []
-    for _ in range(n_events):
-        gap = draw(st.floats(0.0, 4.0))
-        outgoing = draw(st.booleans())
-        flow = draw(st.integers(0, 5))
-        events.append((gap, outgoing, flow))
-    return events
-
-
-def _flow_endpoints(flow_id):
-    client = PROTECTED.networks[flow_id % 2].host(1 + flow_id)
-    server = 0x08080800 + flow_id
-    sport = 10_000 + flow_id
-    return client, server, sport
-
-
-def _script_to_packets(events):
-    packets = []
-    ts = 0.0
-    for gap, outgoing, flow in events:
-        ts += gap
-        client, server, sport = _flow_endpoints(flow)
-        if outgoing:
-            packets.append(Packet(ts, IPPROTO_TCP, client, sport, server, 80,
-                                  TcpFlags.ACK))
-        else:
-            packets.append(Packet(ts, IPPROTO_TCP, server, 80, client, sport,
-                                  TcpFlags.ACK))
-    return packets
 
 
 class TestGuaranteedWindowSoundness:

@@ -5,45 +5,13 @@ and AVL implementations must produce the same verdict for every packet of
 any random traffic script, and end with the same flow population.
 """
 
-import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.core.bitmap_filter import Decision
-from repro.net.address import AddressSpace
-from repro.net.packet import Packet, TcpFlags
-from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
 from repro.spi.avltree import AvlTreeFilter
 from repro.spi.hashlist import HashListFilter
 from repro.spi.naive import NaiveExactFilter
-
-PROTECTED = AddressSpace.class_c_block("172.16.0.0", 2)
-
-_FLAG_CHOICES = [
-    TcpFlags.NONE, TcpFlags.SYN, TcpFlags.ACK, TcpFlags.SYN | TcpFlags.ACK,
-    TcpFlags.FIN | TcpFlags.ACK, TcpFlags.RST, TcpFlags.PSH | TcpFlags.ACK,
-]
-
-
-@st.composite
-def packet_scripts(draw):
-    """Random scripts over a small set of flows, inside + outside senders."""
-    n = draw(st.integers(1, 60))
-    ts = 0.0
-    packets = []
-    for _ in range(n):
-        ts += draw(st.floats(0.0, 30.0))
-        flow = draw(st.integers(0, 4))
-        outgoing = draw(st.booleans())
-        flags = draw(st.sampled_from(_FLAG_CHOICES))
-        proto = draw(st.sampled_from([IPPROTO_TCP, IPPROTO_UDP]))
-        client = PROTECTED.networks[flow % 2].host(1 + flow)
-        server = 0x08080000 + flow
-        sport = 20_000 + flow
-        if outgoing:
-            packets.append(Packet(ts, proto, client, sport, server, 80, flags))
-        else:
-            packets.append(Packet(ts, proto, server, 80, client, sport, flags))
-    return packets
+from tests.strategies import PROTECTED, packet_scripts
 
 
 class TestBackendEquivalence:

@@ -1,0 +1,80 @@
+"""Seed stability: a fixed workload seed reproduces the same trace, always.
+
+The generators draw only from ``random.Random(seed)`` and seeded numpy
+generators — never from ``hash()``, set/dict iteration order of unordered
+inputs, or wall-clock time — so a fixed seed must yield a byte-identical
+packet table (a) across repeated in-process runs and (b) across interpreter
+launches with different ``PYTHONHASHSEED`` values.  ``Trace.digest()`` is
+the fingerprint the assertions compare.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.traffic.generator import ClientNetworkWorkload, WorkloadConfig
+from repro.traffic.trace import Trace
+
+CONFIG = WorkloadConfig(duration=20.0, target_pps=150.0, seed=1234)
+
+_DIGEST_SCRIPT = """
+from repro.traffic.generator import ClientNetworkWorkload, WorkloadConfig
+trace = ClientNetworkWorkload(
+    WorkloadConfig(duration=20.0, target_pps=150.0, seed=1234)).generate()
+print(trace.digest())
+"""
+
+
+def _generate():
+    return ClientNetworkWorkload(CONFIG).generate()
+
+
+def test_digest_is_a_sha256_hex_string():
+    digest = _generate().digest()
+    assert len(digest) == 64
+    int(digest, 16)  # raises if not hex
+
+
+def test_digest_detects_any_field_change():
+    trace = _generate()
+    before = trace.digest()
+    trace.packets.data["sport"][0] += 1
+    assert trace.digest() != before
+
+
+def test_same_seed_same_digest_in_process():
+    assert _generate().digest() == _generate().digest()
+
+
+def test_different_seeds_differ():
+    from dataclasses import replace
+
+    other = ClientNetworkWorkload(replace(CONFIG, seed=4321)).generate()
+    assert other.digest() != _generate().digest()
+
+
+def test_digest_survives_npz_round_trip(tmp_path):
+    trace = _generate()
+    path = tmp_path / "trace.npz"
+    trace.save_npz(path)
+    assert Trace.load_npz(path).digest() == trace.digest()
+
+
+@pytest.mark.slow
+def test_same_seed_same_digest_across_hash_seeds():
+    """Fresh interpreters with adversarial PYTHONHASHSEED values must all
+    reproduce the in-process digest — generation cannot depend on str/bytes
+    hash randomization."""
+    expected = _generate().digest()
+    digests = {}
+    for hash_seed in ("0", "1", "42"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), *sys.path) if p)
+        out = subprocess.run(
+            [sys.executable, "-c", _DIGEST_SCRIPT],
+            capture_output=True, text=True, env=env, check=True, timeout=300)
+        digests[hash_seed] = out.stdout.strip()
+    assert set(digests.values()) == {expected}, digests

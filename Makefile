@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos differential profile figures experiments examples clean
+.PHONY: install test bench chaos differential serve-smoke profile figures experiments examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -22,6 +22,11 @@ chaos:
 differential:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/differential/ -m differential
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_parallel_scaling.py -s
+
+# Online serving end-to-end smoke: boot the daemon, replay a trace with
+# --verify (online == offline verdicts), scrape /metrics, clean SIGTERM.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
 
 # Profile fig5 with live telemetry: stage breakdown + metric exports.
 profile:

@@ -83,6 +83,10 @@ def _cmd_stats(args: argparse.Namespace) -> str:
     rotations prints every ``--every`` simulated Δt ticks.  Afterwards the
     full registry is exported in Prometheus text format and as a JSON-lines
     time series (inline, or to ``--prom-out``/``--jsonl-out`` files).
+
+    ``--from-url`` skips the experiment entirely and instead fetches a live
+    daemon's ``/metrics`` page, pretty-printing it (optionally filtered by
+    ``--prefix``).
     """
     from repro.telemetry import (
         JsonLinesSampler,
@@ -90,6 +94,22 @@ def _cmd_stats(args: argparse.Namespace) -> str:
         to_prometheus,
         use_registry,
     )
+
+    if args.from_url:
+        import urllib.request
+
+        from repro.telemetry import summarize_prometheus
+
+        url = args.from_url
+        if "://" not in url:
+            url = "http://" + url
+        if not url.rstrip("/").endswith("/metrics"):
+            url = url.rstrip("/") + "/metrics"
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            text = response.read().decode("utf-8", "replace")
+        return f"{url}:\n\n" + summarize_prometheus(text, prefix=args.prefix)
+    if not args.experiment_name:
+        raise SystemExit("stats: pass --experiment NAME or --from-url URL")
 
     with use_registry() as registry:
         jsonl = JsonLinesSampler()
@@ -184,6 +204,132 @@ def _cmd_filter(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    """Run the online filtering daemon until SIGTERM/SIGINT."""
+    import asyncio
+    import json
+
+    from repro.core.bitmap_filter import FilterConfig
+    from repro.core.resilience import FailPolicy
+    from repro.net.address import AddressSpace
+    from repro.serve import FilterDaemon, ServeConfig
+
+    config = ServeConfig(
+        filter=FilterConfig(
+            order=args.order, num_vectors=args.k, num_hashes=args.m,
+            rotation_interval=args.dt, seed=args.hash_seed,
+            fail_policy=FailPolicy(args.fail_policy)),
+        protected=AddressSpace(args.protected.split(",")),
+        host=args.host, port=args.port, unix_path=args.unix,
+        http_host=args.http_host, http_port=args.http_port,
+        http=not args.no_http,
+        workers=args.workers or 0,
+        clock=args.clock,
+        exact=not args.windowed,
+        backpressure=args.backpressure,
+        queue_frames=args.queue_frames,
+        batch_max_packets=args.batch_max_packets,
+        snapshot_path=args.snapshot,
+        restore_path=args.restore,
+        reload_path=args.reload_config,
+    )
+
+    async def run() -> None:
+        daemon = FilterDaemon(config)
+        await daemon.start()
+        daemon.install_signal_handlers()
+        ready = {
+            "data": list(daemon.data_address),
+            "unix": daemon.unix_address,
+            "http": list(daemon.http_address) if daemon.http_address else None,
+            "backend": daemon.backend,
+            "clock": config.clock,
+        }
+        # Machine-readable readiness line: supervisors and the smoke tests
+        # wait for it before connecting.
+        print("REPRO-SERVE READY " + json.dumps(ready), flush=True)
+        await daemon.serve_forever()
+
+    asyncio.run(run())
+    return "repro-serve: drained and exited cleanly"
+
+
+def _cmd_replay_to(args: argparse.Namespace) -> str:
+    """Stream a saved trace through a live daemon (the load driver).
+
+    With ``--verify`` the daemon's verdicts are compared bit-for-bit
+    against an offline ``run_filter_on_trace`` twin built from the
+    daemon's own FT_CONFIG self-description — the online-equals-offline
+    differential check.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.serve.client import FilterClient
+    from repro.traffic.trace import Trace
+
+    trace = Trace.load_npz(args.trace)
+    packets = trace.packets.sorted_by_time()
+    if args.unix:
+        client = FilterClient.connect_unix(args.unix)
+    else:
+        client = FilterClient.connect(args.host, args.port)
+    with client:
+        info = client.config()
+        step = args.frame_packets
+        frames = [packets[i:i + step] for i in range(0, len(packets), step)]
+        began = _time.perf_counter()
+        masks: List[np.ndarray] = []
+        for _ in range(args.repeat):
+            masks = list(client.filter_stream(frames, window=args.window))
+        elapsed = _time.perf_counter() - began
+    verdicts = (np.concatenate(masks) if masks
+                else np.zeros(0, dtype=bool))
+    total = len(packets) * args.repeat
+    pps = total / elapsed if elapsed > 0 else float("inf")
+    lines = [
+        f"streamed {total} packets in {len(frames) * args.repeat} frames "
+        f"over {elapsed:.3f}s ({pps:,.0f} packets/s)",
+        f"daemon: backend={info['backend']} workers={info['workers']} "
+        f"clock={info['clock']} backpressure={info['backpressure']}",
+        f"passed: {int(verdicts.sum())}  dropped: {int((~verdicts).sum())}",
+    ]
+    if args.verify:
+        if info["clock"] != "packet":
+            lines.append(
+                "verify: SKIPPED — the daemon stamps arrival times "
+                "(clock=wall), so offline replay is not comparable; "
+                "run the daemon with --clock packet to verify")
+        else:
+            from repro.core.bitmap_filter import BitmapFilter, FilterConfig
+            from repro.core.resilience import FailPolicy
+            from repro.net.address import AddressSpace
+            from repro.sim.pipeline import run_filter_on_trace
+
+            fcfg = dict(info["filter"])
+            policy = FailPolicy(fcfg.pop("fail_policy"))
+            twin = BitmapFilter(
+                FilterConfig(**fcfg), AddressSpace(info["protected"]),
+                fail_policy=policy)
+            offline = run_filter_on_trace(
+                twin, Trace(packets, AddressSpace(info["protected"])),
+                exact=info["exact"])
+            reference = np.asarray(offline.verdicts, dtype=bool)
+            if args.repeat != 1:
+                lines.append("verify: SKIPPED — --repeat reuses filter "
+                             "state across passes; verify with --repeat 1")
+            elif np.array_equal(verdicts, reference):
+                lines.append(f"verify: OK — {len(verdicts)} verdicts "
+                             "byte-identical to offline replay")
+            else:
+                diff = int((verdicts != reference).sum())
+                lines.append(f"verify: MISMATCH on {diff} of "
+                             f"{len(verdicts)} verdicts")
+                raise SystemExit("\n".join(lines))
+    return "\n".join(lines)
+
+
 def _cmd_trace_info(args: argparse.Namespace) -> str:
     from repro.analysis.composition import composition
     from repro.traffic.trace import Trace
@@ -216,9 +362,16 @@ def build_parser() -> argparse.ArgumentParser:
         "stats",
         help="run an experiment with live telemetry and export the metrics",
     )
-    stats.add_argument("--experiment", dest="experiment_name", required=True,
+    stats.add_argument("--experiment", dest="experiment_name", default=None,
                        choices=tuple(EXPERIMENTS),
                        help="which experiment to instrument")
+    stats.add_argument("--from-url", default=None, metavar="URL",
+                       help="fetch and pretty-print a live daemon's /metrics "
+                            "page instead of running an experiment "
+                            "(e.g. 127.0.0.1:9100)")
+    stats.add_argument("--prefix", default="",
+                       help="with --from-url: only show metrics whose name "
+                            "starts with this prefix (e.g. repro_serve_)")
     stats.add_argument("--every", type=int, default=1,
                        help="print a live summary every N simulated Δt ticks")
     stats.add_argument("--prom-out", default=None,
@@ -257,6 +410,72 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser("export", help="dump every figure's data as CSV")
     export.add_argument("--out", default="figures")
     _scale_arg(export, "small")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online filtering daemon (see docs/serving.md)",
+    )
+    serve.add_argument("--protected", required=True,
+                       help="comma-separated protected CIDRs "
+                            "(e.g. 172.16.0.0/24,172.16.1.0/24)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9000,
+                       help="data port (0 = ephemeral)")
+    serve.add_argument("--unix", default=None, metavar="PATH",
+                       help="additionally listen on a Unix socket")
+    serve.add_argument("--http-host", default="127.0.0.1")
+    serve.add_argument("--http-port", type=int, default=9100,
+                       help="metrics/health/snapshot port (0 = ephemeral)")
+    serve.add_argument("--no-http", action="store_true",
+                       help="disable the embedded HTTP endpoint")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="N>1 runs the sharded parallel backend")
+    serve.add_argument("--clock", choices=("wall", "packet"), default="wall",
+                       help="wall: rotations every dt of real time (live "
+                            "default); packet: rotations follow packet "
+                            "timestamps (deterministic replay)")
+    serve.add_argument("--backpressure", choices=("block", "shed"),
+                       default="block",
+                       help="full-queue behaviour: block the sender (exact) "
+                            "or shed via the fail policy (responsive)")
+    serve.add_argument("--queue-frames", type=int, default=64)
+    serve.add_argument("--batch-max-packets", type=int, default=65536)
+    serve.add_argument("--windowed", action="store_true",
+                       help="use the approximate windowed batch path "
+                            "instead of the exact path")
+    serve.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="write a final snapshot here on graceful exit")
+    serve.add_argument("--restore", default=None, metavar="PATH",
+                       help="warm-start from this snapshot file")
+    serve.add_argument("--reload-config", default=None, metavar="PATH",
+                       help="SIGHUP re-reads this JSON filter config")
+    serve.add_argument("--fail-policy", choices=("fail_closed", "fail_open"),
+                       default="fail_closed")
+    serve.add_argument("--order", "-n", type=int, default=20)
+    serve.add_argument("--k", type=int, default=4)
+    serve.add_argument("--m", type=int, default=3)
+    serve.add_argument("--dt", type=float, default=5.0)
+    serve.add_argument("--hash-seed", type=int, default=0x5EED)
+
+    replay = sub.add_parser(
+        "replay-to",
+        help="stream a saved trace through a live daemon (load driver)",
+    )
+    replay.add_argument("trace", help=".npz trace file")
+    replay.add_argument("--host", default="127.0.0.1")
+    replay.add_argument("--port", type=int, default=9000)
+    replay.add_argument("--unix", default=None, metavar="PATH",
+                        help="connect over a Unix socket instead of TCP")
+    replay.add_argument("--frame-packets", type=int, default=1000,
+                        help="packets per FT_PACKETS frame")
+    replay.add_argument("--window", type=int, default=8,
+                        help="frames pipelined in flight")
+    replay.add_argument("--repeat", type=int, default=1,
+                        help="stream the trace this many times (load tests)")
+    replay.add_argument("--verify", action="store_true",
+                        help="compare daemon verdicts against an offline "
+                             "run_filter_on_trace twin (requires a "
+                             "--clock packet daemon)")
     return parser
 
 
@@ -268,7 +487,8 @@ def _backend_scope(args: argparse.Namespace):
     it this is a no-op scope.
     """
     workers = getattr(args, "workers", None)
-    if workers is None:
+    if workers is None or args.experiment in ("serve", "replay-to"):
+        # The daemon builds its own backend; no ambient scope needed.
         from contextlib import nullcontext
 
         return nullcontext()
@@ -295,6 +515,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.experiment == "stats":
         print(_cmd_stats(args))
+        return 0
+    if args.experiment == "serve":
+        print(_cmd_serve(args))
+        return 0
+    if args.experiment == "replay-to":
+        print(_cmd_replay_to(args))
         return 0
     if args.experiment == "export":
         from repro.experiments.export import export_figures

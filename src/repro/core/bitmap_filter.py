@@ -798,6 +798,43 @@ class BitmapFilter(PacketFilterMixin):
             tel.count_batch("windowed_batch", stats, before)
         return verdict
 
+    # -- snapshot state -------------------------------------------------------
+
+    def set_fail_policy(self, policy: FailPolicy) -> None:
+        """Swap the fail policy in place (a safe hot-reloadable knob)."""
+        self.fail_policy = FailPolicy(policy)
+
+    def apply_snapshot_state(
+        self,
+        vectors: np.ndarray,
+        current_index: int,
+        bitmap_rotations: int,
+        next_rotation: float,
+        stats: Optional[dict] = None,
+    ) -> None:
+        """Overwrite this filter's mutable state with snapshot contents.
+
+        ``vectors`` is the ``(k, 2**n / 8)`` byte matrix of the bit vectors
+        (what :func:`repro.core.persistence.save_filter` persists); the rest
+        restores the rotation bookkeeping and, optionally, the counters.
+        The configuration must already match — this only moves state, so
+        restore paths (including sharded worker replicas, which receive
+        this call over the worker pipe) validate geometry up front.
+        """
+        vectors = np.asarray(vectors, dtype=np.uint8)
+        expected = (self.config.num_vectors, (1 << self.config.order) // 8)
+        if vectors.shape != expected:
+            raise ValueError(
+                f"snapshot vectors {vectors.shape} do not match this "
+                f"filter's geometry {expected}")
+        for index, vec in enumerate(self.bitmap.vectors):
+            vec.as_numpy()[:] = vectors[index]
+        self.bitmap._idx = int(current_index)
+        self.bitmap._rotations = int(bitmap_rotations)
+        self._next_rotation = float(next_rotation)
+        if stats is not None:
+            self.stats = FilterStats(**stats)
+
     # -- convenience ---------------------------------------------------------------
 
     def mark_key(self, proto: int, local_addr: int, local_port: int, remote_addr: int) -> None:

@@ -28,7 +28,7 @@ from typing import IO, Optional, Union
 
 import numpy as np
 
-from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig, FilterStats
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
 from repro.core.resilience import FailPolicy
 from repro.net.address import AddressSpace, IPv4Network
 
@@ -116,12 +116,13 @@ def load_filter(path: SnapshotTarget) -> BitmapFilter:
                 "the file is corrupted — fall back to a cold start with a "
                 "warm-up grace window instead of trusting this state"
             )
-    for index, vec in enumerate(filt.bitmap.vectors):
-        vec.as_numpy()[:] = vectors[index]
-    filt.bitmap._idx = int(meta["current_index"])
-    filt.bitmap._rotations = int(meta["rotations"])
-    filt._next_rotation = float(meta["next_rotation"])
-    filt.stats = FilterStats(**meta["stats"])
+    filt.apply_snapshot_state(
+        vectors,
+        current_index=int(meta["current_index"]),
+        bitmap_rotations=int(meta["rotations"]),
+        next_rotation=float(meta["next_rotation"]),
+        stats=meta["stats"],
+    )
     return filt
 
 

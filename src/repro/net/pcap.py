@@ -31,8 +31,25 @@ from repro.net.packet import PACKET_DTYPE, PacketArray
 from repro.net.protocols import IPPROTO_TCP, IPPROTO_UDP
 
 PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_NS = 0xA1B23C4D  # nanosecond-resolution variant (newer libpcap)
 PCAP_VERSION = (2, 4)
 LINKTYPE_RAW = 101
+
+
+def _byteswapped(magic: int) -> int:
+    """The magic as read on a host of the opposite byte order."""
+    return struct.unpack("<I", struct.pack(">I", magic))[0]
+
+
+#: Every accepted global-header magic -> (struct endianness, ticks/second).
+#: A capture written on a big-endian host shows the byte-swapped magic; the
+#: nanosecond variants differ only in sub-second resolution.
+_MAGIC_VARIANTS = {
+    PCAP_MAGIC: ("<", 1e6),
+    _byteswapped(PCAP_MAGIC): (">", 1e6),
+    PCAP_MAGIC_NS: ("<", 1e9),
+    _byteswapped(PCAP_MAGIC_NS): (">", 1e9),
+}
 
 _GLOBAL_HEADER = struct.Struct("<IHHiIII")
 _RECORD_HEADER = struct.Struct("<IIII")
@@ -137,6 +154,9 @@ class PcapFormatError(ValueError):
 def read_pcap(path: Union[str, Path]) -> PacketArray:
     """Read a classic pcap (linktype RAW or Ethernet) into a PacketArray.
 
+    All four classic global-header variants are accepted: little- and
+    big-endian byte order, microsecond and nanosecond timestamp resolution
+    (magics ``0xA1B2C3D4`` / ``0xA1B23C4D`` and their byte-swapped forms).
     Only IPv4 TCP/UDP packets are decoded; anything else raises
     :class:`PcapFormatError` (this is a simulation tool, not a general
     protocol dissector).
@@ -145,12 +165,11 @@ def read_pcap(path: Union[str, Path]) -> PacketArray:
     if len(data) < _GLOBAL_HEADER.size:
         raise PcapFormatError("truncated pcap: missing global header")
     magic = struct.unpack_from("<I", data, 0)[0]
-    if magic == PCAP_MAGIC:
-        endian = "<"
-    elif magic == struct.unpack("<I", struct.pack(">I", PCAP_MAGIC))[0]:
-        endian = ">"
-    else:
-        raise PcapFormatError(f"bad magic {magic:#x} (pcapng is not supported)")
+    try:
+        endian, ticks_per_second = _MAGIC_VARIANTS[magic]
+    except KeyError:
+        raise PcapFormatError(
+            f"bad magic {magic:#x} (pcapng is not supported)") from None
     header = struct.Struct(endian + "IHHiIII")
     record = struct.Struct(endian + "IIII")
     _magic, _vmaj, _vmin, _zone, _sig, _snaplen, linktype = header.unpack_from(data, 0)
@@ -166,13 +185,14 @@ def read_pcap(path: Union[str, Path]) -> PacketArray:
     while offset < len(data):
         if offset + record.size > len(data):
             raise PcapFormatError("truncated record header")
-        sec, usec, incl_len, _orig_len = record.unpack_from(data, offset)
+        sec, frac, incl_len, _orig_len = record.unpack_from(data, offset)
         offset += record.size
         if offset + incl_len > len(data):
             raise PcapFormatError("truncated packet body")
         frame = data[offset:offset + incl_len]
         offset += incl_len
-        rows.append(_decode_frame(sec + usec / 1e6, frame[l2_offset:]))
+        rows.append(_decode_frame(sec + frac / ticks_per_second,
+                                  frame[l2_offset:]))
 
     out = np.zeros(len(rows), dtype=PACKET_DTYPE)
     for i, row in enumerate(rows):

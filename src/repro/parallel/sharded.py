@@ -547,6 +547,47 @@ class ShardedBitmapFilter(PacketFilterMixin):
             self._tel.stalled.set(0)
         return ran
 
+    def set_fail_policy(self, policy: FailPolicy) -> None:
+        """Swap the fail policy on every replica (hot-reload surface)."""
+        policy = FailPolicy(policy)
+        self._call_all("set_fail_policy", policy)
+        self.fail_policy = policy
+        self._stats_cache = None
+
+    def apply_snapshot_state(
+        self,
+        vectors: np.ndarray,
+        current_index: int,
+        bitmap_rotations: int,
+        next_rotation: float,
+        stats: Optional[dict] = None,
+    ) -> None:
+        """Load snapshot state into every replica (warm-start surface).
+
+        The bit vectors and rotation bookkeeping are broadcast so the
+        replicas stay byte-identical; the counters — whose incoming-side
+        fields are *merged* totals that cannot be re-partitioned by owner —
+        go to worker 0 only.  The ownership-aware stats merge reads
+        outgoing-side fields from worker 0 and sums the partitioned ones,
+        so the merged view reproduces the snapshot's counters exactly.
+        """
+        if self._down:
+            raise ValueError("cannot load snapshot state while the filter "
+                             "is down; recover it first")
+        vectors = np.asarray(vectors, dtype=np.uint8)
+        call_args = (vectors, current_index, bitmap_rotations, next_rotation)
+        for w, conn in enumerate(self._conns):
+            kwargs = {"stats": stats} if (w == 0 and stats is not None) else {}
+            conn.send(("call", "apply_snapshot_state", call_args, kwargs))
+        for w in range(self.num_workers):
+            self._recv(w)
+        # The replicas now sit exactly one interval before next_rotation;
+        # remember that time so _sync() does not rewind or over-advance.
+        boundary = next_rotation - self.config.rotation_interval
+        if boundary > self._last_ts:
+            self._last_ts = boundary
+        self._stats_cache = None
+
     def flip_bits(self, fraction: float, seed: int = 0xB17F11) -> int:
         """Broadcast deterministic corruption: every replica flips the same
         bits, so the replicas stay byte-identical (and identical to what a

@@ -1,0 +1,49 @@
+"""repro.serve — the online filtering daemon and its protocol.
+
+Everything the offline harness does in batch, this package does live:
+packets stream in over a socket, verdicts stream back in order, rotations
+fire on the wall clock, and state survives restarts through checksummed
+snapshots.  See :mod:`repro.serve.daemon` for the architecture and
+``docs/serving.md`` for the wire protocol and operations runbook.
+"""
+
+from repro.serve.client import AsyncFilterClient, FilterClient, ServerError
+from repro.serve.daemon import FilterDaemon, ServeConfig
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    ProtocolError,
+    decode_packets,
+    decode_verdicts,
+    encode_frame,
+    encode_packets,
+    encode_verdicts,
+)
+from repro.serve.scheduler import RotationScheduler
+from repro.serve.state import (
+    materialize_serial,
+    restore_serve_filter,
+    snapshot_to_bytes,
+    write_snapshot,
+)
+
+__all__ = [
+    "AsyncFilterClient",
+    "DEFAULT_MAX_FRAME",
+    "FilterClient",
+    "FilterDaemon",
+    "FrameDecoder",
+    "ProtocolError",
+    "RotationScheduler",
+    "ServeConfig",
+    "ServerError",
+    "decode_packets",
+    "decode_verdicts",
+    "encode_frame",
+    "encode_packets",
+    "encode_verdicts",
+    "materialize_serial",
+    "restore_serve_filter",
+    "snapshot_to_bytes",
+    "write_snapshot",
+]

@@ -1,0 +1,288 @@
+"""Client bindings for the serve protocol: sync and asyncio.
+
+:class:`FilterClient` is the blocking client — a plain socket plus the
+shared :class:`~repro.serve.protocol.FrameDecoder` — for scripts, tests,
+and the CLI.  :class:`AsyncFilterClient` is the asyncio twin with the
+same surface for use inside an event loop.  Both speak strictly
+request/response-in-order, matching the daemon's ordered delivery:
+
+- :meth:`~FilterClient.filter` — send one packet frame, wait for its
+  verdict mask.
+- :meth:`~FilterClient.filter_stream` — windowed pipelining: keep up to
+  ``window`` packet frames in flight and yield verdict masks in order;
+  this is what the replay driver uses to reach daemon-bound throughput
+  instead of round-trip-bound throughput.
+- :meth:`~FilterClient.ping` — opaque-token echo that doubles as a
+  barrier (its pong arrives only after all earlier verdicts).
+- :meth:`~FilterClient.config` — the daemon's self-description (filter
+  geometry, protected networks, clock mode, backend) as a dict.
+- :meth:`~FilterClient.goodbye` — orderly close.
+
+A server ``FT_ERROR`` frame raises :class:`ServerError` carrying the
+daemon's diagnostic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from collections import deque
+from typing import Deque, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.packet import PacketArray
+from repro.serve import protocol
+from repro.serve.protocol import FrameDecoder, ProtocolError
+
+__all__ = ["AsyncFilterClient", "FilterClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """The daemon answered with an FT_ERROR frame."""
+
+
+def _expect(frame_type: int, expected: int) -> None:
+    if frame_type == protocol.FT_ERROR:
+        return  # caller raises with the body text
+    if frame_type != expected:
+        raise ProtocolError(
+            f"expected frame type {expected:#x}, got {frame_type:#x}")
+
+
+class FilterClient:
+    """Blocking client for one daemon connection.
+
+    Connect with ``FilterClient.connect(host, port)`` or
+    ``FilterClient.connect_unix(path)``; use as a context manager for an
+    orderly goodbye on exit.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 max_frame: int = protocol.DEFAULT_MAX_FRAME):
+        self._sock = sock
+        self._decoder = FrameDecoder(max_frame)
+        self._frames: Deque[Tuple[int, bytes]] = deque()
+        self._closed = False
+
+    @classmethod
+    def connect(cls, host: str, port: int, *,
+                timeout: Optional[float] = 30.0,
+                max_frame: int = protocol.DEFAULT_MAX_FRAME) -> "FilterClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock, max_frame)
+
+    @classmethod
+    def connect_unix(cls, path: str, *,
+                     timeout: Optional[float] = 30.0,
+                     max_frame: int = protocol.DEFAULT_MAX_FRAME,
+                     ) -> "FilterClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+        return cls(sock, max_frame)
+
+    def __enter__(self) -> "FilterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            if not self._closed and exc_info[0] is None:
+                self.goodbye()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    # -- frame plumbing -------------------------------------------------------
+
+    def _send(self, data: bytes) -> None:
+        self._sock.sendall(data)
+
+    def _recv_frame(self) -> Tuple[int, bytes]:
+        while not self._frames:
+            chunk = self._sock.recv(1 << 16)
+            if not chunk:
+                self._decoder.finish()
+                raise ConnectionError("daemon closed the connection")
+            self._frames.extend(self._decoder.feed(chunk))
+        return self._frames.popleft()
+
+    def _recv_expect(self, expected: int) -> bytes:
+        frame_type, body = self._recv_frame()
+        if frame_type == protocol.FT_ERROR:
+            raise ServerError(body.decode("utf-8", "replace"))
+        _expect(frame_type, expected)
+        return body
+
+    # -- protocol surface -----------------------------------------------------
+
+    def filter(self, packets: PacketArray) -> np.ndarray:
+        """One packet frame in, its boolean PASS mask out."""
+        self._send(protocol.encode_packets(packets))
+        return protocol.decode_verdicts(
+            self._recv_expect(protocol.FT_VERDICTS))
+
+    def filter_stream(self, batches: Iterable[PacketArray], *,
+                      window: int = 8) -> Iterator[np.ndarray]:
+        """Pipeline ``batches`` with up to ``window`` frames in flight.
+
+        Yields one verdict mask per input batch, in input order.  The
+        daemon's ordered delivery guarantees response *i* pairs with
+        request *i*, so no sequence numbers are needed on the wire.
+        """
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        in_flight = 0
+        iterator = iter(batches)
+        exhausted = False
+        while not exhausted or in_flight:
+            while not exhausted and in_flight < window:
+                try:
+                    batch = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                self._send(protocol.encode_packets(batch))
+                in_flight += 1
+            if in_flight:
+                yield protocol.decode_verdicts(
+                    self._recv_expect(protocol.FT_VERDICTS))
+                in_flight -= 1
+
+    def ping(self, token: bytes = b"") -> bytes:
+        """Echo ``token`` — and barrier on all previously sent frames."""
+        self._send(protocol.encode_frame(protocol.FT_PING, token))
+        return self._recv_expect(protocol.FT_PONG)
+
+    def config(self) -> dict:
+        """The daemon's FT_CONFIG self-description."""
+        self._send(protocol.encode_frame(protocol.FT_CONFIG_REQ))
+        return json.loads(self._recv_expect(protocol.FT_CONFIG))
+
+    def goodbye(self) -> None:
+        """Orderly close: drain pending responses through FT_BYE."""
+        self._send(protocol.encode_frame(protocol.FT_GOODBYE))
+        while True:
+            frame_type, body = self._recv_frame()
+            if frame_type == protocol.FT_BYE:
+                return
+            if frame_type == protocol.FT_ERROR:
+                raise ServerError(body.decode("utf-8", "replace"))
+
+
+class AsyncFilterClient:
+    """Asyncio client with the same surface as :class:`FilterClient`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 max_frame: int = protocol.DEFAULT_MAX_FRAME):
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder(max_frame)
+        self._frames: Deque[Tuple[int, bytes]] = deque()
+
+    @classmethod
+    async def connect(cls, host: str, port: int, *,
+                      max_frame: int = protocol.DEFAULT_MAX_FRAME,
+                      ) -> "AsyncFilterClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(reader, writer, max_frame)
+
+    @classmethod
+    async def connect_unix(cls, path: str, *,
+                           max_frame: int = protocol.DEFAULT_MAX_FRAME,
+                           ) -> "AsyncFilterClient":
+        reader, writer = await asyncio.open_unix_connection(path)
+        return cls(reader, writer, max_frame)
+
+    async def __aenter__(self) -> "AsyncFilterClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        try:
+            if exc_info[0] is None:
+                await self.goodbye()
+        finally:
+            await self.close()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- frame plumbing -------------------------------------------------------
+
+    async def _recv_frame(self) -> Tuple[int, bytes]:
+        while not self._frames:
+            chunk = await self._reader.read(1 << 16)
+            if not chunk:
+                self._decoder.finish()
+                raise ConnectionError("daemon closed the connection")
+            self._frames.extend(self._decoder.feed(chunk))
+        return self._frames.popleft()
+
+    async def _recv_expect(self, expected: int) -> bytes:
+        frame_type, body = await self._recv_frame()
+        if frame_type == protocol.FT_ERROR:
+            raise ServerError(body.decode("utf-8", "replace"))
+        _expect(frame_type, expected)
+        return body
+
+    # -- protocol surface -----------------------------------------------------
+
+    async def filter(self, packets: PacketArray) -> np.ndarray:
+        self._writer.write(protocol.encode_packets(packets))
+        await self._writer.drain()
+        return protocol.decode_verdicts(
+            await self._recv_expect(protocol.FT_VERDICTS))
+
+    async def filter_stream(self, batches: List[PacketArray], *,
+                            window: int = 8) -> List[np.ndarray]:
+        """Pipeline ``batches`` with up to ``window`` in flight; all masks."""
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        verdicts: List[np.ndarray] = []
+        in_flight = 0
+        index = 0
+        while index < len(batches) or in_flight:
+            while index < len(batches) and in_flight < window:
+                self._writer.write(protocol.encode_packets(batches[index]))
+                index += 1
+                in_flight += 1
+            await self._writer.drain()
+            if in_flight:
+                verdicts.append(protocol.decode_verdicts(
+                    await self._recv_expect(protocol.FT_VERDICTS)))
+                in_flight -= 1
+        return verdicts
+
+    async def ping(self, token: bytes = b"") -> bytes:
+        self._writer.write(protocol.encode_frame(protocol.FT_PING, token))
+        await self._writer.drain()
+        return await self._recv_expect(protocol.FT_PONG)
+
+    async def config(self) -> dict:
+        self._writer.write(protocol.encode_frame(protocol.FT_CONFIG_REQ))
+        await self._writer.drain()
+        return json.loads(await self._recv_expect(protocol.FT_CONFIG))
+
+    async def goodbye(self) -> None:
+        self._writer.write(protocol.encode_frame(protocol.FT_GOODBYE))
+        await self._writer.drain()
+        while True:
+            frame_type, body = await self._recv_frame()
+            if frame_type == protocol.FT_BYE:
+                return
+            if frame_type == protocol.FT_ERROR:
+                raise ServerError(body.decode("utf-8", "replace"))

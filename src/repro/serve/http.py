@@ -1,0 +1,118 @@
+"""The daemon's embedded HTTP endpoint: metrics, health, snapshots.
+
+A deliberately tiny HTTP/1.1 responder on asyncio streams — three GET
+routes, ``Connection: close`` on every response, no keep-alive, no
+dependency beyond the standard library:
+
+- ``GET /metrics`` — the daemon's registry in Prometheus text exposition
+  format (:func:`repro.telemetry.exporters.to_prometheus`); filter and
+  daemon instruments share one registry, so one scrape sees both.
+- ``GET /healthz`` — a JSON liveness document (status, uptime, queue
+  depth, filter configuration, rotation schedule).
+- ``GET /snapshot`` — the live filter's checksummed snapshot-v2 archive
+  as ``application/octet-stream``; ``curl -o state.npz`` of a running
+  daemon is a valid ``--restore`` file.  Answers 503 while the filter is
+  down (a failed filter refuses to snapshot).
+
+Anything else is 404; non-GET methods are 405.  Malformed requests get a
+400 and a closed connection — this endpoint is for operators on a trusted
+network, not the open internet, matching the paper's deployment at the
+client network's edge router.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Tuple
+
+from repro.telemetry.exporters import to_prometheus
+
+if TYPE_CHECKING:
+    from repro.serve.daemon import FilterDaemon
+
+__all__ = ["HttpEndpoint"]
+
+_MAX_REQUEST_LINE = 8192
+_PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+
+class HttpEndpoint:
+    """Serve /metrics, /healthz, and /snapshot for one daemon."""
+
+    def __init__(self, daemon: "FilterDaemon"):
+        self._daemon = daemon
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """One request, one response, close — the whole connection."""
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    reader.readline(), timeout=10.0)
+                if not request or len(request) > _MAX_REQUEST_LINE:
+                    raise ValueError("bad request line")
+                parts = request.decode("latin-1").split()
+                if len(parts) < 2:
+                    raise ValueError("bad request line")
+                method, path = parts[0], parts[1].split("?", 1)[0]
+                # Drain headers; this responder ignores them.
+                while True:
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=10.0)
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+            except (ValueError, UnicodeDecodeError, asyncio.TimeoutError):
+                self._write(writer, 400, "text/plain; charset=utf-8",
+                            b"bad request\n")
+                return
+            status, content_type, body = self._route(method, path)
+            self._write(writer, status, content_type, body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _route(self, method: str, path: str) -> Tuple[int, str, bytes]:
+        if method != "GET":
+            return 405, "text/plain; charset=utf-8", b"GET only\n"
+        if path == "/metrics":
+            daemon = self._daemon
+            daemon._m.uptime.set(daemon.uptime())
+            text = to_prometheus(daemon.registry)
+            return 200, _PROMETHEUS_TYPE, text.encode()
+        if path == "/healthz":
+            body = json.dumps(self._daemon.health(), sort_keys=True).encode()
+            return 200, "application/json", body
+        if path == "/snapshot":
+            try:
+                data = self._daemon.snapshot_bytes()
+            except ValueError as exc:  # e.g. the filter is down
+                return (503, "text/plain; charset=utf-8",
+                        f"{exc}\n".encode())
+            return 200, "application/octet-stream", data
+        return 404, "text/plain; charset=utf-8", b"not found\n"
+
+    @staticmethod
+    def _write(writer: asyncio.StreamWriter, status: int, content_type: str,
+               body: bytes) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n").encode("latin-1")
+        writer.write(head + body)

@@ -1,0 +1,123 @@
+"""Snapshot plumbing between the daemon and both filter backends.
+
+The checkpoint format is the checksummed snapshot v2 of
+:mod:`repro.core.persistence`; these helpers adapt it to the two shapes a
+daemon runs: a serial :class:`~repro.core.bitmap_filter.BitmapFilter` and a
+:class:`~repro.parallel.sharded.ShardedBitmapFilter` whose state lives in
+worker replicas.
+
+- :func:`materialize_serial` — a serial filter holding a *copy* of any
+  filter's current state (for a sharded filter: worker 0's replica plus
+  the ownership-merged counters).
+- :func:`snapshot_to_bytes` / :func:`write_snapshot` — serve a live
+  filter's checkpoint over HTTP or persist the SIGTERM final snapshot.
+- :func:`restore_serve_filter` — warm-start either backend from a
+  snapshot file, loading the bit vectors into every replica.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.bitmap_filter import BitmapFilter
+from repro.core.persistence import load_filter, save_filter
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = [
+    "materialize_serial",
+    "restore_serve_filter",
+    "snapshot_to_bytes",
+    "write_snapshot",
+]
+
+AnyBackendFilter = Union[BitmapFilter, "ShardedBitmapFilter"]  # noqa: F821
+
+
+def materialize_serial(filt: AnyBackendFilter) -> BitmapFilter:
+    """A serial filter carrying a copy of ``filt``'s complete state.
+
+    A serial filter is returned as-is (no copy).  For a sharded filter the
+    replicated bitmap (worker 0's, identical to every replica), the
+    rotation schedule, and the merged counters are copied into a fresh
+    serial shell — the canonical single-process view that snapshots
+    persist.
+    """
+    if isinstance(filt, BitmapFilter):
+        return filt
+    serial = BitmapFilter(filt.config, filt.protected,
+                          fail_policy=filt.fail_policy)
+    bitmap = filt.bitmap  # synced copy of the replicated state
+    vectors = np.stack([vec.as_numpy() for vec in bitmap.vectors])
+    serial.apply_snapshot_state(
+        vectors,
+        current_index=bitmap.current_index,
+        bitmap_rotations=bitmap.rotations,
+        next_rotation=filt.next_rotation,
+        stats=filt.stats.as_dict(),
+    )
+    return serial
+
+
+def snapshot_to_bytes(filt: AnyBackendFilter) -> bytes:
+    """The snapshot-v2 archive of ``filt``'s current state, in memory."""
+    buffer = io.BytesIO()
+    save_filter(materialize_serial(filt), buffer)
+    return buffer.getvalue()
+
+
+def write_snapshot(filt: AnyBackendFilter, path: Union[str, Path]) -> Path:
+    """Persist ``filt``'s current state as a snapshot-v2 file."""
+    path = Path(path)
+    path.write_bytes(snapshot_to_bytes(filt))
+    return path
+
+
+def restore_serve_filter(
+    path: Union[str, Path],
+    *,
+    workers: int = 0,
+    telemetry: Optional[MetricsRegistry] = None,
+    mp_context: Optional[str] = None,
+):
+    """Warm-start a daemon filter from a snapshot file.
+
+    ``workers <= 1`` rebuilds a serial filter (re-created under the
+    daemon's telemetry registry, then loaded with the snapshot state so
+    the instruments are live).  ``workers > 1`` boots a sharded pool with
+    the snapshot's configuration and broadcasts the state into every
+    replica via ``apply_snapshot_state``.
+
+    Restoring performs no rotation catch-up by itself: the daemon's clock
+    source decides what "now" is (the packet clock resumes wherever the
+    stream does; the wall-clock scheduler advances on its first boundary).
+    """
+    loaded = load_filter(path)  # validates geometry + vector checksum
+    vectors = np.stack([vec.as_numpy() for vec in loaded.bitmap.vectors])
+    state = dict(
+        current_index=loaded.bitmap.current_index,
+        bitmap_rotations=loaded.bitmap.rotations,
+        next_rotation=loaded.next_rotation,
+        stats=loaded.stats.as_dict(),
+    )
+    if workers and workers > 1:
+        from repro.parallel.sharded import ShardedBitmapFilter
+
+        filt = ShardedBitmapFilter(
+            loaded.config,
+            loaded.protected,
+            num_workers=workers,
+            start_time=loaded.next_rotation - loaded.config.rotation_interval,
+            fail_policy=loaded.fail_policy,
+            telemetry=telemetry,
+            mp_context=mp_context,
+        )
+        filt.apply_snapshot_state(vectors, **state)
+        return filt
+    filt = BitmapFilter(loaded.config, loaded.protected,
+                        fail_policy=loaded.fail_policy, telemetry=telemetry)
+    filt.apply_snapshot_state(vectors, **state)
+    return filt

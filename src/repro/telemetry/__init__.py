@@ -42,6 +42,9 @@ from repro.telemetry.profiling import (
 from repro.telemetry.exporters import (
     JsonLinesSampler,
     LiveSummarySampler,
+    PromSample,
+    parse_prometheus,
+    summarize_prometheus,
     to_prometheus,
 )
 
@@ -54,14 +57,17 @@ __all__ = [
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
+    "PromSample",
     "StageTimings",
     "Timer",
     "current_profile",
     "get_registry",
     "log_buckets",
+    "parse_prometheus",
     "profile_run",
     "profiled",
     "set_registry",
+    "summarize_prometheus",
     "to_prometheus",
     "use_registry",
 ]

@@ -10,12 +10,19 @@ one JSON object holding the snapshot — cumulative counter/gauge values plus
 per-interval counter deltas — giving a replayable time series of the run.
 :class:`LiveSummarySampler` prints a compact one-line summary every N ticks
 for interactive runs (``repro stats``).
+
+:func:`parse_prometheus` is the inverse of :func:`to_prometheus` — it reads
+text exposition back into plain sample dicts, which is what lets
+``repro stats --from-url`` pretty-print a live daemon's ``/metrics`` page
+without any client library.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import re
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, TextIO
 
 from repro.telemetry.registry import (
@@ -71,6 +78,122 @@ def to_prometheus(registry: MetricsRegistry) -> str:
                 lines.append(f"{name}_sum{suffix} {_format_value(metric.sum)}")
                 lines.append(f"{name}_count{suffix} {metric.count}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+@dataclass
+class PromSample:
+    """One parsed sample line of a Prometheus text exposition page."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+    kind: str = "untyped"
+    help: str = ""
+
+    @property
+    def full_name(self) -> str:
+        return self.name + format_labels(tuple(sorted(self.labels.items())))
+
+
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_label_block(block: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    for key, raw in _LABEL_RE.findall(block):
+        labels[key] = raw.replace(r"\"", '"').replace(r"\n", "\n") \
+            .replace("\\\\", "\\")
+    return labels
+
+
+def parse_prometheus(text: str) -> List[PromSample]:
+    """Parse text exposition format into a flat list of samples.
+
+    Handles ``# HELP``/``# TYPE`` headers (attached to the samples that
+    follow), labelled and unlabelled samples, and the ``+Inf``/``NaN``
+    value spellings.  Histogram series come back as their underlying
+    ``_bucket``/``_sum``/``_count`` samples — flat and greppable, which is
+    all the CLI summary needs.  Malformed lines raise :class:`ValueError`
+    with the offending line number.
+    """
+    kinds: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    samples: List[PromSample] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                target = kinds if parts[1] == "TYPE" else helps
+                target[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            block, _, value_text = rest.rpartition("}")
+            labels = _parse_label_block(block)
+        else:
+            pieces = line.split()
+            if len(pieces) < 2:
+                raise ValueError(
+                    f"line {lineno}: sample without a value: {line!r}")
+            name, value_text = pieces[0], pieces[1]
+            labels = {}
+        name = name.strip()
+        value_text = value_text.split()[0] if value_text.split() else ""
+        try:
+            value = float(value_text.replace("+Inf", "inf")
+                          .replace("-Inf", "-inf"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: bad sample value {value_text!r}") from exc
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in kinds:
+                base = name[:-len(suffix)]
+                break
+        samples.append(PromSample(
+            name=name, labels=labels, value=value,
+            kind=kinds.get(base, "untyped"), help=helps.get(base, "")))
+    return samples
+
+
+def summarize_prometheus(text: str, prefix: str = "") -> str:
+    """A human-readable table of a metrics page (``repro stats --from-url``).
+
+    Histogram bucket series are folded into one ``name: count=…, sum=…``
+    line; counters and gauges print their value per label set.  ``prefix``
+    filters by metric-name prefix (e.g. ``repro_serve_``).
+    """
+    samples = [s for s in parse_prometheus(text)
+               if s.name.startswith(prefix)]
+    lines: List[str] = []
+    seen_histograms: set = set()
+    for sample in samples:
+        if sample.kind == "histogram":
+            base = sample.name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if base.endswith(suffix):
+                    base = base[:-len(suffix)]
+            key = (base, tuple(sorted(
+                (k, v) for k, v in sample.labels.items() if k != "le")))
+            if key in seen_histograms:
+                continue
+            seen_histograms.add(key)
+            label_part = format_labels(key[1])
+            total = sum(s.value for s in samples
+                        if s.name == base + "_count"
+                        and tuple(sorted(s.labels.items())) == key[1])
+            total_sum = sum(s.value for s in samples
+                            if s.name == base + "_sum"
+                            and tuple(sorted(s.labels.items())) == key[1])
+            mean = total_sum / total if total else math.nan
+            lines.append(f"{base}{label_part}  count={int(total)}  "
+                         f"sum={total_sum:g}  mean={mean:g}")
+        else:
+            lines.append(f"{sample.full_name}  {_format_value(sample.value)}")
+    return "\n".join(lines)
 
 
 class JsonLinesSampler:

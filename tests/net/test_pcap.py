@@ -9,6 +9,7 @@ from repro.net.packet import PacketArray, PacketLabel, TcpFlags
 from repro.net.pcap import (
     LINKTYPE_RAW,
     PCAP_MAGIC,
+    PCAP_MAGIC_NS,
     PcapFormatError,
     checksum16,
     encode_packet,
@@ -216,4 +217,75 @@ class TestNonTransportProtocols:
         path = tmp_path / "icmp.pcap"
         write_pcap(PacketArray.from_packets([pkt]), path)
         with pytest.raises(PcapFormatError):
+            read_pcap(path)
+
+
+class TestMagicVariants:
+    """All four classic global-header magics read back correctly.
+
+    Captures come in little- and big-endian byte order (the magic is
+    byte-swapped when written on the opposite-endian host) and in
+    microsecond or nanosecond timestamp resolution; the reader must accept
+    every combination and scale the sub-second field accordingly.
+    """
+
+    @staticmethod
+    def _write_variant(path, packets, endian, ticks_per_second):
+        """Synthesize a capture with the chosen endianness/resolution."""
+        magic = PCAP_MAGIC if ticks_per_second == 1_000_000 else PCAP_MAGIC_NS
+        with path.open("wb") as fh:
+            fh.write(struct.pack(endian + "IHHiIII", magic, 2, 4, 0, 0,
+                                 65535, LINKTYPE_RAW))
+            for row in packets.data:
+                wire = encode_packet(row)
+                ts = float(row["ts"])
+                sec = int(ts)
+                frac = int(round((ts - sec) * ticks_per_second))
+                if frac == ticks_per_second:
+                    sec, frac = sec + 1, 0
+                fh.write(struct.pack(endian + "IIII", sec, frac,
+                                     len(wire), len(wire)))
+                fh.write(wire)
+
+    @pytest.mark.parametrize("endian", ["<", ">"], ids=["le", "be"])
+    @pytest.mark.parametrize("ticks", [1_000_000, 1_000_000_000],
+                             ids=["usec", "nsec"])
+    def test_variant_round_trips(self, sample, tmp_path, endian, ticks):
+        path = tmp_path / "variant.pcap"
+        self._write_variant(path, sample, endian, ticks)
+        loaded = read_pcap(path)
+        assert len(loaded) == len(sample)
+        for name in ("proto", "src", "sport", "dst", "dport", "flags",
+                     "size", "label"):
+            np.testing.assert_array_equal(loaded.data[name],
+                                          sample.data[name], err_msg=name)
+        np.testing.assert_allclose(loaded.data["ts"], sample.data["ts"],
+                                   atol=1.5 / ticks)
+
+    def test_nanosecond_resolution_is_not_truncated(self, sample, tmp_path):
+        """A sub-microsecond timestamp survives only via the ns magic."""
+        path = tmp_path / "ns.pcap"
+        wire = encode_packet(sample.data[0])
+        with path.open("wb") as fh:
+            fh.write(struct.pack("<IHHiIII", PCAP_MAGIC_NS, 2, 4, 0, 0,
+                                 65535, LINKTYPE_RAW))
+            fh.write(struct.pack("<IIII", 7, 123_456_789,
+                                 len(wire), len(wire)))
+            fh.write(wire)
+        loaded = read_pcap(path)
+        assert loaded.data["ts"][0] == pytest.approx(7.123456789,
+                                                     abs=1e-9)
+
+    def test_byteswapped_ns_magic_accepted(self, sample, tmp_path):
+        path = tmp_path / "be_ns.pcap"
+        self._write_variant(path, sample, ">", 1_000_000_000)
+        assert struct.unpack_from("<I", path.read_bytes(), 0)[0] not in (
+            PCAP_MAGIC, PCAP_MAGIC_NS)  # genuinely byte-swapped on disk
+        assert len(read_pcap(path)) == len(sample)
+
+    def test_unknown_magic_still_rejected(self, tmp_path):
+        path = tmp_path / "bogus.pcap"
+        path.write_bytes(struct.pack("<IHHiIII", 0x0A0D0D0A, 2, 4, 0, 0,
+                                     65535, LINKTYPE_RAW))
+        with pytest.raises(PcapFormatError, match="bad magic"):
             read_pcap(path)

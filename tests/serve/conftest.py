@@ -1,0 +1,20 @@
+"""Serve-suite fixtures: run ``async def`` tests without pytest-asyncio.
+
+The container pins its dependency set, so instead of a plugin this local
+hook executes coroutine test functions under ``asyncio.run`` — each test
+gets a fresh event loop, which is exactly the isolation a daemon test
+wants anyway.
+"""
+
+import asyncio
+import inspect
+
+
+def pytest_pyfunc_call(pyfuncitem):
+    func = pyfuncitem.obj
+    if inspect.iscoroutinefunction(func):
+        kwargs = {name: pyfuncitem.funcargs[name]
+                  for name in pyfuncitem._fixtureinfo.argnames}
+        asyncio.run(func(**kwargs))
+        return True
+    return None

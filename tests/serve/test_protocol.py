@@ -1,0 +1,146 @@
+"""Property tests for the serve framing codec (tests/strategies.py shapes).
+
+The wire protocol must round-trip *every* valid packet tuple bit-exactly
+(verdict parity across the socket depends on it) and reject malformed
+streams with a clean :class:`ProtocolError` rather than garbage verdicts.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import PACKET_DTYPE, PacketArray
+from repro.serve import protocol
+from repro.serve.protocol import (
+    FRAME_TYPES,
+    FrameDecoder,
+    ProtocolError,
+    decode_packets,
+    decode_verdicts,
+    encode_frame,
+    encode_packets,
+    encode_verdicts,
+)
+from tests.strategies import mixed_direction_packets, rotation_straddling_arrays
+
+
+def _arrays():
+    """PacketArrays drawn from the shared suite strategies."""
+    return st.one_of(
+        rotation_straddling_arrays(),
+        mixed_direction_packets().map(PacketArray.from_packets),
+    )
+
+
+class TestPacketRoundTrip:
+    @given(_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_every_field_roundtrips_bit_exactly(self, packets):
+        frame = encode_packets(packets)
+        decoder = FrameDecoder()
+        frames = decoder.feed(frame)
+        assert len(frames) == 1
+        frame_type, body = frames[0]
+        assert frame_type == protocol.FT_PACKETS
+        restored = decode_packets(body)
+        assert restored.data.dtype == PACKET_DTYPE
+        for name in PACKET_DTYPE.names:
+            np.testing.assert_array_equal(restored.data[name],
+                                          packets.data[name], err_msg=name)
+
+    def test_empty_array_roundtrips(self):
+        empty = PacketArray(np.zeros(0, dtype=PACKET_DTYPE))
+        _, body = FrameDecoder().feed(encode_packets(empty))[0]
+        assert len(decode_packets(body)) == 0
+
+    @given(st.lists(st.booleans(), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_verdicts_roundtrip(self, bits):
+        mask = np.array(bits, dtype=bool)
+        _, body = FrameDecoder().feed(encode_verdicts(mask))[0]
+        np.testing.assert_array_equal(decode_verdicts(body), mask)
+
+
+class TestDecoderChunking:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(sorted(FRAME_TYPES)),
+                      st.binary(max_size=64)),
+            min_size=1, max_size=8),
+        st.integers(1, 17),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_chunking_preserves_frames(self, frames, chunk_size):
+        stream = b"".join(encode_frame(t, b) for t, b in frames)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(stream), chunk_size):
+            out.extend(decoder.feed(stream[i:i + chunk_size]))
+        decoder.finish()
+        assert out == frames
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_truncated_stream_fails_finish(self, cut):
+        stream = encode_frame(protocol.FT_PING, b"x" * 64)
+        cut = min(cut, len(stream) - 1)
+        decoder = FrameDecoder()
+        decoder.feed(stream[:cut])
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            decoder.finish()
+        assert decoder.pending_bytes == cut
+
+
+class TestRejections:
+    def test_oversized_frame_rejected(self):
+        decoder = FrameDecoder(max_frame=16)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decoder.feed(encode_frame(protocol.FT_PING, b"y" * 32))
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="zero-length"):
+            FrameDecoder().feed(struct.pack("!I", 0))
+
+    def test_unknown_frame_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            FrameDecoder().feed(struct.pack("!I", 1) + b"\x7f")
+
+    def test_encode_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(0x7F, b"")
+
+    @given(st.integers(1, protocol.WIRE_DTYPE.itemsize - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_partial_row_body_rejected(self, extra):
+        with pytest.raises(ProtocolError, match="not a multiple"):
+            decode_packets(b"\x00" * extra)
+
+    def test_nonfinite_timestamp_rejected(self):
+        row = np.zeros(1, dtype=protocol.WIRE_DTYPE)
+        row["ts"] = np.nan
+        with pytest.raises(ProtocolError, match="non-finite"):
+            decode_packets(row.tobytes())
+
+    def test_verdict_bytes_other_than_01_rejected(self):
+        with pytest.raises(ProtocolError, match="other than 0/1"):
+            decode_verdicts(b"\x00\x01\x02")
+
+    def test_decoder_error_is_sticky_protocol_error(self):
+        # After a framing error the caller must tear the connection down;
+        # feeding more data must not resurface valid-looking frames.
+        decoder = FrameDecoder(max_frame=8)
+        with pytest.raises(ProtocolError):
+            decoder.feed(struct.pack("!I", 100) + b"\x02")
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"")
+
+
+class TestWireDtype:
+    def test_wire_dtype_is_little_endian_packet_dtype(self):
+        assert protocol.WIRE_DTYPE.itemsize == PACKET_DTYPE.itemsize
+        for name in PACKET_DTYPE.names:
+            wire = protocol.WIRE_DTYPE[name]
+            assert wire.byteorder in ("<", "|", "=")

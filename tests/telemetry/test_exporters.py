@@ -191,3 +191,54 @@ class TestFilterRunSnapshot:
                 f"{filt.stats.incoming_dropped}") in prom
         assert "repro_filter_rotation_seconds_bucket" in prom
         assert 'le="+Inf"' in prom
+
+
+class TestParsePrometheus:
+    """parse/summarize round-trip the exporter's own output."""
+
+    def test_roundtrip_every_sample(self):
+        from repro.telemetry.exporters import parse_prometheus
+
+        reg = make_registry()
+        samples = parse_prometheus(to_prometheus(reg))
+        by_key = {(s.name, tuple(sorted(s.labels.items()))): s.value
+                  for s in samples}
+        assert by_key[("jobs_total", ())] == 3
+        assert by_key[("errs_total", (("kind", "io"),))] == 1
+        assert by_key[("depth", ())] == 7
+        assert by_key[("latency_seconds_count", ())] == 3
+        assert by_key[("latency_seconds_bucket", (("le", "+Inf"),))] == 3
+
+    def test_histogram_kind_attached(self):
+        from repro.telemetry.exporters import parse_prometheus
+
+        samples = parse_prometheus(to_prometheus(make_registry()))
+        kinds = {s.name: s.kind for s in samples}
+        assert kinds["latency_seconds_bucket"] == "histogram"
+        assert kinds["latency_seconds_sum"] == "histogram"
+        assert kinds["jobs_total"] == "counter"
+        assert kinds["depth"] == "gauge"
+
+    def test_malformed_line_reports_line_number(self):
+        from repro.telemetry.exporters import parse_prometheus
+
+        with pytest.raises(ValueError, match="line 2"):
+            parse_prometheus("ok_total 1\nthis is not a sample line at all\n")
+
+    def test_summary_folds_histograms(self):
+        from repro.telemetry.exporters import summarize_prometheus
+
+        text = to_prometheus(make_registry())
+        summary = summarize_prometheus(text)
+        assert "jobs_total" in summary
+        # Histogram series collapse to a single count/sum/mean line.
+        assert summary.count("latency_seconds") == 1
+        assert "count=3" in summary
+
+    def test_summary_prefix_filter(self):
+        from repro.telemetry.exporters import summarize_prometheus
+
+        summary = summarize_prometheus(to_prometheus(make_registry()),
+                                       prefix="jobs_")
+        assert "jobs_total" in summary
+        assert "depth" not in summary

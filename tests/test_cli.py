@@ -165,3 +165,50 @@ class TestFilterCommand:
         pcap_report = capsys.readouterr().out
         pick = lambda text: [l for l in text.splitlines() if "drop rate" in l]
         assert pick(npz_report) == pick(pcap_report)
+
+
+class TestStatsFromUrl:
+    def test_fetches_and_summarizes_live_metrics(self, capsys):
+        """`repro stats --from-url` pretty-prints a daemon's /metrics page."""
+        import http.server
+        import threading
+
+        from repro.telemetry import to_prometheus
+        from repro.telemetry.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("repro_serve_packets_total", "Packets").inc(1234)
+        reg.gauge("repro_serve_queue_depth", "Depth").set(2)
+        reg.counter("other_total", "Other").inc(9)
+        payload = to_prometheus(reg).encode()
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):
+                assert self.path == "/metrics"
+                self.send_response(200)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args):
+                pass
+
+        server = http.server.HTTPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address
+            # Bare host:port — the CLI adds the scheme and /metrics path.
+            assert main(["stats", "--from-url", f"{host}:{port}",
+                         "--prefix", "repro_serve_"]) == 0
+        finally:
+            server.shutdown()
+            thread.join()
+        out = capsys.readouterr().out
+        assert "repro_serve_packets_total" in out and "1234" in out
+        assert "other_total" not in out
+
+    def test_requires_experiment_or_url(self):
+        with pytest.raises(SystemExit, match="--experiment NAME or "
+                                             "--from-url URL"):
+            main(["stats"])

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos differential serve-smoke profile figures experiments examples clean
+.PHONY: install test bench chaos differential serve-smoke fleet-smoke profile figures experiments examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -27,6 +27,11 @@ differential:
 # --verify (online == offline verdicts), scrape /metrics, clean SIGTERM.
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
+
+# Fleet end-to-end smoke: consistent-hash routing, healthy fleet ==
+# offline replay, and policy-consistent failover under a node SIGKILL.
+fleet-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/fleet_smoke.py
 
 # Profile fig5 with live telemetry: stage breakdown + metric exports.
 profile:

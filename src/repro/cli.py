@@ -254,6 +254,227 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     return "repro-serve: drained and exited cleanly"
 
 
+def _cmd_route(args: argparse.Namespace) -> str:
+    """Consistent-hash ring math: who owns which flows, and what moves.
+
+    Given node names and a key source (explicit addresses, a saved trace,
+    or a uniform sample), prints each node's share; ``--drop NODE``
+    additionally shows the remap a node's departure causes — consistent
+    hashing guarantees only the departed node's share moves, and this
+    command shows it.
+    """
+    import numpy as np
+
+    from repro.fleet.ring import HashRing
+    from repro.net.address import format_ipv4, parse_ipv4
+
+    names = [name for name in args.nodes.split(",") if name]
+    if not names:
+        raise SystemExit("route: --nodes needs at least one name")
+    ring = HashRing(names, replicas=args.replicas, seed=args.ring_seed)
+
+    if args.addr:
+        keys = np.array([parse_ipv4(a) for a in args.addr.split(",")],
+                        dtype=np.uint64)
+        labels = [format_ipv4(int(k)) for k in keys]
+    elif args.trace:
+        from repro.net.packet import DIRECTION_INCOMING
+        from repro.traffic.trace import Trace
+
+        trace = Trace.load_npz(args.trace)
+        directions = trace.packets.directions(trace.protected)
+        incoming = directions == DIRECTION_INCOMING
+        keys = np.where(incoming, trace.packets.dst,
+                        trace.packets.src).astype(np.uint64)
+        labels = None
+    else:
+        rng = np.random.default_rng(args.sample_seed)
+        keys = rng.integers(0, 2 ** 32, size=args.sample, dtype=np.uint64)
+        labels = None
+
+    lines = [f"ring: {len(names)} nodes x {args.replicas} replicas "
+             f"(seed {args.ring_seed:#x}), {len(keys)} keys"]
+    if labels is not None:
+        owners = ring.owners_of(keys)
+        for label, owner in zip(labels, owners):
+            lines.append(f"  {label} -> {owner}")
+        return "\n".join(lines)
+
+    shares = ring.shares(keys)
+    total = max(len(keys), 1)
+    for name in ring.nodes:
+        count = shares[name]
+        lines.append(f"  {name:<16} {count:>10} keys  {count / total:7.2%}")
+    if args.drop:
+        if args.drop not in ring:
+            raise SystemExit(f"route: --drop {args.drop!r} not in --nodes")
+        before = np.asarray(ring.owners_of(keys))
+        ring.remove(args.drop)
+        after = np.asarray(ring.owners_of(keys))
+        moved = before != after
+        stray = int((moved & (before != args.drop)).sum())
+        lines.append(
+            f"dropping {args.drop}: {int(moved.sum())} keys remap "
+            f"({int(moved.sum()) / total:.2%}; owned share was "
+            f"{shares[args.drop] / total:.2%}); "
+            f"{stray} keys moved that it did not own"
+            + (" — NOT minimal!" if stray else " (minimal remap)"))
+    return "\n".join(lines)
+
+
+def _cmd_replay_fleet(args: argparse.Namespace) -> str:
+    """Drive a whole fleet: spawn (or target) N daemons, route, verify.
+
+    ``--fleet N`` spawns an ephemeral N-daemon fleet (packet clock, so
+    verdicts are deterministic); ``--fleet-nodes`` targets a running one.
+    ``--verify`` proves fleet verdicts byte-identical to a single-filter
+    offline replay while healthy; with ``--kill-node I`` a daemon is
+    SIGKILLed mid-replay and the check becomes: divergence confined to
+    the dead node's flows, every diverged verdict equal to the fail
+    policy's answer, and zero client hangs.
+    """
+    import tempfile
+    import time as _time
+
+    import numpy as np
+
+    from repro.core.resilience import FailPolicy
+    from repro.fleet import FleetManager, FleetRouter, NodeSpec, policy_verdicts
+    from repro.serve.retry import RetryPolicy
+    from repro.traffic.trace import Trace
+
+    trace = Trace.load_npz(args.trace)
+    packets = trace.packets.sorted_by_time()
+    fail_policy = FailPolicy(args.fail_policy)
+    manager = None
+    try:
+        if args.fleet:
+            protected = ",".join(str(net)
+                                 for net in trace.protected.networks)
+            manager = FleetManager(
+                protected, size=args.fleet,
+                workdir=tempfile.mkdtemp(prefix="repro-fleet-"),
+                fail_policy=args.fail_policy)
+            specs = manager.start()
+        else:
+            specs = []
+            for index, endpoint in enumerate(args.fleet_nodes.split(",")):
+                host, _, port = endpoint.rpartition(":")
+                specs.append(NodeSpec(name=f"node{index}", host=host,
+                                      port=int(port)))
+        router = FleetRouter(
+            specs, protected=trace.protected, fail_policy=fail_policy,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.05,
+                              max_delay=0.5, deadline=5.0),
+            failure_threshold=3, reset_timeout=1.0,
+            request_timeout=args.fleet_timeout,
+            connect_timeout=args.fleet_timeout)
+        with router:
+            info = router.fleet_config()  # raises loudly on geometry skew
+            step = args.frame_packets
+            frames = [packets[i:i + step]
+                      for i in range(0, len(packets), step)]
+            kill_name = None
+            kill_frame = len(frames)
+            if args.kill_node is not None:
+                if manager is None:
+                    raise SystemExit(
+                        "replay-to: --kill-node requires --fleet (the "
+                        "driver must own the daemon processes to kill one)")
+                kill_name = router.ring.nodes[args.kill_node]
+                kill_frame = max(1, int(len(frames) * args.kill_at))
+            began = _time.perf_counter()
+            masks = router.filter_batches(frames[:kill_frame],
+                                          window=args.window)
+            if kill_name is not None:
+                manager.kill(kill_name)
+                masks += router.filter_batches(frames[kill_frame:],
+                                               window=args.window)
+            elapsed = _time.perf_counter() - began
+        verdicts = (np.concatenate(masks) if masks
+                    else np.zeros(0, dtype=bool))
+        pps = len(packets) / elapsed if elapsed > 0 else float("inf")
+        owner_names = np.asarray(router.owner_names(packets))
+        lines = [
+            f"fleet: {len(specs)} nodes, policy {fail_policy.value}, "
+            f"clock {info['clock']}",
+            f"streamed {len(packets)} packets in {len(frames)} frames "
+            f"over {elapsed:.3f}s ({pps:,.0f} packets/s)",
+            f"passed: {int(verdicts.sum())}  "
+            f"dropped: {int((~verdicts).sum())}",
+        ]
+        for spec in router.nodes:
+            owned = int((owner_names == spec.name).sum())
+            suffix = "  [KILLED]" if spec.name == kill_name else ""
+            lines.append(f"  {spec.name:<8} {spec.endpoint:<22} "
+                         f"{owned:>8} packets{suffix}")
+        if args.verify:
+            if info["clock"] != "packet":
+                lines.append(
+                    "verify: SKIPPED — fleet daemons stamp arrival times "
+                    "(clock=wall); run them with --clock packet to verify")
+                return "\n".join(lines)
+            reference = _offline_reference(info, packets)
+            if kill_name is None:
+                if np.array_equal(verdicts, reference):
+                    lines.append(
+                        f"verify: OK — {len(verdicts)} fleet verdicts "
+                        "byte-identical to single-filter offline replay")
+                else:
+                    diff = int((verdicts != reference).sum())
+                    lines.append(f"verify: MISMATCH on {diff} of "
+                                 f"{len(verdicts)} verdicts")
+                    raise SystemExit("\n".join(lines))
+            else:
+                diverged = np.flatnonzero(verdicts != reference)
+                foreign = [i for i in diverged
+                           if owner_names[i] != kill_name]
+                policy_ref = policy_verdicts(packets, trace.protected,
+                                             fail_policy)
+                inconsistent = [i for i in diverged
+                                if verdicts[i] != policy_ref[i]]
+                if foreign:
+                    lines.append(
+                        f"verify: FAIL — {len(foreign)} diverged verdicts "
+                        f"belong to surviving nodes (e.g. packet "
+                        f"{foreign[0]} owned by {owner_names[foreign[0]]})")
+                    raise SystemExit("\n".join(lines))
+                if inconsistent:
+                    lines.append(
+                        f"verify: FAIL — {len(inconsistent)} diverged "
+                        "verdicts do not match the fail policy")
+                    raise SystemExit("\n".join(lines))
+                lines.append(
+                    f"verify: DEGRADED-CONSISTENT — {len(diverged)} "
+                    f"verdicts diverged after killing {kill_name}, all "
+                    f"owned by it and all equal to the "
+                    f"{fail_policy.value} policy answer")
+        return "\n".join(lines)
+    finally:
+        if manager is not None:
+            manager.shutdown()
+
+
+def _offline_reference(info: dict, packets) -> "np.ndarray":
+    """Single-filter offline verdicts for a daemon self-description."""
+    import numpy as np
+
+    from repro.core.bitmap_filter import BitmapFilter, FilterConfig
+    from repro.core.resilience import FailPolicy
+    from repro.net.address import AddressSpace
+    from repro.sim.pipeline import run_filter_on_trace
+    from repro.traffic.trace import Trace
+
+    fcfg = dict(info["filter"])
+    policy = FailPolicy(fcfg.pop("fail_policy"))
+    twin = BitmapFilter(FilterConfig(**fcfg), AddressSpace(info["protected"]),
+                        fail_policy=policy)
+    offline = run_filter_on_trace(
+        twin, Trace(packets, AddressSpace(info["protected"])),
+        exact=info["exact"])
+    return np.asarray(offline.verdicts, dtype=bool)
+
+
 def _cmd_replay_to(args: argparse.Namespace) -> str:
     """Stream a saved trace through a live daemon (the load driver).
 
@@ -476,6 +697,47 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compare daemon verdicts against an offline "
                              "run_filter_on_trace twin (requires a "
                              "--clock packet daemon)")
+    fleet = replay.add_argument_group(
+        "fleet", "drive a whole daemon fleet instead of one daemon")
+    fleet.add_argument("--fleet", type=int, default=None, metavar="N",
+                       help="spawn an ephemeral N-daemon fleet (packet "
+                            "clock) and route the trace across it")
+    fleet.add_argument("--fleet-nodes", default=None, metavar="HOST:PORT,...",
+                       help="route across these already-running daemons "
+                            "instead of spawning a fleet")
+    fleet.add_argument("--fail-policy", choices=("fail_closed", "fail_open"),
+                       default="fail_closed",
+                       help="fleet degraded policy for flows whose node "
+                            "is unreachable")
+    fleet.add_argument("--kill-node", type=int, default=None, metavar="I",
+                       help="SIGKILL the I-th node mid-replay "
+                            "(requires --fleet)")
+    fleet.add_argument("--kill-at", type=float, default=0.5,
+                       help="fraction of frames streamed before the kill")
+    fleet.add_argument("--fleet-timeout", type=float, default=10.0,
+                       help="per-node connect and per-request deadline")
+
+    route = sub.add_parser(
+        "route",
+        help="consistent-hash ring math: node shares and remap on churn",
+    )
+    route.add_argument("--nodes", required=True,
+                       help="comma-separated node names (e.g. a,b,c)")
+    route.add_argument("--replicas", type=int, default=128,
+                       help="virtual nodes per real node")
+    route.add_argument("--ring-seed", type=int, default=0x5EED)
+    source = route.add_mutually_exclusive_group()
+    source.add_argument("--addr", default=None, metavar="IP[,IP...]",
+                        help="show the owner of these specific addresses")
+    source.add_argument("--trace", default=None, metavar="PATH",
+                        help="key the ring with a saved trace's "
+                             "local addresses")
+    source.add_argument("--sample", type=int, default=100000, metavar="N",
+                        help="key the ring with N uniform random addresses "
+                             "(default source)")
+    route.add_argument("--sample-seed", type=int, default=0)
+    route.add_argument("--drop", default=None, metavar="NODE",
+                       help="also show the remap caused by this node leaving")
     return parser
 
 
@@ -520,7 +782,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(_cmd_serve(args))
         return 0
     if args.experiment == "replay-to":
-        print(_cmd_replay_to(args))
+        if args.fleet is not None or args.fleet_nodes is not None:
+            print(_cmd_replay_fleet(args))
+        else:
+            print(_cmd_replay_to(args))
+        return 0
+    if args.experiment == "route":
+        print(_cmd_route(args))
         return 0
     if args.experiment == "export":
         from repro.experiments.export import export_figures

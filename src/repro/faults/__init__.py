@@ -16,6 +16,9 @@ Modules
   trace-level) and the :class:`FaultEvent`/:class:`FaultInjector` protocol.
 - :mod:`repro.faults.harness` — :func:`run_with_faults`, the segmented batch
   runner that applies a fault schedule during a trace replay.
+- :mod:`repro.faults.socket_chaos` — :class:`ChaosTcpProxy`, transport-level
+  chaos (connection resets, accept-then-stall, slow/partial writes) between
+  a serve client and a daemon, for the fleet failover tests.
 """
 
 from repro.faults.harness import FaultedRunResult, run_with_faults
@@ -32,9 +35,12 @@ from repro.faults.injectors import (
     flip_random_bits,
     perturbed_stream,
 )
+from repro.faults.socket_chaos import CHAOS_MODES, ChaosTcpProxy
 
 __all__ = [
     "BitFlips",
+    "CHAOS_MODES",
+    "ChaosTcpProxy",
     "CrashRestart",
     "FaultEvent",
     "FaultInjector",

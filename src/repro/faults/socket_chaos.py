@@ -1,0 +1,251 @@
+"""Socket-level chaos: inject transport failures between client and daemon.
+
+The injectors in :mod:`repro.faults.injectors` perturb the filter and its
+packet stream; these perturb the *wire*.  :class:`ChaosTcpProxy` sits
+between a serve client and a daemon (or stands alone as a wedged fake
+daemon) and misbehaves on demand:
+
+- ``"pass"`` — transparent TCP forwarding (the control case).
+- ``"reset"`` — accept, then immediately RST the client (SO_LINGER 0
+  close): the connection-refused-after-accept failure a crashing daemon
+  produces.
+- ``"reset_after"`` — forward ``reset_after_bytes`` of client traffic,
+  then RST both sides: the mid-stream disconnect that must surface as a
+  typed :class:`~repro.serve.errors.ServeConnectionError` with frames in
+  flight, never a hang.
+- ``"stall"`` — accept and read, but never answer (and never contact the
+  upstream): the wedged daemon that only per-request deadlines can
+  detect.
+- ``"slow"`` — forward responses in ``chunk_bytes`` trickles with
+  ``delay`` seconds between chunks: slow/partial writes that exercise
+  the client's incremental frame decoding and its patience.
+
+Mode changes (:meth:`ChaosTcpProxy.set_mode`) apply to *new* connections,
+so a test can let a healthy stream run, flip to ``reset_after``, and
+watch the failover path — deterministic per connection.  Abrupt daemon
+kill, the remaining chaos scenario, is process-level:
+:meth:`repro.fleet.manager.FleetManager.kill`.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import List, Optional, Tuple
+
+__all__ = ["CHAOS_MODES", "ChaosTcpProxy"]
+
+CHAOS_MODES = ("pass", "reset", "reset_after", "stall", "slow")
+
+_RST_LINGER = struct.pack("ii", 1, 0)  # SO_LINGER on, 0s: close sends RST
+
+
+class ChaosTcpProxy:
+    """A misbehaving TCP hop between a client and an upstream daemon."""
+
+    def __init__(self, upstream: Optional[Tuple[str, int]] = None, *,
+                 mode: str = "pass",
+                 listen_host: str = "127.0.0.1",
+                 chunk_bytes: int = 64,
+                 delay: float = 0.02,
+                 reset_after_bytes: int = 4096):
+        if mode not in CHAOS_MODES:
+            raise ValueError(f"mode must be one of {CHAOS_MODES}")
+        if mode not in ("reset", "stall") and upstream is None:
+            raise ValueError(f"mode {mode!r} needs an upstream address")
+        if chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be at least 1")
+        if reset_after_bytes < 0:
+            raise ValueError("reset_after_bytes must be non-negative")
+        self.upstream = upstream
+        self._mode = mode
+        self.listen_host = listen_host
+        self.chunk_bytes = chunk_bytes
+        self.delay = delay
+        self.reset_after_bytes = reset_after_bytes
+        self.address: Optional[Tuple[str, int]] = None
+        self.connections_accepted = 0
+        self.resets_injected = 0
+        self.bytes_forwarded = 0
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._open_sockets: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def set_mode(self, mode: str) -> None:
+        """Switch behavior for connections accepted from now on."""
+        if mode not in CHAOS_MODES:
+            raise ValueError(f"mode must be one of {CHAOS_MODES}")
+        if mode not in ("reset", "stall") and self.upstream is None:
+            raise ValueError(f"mode {mode!r} needs an upstream address")
+        self._mode = mode
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind an ephemeral listener; returns (host, port) to dial."""
+        if self._listener is not None:
+            raise RuntimeError("proxy already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.listen_host, 0))
+        listener.listen(16)
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-chaos-accept", daemon=True)
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Close the listener and every connection the proxy still holds."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._lock:
+            sockets, self._open_sockets = self._open_sockets, []
+        for sock in sockets:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "ChaosTcpProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- the wire -------------------------------------------------------------
+
+    def _track(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._open_sockets.append(sock)
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            self.connections_accepted += 1
+            mode = self._mode
+            if mode == "reset":
+                self._rst(client)
+                continue
+            self._track(client)
+            if mode == "stall":
+                threading.Thread(target=self._stall, args=(client,),
+                                 daemon=True).start()
+                continue
+            threading.Thread(target=self._forward, args=(client, mode),
+                             daemon=True).start()
+
+    def _rst(self, sock: socket.socket) -> None:
+        self.resets_injected += 1  # count first: the close races the peer
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, _RST_LINGER)
+            sock.close()
+        except OSError:
+            pass
+
+    def _stall(self, client: socket.socket) -> None:
+        """Read and discard forever: the daemon that accepts but never
+        answers."""
+        try:
+            while not self._stopping.is_set():
+                if not client.recv(1 << 16):
+                    return
+        except OSError:
+            pass
+        finally:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _forward(self, client: socket.socket, mode: str) -> None:
+        try:
+            upstream = socket.create_connection(self.upstream, timeout=10.0)
+        except OSError:
+            self._rst(client)
+            return
+        self._track(upstream)
+        reset_remaining = (self.reset_after_bytes if mode == "reset_after"
+                           else None)
+        state = {"remaining": reset_remaining}
+
+        def rst_both() -> None:
+            self._rst(client)
+            try:
+                upstream.close()
+            except OSError:
+                pass
+
+        def pump_up() -> None:  # client -> upstream, counts toward the reset
+            try:
+                while True:
+                    data = client.recv(1 << 16)
+                    if not data:
+                        break
+                    if state["remaining"] is not None:
+                        if state["remaining"] <= 0:
+                            rst_both()
+                            return
+                        data = data[:max(state["remaining"], 0) or None]
+                        state["remaining"] -= len(data)
+                    upstream.sendall(data)
+                    self.bytes_forwarded += len(data)
+                    if (state["remaining"] is not None
+                            and state["remaining"] <= 0):
+                        rst_both()
+                        return
+            except OSError:
+                pass
+            finally:
+                try:
+                    upstream.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+
+        def pump_down() -> None:  # upstream -> client, maybe trickled
+            try:
+                while True:
+                    data = upstream.recv(1 << 16)
+                    if not data:
+                        break
+                    if mode == "slow":
+                        for offset in range(0, len(data), self.chunk_bytes):
+                            client.sendall(
+                                data[offset:offset + self.chunk_bytes])
+                            time.sleep(self.delay)
+                    else:
+                        client.sendall(data)
+                    self.bytes_forwarded += len(data)
+            except OSError:
+                pass
+            finally:
+                try:
+                    client.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+
+        up = threading.Thread(target=pump_up, daemon=True)
+        down = threading.Thread(target=pump_down, daemon=True)
+        up.start()
+        down.start()

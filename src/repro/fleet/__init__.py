@@ -1,0 +1,48 @@
+"""Fleet-scale serving: many filter daemons behind one robust surface.
+
+One :class:`~repro.serve.daemon.FilterDaemon` is a single box — and a
+single point of failure standing between the protected clients and an
+active attack.  This package turns N daemons into one serving surface
+with failure handling as the headline:
+
+- :mod:`repro.fleet.ring` — :class:`HashRing`, consistent hashing of a
+  flow's ``local_addr`` onto daemon nodes, so each flow's bitmap state
+  lives on exactly one node and node churn remaps only the departed
+  node's share.
+- :mod:`repro.fleet.health` — per-node :class:`CircuitBreaker`
+  (closed → open → half-open) and a :class:`HealthChecker` that polls
+  each node's enriched ``/healthz``.
+- :mod:`repro.fleet.router` — :class:`FleetRouter`, the client-side
+  front end: splits each packet batch by ring owner, drives every node
+  concurrently with retrying clients, and answers a dead node's flows
+  from the fleet fail policy (``fail_open`` admits, ``fail_closed``
+  drops inbound) — the same degraded-mode semantics a single filter
+  applies during an outage, lifted to the fleet.
+- :mod:`repro.fleet.manager` — :class:`FleetManager`, a subprocess
+  supervisor for a local fleet of ``repro serve`` daemons with abrupt
+  kill, graceful stop, and snapshot-based warm restart (the
+  ``/snapshot`` → ``--restore`` handoff).
+
+The equivalence story mirrors the sharded backend's: against a healthy
+fleet in packet-clock mode, fleet verdicts match a single-filter offline
+replay (``repro replay-to --fleet --verify``); under an injected node
+failure, divergence is confined to the dead node's flows and matches the
+configured fail policy (``tests/fleet/``,
+``benchmarks/test_fleet_failover.py``).
+"""
+
+from repro.fleet.health import BreakerState, CircuitBreaker, HealthChecker
+from repro.fleet.manager import FleetManager
+from repro.fleet.ring import HashRing
+from repro.fleet.router import FleetRouter, NodeSpec, policy_verdicts
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "FleetManager",
+    "FleetRouter",
+    "HashRing",
+    "HealthChecker",
+    "NodeSpec",
+    "policy_verdicts",
+]

@@ -1,0 +1,208 @@
+"""Per-node failure detection: circuit breakers and /healthz polling.
+
+A dead daemon must cost the fleet one detection window, not one timeout
+per packet frame.  Each node gets a :class:`CircuitBreaker` with the
+classic three states:
+
+- **closed** — requests flow; consecutive failures are counted.
+- **open** — after ``failure_threshold`` consecutive failures, requests
+  are answered from the fleet fail policy *without touching the
+  network*, for ``reset_timeout`` seconds.
+- **half-open** — after the timeout, exactly one probe request is let
+  through; success closes the breaker, failure re-opens it (and restarts
+  the timer).
+
+The breaker is fed from two directions: the router records the outcome
+of every real request, and a :class:`HealthChecker` — polling each
+node's enriched ``/healthz`` JSON — records probe outcomes out of band,
+so a node that died *between* packet batches is discovered before the
+next batch pays a timeout, and a recovered node is re-admitted without
+waiting for live traffic to probe it.
+
+Everything takes an injectable ``clock`` (and the checker an injectable
+``probe``), so state transitions are unit-tested against a fake clock
+with zero real sleeping (``tests/fleet/test_health.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import threading
+import urllib.request
+from time import monotonic
+from typing import Callable, Dict, Iterable, Optional
+
+__all__ = ["BreakerState", "CircuitBreaker", "HealthChecker", "http_probe"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure gate for one node."""
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 reset_timeout: float = 5.0,
+                 clock: Callable[[], float] = monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at = float("-inf")
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> BreakerState:
+        """The current state (advancing open → half-open on read)."""
+        if (self._state is BreakerState.OPEN
+                and self._clock() - self._opened_at >= self.reset_timeout):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures recorded since the last success."""
+        return self._failures
+
+    def allow(self) -> bool:
+        """Whether a request may go to the node right now.
+
+        Closed: always.  Open: never (answer from policy).  Half-open:
+        exactly one probe until its outcome is recorded.
+        """
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.HALF_OPEN and not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A request (or probe) succeeded: close and reset the count."""
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """A request (or probe) failed: count, and maybe trip open."""
+        self._failures += 1
+        self._probe_in_flight = False
+        if (self._state is BreakerState.HALF_OPEN
+                or self._failures >= self.failure_threshold):
+            self._state = BreakerState.OPEN
+            self._opened_at = self._clock()
+
+    def trip(self) -> None:
+        """Force open (an unambiguous death notice, e.g. SIGKILL seen)."""
+        self._failures = max(self._failures, self.failure_threshold)
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state.value}, "
+                f"failures={self._failures}/{self.failure_threshold})")
+
+
+def http_probe(url: str, timeout: float = 2.0) -> dict:
+    """Fetch and parse one node's ``/healthz`` JSON document.
+
+    Raises ``OSError``/``ValueError`` on any failure — the checker
+    translates exceptions into breaker failures.
+    """
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+class HealthChecker:
+    """Polls each node's ``/healthz`` and feeds its circuit breaker.
+
+    ``probe`` maps a node name to its health document (default: HTTP GET
+    against the URL from ``urls``); any exception, a non-``serving``
+    status, or a ``degraded`` filter counts as a failure.  Use
+    :meth:`check_now` for a synchronous sweep (the router calls this
+    between batches; tests call it directly), or :meth:`start` for a
+    background polling thread in live deployments.
+    """
+
+    def __init__(self, breakers: Dict[str, CircuitBreaker], *,
+                 urls: Optional[Dict[str, str]] = None,
+                 probe: Optional[Callable[[str], dict]] = None,
+                 interval: float = 1.0,
+                 probe_timeout: float = 2.0):
+        if probe is None and urls is None:
+            raise ValueError("pass urls (for the HTTP probe) or a probe")
+        self.breakers = breakers
+        self.interval = interval
+        self._urls = dict(urls or {})
+        self._probe = probe
+        self._probe_timeout = probe_timeout
+        self._last: Dict[str, Optional[dict]] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def last_health(self, node: str) -> Optional[dict]:
+        """The node's most recent health document (None before any probe
+        succeeds, or after a failed one)."""
+        return self._last.get(node)
+
+    def check_node(self, node: str) -> bool:
+        """Probe one node; record the outcome on its breaker."""
+        breaker = self.breakers[node]
+        try:
+            if self._probe is not None:
+                doc = self._probe(node)
+            else:
+                doc = http_probe(self._urls[node],
+                                 timeout=self._probe_timeout)
+            healthy = (doc.get("status") == "serving"
+                       and not doc.get("degraded", False))
+        except Exception:  # noqa: BLE001 - any probe failure is a failure
+            doc, healthy = None, False
+        self._last[node] = doc
+        if healthy:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+        return healthy
+
+    def check_now(self, nodes: Optional[Iterable[str]] = None) -> Dict[str, bool]:
+        """One sweep over ``nodes`` (default: every breaker's node)."""
+        return {node: self.check_node(node)
+                for node in (nodes if nodes is not None else
+                             list(self.breakers))}
+
+    # -- background polling ---------------------------------------------------
+
+    def start(self) -> None:
+        """Poll every ``interval`` seconds from a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("checker already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-fleet-health", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+        self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.check_now()
+            except Exception:  # noqa: BLE001 - keep polling regardless
+                pass

@@ -1,0 +1,243 @@
+"""Supervise a local fleet of ``repro serve`` daemon subprocesses.
+
+:class:`FleetManager` spawns N daemons on ephemeral ports (waiting for
+each one's machine-readable ``REPRO-SERVE READY`` line), hands their
+:class:`~repro.fleet.router.NodeSpec` addresses to a router, and drives
+the failure scenarios the fleet tests and the chaos harness need:
+
+- :meth:`kill` — SIGKILL, the abrupt death a circuit breaker exists for.
+- :meth:`stop` — SIGTERM graceful drain; the daemon writes its final
+  snapshot before exiting.
+- :meth:`restart` — relaunch a node (optionally ``--restore`` from a
+  snapshot) on fresh ephemeral ports; the node keeps its *name*, so its
+  ring share is unchanged — pass the new spec to
+  :meth:`FleetRouter.update_node`.
+- :meth:`warm_restart` — the snapshot handoff: fetch the node's live
+  ``/snapshot`` over HTTP (or fall back to its final snapshot file after
+  a graceful stop), stop it, and restart it restored — remapped flows
+  keep their marked bits instead of cold-starting into a warm-up grace
+  window.
+
+Every daemon runs ``--clock packet`` by default so fleet verdicts are
+deterministic and comparable to offline replay.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import threading
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.fleet.router import NodeSpec
+
+__all__ = ["FleetManager", "ManagedNode"]
+
+_READY_PREFIX = "REPRO-SERVE READY "
+
+
+@dataclass
+class ManagedNode:
+    """One supervised daemon: its spec, process, and log tail."""
+
+    spec: NodeSpec
+    process: subprocess.Popen
+    snapshot_path: Path
+    log: List[str] = field(default_factory=list)
+    _reader: Optional[threading.Thread] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+class FleetManager:
+    """Spawn, kill, and warm-restart a local daemon fleet (see module
+    docstring)."""
+
+    def __init__(self, protected: str, *,
+                 size: int = 3,
+                 workdir: str,
+                 clock: str = "packet",
+                 fail_policy: str = "fail_closed",
+                 order: int = 20,
+                 num_vectors: int = 4,
+                 num_hashes: int = 3,
+                 rotation_interval: float = 5.0,
+                 hash_seed: int = 0x5EED,
+                 workers: int = 0,
+                 ready_timeout: float = 30.0,
+                 python: Optional[str] = None):
+        if size < 1:
+            raise ValueError("fleet size must be at least 1")
+        self.protected = protected
+        self.size = size
+        self.workdir = Path(workdir)
+        self.clock = clock
+        self.fail_policy = fail_policy
+        self.filter_args = [
+            "--order", str(order), "--k", str(num_vectors),
+            "--m", str(num_hashes), "--dt", str(rotation_interval),
+            "--hash-seed", str(hash_seed),
+        ]
+        self.workers = workers
+        self.ready_timeout = ready_timeout
+        self.python = python if python is not None else sys.executable
+        self._nodes: Dict[str, ManagedNode] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> List[NodeSpec]:
+        """Spawn the whole fleet; returns each node's spec, ready to route."""
+        if self._nodes:
+            raise RuntimeError("fleet already started")
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        for index in range(self.size):
+            self._spawn(f"node{index}")
+        return self.specs()
+
+    def specs(self) -> List[NodeSpec]:
+        return [node.spec for node in self._nodes.values()]
+
+    def node(self, name: str) -> ManagedNode:
+        return self._nodes[name]
+
+    def _spawn(self, name: str,
+               restore_path: Optional[Path] = None) -> NodeSpec:
+        snapshot_path = self.workdir / f"{name}.final.npz"
+        command = [
+            self.python, "-m", "repro", "serve",
+            "--protected", self.protected,
+            "--port", "0", "--http-port", "0",
+            "--clock", self.clock,
+            "--fail-policy", self.fail_policy,
+            "--snapshot", str(snapshot_path),
+            *self.filter_args,
+        ]
+        if self.workers > 1:
+            command += ["--workers", str(self.workers)]
+        if restore_path is not None:
+            command += ["--restore", str(restore_path)]
+        process = subprocess.Popen(
+            command, text=True,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        spec = self._await_ready(name, process)
+        node = ManagedNode(spec=spec, process=process,
+                           snapshot_path=snapshot_path)
+        node._reader = threading.Thread(
+            target=self._drain_stdout, args=(node,),
+            name=f"repro-fleet-log-{name}", daemon=True)
+        node._reader.start()
+        self._nodes[name] = node
+        return spec
+
+    def _await_ready(self, name: str,
+                     process: subprocess.Popen) -> NodeSpec:
+        timer = threading.Timer(self.ready_timeout, process.kill)
+        timer.start()
+        try:
+            while True:
+                line = process.stdout.readline()
+                if not line:
+                    raise RuntimeError(
+                        f"daemon {name} exited before READY "
+                        f"(rc={process.poll()})")
+                if line.startswith(_READY_PREFIX):
+                    info = json.loads(line[len(_READY_PREFIX):])
+                    break
+        finally:
+            timer.cancel()
+        host, port = info["data"]
+        http_url = None
+        if info.get("http"):
+            http_host, http_port = info["http"]
+            http_url = f"http://{http_host}:{http_port}"
+        return NodeSpec(name=name, host=host, port=port, http_url=http_url)
+
+    @staticmethod
+    def _drain_stdout(node: ManagedNode) -> None:
+        try:
+            for line in node.process.stdout:
+                node.log.append(line.rstrip("\n"))
+        except ValueError:
+            pass  # stdout closed underneath us at shutdown
+
+    # -- failure injection ----------------------------------------------------
+
+    def kill(self, name: str) -> None:
+        """SIGKILL: the abrupt death the circuit breaker exists for."""
+        node = self._nodes[name]
+        node.process.kill()
+        node.process.wait(timeout=30)
+
+    def stop(self, name: str, timeout: float = 30.0) -> int:
+        """SIGTERM graceful drain; the daemon writes its final snapshot."""
+        node = self._nodes[name]
+        if node.alive:
+            node.process.send_signal(signal.SIGTERM)
+        return node.process.wait(timeout=timeout)
+
+    def restart(self, name: str,
+                restore_path: Optional[Path] = None) -> NodeSpec:
+        """Relaunch ``name`` on fresh ephemeral ports (same ring share).
+
+        The previous process must already be dead (killed or stopped).
+        Pass the returned spec to :meth:`FleetRouter.update_node`.
+        """
+        node = self._nodes[name]
+        if node.alive:
+            raise RuntimeError(f"node {name} still running; kill/stop first")
+        del self._nodes[name]
+        return self._spawn(name, restore_path=restore_path)
+
+    # -- snapshot handoff -----------------------------------------------------
+
+    def fetch_snapshot(self, name: str, *, timeout: float = 30.0) -> bytes:
+        """The node's live checksummed snapshot over its HTTP endpoint."""
+        node = self._nodes[name]
+        if not node.spec.http_url:
+            raise ValueError(f"node {name} has no HTTP endpoint")
+        url = node.spec.http_url.rstrip("/") + "/snapshot"
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.read()
+
+    def warm_restart(self, name: str) -> NodeSpec:
+        """Snapshot → stop → restart ``--restore``: state-preserving churn.
+
+        Fetches the live snapshot first (so the handoff works even if the
+        graceful drain later fails to write one), stops the daemon, and
+        relaunches it warm — its flows keep their marked bits.
+        """
+        handoff = self.workdir / f"{name}.handoff.npz"
+        handoff.write_bytes(self.fetch_snapshot(name))
+        self.stop(name)
+        return self.restart(name, restore_path=handoff)
+
+    # -- teardown -------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 30.0) -> Dict[str, int]:
+        """Gracefully stop every surviving node; returns exit codes."""
+        codes: Dict[str, int] = {}
+        for name, node in list(self._nodes.items()):
+            if node.alive:
+                node.process.send_signal(signal.SIGTERM)
+        for name, node in list(self._nodes.items()):
+            try:
+                codes[name] = node.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                node.process.kill()
+                codes[name] = node.process.wait(timeout=10)
+        self._nodes.clear()
+        return codes
+
+    def __enter__(self) -> "FleetManager":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -7,8 +7,15 @@ snapshots.  See :mod:`repro.serve.daemon` for the architecture and
 ``docs/serving.md`` for the wire protocol and operations runbook.
 """
 
-from repro.serve.client import AsyncFilterClient, FilterClient, ServerError
+from repro.serve.client import AsyncFilterClient, FilterClient
 from repro.serve.daemon import FilterDaemon, ServeConfig
+from repro.serve.errors import (
+    ServeConnectionError,
+    ServeError,
+    ServeTimeoutError,
+    ServerError,
+    is_transient,
+)
 from repro.serve.protocol import (
     DEFAULT_MAX_FRAME,
     FrameDecoder,
@@ -18,6 +25,12 @@ from repro.serve.protocol import (
     encode_frame,
     encode_packets,
     encode_verdicts,
+)
+from repro.serve.retry import (
+    Deadline,
+    RetryPolicy,
+    async_call_with_retry,
+    call_with_retry,
 )
 from repro.serve.scheduler import RotationScheduler
 from repro.serve.state import (
@@ -30,13 +43,21 @@ from repro.serve.state import (
 __all__ = [
     "AsyncFilterClient",
     "DEFAULT_MAX_FRAME",
+    "Deadline",
     "FilterClient",
     "FilterDaemon",
     "FrameDecoder",
     "ProtocolError",
+    "RetryPolicy",
     "RotationScheduler",
     "ServeConfig",
+    "ServeConnectionError",
+    "ServeError",
+    "ServeTimeoutError",
     "ServerError",
+    "async_call_with_retry",
+    "call_with_retry",
+    "is_transient",
     "decode_packets",
     "decode_verdicts",
     "encode_frame",

@@ -659,8 +659,29 @@ class FilterDaemon:
         }
 
     def health(self) -> dict:
-        """The /healthz payload."""
+        """The /healthz payload.
+
+        Beyond liveness, this reports what a fleet health checker needs
+        to make a failover decision: the fail policy that will judge this
+        node's flows if it goes dark, whether the filter is degraded
+        (down, verdicts from policy) or still in a warm-up grace window,
+        how far the rotation schedule is lagging the clock (wall mode
+        only — a stalled rotation loop shows up here before it shows up
+        as bad verdicts), and the ingest queue's depth against its bound
+        (backpressure imminence).
+        """
         self._m.uptime.set(self.uptime())
+        interval = self._filt.config.rotation_interval
+        last_boundary = self._filt.next_rotation - interval
+        if self._scheduler is not None:
+            now_ft = self._scheduler.filter_now()
+            rotation_lag = max(0.0, now_ft - self._filt.next_rotation)
+            warming_up = self._filt.in_warmup(now_ft)
+        else:
+            # Packet clock: stream position is the last crossed boundary;
+            # lag is meaningless when time only advances with traffic.
+            rotation_lag = 0.0
+            warming_up = self._filt.warmup_until > last_boundary
         return {
             "status": "draining" if self._drained or self._draining
             else "serving",
@@ -671,6 +692,13 @@ class FilterDaemon:
             "rotations": self._filt.stats.rotations,
             "next_rotation": self._filt.next_rotation,
             "pending_rebuild": self._pending_config is not None,
+            "fail_policy": self._filt.fail_policy.value,
+            "degraded": self._filt.is_down,
+            "warming_up": warming_up,
+            "warmup_until": self._filt.warmup_until,
+            "rotation_lag_seconds": rotation_lag,
+            "ingest_queue_depth": len(self._queue),
+            "ingest_queue_capacity": self.config.queue_frames,
             **self.describe(),
         }
 

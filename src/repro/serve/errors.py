@@ -1,0 +1,97 @@
+"""Typed errors for the serve clients: transient vs fatal, by class.
+
+Callers used to get a bare ``ConnectionError("daemon closed the
+connection")`` for a mid-stream disconnect and a ``socket.timeout`` for a
+wedged daemon — indistinguishable from each other (and from programming
+errors) without string matching.  This module gives every client-side
+failure a home in one hierarchy rooted at :class:`ServeError`, with a
+``transient`` class attribute that retry layers (``repro.serve.retry``,
+``repro.fleet``) branch on:
+
+- :class:`ServerError` — the daemon answered an ``FT_ERROR`` frame.  The
+  connection is still orderly; retrying the same request would fail the
+  same way.  **Fatal.**
+- :class:`ServeConnectionError` — the transport died (peer closed, reset,
+  refused).  Carries the endpoint, the number of request frames still
+  awaiting a response, and the bytes of any partial frame left in the
+  decoder, so failover code knows exactly how much work is in limbo.
+  Subclasses :class:`ConnectionError`, so pre-existing ``except
+  ConnectionError`` handlers keep working.  **Transient.**
+- :class:`ServeTimeoutError` — a connect, request, or drain deadline
+  expired.  Subclasses :class:`ServeConnectionError` (and thus stays
+  transient): a timeout is indistinguishable from a dead peer until a
+  reconnect proves otherwise.
+
+:class:`~repro.serve.protocol.ProtocolError` (malformed framing) remains a
+``ValueError`` — a framing bug is never cured by retrying.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ServeConnectionError",
+    "ServeError",
+    "ServeTimeoutError",
+    "ServerError",
+    "is_transient",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for every serve-client failure."""
+
+    #: Whether a retry against the same (or a reconnected) endpoint can
+    #: plausibly succeed.  Class-level so ``except`` blocks and retry
+    #: policies can branch without instantiating anything.
+    transient = False
+
+
+class ServerError(ServeError):
+    """The daemon answered with an FT_ERROR frame (fatal: same request,
+    same answer)."""
+
+
+class ServeConnectionError(ServeError, ConnectionError):
+    """The transport to the daemon died mid-conversation (transient).
+
+    ``frames_in_flight`` counts request frames sent but not yet answered
+    when the connection died — the work a failover layer must either
+    resend or answer from policy.  ``bytes_buffered`` is the size of the
+    partial response frame stranded in the decoder, if any.
+    """
+
+    transient = True
+
+    def __init__(self, message: str, *, endpoint: Optional[str] = None,
+                 frames_in_flight: int = 0, bytes_buffered: int = 0):
+        detail = []
+        if endpoint:
+            detail.append(f"endpoint={endpoint}")
+        if frames_in_flight:
+            detail.append(f"frames_in_flight={frames_in_flight}")
+        if bytes_buffered:
+            detail.append(f"bytes_buffered={bytes_buffered}")
+        if detail:
+            message = f"{message} ({', '.join(detail)})"
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.frames_in_flight = frames_in_flight
+        self.bytes_buffered = bytes_buffered
+
+
+class ServeTimeoutError(ServeConnectionError, TimeoutError):
+    """A connect, per-request, or drain deadline expired (transient)."""
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` is worth retrying against a reconnect.
+
+    Typed serve errors answer from their ``transient`` attribute; raw
+    ``ConnectionError``/``TimeoutError``/``OSError`` from layers below the
+    client (the socket module, asyncio transports) count as transient too.
+    """
+    if isinstance(exc, ServeError):
+        return exc.transient
+    return isinstance(exc, (ConnectionError, TimeoutError, OSError))

@@ -1,0 +1,192 @@
+"""Retry policy: exponential backoff with jitter under a deadline budget.
+
+One policy object describes how hard to try: how many attempts, how the
+delay between them grows, how much of each delay is randomized away (so a
+fleet of clients retrying a dead daemon does not stampede it in
+lockstep), and an overall wall-clock budget the whole sequence must fit
+inside.  Time never comes from the wall directly — ``clock``/``sleep``
+are injectable, so every retry path is unit-testable against a fake
+clock with zero real sleeping.
+
+:func:`call_with_retry` is the synchronous driver used by
+:class:`~repro.serve.client.FilterClient` and the fleet router;
+:func:`async_call_with_retry` is its asyncio twin for
+:class:`~repro.serve.client.AsyncFilterClient`.  Both retry only
+*transient* failures (:func:`repro.serve.errors.is_transient`); fatal
+errors propagate on the first throw.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Optional, TypeVar
+
+from repro.serve.errors import ServeTimeoutError, is_transient
+
+__all__ = ["Deadline", "RetryPolicy", "async_call_with_retry",
+           "call_with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a transient failure is retried.
+
+    ``max_attempts`` counts every try including the first; 1 means no
+    retries.  The delay before attempt ``i`` (0-based retry index) is
+    ``min(max_delay, base_delay * multiplier**i)``, then shrunk by up to
+    ``jitter`` (a fraction in [0, 1]) of itself, sampled uniformly —
+    full-jitter style, so delays spread instead of synchronizing.
+    ``deadline`` bounds the whole sequence: once the budget is spent, the
+    next retry is abandoned and the last error re-raised.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+    def backoff(self, retry_index: int,
+                rng: Optional[random.Random] = None) -> float:
+        """The delay before retry ``retry_index`` (0-based), jittered."""
+        if retry_index < 0:
+            raise ValueError("retry_index must be non-negative")
+        delay = min(self.max_delay,
+                    self.base_delay * self.multiplier ** retry_index)
+        if self.jitter and delay > 0:
+            fraction = (rng or random).random()
+            delay *= 1.0 - self.jitter * fraction
+        return delay
+
+    def start(self, clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        """A :class:`Deadline` holding this policy's overall budget."""
+        return Deadline(self.deadline, clock=clock)
+
+
+class Deadline:
+    """A wall-clock budget: ``None`` means unbounded.
+
+    Created once per logical operation and threaded through its retries,
+    so connect + N reconnects + the final request all share one budget.
+    """
+
+    def __init__(self, budget: Optional[float], *,
+                 clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._expires = None if budget is None else clock() + budget
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (possibly negative), or ``None`` if unbounded."""
+        if self._expires is None:
+            return None
+        return self._expires - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def clamp(self, timeout: Optional[float]) -> Optional[float]:
+        """``timeout`` shrunk to fit the remaining budget."""
+        remaining = self.remaining()
+        if remaining is None:
+            return timeout
+        remaining = max(0.0, remaining)
+        return remaining if timeout is None else min(timeout, remaining)
+
+
+def _next_delay(policy: RetryPolicy, retry_index: int, deadline: Deadline,
+                rng: Optional[random.Random]) -> Optional[float]:
+    """The backoff before the next retry, or ``None`` to give up."""
+    if retry_index + 1 >= policy.max_attempts:
+        return None
+    delay = policy.backoff(retry_index, rng)
+    remaining = deadline.remaining()
+    if remaining is not None and delay >= remaining:
+        return None  # the budget cannot fit the sleep, let alone the try
+    return delay
+
+
+def call_with_retry(fn: Callable[[], T], *,
+                    policy: RetryPolicy,
+                    deadline: Optional[Deadline] = None,
+                    clock: Callable[[], float] = time.monotonic,
+                    sleep: Callable[[float], None] = time.sleep,
+                    rng: Optional[random.Random] = None,
+                    on_retry: Optional[Callable[[int, BaseException], None]]
+                    = None) -> T:
+    """Call ``fn`` until it succeeds, a fatal error, or the budget is gone.
+
+    Only transient errors (per :func:`~repro.serve.errors.is_transient`)
+    are retried.  ``on_retry(retry_index, exc)`` fires before each backoff
+    sleep — telemetry hooks go there.
+    """
+    if deadline is None:
+        deadline = policy.start(clock)
+    retry_index = 0
+    while True:
+        if deadline.expired:
+            raise ServeTimeoutError("retry deadline budget exhausted")
+        try:
+            return fn()
+        except Exception as exc:  # noqa: BLE001 - filtered just below
+            if not is_transient(exc):
+                raise
+            delay = _next_delay(policy, retry_index, deadline, rng)
+            if delay is None:
+                raise
+            if on_retry is not None:
+                on_retry(retry_index, exc)
+            sleep(delay)
+            retry_index += 1
+
+
+async def async_call_with_retry(
+        fn: Callable[[], Awaitable[T]], *,
+        policy: RetryPolicy,
+        deadline: Optional[Deadline] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Optional[Callable[[float], Awaitable[None]]] = None,
+        rng: Optional[random.Random] = None,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None) -> T:
+    """:func:`call_with_retry` for coroutines (``sleep`` defaults to
+    ``asyncio.sleep``)."""
+    if sleep is None:
+        import asyncio
+
+        sleep = asyncio.sleep
+    if deadline is None:
+        deadline = policy.start(clock)
+    retry_index = 0
+    while True:
+        if deadline.expired:
+            raise ServeTimeoutError("retry deadline budget exhausted")
+        try:
+            return await fn()
+        except Exception as exc:  # noqa: BLE001 - filtered just below
+            if not is_transient(exc):
+                raise
+            delay = _next_delay(policy, retry_index, deadline, rng)
+            if delay is None:
+                raise
+            if on_retry is not None:
+                on_retry(retry_index, exc)
+            await sleep(delay)
+            retry_index += 1

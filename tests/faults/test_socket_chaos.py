@@ -1,0 +1,196 @@
+"""ChaosTcpProxy behavior at the byte level, against a plain echo server.
+
+The serve-client-facing consequences (typed errors, no hangs) live in
+``tests/serve/test_client_timeouts.py``; here we pin the proxy's own
+contract per mode.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.faults import CHAOS_MODES, ChaosTcpProxy
+
+pytestmark = pytest.mark.faults
+
+
+class EchoServer:
+    """Echo upstream: sends every received byte straight back."""
+
+    def __init__(self):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()[:2]
+        self._threads = []
+        self._accepting = threading.Thread(target=self._accept, daemon=True)
+        self._accepting.start()
+
+    def _accept(self):
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._echo, args=(conn,), daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    @staticmethod
+    def _echo(conn):
+        try:
+            while True:
+                data = conn.recv(1 << 16)
+                if not data:
+                    return
+                conn.sendall(data)
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    def close(self):
+        self._listener.close()
+
+
+@pytest.fixture()
+def echo():
+    server = EchoServer()
+    yield server
+    server.close()
+
+
+def dial(address, timeout=5.0):
+    return socket.create_connection(address, timeout=timeout)
+
+
+def recv_exactly(sock, count):
+    chunks = []
+    while count > 0:
+        data = sock.recv(count)
+        if not data:
+            break
+        chunks.append(data)
+        count -= len(data)
+    return b"".join(chunks)
+
+
+class TestModes:
+    def test_pass_mode_forwards_bytes_intact(self, echo):
+        with ChaosTcpProxy(echo.address, mode="pass") as proxy:
+            sock = dial(proxy.address)
+            payload = bytes(range(256)) * 8
+            sock.sendall(payload)
+            assert recv_exactly(sock, len(payload)) == payload
+            sock.close()
+            assert proxy.connections_accepted == 1
+            assert proxy.bytes_forwarded >= len(payload)
+
+    def test_slow_mode_trickles_but_completes(self, echo):
+        with ChaosTcpProxy(echo.address, mode="slow", chunk_bytes=32,
+                           delay=0.001) as proxy:
+            sock = dial(proxy.address)
+            payload = b"x" * 1000
+            sock.sendall(payload)
+            assert recv_exactly(sock, len(payload)) == payload
+            sock.close()
+
+    def test_reset_mode_kills_the_connection(self):
+        with ChaosTcpProxy(mode="reset") as proxy:
+            # The RST may land on connect, send, recv, or close depending
+            # on timing; it must be an error somewhere, never a hang.
+            with pytest.raises(OSError):
+                sock = dial(proxy.address)
+                try:
+                    for _ in range(50):
+                        sock.sendall(b"hello")
+                        if not sock.recv(1 << 16):
+                            raise ConnectionResetError("closed")
+                finally:
+                    sock.close()
+            assert proxy.resets_injected >= 1
+
+    def test_reset_after_forwards_then_kills(self, echo):
+        with ChaosTcpProxy(echo.address, mode="reset_after",
+                           reset_after_bytes=64) as proxy:
+            with pytest.raises(OSError):
+                sock = dial(proxy.address, timeout=5.0)
+                try:
+                    for _ in range(100):
+                        sock.sendall(b"a" * 32)
+                        data = sock.recv(1 << 16)
+                        if not data:
+                            raise ConnectionResetError("closed")
+                finally:
+                    sock.close()
+            assert proxy.resets_injected >= 1
+            # At most the cap each way (client->upstream capped at 64,
+            # the echo of those bytes flows back through pump_down).
+            assert proxy.bytes_forwarded <= 2 * 64
+
+    def test_stall_mode_never_answers(self):
+        with ChaosTcpProxy(mode="stall") as proxy:
+            sock = dial(proxy.address)
+            sock.settimeout(0.2)
+            sock.sendall(b"anyone home?")
+            with pytest.raises(socket.timeout):
+                sock.recv(1)
+            sock.close()
+
+
+class TestConfiguration:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ChaosTcpProxy(("127.0.0.1", 1), mode="explode")
+
+    def test_forwarding_modes_require_upstream(self):
+        for mode in ("pass", "slow", "reset_after"):
+            with pytest.raises(ValueError, match="upstream"):
+                ChaosTcpProxy(mode=mode)
+
+    def test_reset_and_stall_work_without_upstream(self):
+        for mode in ("reset", "stall"):
+            proxy = ChaosTcpProxy(mode=mode)
+            proxy.start()
+            proxy.stop()
+
+    def test_set_mode_validates_too(self, echo):
+        proxy = ChaosTcpProxy(echo.address, mode="pass")
+        proxy.set_mode("stall")
+        with pytest.raises(ValueError):
+            proxy.set_mode("nope")
+        no_upstream = ChaosTcpProxy(mode="reset")
+        with pytest.raises(ValueError, match="upstream"):
+            no_upstream.set_mode("pass")
+
+    def test_mode_change_applies_to_new_connections(self, echo):
+        with ChaosTcpProxy(echo.address, mode="pass") as proxy:
+            first = dial(proxy.address)
+            first.sendall(b"ok")
+            assert recv_exactly(first, 2) == b"ok"
+            proxy.set_mode("stall")
+            second = dial(proxy.address)
+            second.settimeout(0.2)
+            second.sendall(b"ok")
+            with pytest.raises(socket.timeout):
+                second.recv(1)
+            # The first (pass-mode) connection still works.
+            first.sendall(b"still")
+            assert recv_exactly(first, 5) == b"still"
+            first.close()
+            second.close()
+
+    def test_all_modes_enumerated(self):
+        assert set(CHAOS_MODES) == {"pass", "reset", "reset_after",
+                                    "stall", "slow"}
+
+    def test_double_start_rejected(self):
+        proxy = ChaosTcpProxy(mode="stall")
+        proxy.start()
+        try:
+            with pytest.raises(RuntimeError, match="already"):
+                proxy.start()
+        finally:
+            proxy.stop()

@@ -1,0 +1,108 @@
+"""Fleet-suite fixtures: async tests and daemons-in-threads.
+
+The same coroutine-test hook as ``tests/serve`` (no pytest-asyncio in
+the pinned container), plus :func:`daemon_fleet` — N real
+:class:`~repro.serve.daemon.FilterDaemon` instances each running on its
+own event loop in a background thread, so the *synchronous*
+:class:`~repro.fleet.router.FleetRouter` can drive them over real
+sockets without subprocess cost.
+"""
+
+import asyncio
+import inspect
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.bitmap_filter import FilterConfig
+from repro.fleet import NodeSpec
+from repro.net.address import AddressSpace
+from repro.serve import FilterDaemon, ServeConfig
+
+PROTECTED = AddressSpace.class_c_block("172.16.0.0", 6)
+
+FCFG = FilterConfig(order=12, num_vectors=4, rotation_interval=2.5)
+
+
+def pytest_pyfunc_call(pyfuncitem):
+    func = pyfuncitem.obj
+    if inspect.iscoroutinefunction(func):
+        kwargs = {name: pyfuncitem.funcargs[name]
+                  for name in pyfuncitem._fixtureinfo.argnames}
+        asyncio.run(func(**kwargs))
+        return True
+    return None
+
+
+class ThreadedDaemon:
+    """One FilterDaemon on a private event loop in a daemon thread."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.daemon = None
+        self.loop = None
+        self._ready = threading.Event()
+        self._stopped = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self.daemon = FilterDaemon(self.config)
+        self.loop.run_until_complete(self.daemon.start())
+        self._ready.set()
+        self.loop.run_forever()
+        self.loop.close()
+
+    def start(self):
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("threaded daemon failed to start")
+        return self.daemon.data_address
+
+    def stop(self):
+        if self._stopped or self.loop is None or not self.loop.is_running():
+            return
+        self._stopped = True
+
+        async def _stop():
+            self.daemon.request_shutdown()
+            await self.daemon.drain()
+
+        future = asyncio.run_coroutine_threadsafe(_stop(), self.loop)
+        future.result(timeout=30.0)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=30.0)
+
+
+def serve_config(**overrides) -> ServeConfig:
+    fields = dict(filter=FCFG, protected=PROTECTED, http=False, port=0,
+                  clock="packet")
+    fields.update(overrides)
+    return ServeConfig(**fields)
+
+
+@contextmanager
+def daemon_fleet(size: int, **overrides):
+    """``size`` threaded daemons; yields their NodeSpecs, stops them after."""
+    daemons = []
+    specs = []
+    try:
+        for index in range(size):
+            threaded = ThreadedDaemon(serve_config(**overrides))
+            host, port = threaded.start()
+            daemons.append(threaded)
+            specs.append(NodeSpec(name=f"node{index}", host=host, port=port))
+        yield specs, daemons
+    finally:
+        for threaded in daemons:
+            try:
+                threaded.stop()
+            except Exception:
+                pass
+
+
+@pytest.fixture()
+def protected() -> AddressSpace:
+    return PROTECTED

@@ -1,0 +1,163 @@
+"""Circuit breaker and health checker: every transition on a fake clock."""
+
+import pytest
+
+from repro.fleet.health import BreakerState, CircuitBreaker, HealthChecker
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, reset_timeout=5.0, clock=clock)
+
+
+class TestBreakerTransitions:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_stays_closed_below_threshold(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.failures == 0
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_advances_to_half_open_after_timeout(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_allows_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()       # the single probe
+        assert not breaker.allow()   # everyone else waits for its outcome
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow() and breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_timer(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(4.9)
+        assert breaker.state is BreakerState.OPEN  # timer restarted
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_trip_forces_open(self, breaker):
+        breaker.trip()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0, clock=clock)
+
+
+class TestHealthChecker:
+    def make(self, clock, docs):
+        breakers = {name: CircuitBreaker(failure_threshold=2,
+                                         reset_timeout=5.0, clock=clock)
+                    for name in docs}
+
+        def probe(node):
+            doc = docs[node]
+            if isinstance(doc, Exception):
+                raise doc
+            return doc
+
+        return breakers, HealthChecker(breakers, probe=probe)
+
+    def test_serving_doc_is_a_success(self, clock):
+        breakers, checker = self.make(
+            clock, {"a": {"status": "serving", "degraded": False}})
+        assert checker.check_now() == {"a": True}
+        assert breakers["a"].failures == 0
+        assert checker.last_health("a")["status"] == "serving"
+
+    def test_degraded_doc_is_a_failure(self, clock):
+        breakers, checker = self.make(
+            clock, {"a": {"status": "serving", "degraded": True}})
+        assert checker.check_now() == {"a": False}
+        assert breakers["a"].failures == 1
+
+    def test_probe_exception_is_a_failure(self, clock):
+        breakers, checker = self.make(clock, {"a": OSError("down")})
+        assert not checker.check_node("a")
+        assert checker.last_health("a") is None
+
+    def test_repeated_failures_trip_the_breaker(self, clock):
+        breakers, checker = self.make(clock, {"a": OSError("down")})
+        checker.check_now()
+        checker.check_now()
+        assert breakers["a"].state is BreakerState.OPEN
+
+    def test_recovery_probe_readmits_a_node(self, clock):
+        docs = {"a": OSError("down")}
+        breakers, checker = self.make(clock, docs)
+        checker.check_now()
+        checker.check_now()
+        assert breakers["a"].state is BreakerState.OPEN
+        clock.advance(5.0)
+        docs["a"] = {"status": "serving"}
+        assert checker.check_node("a")
+        assert breakers["a"].state is BreakerState.CLOSED
+
+    def test_mixed_fleet_sweep(self, clock):
+        breakers, checker = self.make(clock, {
+            "a": {"status": "serving"},
+            "b": {"status": "draining"},
+            "c": ConnectionRefusedError("dead"),
+        })
+        assert checker.check_now() == {"a": True, "b": False, "c": False}
+
+    def test_needs_urls_or_probe(self):
+        with pytest.raises(ValueError, match="urls"):
+            HealthChecker({})

@@ -1,0 +1,87 @@
+"""FleetManager subprocess supervision and the snapshot warm handoff.
+
+These spawn real ``repro serve`` subprocesses, so they carry the `slow`
+marker.  The headline test is handoff equivalence: streaming through a
+fleet whose node is warm-restarted mid-trace must produce verdicts
+byte-identical to an uninterrupted offline replay — the snapshot carried
+every marked bit across the restart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap_filter import BitmapFilter, FilterConfig
+from repro.fleet import FleetManager, FleetRouter
+from repro.serve.retry import RetryPolicy
+from repro.sim.pipeline import run_filter_on_trace
+from repro.traffic.trace import Trace
+
+pytestmark = pytest.mark.slow
+
+PROTECTED_ARG = ",".join(f"172.16.{i}.0/24" for i in range(6))
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    fleet = FleetManager(PROTECTED_ARG, size=2, workdir=str(tmp_path),
+                        order=12, rotation_interval=2.5)
+    yield fleet
+    fleet.shutdown()
+
+
+def frames_of(packets, step=500):
+    return [packets[i:i + step] for i in range(0, len(packets), step)]
+
+
+class TestLifecycle:
+    def test_start_yields_connectable_specs(self, manager, tiny_trace):
+        specs = manager.start()
+        assert len(specs) == 2
+        assert all(spec.http_url for spec in specs)
+        with FleetRouter(specs, protected=tiny_trace.protected) as router:
+            info = router.fleet_config()
+            assert info["clock"] == "packet"
+
+    def test_kill_then_restart_keeps_the_name(self, manager):
+        manager.start()
+        manager.kill("node0")
+        assert not manager.node("node0").alive
+        spec = manager.restart("node0")
+        assert spec.name == "node0"
+        assert manager.node("node0").alive
+
+    def test_restart_requires_a_dead_process(self, manager):
+        manager.start()
+        with pytest.raises(RuntimeError, match="still running"):
+            manager.restart("node0")
+
+    def test_snapshot_endpoint_serves_bytes(self, manager):
+        manager.start()
+        blob = manager.fetch_snapshot("node0")
+        assert len(blob) > 0
+
+
+class TestWarmHandoff:
+    def test_warm_restart_preserves_verdict_stream(self, manager, tiny_trace):
+        """Fleet with a mid-trace warm restart == uninterrupted offline."""
+        packets = tiny_trace.packets.sorted_by_time()[:8000]
+        fcfg = FilterConfig(order=12, num_vectors=4, rotation_interval=2.5)
+        offline = BitmapFilter(fcfg, tiny_trace.protected)
+        expected = np.asarray(run_filter_on_trace(
+            offline, Trace(packets, tiny_trace.protected),
+            exact=True).verdicts, dtype=bool)
+
+        specs = manager.start()
+        frames = frames_of(packets)
+        half = len(frames) // 2
+        router = FleetRouter(
+            specs, protected=tiny_trace.protected,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.05,
+                              max_delay=0.5, deadline=10.0))
+        with router:
+            masks = router.filter_batches(frames[:half])
+            new_spec = manager.warm_restart("node0")
+            router.update_node(new_spec)
+            masks += router.filter_batches(frames[half:])
+        verdicts = np.concatenate(masks)
+        np.testing.assert_array_equal(verdicts, expected)

@@ -1,0 +1,213 @@
+"""Retry policy and deadline budget — all on fake clocks, zero real sleeps."""
+
+import random
+
+import pytest
+
+from repro.serve.errors import (
+    ServeConnectionError,
+    ServeTimeoutError,
+    ServerError,
+    is_transient,
+)
+from repro.serve.retry import (
+    Deadline,
+    RetryPolicy,
+    async_call_with_retry,
+    call_with_retry,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class FakeSleep:
+    """Records every requested delay and advances the fake clock."""
+
+    def __init__(self, clock):
+        self.clock = clock
+        self.delays = []
+
+    def __call__(self, seconds):
+        self.delays.append(seconds)
+        self.clock.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def sleeper(clock):
+    return FakeSleep(clock)
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0,
+                             jitter=0.0)
+        assert [policy.backoff(i) for i in range(4)] == [0.1, 0.2, 0.4, 0.8]
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=3.0,
+                             jitter=0.0)
+        assert policy.backoff(5) == 3.0
+
+    def test_jitter_shrinks_within_bounds(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        rng = random.Random(42)
+        delays = [policy.backoff(0, rng) for _ in range(200)]
+        assert all(0.5 <= delay <= 1.0 for delay in delays)
+        assert len(set(delays)) > 100  # actually randomized
+
+    def test_negative_retry_index_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0.0)
+
+
+class TestDeadline:
+    def test_unbounded(self, clock):
+        deadline = Deadline(None, clock=clock)
+        assert deadline.remaining() is None
+        assert not deadline.expired
+        assert deadline.clamp(7.0) == 7.0
+        assert deadline.clamp(None) is None
+
+    def test_counts_down_and_expires(self, clock):
+        deadline = Deadline(10.0, clock=clock)
+        clock.now += 4.0
+        assert deadline.remaining() == pytest.approx(6.0)
+        assert deadline.clamp(30.0) == pytest.approx(6.0)
+        assert deadline.clamp(2.0) == 2.0
+        clock.now += 7.0
+        assert deadline.expired
+        assert deadline.clamp(30.0) == 0.0
+
+
+def flaky(failures, exc=ConnectionResetError("boom")):
+    """A callable that fails ``failures`` times, then returns 'ok'."""
+    state = {"left": failures}
+
+    def fn():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise exc
+        return "ok"
+
+    return fn
+
+
+class TestCallWithRetry:
+    def test_retries_transient_then_succeeds(self, clock, sleeper):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0)
+        result = call_with_retry(flaky(2), policy=policy, clock=clock,
+                                 sleep=sleeper)
+        assert result == "ok"
+        assert sleeper.delays == [0.1, 0.2]
+
+    def test_fatal_error_is_not_retried(self, clock, sleeper):
+        policy = RetryPolicy(max_attempts=4)
+        with pytest.raises(ServerError):
+            call_with_retry(flaky(1, ServerError("bad frame")),
+                            policy=policy, clock=clock, sleep=sleeper)
+        assert sleeper.delays == []
+
+    def test_attempts_exhausted_raises_last_error(self, clock, sleeper):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        with pytest.raises(ConnectionResetError):
+            call_with_retry(flaky(99), policy=policy, clock=clock,
+                            sleep=sleeper)
+        assert len(sleeper.delays) == 2  # 3 attempts = 2 backoffs
+
+    def test_deadline_stops_before_a_sleep_it_cannot_afford(
+            self, clock, sleeper):
+        # budget 0.5s, delays 0.4 then 0.8: the second backoff exceeds
+        # what remains, so the original error surfaces (not a timeout).
+        policy = RetryPolicy(max_attempts=10, base_delay=0.4, jitter=0.0,
+                             deadline=0.5)
+        with pytest.raises(ConnectionResetError):
+            call_with_retry(flaky(99), policy=policy, clock=clock,
+                            sleep=sleeper)
+        assert sleeper.delays == [0.4]
+
+    def test_expired_deadline_raises_timeout(self, clock):
+        deadline = Deadline(1.0, clock=clock)
+        clock.now += 2.0
+        with pytest.raises(ServeTimeoutError, match="budget exhausted"):
+            call_with_retry(lambda: "never", policy=RetryPolicy(),
+                            deadline=deadline, clock=clock,
+                            sleep=lambda s: None)
+
+    def test_on_retry_hook_sees_each_failure(self, clock, sleeper):
+        seen = []
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0)
+        call_with_retry(flaky(2), policy=policy, clock=clock, sleep=sleeper,
+                        on_retry=lambda i, exc: seen.append(i))
+        assert seen == [0, 1]
+
+    def test_single_attempt_policy_never_sleeps(self, clock, sleeper):
+        with pytest.raises(ConnectionResetError):
+            call_with_retry(flaky(1), policy=RetryPolicy(max_attempts=1),
+                            clock=clock, sleep=sleeper)
+        assert sleeper.delays == []
+
+
+class TestAsyncCallWithRetry:
+    async def test_retries_then_succeeds(self, clock):
+        delays = []
+
+        async def sleep(seconds):
+            delays.append(seconds)
+            clock.now += seconds
+
+        state = {"left": 2}
+
+        async def fn():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise ServeConnectionError("reset")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0)
+        result = await async_call_with_retry(
+            fn, policy=policy, clock=clock, sleep=sleep)
+        assert result == "ok"
+        assert delays == [0.1, 0.2]
+
+    async def test_fatal_error_propagates(self, clock):
+        async def fn():
+            raise ServerError("fatal")
+
+        with pytest.raises(ServerError):
+            await async_call_with_retry(fn, policy=RetryPolicy(),
+                                        clock=clock,
+                                        sleep=lambda s: None)
+
+
+class TestTransience:
+    def test_typed_errors_carry_transience(self):
+        assert is_transient(ServeConnectionError("reset"))
+        assert is_transient(ServeTimeoutError("slow"))
+        assert not is_transient(ServerError("bad geometry"))
+
+    def test_builtin_network_errors_are_transient(self):
+        assert is_transient(ConnectionResetError("peer"))
+        assert is_transient(TimeoutError("late"))
+        assert is_transient(OSError("no route"))
+        assert not is_transient(ValueError("logic bug"))

@@ -1,0 +1,123 @@
+"""HashRing unit tests: determinism, membership, vectorized lookup."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.ring import HashRing, splitmix64
+
+KEYS = np.arange(5000, dtype=np.uint64)
+
+
+class TestSplitmix64:
+    def test_scalar_matches_vector(self):
+        values = np.array([0, 1, 7, 2 ** 32 - 1, 2 ** 63], dtype=np.uint64)
+        vector = splitmix64(values)
+        for key, hashed in zip(values, vector):
+            assert splitmix64(int(key)) == int(hashed)
+
+    def test_scalar_returns_python_int(self):
+        assert isinstance(splitmix64(42), int)
+
+    def test_spreads_adjacent_keys(self):
+        hashed = splitmix64(KEYS)
+        # Adjacent integers must land far apart — the whole point of the
+        # finalizer.  Check the top byte is close to uniform.
+        top = np.asarray(hashed >> np.uint64(56), dtype=np.int64)
+        counts = np.bincount(top, minlength=256)
+        assert counts.max() < 3 * len(KEYS) / 256
+
+    def test_deterministic_across_calls(self):
+        np.testing.assert_array_equal(splitmix64(KEYS), splitmix64(KEYS))
+
+
+class TestMembership:
+    def test_nodes_sorted_regardless_of_insertion_order(self):
+        a = HashRing(["c", "a", "b"])
+        b = HashRing(["b", "c", "a"])
+        assert a.nodes == b.nodes == ["a", "b", "c"]
+
+    def test_duplicate_add_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError, match="already"):
+            ring.add("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError, match="not on the ring"):
+            HashRing(["a"]).remove("b")
+
+    def test_len_and_contains(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2 and "a" in ring and "z" not in ring
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+
+class TestLookup:
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(ValueError, match="no nodes"):
+            ring.owner(1)
+        with pytest.raises(ValueError, match="no nodes"):
+            ring.owners_vec(KEYS)
+
+    def test_scalar_owner_matches_vectorized(self):
+        ring = HashRing(["a", "b", "c"])
+        names = ring.owners_of(KEYS)
+        for key, name in zip(KEYS[:500], names[:500]):
+            assert ring.owner(int(key)) == name
+
+    def test_assignment_is_deterministic_across_instances(self):
+        first = HashRing(["a", "b", "c"]).owners_of(KEYS)
+        second = HashRing(["a", "b", "c"]).owners_of(KEYS)
+        assert first == second
+
+    def test_different_seed_different_assignment(self):
+        base = HashRing(["a", "b", "c"], seed=1).owners_of(KEYS)
+        other = HashRing(["a", "b", "c"], seed=2).owners_of(KEYS)
+        assert base != other
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"], replicas=1)
+        assert set(ring.owners_of(KEYS)) == {"only"}
+
+    def test_shares_cover_every_key(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        shares = ring.shares(KEYS)
+        assert sum(shares.values()) == len(KEYS)
+        assert set(shares) == {"a", "b", "c", "d"}
+
+    def test_balance_is_reasonable_at_default_replicas(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        shares = ring.shares(KEYS)
+        mean = len(KEYS) / 4
+        assert max(shares.values()) < 2.0 * mean
+        assert min(shares.values()) > mean / 3.0
+
+
+class TestChurn:
+    def test_removal_remaps_only_the_departed_share(self):
+        ring = HashRing(["a", "b", "c"])
+        before = np.array(ring.owners_of(KEYS))
+        ring.remove("b")
+        after = np.array(ring.owners_of(KEYS))
+        moved = before != after
+        assert np.array_equal(moved, before == "b")
+        assert "b" not in set(after[moved])
+
+    def test_addition_moves_keys_only_to_the_new_node(self):
+        ring = HashRing(["a", "b"])
+        before = np.array(ring.owners_of(KEYS))
+        ring.add("c")
+        after = np.array(ring.owners_of(KEYS))
+        moved = before != after
+        assert set(after[moved]) <= {"c"}
+        assert moved.any()
+
+    def test_leave_then_rejoin_restores_assignment(self):
+        ring = HashRing(["a", "b", "c"])
+        before = ring.owners_of(KEYS)
+        ring.remove("b")
+        ring.add("b")
+        assert ring.owners_of(KEYS) == before

@@ -1,0 +1,94 @@
+"""Hypothesis properties for the consistent-hash ring.
+
+Two contracts carry the fleet design (ISSUE 6): shares stay balanced
+within a bound, and membership churn causes *exactly* the minimal
+remap — a key changes owner on removal iff the departed node owned it,
+and keys that move on addition move only to the arrival.  The key
+population is drawn per-example so the properties hold over arbitrary
+address sets, not one blessed sample.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.fleet.ring import HashRing
+
+from tests.strategies import PROTECTED
+
+
+def node_names(min_size=2, max_size=8):
+    return st.lists(
+        st.text(alphabet="abcdefghij0123456789-", min_size=1, max_size=12),
+        min_size=min_size, max_size=max_size, unique=True)
+
+
+def key_arrays():
+    """uint32 address populations: protected hosts and arbitrary ints."""
+    inside = st.builds(
+        lambda net, host: int(PROTECTED.networks[net].host(host)),
+        st.integers(0, len(PROTECTED.networks) - 1), st.integers(1, 250))
+    anywhere = st.integers(0, 2 ** 32 - 1)
+    return st.lists(st.one_of(inside, anywhere),
+                    min_size=1, max_size=300).map(
+        lambda values: np.array(values, dtype=np.uint64))
+
+
+@settings(max_examples=60, deadline=None)
+@given(names=node_names(), seed=st.integers(0, 2 ** 32 - 1))
+def test_share_balance_bound(names, seed):
+    """No node's share exceeds a constant multiple of the fair share.
+
+    With 128 virtual nodes the per-node share concentrates around 1/N;
+    a 2.5x max/mean bound is loose enough to never flake and tight
+    enough to catch a broken placement (a modulo ring or a collapsed
+    hash fails it immediately).
+    """
+    ring = HashRing(names, seed=seed)
+    keys = np.arange(20000, dtype=np.uint64)
+    shares = ring.shares(keys)
+    fair = len(keys) / len(names)
+    assert max(shares.values()) <= 2.5 * fair
+    assert sum(shares.values()) == len(keys)
+
+
+@settings(max_examples=60, deadline=None)
+@given(names=node_names(), keys=key_arrays(),
+       seed=st.integers(0, 2 ** 32 - 1), drop_index=st.integers(0, 7))
+def test_removal_is_exactly_minimal(names, keys, seed, drop_index):
+    """A key changes owner on node removal iff the removed node owned it."""
+    ring = HashRing(names, seed=seed)
+    victim = sorted(names)[drop_index % len(names)]
+    before = np.array(ring.owners_of(keys))
+    ring.remove(victim)
+    after = np.array(ring.owners_of(keys))
+    moved = before != after
+    np.testing.assert_array_equal(moved, before == victim)
+    assert victim not in set(after)
+
+
+@settings(max_examples=60, deadline=None)
+@given(names=node_names(max_size=7), keys=key_arrays(),
+       seed=st.integers(0, 2 ** 32 - 1))
+def test_addition_moves_keys_only_to_the_arrival(names, keys, seed):
+    """Join churn is one-directional: movers land on the new node only."""
+    ring = HashRing(names, seed=seed)
+    before = np.array(ring.owners_of(keys))
+    ring.add("zz-new-node")
+    after = np.array(ring.owners_of(keys))
+    moved = before != after
+    assert set(after[moved]) <= {"zz-new-node"}
+
+
+@settings(max_examples=30, deadline=None)
+@given(names=node_names(), keys=key_arrays(),
+       seed=st.integers(0, 2 ** 32 - 1))
+def test_round_trip_churn_is_identity(names, keys, seed):
+    """Leave + rejoin of the same name restores the exact assignment —
+    the property that makes restart-by-name keep its ring share."""
+    ring = HashRing(names, seed=seed)
+    victim = sorted(names)[0]
+    before = ring.owners_of(keys)
+    ring.remove(victim)
+    ring.add(victim)
+    assert ring.owners_of(keys) == before

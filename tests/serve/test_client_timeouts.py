@@ -1,0 +1,166 @@
+"""Client deadline regressions: a wedged or dying daemon must raise, fast.
+
+ISSUE 6 satellite (a)/(b): every blocking client wait — connect, each
+response, the goodbye drain — is bounded, and transport failures surface
+as typed :class:`ServeConnectionError`/:class:`ServeTimeoutError`
+carrying the endpoint, frames in flight, and bytes buffered.  The wedged
+daemon is a :class:`~repro.faults.socket_chaos.ChaosTcpProxy` in
+``stall``/``reset`` mode; connect timeouts are simulated by patching the
+dial, since loopback connects cannot be made to hang portably.
+"""
+
+import asyncio
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults import ChaosTcpProxy
+from repro.serve import protocol
+from repro.serve.client import AsyncFilterClient, FilterClient
+from repro.serve.errors import (
+    ServeConnectionError,
+    ServeTimeoutError,
+    is_transient,
+)
+
+TICK = 0.25  # generous enough to never flake, short enough to stay fast
+
+
+@pytest.fixture()
+def stalled():
+    """(host, port) of a daemon that accepts and reads but never answers."""
+    with ChaosTcpProxy(mode="stall") as proxy:
+        yield proxy.address
+
+
+@pytest.fixture()
+def resetting():
+    """(host, port) of a daemon that RSTs every connection on accept."""
+    with ChaosTcpProxy(mode="reset") as proxy:
+        yield proxy.address
+
+
+class TestSyncClient:
+    def test_request_timeout_raises_not_hangs(self, stalled):
+        client = FilterClient.connect(*stalled, request_timeout=TICK)
+        began = time.monotonic()
+        with pytest.raises(ServeTimeoutError) as excinfo:
+            client.ping(b"hello?")
+        assert time.monotonic() - began < 10 * TICK
+        err = excinfo.value
+        assert err.endpoint == f"{stalled[0]}:{stalled[1]}"
+        assert err.frames_in_flight == 1
+        assert is_transient(err)
+        client.close()
+
+    def test_goodbye_drain_deadline(self, stalled):
+        client = FilterClient.connect(*stalled, request_timeout=TICK)
+        began = time.monotonic()
+        with pytest.raises(ServeTimeoutError):
+            client.goodbye(timeout=TICK)
+        assert time.monotonic() - began < 10 * TICK
+        client.close()
+
+    def test_reset_surfaces_as_typed_connection_error(self, resetting):
+        # The RST can land during connect or on a request; both must be
+        # a typed transient error, never a raw OSError or a hang.
+        with pytest.raises(ServeConnectionError) as excinfo:
+            client = FilterClient.connect(*resetting, request_timeout=5.0)
+            try:
+                for _ in range(50):  # the RST lands within a round trip
+                    client.ping(b"x")
+            finally:
+                client.close()
+        assert is_transient(excinfo.value)
+        assert excinfo.value.endpoint is not None
+
+    def test_connect_timeout_is_typed(self, monkeypatch):
+        def hang(address, timeout=None):
+            raise socket.timeout("timed out")
+
+        monkeypatch.setattr(socket, "create_connection", hang)
+        with pytest.raises(ServeTimeoutError, match="connect"):
+            FilterClient.connect("192.0.2.1", 9, timeout=TICK)
+
+    def test_partial_frame_counts_buffered_bytes(self):
+        # A daemon that answers with half a frame, then wedges: the
+        # timeout error must report the bytes sitting in the decoder.
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()[:2]
+        half_frame = protocol.encode_frame(protocol.FT_PONG, b"full")[:5]
+
+        def serve_half():
+            conn, _ = listener.accept()
+            conn.recv(1 << 16)
+            conn.sendall(half_frame)
+            time.sleep(20 * TICK)
+            conn.close()
+
+        thread = threading.Thread(target=serve_half, daemon=True)
+        thread.start()
+        try:
+            client = FilterClient.connect(host, port, request_timeout=TICK)
+            with pytest.raises(ServeTimeoutError) as excinfo:
+                client.ping(b"x")
+            assert excinfo.value.bytes_buffered == len(half_frame)
+            client.close()
+        finally:
+            listener.close()
+
+
+class TestAsyncClient:
+    async def test_connect_timeout_is_typed(self, monkeypatch):
+        async def hang(host, port):
+            await asyncio.sleep(3600)
+
+        monkeypatch.setattr(asyncio, "open_connection", hang)
+        with pytest.raises(ServeTimeoutError, match="connect"):
+            await AsyncFilterClient.connect("192.0.2.1", 9, timeout=TICK)
+
+    async def test_request_timeout_raises_not_hangs(self, stalled):
+        client = await AsyncFilterClient.connect(
+            *stalled, request_timeout=TICK)
+        began = time.monotonic()
+        with pytest.raises(ServeTimeoutError) as excinfo:
+            await client.ping(b"hello?")
+        assert time.monotonic() - began < 10 * TICK
+        assert excinfo.value.frames_in_flight == 1
+        assert is_transient(excinfo.value)
+        await client.close()
+
+    async def test_goodbye_drain_deadline(self, stalled):
+        client = await AsyncFilterClient.connect(
+            *stalled, request_timeout=TICK)
+        began = time.monotonic()
+        with pytest.raises(ServeTimeoutError):
+            await client.goodbye(timeout=TICK)
+        assert time.monotonic() - began < 10 * TICK
+        await client.close()
+
+    async def test_filter_timeout_counts_frames_in_flight(self, stalled):
+        client = await AsyncFilterClient.connect(
+            *stalled, request_timeout=TICK)
+        from repro.net.packet import PACKET_DTYPE, PacketArray
+
+        batch = PacketArray(np.zeros(3, dtype=PACKET_DTYPE))
+        with pytest.raises(ServeTimeoutError) as excinfo:
+            await client.filter_stream([batch, batch, batch], window=3)
+        assert excinfo.value.frames_in_flight == 3
+        await client.close()
+
+    async def test_reset_surfaces_as_typed_connection_error(self, resetting):
+        # The RST can land during connect setup or on the first request;
+        # both must surface as a typed transient error, never raw OSError.
+        with pytest.raises((ServeConnectionError, ServeTimeoutError)):
+            client = await AsyncFilterClient.connect(*resetting,
+                                                     request_timeout=5.0)
+            try:
+                for _ in range(50):
+                    await client.ping(b"x")
+            finally:
+                await client.close()

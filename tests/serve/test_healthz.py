@@ -1,0 +1,121 @@
+"""Enriched /healthz: the fields a fleet health checker decides on.
+
+ISSUE 6 satellite (d): beyond liveness, the health document must carry
+the node's fail policy, degraded and warm-up state, rotation lag, and
+ingest queue depth — everything :class:`repro.fleet.health.HealthChecker`
+and a human operator need to judge a node without guessing.
+"""
+
+import asyncio
+import json
+
+from repro.core.resilience import FailPolicy
+
+from tests.serve.test_daemon import (
+    booted,
+    fetch,
+    serve_config,
+    stop,
+)
+
+REQUIRED_FIELDS = (
+    "status", "uptime_seconds", "connections_open", "packets_total",
+    "rotations", "next_rotation", "fail_policy", "degraded", "warming_up",
+    "warmup_until", "rotation_lag_seconds", "ingest_queue_depth",
+    "ingest_queue_capacity",
+)
+
+
+async def healthz(daemon) -> dict:
+    host, port = daemon.http_address
+    raw = await asyncio.to_thread(fetch, f"http://{host}:{port}/healthz")
+    return json.loads(raw)
+
+
+class TestHealthzFields:
+    async def test_every_fleet_facing_field_is_present(self):
+        daemon = await booted(serve_config(http=True, http_port=0))
+        try:
+            doc = await healthz(daemon)
+        finally:
+            await stop(daemon)
+        for field in REQUIRED_FIELDS:
+            assert field in doc, f"/healthz missing {field!r}"
+
+    async def test_fail_policy_is_reported(self):
+        daemon = await booted(serve_config(http=True, http_port=0))
+        try:
+            doc = await healthz(daemon)
+            assert doc["fail_policy"] == "fail_closed"
+            daemon.filter.fail_policy = FailPolicy.FAIL_OPEN
+            doc = await healthz(daemon)
+            assert doc["fail_policy"] == "fail_open"
+        finally:
+            await stop(daemon)
+
+    async def test_healthy_packet_clock_daemon_is_not_degraded(self):
+        daemon = await booted(serve_config(http=True, http_port=0))
+        try:
+            doc = await healthz(daemon)
+            assert doc["status"] == "serving"
+            assert doc["degraded"] is False
+            assert doc["rotation_lag_seconds"] == 0.0
+        finally:
+            await stop(daemon)
+
+    async def test_degraded_reflects_filter_outage(self):
+        daemon = await booted(serve_config(http=True, http_port=0))
+        try:
+            daemon.filter.fail()
+            doc = await healthz(daemon)
+            assert doc["degraded"] is True
+            daemon.filter.recover(0.0, warmup_grace=0.0)
+            doc = await healthz(daemon)
+            assert doc["degraded"] is False
+        finally:
+            await stop(daemon)
+
+    async def test_ingest_queue_capacity_matches_config(self):
+        daemon = await booted(serve_config(http=True, http_port=0,
+                                           queue_frames=17))
+        try:
+            doc = await healthz(daemon)
+            assert doc["ingest_queue_capacity"] == 17
+            assert doc["ingest_queue_depth"] == 0
+        finally:
+            await stop(daemon)
+
+    async def test_wall_clock_daemon_reports_warmup_grace(self):
+        # A warm-up grace window (post-restore / post-recovery) must show
+        # in /healthz so the checker can treat the node as not-yet-ready.
+        daemon = await booted(serve_config(http=True, http_port=0,
+                                           clock="wall"))
+        try:
+            doc = await healthz(daemon)
+            assert doc["warming_up"] is False  # fresh boot: no grace
+            assert doc["rotation_lag_seconds"] >= 0.0
+            now = daemon._scheduler.filter_now()
+            daemon.filter.begin_warmup(now + 60.0)
+            doc = await healthz(daemon)
+            assert doc["warming_up"] is True
+            assert doc["warmup_until"] == now + 60.0
+        finally:
+            await stop(daemon)
+
+    async def test_health_checker_consumes_the_document(self):
+        """The fleet checker's verdict logic runs off this exact payload."""
+        from repro.fleet.health import CircuitBreaker, HealthChecker
+
+        daemon = await booted(serve_config(http=True, http_port=0))
+        try:
+            doc = await healthz(daemon)
+            breaker = CircuitBreaker()
+            checker = HealthChecker({"n": breaker}, probe=lambda node: doc)
+            assert checker.check_node("n") is True
+            daemon.filter.fail()
+            degraded_doc = await healthz(daemon)
+            checker2 = HealthChecker({"n": breaker},
+                                     probe=lambda node: degraded_doc)
+            assert checker2.check_node("n") is False
+        finally:
+            await stop(daemon)

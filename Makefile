@@ -18,10 +18,15 @@ bench:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience.py -m faults -s
 
-# Serial-vs-sharded equivalence proof plus the workers-vs-pps table.
+# Serial-vs-parallel equivalence proof (the suite itself sweeps the
+# sharded and shared backends at 1/2/4 workers), the workers-vs-pps
+# table, and the serve-throughput floor on the selected backend:
+#   make differential BACKEND=shared
+BACKEND ?= serial
 differential:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/differential/ -m differential
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_parallel_scaling.py -s
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_serve_throughput.py -s --backend $(BACKEND)
 
 # Online serving end-to-end smoke: boot the daemon, replay a trace with
 # --verify (online == offline verdicts), scrape /metrics, clean SIGTERM.

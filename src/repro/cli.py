@@ -48,9 +48,16 @@ def _experiment_args(parser: argparse.ArgumentParser, default: str) -> None:
         type=int,
         default=None,
         metavar="N",
-        help="run bitmap filters on the sharded backend with N worker "
+        help="run bitmap filters on a parallel backend with N worker "
              "processes (results are bit-for-bit identical to serial; "
              "see docs/parallel.md)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "sharded", "shared"),
+        default=None,
+        help="execution backend for bitmap filters (default: sharded when "
+             "--workers is given, serial otherwise)",
     )
 
 
@@ -224,6 +231,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         http_host=args.http_host, http_port=args.http_port,
         http=not args.no_http,
         workers=args.workers or 0,
+        backend=args.backend or "auto",
         clock=args.clock,
         exact=not args.windowed,
         backpressure=args.backpressure,
@@ -354,7 +362,8 @@ def _cmd_replay_fleet(args: argparse.Namespace) -> str:
             manager = FleetManager(
                 protected, size=args.fleet,
                 workdir=tempfile.mkdtemp(prefix="repro-fleet-"),
-                fail_policy=args.fail_policy)
+                fail_policy=args.fail_policy,
+                backend=getattr(args, "backend", None))
             specs = manager.start()
         else:
             specs = []
@@ -650,7 +659,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-http", action="store_true",
                        help="disable the embedded HTTP endpoint")
     serve.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="N>1 runs the sharded parallel backend")
+                       help="worker processes for the parallel backends "
+                            "(with --backend unset, N>1 implies sharded)")
+    serve.add_argument("--backend",
+                       choices=("serial", "sharded", "shared"),
+                       default=None,
+                       help="execution backend: serial, sharded replicas, "
+                            "or one shared-memory bitmap (fastest; see "
+                            "docs/parallel.md)")
     serve.add_argument("--clock", choices=("wall", "packet"), default="wall",
                        help="wall: rotations every dt of real time (live "
                             "default); packet: rotations follow packet "
@@ -709,6 +725,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="fail_closed",
                        help="fleet degraded policy for flows whose node "
                             "is unreachable")
+    fleet.add_argument("--backend", choices=("serial", "sharded", "shared"),
+                       default=None,
+                       help="execution backend for the spawned fleet "
+                            "daemons (requires --fleet)")
     fleet.add_argument("--kill-node", type=int, default=None, metavar="I",
                        help="SIGKILL the I-th node mid-replay "
                             "(requires --fleet)")
@@ -744,19 +764,26 @@ def build_parser() -> argparse.ArgumentParser:
 def _backend_scope(args: argparse.Namespace):
     """The execution-backend context the run executes under.
 
-    ``--workers N`` installs the sharded backend for the whole command, so
-    every ``create_filter`` call inside the experiments fans out; without
-    it this is a no-op scope.
+    ``--backend``/``--workers N`` install a parallel backend for the whole
+    command, so every ``create_filter`` call inside the experiments fans
+    out; ``--workers`` alone keeps its historical meaning (sharded).
+    Without either flag this is a no-op scope.
     """
     workers = getattr(args, "workers", None)
-    if workers is None or args.experiment in ("serve", "replay-to"):
+    backend = getattr(args, "backend", None)
+    if args.experiment in ("serve", "replay-to") or (
+            workers is None and backend in (None, "serial")):
         # The daemon builds its own backend; no ambient scope needed.
         from contextlib import nullcontext
 
         return nullcontext()
     from repro.parallel import use_backend
 
-    return use_backend(name="sharded", workers=workers)
+    if backend is None:
+        backend = "sharded"
+    if backend == "serial":
+        return use_backend(name="serial")
+    return use_backend(name=backend, workers=workers or 2)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

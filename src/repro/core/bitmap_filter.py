@@ -552,13 +552,23 @@ class BitmapFilter(PacketFilterMixin):
         if self._tel is not None:
             self._tel.marks["scalar"].inc()
 
+    def _test_incoming(self, pkt: Packet) -> bool:
+        """The scalar bitmap membership test for one incoming packet.
+
+        Split out as a hook: the shared-memory backend overrides it to
+        route the lookup through the packet's owner reader process (same
+        shared bits, different process) while every other piece of the
+        incoming path — warm-up grace, APD, stats — stays inherited.
+        """
+        key = bitmap_key_incoming(pkt.proto, pkt.dst, pkt.dport, pkt.src)
+        return self.bitmap.test_current(self.hashes.indices(key))
+
     def _handle_incoming(self, pkt: Packet) -> Decision:
         tel = self._tel
         self.stats.incoming += 1
         if self.apd is not None:
             self.apd.observe_incoming(pkt)
-        key = bitmap_key_incoming(pkt.proto, pkt.dst, pkt.dport, pkt.src)
-        if self.bitmap.test_current(self.hashes.indices(key)):
+        if self._test_incoming(pkt):
             self.stats.incoming_passed += 1
             if tel is not None:
                 tel.admits["scalar"].inc()
@@ -870,8 +880,7 @@ class BitmapFilter(PacketFilterMixin):
 
     def would_pass_incoming(self, pkt: Packet) -> bool:
         """Non-mutating lookup: would this incoming packet pass right now?"""
-        key = bitmap_key_incoming(pkt.proto, pkt.dst, pkt.dport, pkt.src)
-        return self.bitmap.test_current(self.hashes.indices(key))
+        return self._test_incoming(pkt)
 
     def utilization(self) -> float:
         return self.bitmap.utilization()

@@ -89,6 +89,8 @@ class BitVector:
     def count(self) -> int:
         """Number of set bits (the ``b`` of Equation 1)."""
         arr = np.frombuffer(self._bytes, dtype=np.uint8)
+        if hasattr(np, "bitwise_count"):  # NumPy >= 2.0: native popcount
+            return int(np.bitwise_count(arr).sum(dtype=np.int64))
         return int(_POPCOUNT8[arr].sum())
 
     def utilization(self) -> float:

@@ -71,10 +71,13 @@ class FleetManager:
                  rotation_interval: float = 5.0,
                  hash_seed: int = 0x5EED,
                  workers: int = 0,
+                 backend: Optional[str] = None,
                  ready_timeout: float = 30.0,
                  python: Optional[str] = None):
         if size < 1:
             raise ValueError("fleet size must be at least 1")
+        if backend not in (None, "serial", "sharded", "shared"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.protected = protected
         self.size = size
         self.workdir = Path(workdir)
@@ -86,6 +89,7 @@ class FleetManager:
             "--hash-seed", str(hash_seed),
         ]
         self.workers = workers
+        self.backend = backend
         self.ready_timeout = ready_timeout
         self.python = python if python is not None else sys.executable
         self._nodes: Dict[str, ManagedNode] = {}
@@ -121,6 +125,8 @@ class FleetManager:
         ]
         if self.workers > 1:
             command += ["--workers", str(self.workers)]
+        if self.backend is not None:
+            command += ["--backend", self.backend]
         if restore_path is not None:
             command += ["--restore", str(restore_path)]
         process = subprocess.Popen(

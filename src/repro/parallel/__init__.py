@@ -1,25 +1,31 @@
-"""Sharded parallel execution for the bitmap filter (docs/parallel.md).
+"""Parallel execution backends for the bitmap filter (docs/parallel.md).
 
-The package splits into three layers:
+Two parallel designs, one ambient switch:
 
-- :mod:`repro.parallel.worker` — the per-shard worker process: one
-  :class:`~repro.core.bitmap_filter.BitmapFilter` replica plus its own
-  telemetry registry behind a tiny pickled-tuple pipe protocol.
-- :mod:`repro.parallel.sharded` — :class:`ShardedBitmapFilter`, the
-  parent-side proxy: vectorized ``local_addr % N`` routing (marks
-  broadcast, lookups partitioned), input-order verdict gather,
-  ownership-aware stats/telemetry merge, and the full serial control
-  surface (degraded mode, warm-up, stalls, bit flips, snapshots).
+- **Sharded** (:mod:`repro.parallel.sharded` + :mod:`repro.parallel.worker`)
+  — :class:`ShardedBitmapFilter` keeps a full
+  :class:`~repro.core.bitmap_filter.BitmapFilter` *replica* in each of N
+  fork workers: marks broadcast, lookups partitioned ``local_addr % N``,
+  ownership-aware stats/telemetry merge, full serial control surface.
+- **Shared memory** (:mod:`repro.parallel.shared` +
+  :mod:`repro.parallel.shm` + :mod:`repro.parallel.shared_worker`) —
+  :class:`SharedBitmapFilter` keeps exactly one copy of the bits in a
+  :class:`multiprocessing.shared_memory` segment with epoch-indexed
+  rotation and a vectorized order-exact batch path; reader workers attach
+  by name and answer seqlocked lookups with zero broadcast.  Supports
+  adaptive packet dropping (the sharded backend cannot).
 - :mod:`repro.parallel.backend` — the ambient backend switch
-  (:func:`use_backend` / :func:`create_filter`) the CLI's ``--workers N``
-  flag and the experiments plug into.
+  (:func:`use_backend` / :func:`create_filter`) the CLI's ``--backend`` /
+  ``--workers N`` flags and the experiments plug into.
 
 The design goal is *provable equivalence*, not just speed: every verdict,
-counter, and snapshot a sharded run produces is bit-for-bit identical to
-the serial filter's — ``tests/differential/`` enforces it.
+counter, and snapshot a parallel run produces is bit-for-bit identical to
+the serial filter's — ``tests/differential/`` enforces it for both
+backends.
 """
 
 from repro.parallel.backend import (
+    BACKEND_NAMES,
     SERIAL_BACKEND,
     ExecutionBackend,
     create_filter,
@@ -27,18 +33,25 @@ from repro.parallel.backend import (
     set_backend,
     use_backend,
 )
+from repro.parallel.shared import SharedBitmapFilter, share_filter
 from repro.parallel.sharded import ShardedBitmapFilter, shard_filter
+from repro.parallel.shm import SharedBitmap, SharedBitVector
 from repro.parallel.worker import ShardWorkerError, WorkerSpec
 
 __all__ = [
+    "BACKEND_NAMES",
     "ExecutionBackend",
     "SERIAL_BACKEND",
     "ShardWorkerError",
+    "SharedBitVector",
+    "SharedBitmap",
+    "SharedBitmapFilter",
     "ShardedBitmapFilter",
     "WorkerSpec",
     "create_filter",
     "get_backend",
     "set_backend",
     "shard_filter",
+    "share_filter",
     "use_backend",
 ]

@@ -1,24 +1,29 @@
-"""The execution-backend switch: serial or sharded, one ambient setting.
+"""The execution-backend switch: serial, sharded, or shared memory.
 
 Mirrors the telemetry-registry idiom (:mod:`repro.telemetry.registry`):
 components that build a bitmap filter call :func:`create_filter` instead of
 constructing :class:`~repro.core.bitmap_filter.BitmapFilter` directly, and
 the ambient :class:`ExecutionBackend` — installed process-wide with
 :func:`set_backend` or scoped with :func:`use_backend` — decides whether
-that returns a serial filter or a
-:class:`~repro.parallel.sharded.ShardedBitmapFilter` fan-out.  The CLI's
-``--workers N`` flag is exactly ``use_backend(name="sharded", workers=N)``
-around the experiment run, which is how every experiment runs parallel
-without any per-experiment plumbing.
+that returns a serial filter, a
+:class:`~repro.parallel.sharded.ShardedBitmapFilter` fan-out (replicated
+bitmaps, broadcast marks), or a
+:class:`~repro.parallel.shared.SharedBitmapFilter` (one shared-memory
+bitmap, reader workers, vectorized exact batch path).  The CLI's
+``--workers N`` / ``--backend`` flags are exactly
+``use_backend(name=..., workers=N)`` around the experiment run, which is
+how every experiment runs parallel without per-experiment plumbing.
 
-Requests the sharded backend cannot honor exactly fall back to serial
-rather than diverge: adaptive packet dropping (drop decisions depend on
-global arrival order, so it is inherently serial) builds a serial filter
-even under ``backend="sharded"``.
+Adaptive packet dropping needs global arrival order.  The shared backend
+supports it natively (the policy runs in the single writer process and the
+arrival counters live in the shared header); the sharded backend cannot,
+and *deprecatedly* falls back to a serial filter — new code should request
+``backend="shared"`` instead, and the silent fallback now warns.
 """
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Union
@@ -27,10 +32,12 @@ from repro.core.apd import AdaptiveDroppingPolicy
 from repro.core.bitmap_filter import AnyFilterConfig, BitmapFilter
 from repro.core.resilience import FailPolicy
 from repro.net.address import AddressSpace
+from repro.parallel.shared import SharedBitmapFilter
 from repro.parallel.sharded import ShardedBitmapFilter
 from repro.telemetry.registry import MetricsRegistry
 
 __all__ = [
+    "BACKEND_NAMES",
     "ExecutionBackend",
     "SERIAL_BACKEND",
     "create_filter",
@@ -39,7 +46,9 @@ __all__ = [
     "use_backend",
 ]
 
-_BACKEND_NAMES = ("serial", "sharded")
+#: Every selectable backend, in the order the CLI surfaces them.
+BACKEND_NAMES = ("serial", "sharded", "shared")
+_BACKEND_NAMES = BACKEND_NAMES  # backwards-compatible alias
 
 
 @dataclass(frozen=True)
@@ -50,9 +59,9 @@ class ExecutionBackend:
     workers: int = 1
 
     def __post_init__(self) -> None:
-        if self.name not in _BACKEND_NAMES:
+        if self.name not in BACKEND_NAMES:
             raise ValueError(
-                f"unknown backend {self.name!r}; choose from {_BACKEND_NAMES}")
+                f"unknown backend {self.name!r}; choose from {BACKEND_NAMES}")
         if self.workers < 1:
             raise ValueError("backend needs at least one worker")
         if self.name == "serial" and self.workers != 1:
@@ -61,6 +70,14 @@ class ExecutionBackend:
     @property
     def is_sharded(self) -> bool:
         return self.name == "sharded"
+
+    @property
+    def is_shared(self) -> bool:
+        return self.name == "shared"
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.name != "serial"
 
 
 #: The default: everything in-process, exactly as before this module existed.
@@ -89,7 +106,7 @@ def use_backend(backend: Optional[ExecutionBackend] = None, *,
     """Scoped :func:`set_backend`: yields the backend, restores on exit.
 
     Accepts either a ready :class:`ExecutionBackend` or the ``name=``/
-    ``workers=`` fields to build one (``use_backend(name="sharded",
+    ``workers=`` fields to build one (``use_backend(name="shared",
     workers=4)``).
     """
     if backend is None:
@@ -119,24 +136,48 @@ def create_filter(
     telemetry: Optional[MetricsRegistry] = None,
     backend: Optional[ExecutionBackend] = None,
     **config_fields,
-) -> Union[BitmapFilter, ShardedBitmapFilter]:
+) -> Union[BitmapFilter, ShardedBitmapFilter, SharedBitmapFilter]:
     """Build a bitmap filter on the active (or given) execution backend.
 
     Signature-compatible with ``BitmapFilter(...)``, so switching a call
-    site is mechanical.  Serial-only features (currently: adaptive packet
-    dropping) silently fall back to a serial filter — the results are
-    identical either way, which is the backend contract.
+    site is mechanical.  The shared backend honors every feature including
+    adaptive packet dropping; the sharded backend cannot support APD (drop
+    decisions depend on global arrival order, which replicas do not see)
+    and falls back to a serial filter with a :class:`DeprecationWarning` —
+    results are identical either way, but the fallback is no longer
+    silent: request ``backend="shared"`` for parallel APD.
     """
     backend = backend if backend is not None else get_backend()
-    if backend.is_sharded and apd is None:
-        return ShardedBitmapFilter(
+    if backend.is_shared:
+        return SharedBitmapFilter(
             config,
             protected,
             num_workers=backend.workers,
             start_time=start_time,
+            apd=apd,
             fail_policy=fail_policy,
             telemetry=telemetry,
             **config_fields,
+        )
+    if backend.is_sharded:
+        if apd is None:
+            return ShardedBitmapFilter(
+                config,
+                protected,
+                num_workers=backend.workers,
+                start_time=start_time,
+                fail_policy=fail_policy,
+                telemetry=telemetry,
+                **config_fields,
+            )
+        warnings.warn(
+            "adaptive packet dropping needs global arrival order, which the "
+            "sharded backend's replicas never see; building a serial filter "
+            "instead. This silent fallback is deprecated — use "
+            'backend="shared", whose single-writer design supports APD '
+            "natively.",
+            DeprecationWarning,
+            stacklevel=2,
         )
     return BitmapFilter(
         config,

@@ -642,8 +642,10 @@ def shard_filter(
     if isinstance(filt, ShardedBitmapFilter):
         return filt
     if filt.apd is not None:
-        raise ValueError("adaptive packet dropping is serial-only; "
-                         "create_filter() falls back automatically")
+        raise ValueError(
+            "adaptive packet dropping needs global arrival order, which "
+            "sharded replicas never see; use the shared backend "
+            "(share_filter / backend=\"shared\") or stay serial")
     if filt.stats.total or filt.stats.rotations or not filt.bitmap.is_empty():
         raise ValueError(
             "shard_filter needs a pristine filter: this one has already "

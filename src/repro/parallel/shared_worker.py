@@ -1,0 +1,101 @@
+"""The shared-backend reader worker: seqlocked lookups on the one bitmap.
+
+Unlike the sharded backend's workers (:mod:`repro.parallel.worker`), which
+each own a full :class:`~repro.core.bitmap_filter.BitmapFilter` replica and
+must be fed every outgoing mark, a shared-backend worker owns **no filter
+state at all**: it attaches to the parent's
+:class:`~repro.parallel.shm.SharedBitmap` segment by name, builds the same
+:class:`~repro.core.hashing.HashFamily` from the spec, and answers
+membership lookups straight off the shared bits.  Marks, rotations,
+snapshot restores and bit flips performed by the parent are visible here
+the moment they land — there is nothing to broadcast and nothing that can
+drift.
+
+Every lookup runs under the segment's seqlock
+(:meth:`~repro.parallel.shm.SharedBitmap.test_current_consistent`) and
+reports the epoch it was consistent with, which is how the property suite
+proves a reader can never judge a packet against a retired epoch.
+
+The wire protocol mirrors the sharded worker's pickled-tuple pipe idiom:
+
+==============================================  ===========================
+request                                          response payload
+==============================================  ===========================
+``("test", proto, local, port, remote)``         ``(hit, epoch)``
+``("test_indices", indices)``                    ``(hit, epoch)``
+``("header",)``                                  8-tuple of header words
+``("vector", i)``                                raw bytes of slab ``i``
+``("epoch",)``                                   current epoch counter
+``("close",)``                                   ``None`` (worker exits)
+==============================================  ===========================
+
+Responses are ``("ok", payload)`` or ``("err", traceback)``; the parent
+re-raises the latter as
+:class:`~repro.parallel.worker.ShardWorkerError`.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+
+from repro.core.hashing import HashFamily
+from repro.net.flow import bitmap_key_incoming
+from repro.parallel.shm import SharedBitmap
+
+__all__ = ["SharedWorkerSpec", "shared_worker_main"]
+
+
+@dataclass(frozen=True)
+class SharedWorkerSpec:
+    """Everything a reader needs: the segment name and the hash family."""
+
+    shm_name: str
+    num_hashes: int
+    order: int
+    seed: int
+    worker_index: int
+    num_workers: int
+
+
+def shared_worker_main(conn, spec: SharedWorkerSpec) -> None:
+    """The reader process entry point: serve lookups until ``close``/EOF."""
+    bitmap = SharedBitmap.attach(spec.shm_name)
+    hashes = HashFamily(spec.num_hashes, spec.order, spec.seed)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = msg[0]
+        try:
+            if op == "test":
+                proto, local_addr, local_port, remote_addr = msg[1:5]
+                key = bitmap_key_incoming(proto, local_addr, local_port,
+                                          remote_addr)
+                payload = bitmap.test_current_consistent(hashes.indices(key))
+            elif op == "test_indices":
+                payload = bitmap.test_current_consistent(msg[1])
+            elif op == "header":
+                payload = tuple(int(word) for word in bitmap._header)
+            elif op == "vector":
+                payload = bytes(bitmap.vector(msg[1]).as_numpy())
+            elif op == "epoch":
+                payload = bitmap.epoch
+            elif op == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                raise ValueError(f"unknown shared-worker op {op!r}")
+        except Exception:  # noqa: BLE001 - everything crosses the pipe
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+            continue
+        try:
+            conn.send(("ok", payload))
+        except (BrokenPipeError, OSError):
+            break
+    bitmap.close()
+    conn.close()

@@ -1,0 +1,345 @@
+"""Shared-memory {k x n}-bitmap: one buffer, one writer, many readers.
+
+This is the storage layer of the ``shared`` execution backend
+(:mod:`repro.parallel.shared`).  Where the sharded backend keeps a full
+bitmap *replica* per worker and broadcasts every mark, the shared backend
+keeps exactly one copy of the bit state in a
+:class:`multiprocessing.shared_memory.SharedMemory` segment:
+
+- a 64-byte header of eight little-endian ``uint64`` words (seqlock word,
+  epoch counter, current index, the shared arrival counters APD consults,
+  and the bitmap geometry so readers can self-validate on attach), then
+- ``k`` slabs of ``2**n / 8`` bytes, one per bloom row.
+
+:class:`SharedBitmap` subclasses :class:`~repro.core.bitmap.Bitmap` and
+keeps its whole public surface — the vectors are
+:class:`SharedBitVector` instances (zero-copy views into the segment) and
+the index/rotation bookkeeping lives in the shared header, so marks,
+lookups, rotations, snapshot restores and bit flips made by the writer are
+immediately visible to every attached reader without any broadcast.
+
+**Epoch-indexed rotation.**  ``rotate()`` does not copy state: it bumps the
+shared epoch counter, advances ``idx = epoch mod k``, and zeroes only the
+retiring slab.  Readers never see a half-rotated bitmap because every
+structural write (rotation, snapshot restore, bit flips, clears) is
+bracketed by the header's seqlock word: the writer makes it odd, mutates,
+then makes it even; a reader samples the word before and after its lookup
+and retries when the samples differ or are odd.  ``tests/parallel/
+test_shared_properties.py`` holds the proof that a reader can never
+observe a retired epoch's bits.
+
+**Concurrency contract.**  Exactly one process (the parent filter) writes;
+any number of processes read.  Single aligned 8-byte loads/stores are
+atomic on every platform CPython supports, and the seqlock turns the
+multi-word updates into an atomic unit from the readers' point of view.
+"""
+
+from __future__ import annotations
+
+import secrets
+from contextlib import contextmanager
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bitmap import Bitmap
+from repro.core.bitvector import BitVector
+
+__all__ = [
+    "HEADER_BYTES",
+    "SEQ",
+    "EPOCH",
+    "IDX",
+    "ARRIVALS_TOTAL",
+    "ARRIVALS_OUT",
+    "ARRIVALS_IN",
+    "SharedBitVector",
+    "SharedBitmap",
+]
+
+# Header word offsets (uint64 each).
+SEQ = 0             # seqlock: odd while a structural write is in flight
+EPOCH = 1           # rotation count — the "epoch" readers key off
+IDX = 2             # current vector index (== epoch mod k in normal operation)
+ARRIVALS_TOTAL = 3  # packets seen by the filter (shared APD arrival counter)
+ARRIVALS_OUT = 4    # outgoing arrivals
+ARRIVALS_IN = 5     # incoming arrivals
+_GEOM_K = 6         # geometry, for reader self-validation on attach
+_GEOM_ORDER = 7
+
+_HEADER_WORDS = 8
+HEADER_BYTES = _HEADER_WORDS * 8
+
+
+class SharedBitVector(BitVector):
+    """A :class:`BitVector` whose backing bytes live in shared memory.
+
+    The parent class keeps all its logic: ``_bytes`` is simply rebound to a
+    writable :class:`memoryview` slice of the segment, which supports the
+    same byte-indexed operations as the original ``bytearray`` (and
+    ``np.frombuffer`` for the vectorized paths).  ``release()`` must run
+    before the owning segment can be closed.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, order: int, buf: memoryview):
+        if not 3 <= order <= 32:
+            raise ValueError(f"bit vector order must be in [3, 32], got {order}")
+        num_bits = 1 << order
+        if len(buf) != num_bits >> 3:
+            raise ValueError(
+                f"shared slab holds {len(buf)} bytes; order {order} "
+                f"needs {num_bits >> 3}")
+        self._order = order
+        self._num_bits = num_bits
+        self._bytes = buf
+
+    def release(self) -> None:
+        """Drop the memoryview so the shared segment can unmap."""
+        self._bytes.release()
+
+
+class SharedBitmap(Bitmap):
+    """A {k x n}-bitmap stored in one shared-memory segment.
+
+    Build the writer's copy with ``SharedBitmap(k, n)`` (creates the
+    segment) and reader copies with :meth:`SharedBitmap.attach`.  Readers
+    must treat the bitmap as read-only and wrap lookups in
+    :meth:`read_consistent` (or check :attr:`seq` themselves).
+    """
+
+    __slots__ = ("_shm", "_header", "_owner", "_closed")
+
+    def __init__(self, num_vectors: int, order: int,
+                 *, name: Optional[str] = None):
+        if num_vectors < 2:
+            raise ValueError(
+                f"a bitmap needs at least 2 vectors (one current, one "
+                f"expiring), got {num_vectors}")
+        if not 3 <= order <= 32:
+            raise ValueError(f"bit vector order must be in [3, 32], got {order}")
+        slab_bytes = (1 << order) >> 3
+        size = HEADER_BYTES + num_vectors * slab_bytes
+        if name is None:
+            name = f"repro-bitmap-{secrets.token_hex(8)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        self._wrap(shm, num_vectors, order, owner=True)
+        header = self._header
+        header[:] = 0
+        header[_GEOM_K] = num_vectors
+        header[_GEOM_ORDER] = order
+        self._peak_utilization = 0.0
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedBitmap":
+        """Open an existing segment as a reader (geometry from the header).
+
+        CPython < 3.13 has no ``track=False``: attaching would register the
+        segment with the resource tracker as if this process created it,
+        and a forked reader shares the parent's tracker — so the
+        registration is suppressed during attach, ensuring a reader's exit
+        can never unlink a segment the writer still owns.
+        """
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        self = cls.__new__(cls)
+        header = np.frombuffer(shm.buf, dtype="<u8", count=_HEADER_WORDS)
+        num_vectors = int(header[_GEOM_K])
+        order = int(header[_GEOM_ORDER])
+        del header
+        expected = HEADER_BYTES + num_vectors * ((1 << order) >> 3)
+        if num_vectors < 2 or not 3 <= order <= 32 or shm.size < expected:
+            shm.close()
+            raise ValueError(
+                f"segment {name!r} does not hold a shared bitmap "
+                f"(header says k={num_vectors}, n={order}, "
+                f"size={shm.size})")
+        self._wrap(shm, num_vectors, order, owner=False)
+        self._peak_utilization = 0.0
+        return self
+
+    def _wrap(self, shm: shared_memory.SharedMemory, num_vectors: int,
+              order: int, *, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        self._order = order
+        self._num_vectors = num_vectors
+        self._header = np.frombuffer(shm.buf, dtype="<u8",
+                                     count=_HEADER_WORDS)
+        slab_bytes = (1 << order) >> 3
+        self._vectors = [
+            SharedBitVector(
+                order,
+                shm.buf[HEADER_BYTES + i * slab_bytes:
+                        HEADER_BYTES + (i + 1) * slab_bytes])
+            for i in range(num_vectors)
+        ]
+
+    # -- shared bookkeeping ----------------------------------------------------
+    #
+    # The parent class reads/writes ``self._idx`` and ``self._rotations``;
+    # these properties shadow its slots and redirect to the shared header,
+    # so every inherited method (mark/test/clear_all/...) operates on the
+    # shared state without modification.
+
+    @property
+    def _idx(self) -> int:
+        return int(self._header[IDX])
+
+    @_idx.setter
+    def _idx(self, value: int) -> None:
+        self._header[IDX] = value
+
+    @property
+    def _rotations(self) -> int:
+        return int(self._header[EPOCH])
+
+    @_rotations.setter
+    def _rotations(self, value: int) -> None:
+        self._header[EPOCH] = value
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment name readers attach to."""
+        return self._shm.name
+
+    @property
+    def epoch(self) -> int:
+        """The shared epoch counter (== :attr:`rotations`)."""
+        return int(self._header[EPOCH])
+
+    @property
+    def seq(self) -> int:
+        """The seqlock word: odd while a structural write is in flight."""
+        return int(self._header[SEQ])
+
+    @property
+    def arrivals(self) -> tuple:
+        """(total, outgoing, incoming) shared arrival counters."""
+        header = self._header
+        return (int(header[ARRIVALS_TOTAL]), int(header[ARRIVALS_OUT]),
+                int(header[ARRIVALS_IN]))
+
+    def publish_arrivals(self, total: int, outgoing: int, incoming: int) -> None:
+        """Writer-side: expose global arrival counts to every reader.
+
+        This is the counter that makes adaptive packet dropping shard-aware:
+        the policy's indicator state is driven by the one process that sees
+        every arrival in order, and readers observe the same totals here.
+        """
+        header = self._header
+        header[ARRIVALS_TOTAL] = total
+        header[ARRIVALS_OUT] = outgoing
+        header[ARRIVALS_IN] = incoming
+
+    # -- writer-side structural updates ---------------------------------------
+
+    @contextmanager
+    def write_guard(self):
+        """Bracket a multi-word update so readers retry instead of tearing."""
+        header = self._header
+        header[SEQ] += 1
+        try:
+            yield
+        finally:
+            header[SEQ] += 1
+
+    def rotate(self) -> int:
+        """Epoch-indexed Algorithm 1: bump the epoch, zero the retiring slab.
+
+        No state is copied — the vector that was current becomes the
+        retiring slab and is cleared in place, exactly like the serial
+        bitmap, but the index/epoch advance and the clear are one seqlocked
+        unit so readers can never test against a half-cleared vector.
+        """
+        header = self._header
+        last = int(header[IDX])
+        # Peak utilization is sampled pre-clear, exactly like the serial path.
+        utilization = self._vectors[last].utilization()
+        if utilization > self._peak_utilization:
+            self._peak_utilization = utilization
+        header[SEQ] += 1
+        header[IDX] = (last + 1) % self._num_vectors
+        header[EPOCH] += 1
+        self._vectors[last].clear()
+        header[SEQ] += 1
+        return int(header[IDX])
+
+    def clear_all(self) -> None:
+        with self.write_guard():
+            super().clear_all()
+
+    # -- reader-side consistency ----------------------------------------------
+
+    def read_consistent(self, fn):
+        """Run ``fn(current_index, epoch)`` under the seqlock; retry on tear.
+
+        Returns ``(result, epoch)`` where ``epoch`` is the rotation count
+        the read is guaranteed to have been consistent with — the proof
+        obligation that a reader never consults a retired epoch's bits.
+        """
+        header = self._header
+        while True:
+            seq0 = int(header[SEQ])
+            if seq0 & 1:
+                continue
+            idx = int(header[IDX])
+            epoch = int(header[EPOCH])
+            result = fn(idx, epoch)
+            if int(header[SEQ]) == seq0:
+                return result, epoch
+
+    def test_current_consistent(self, indices) -> tuple:
+        """Seqlocked membership test: ``(all-bits-set, epoch)``."""
+        indices = tuple(indices)
+        return self.read_consistent(
+            lambda idx, _epoch: self._vectors[idx].test_all(indices))
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the views and unmap; the owner also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for vec in self._vectors:
+            vec.release()
+        self._vectors = []
+        self._header = None
+        try:
+            self._shm.close()
+        except BufferError:
+            # A transient view (e.g. an ndarray bound in a caller's frame)
+            # still exports the buffer; collect and retry, else leave the
+            # unmap to process exit — unlink below still reclaims the name.
+            import gc
+            gc.collect()
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - exit will unmap
+                pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:
+        if self._closed:
+            return f"SharedBitmap(closed, name={self._shm.name!r})"
+        return (
+            f"SharedBitmap(k={self._num_vectors}, n={self._order}, "
+            f"idx={self.current_index}, epoch={self.epoch}, "
+            f"name={self._shm.name!r})"
+        )

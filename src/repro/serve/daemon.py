@@ -1,11 +1,14 @@
 """The online filtering daemon: packets stream in, verdicts stream out.
 
 :class:`FilterDaemon` wraps one logical packet filter — a serial
-:class:`~repro.core.bitmap_filter.BitmapFilter` or, with ``workers > 1``, a
-:class:`~repro.parallel.sharded.ShardedBitmapFilter` — behind the framing
-protocol of :mod:`repro.serve.protocol` on a TCP and/or Unix-domain
-listener, plus an embedded HTTP endpoint (:mod:`repro.serve.http`) for
-``/metrics``, ``/healthz``, and ``/snapshot``.
+:class:`~repro.core.bitmap_filter.BitmapFilter`, a replicated
+:class:`~repro.parallel.sharded.ShardedBitmapFilter`, or a shared-memory
+:class:`~repro.parallel.shared.SharedBitmapFilter`, selected by
+``ServeConfig.backend`` (``"auto"`` keeps the historical rule: ``workers
+> 1`` means sharded) — behind the framing protocol of
+:mod:`repro.serve.protocol` on a TCP and/or Unix-domain listener, plus an
+embedded HTTP endpoint (:mod:`repro.serve.http`) for ``/metrics``,
+``/healthz``, and ``/snapshot``.
 
 Ingest pipeline
 ---------------
@@ -66,6 +69,7 @@ from repro.core.bitmap_filter import BitmapFilter, FilterConfig
 from repro.core.resilience import FailPolicy
 from repro.net.address import AddressSpace
 from repro.net.packet import DIRECTION_INCOMING, PacketArray
+from repro.parallel.backend import BACKEND_NAMES
 from repro.serve import protocol
 from repro.serve.http import HttpEndpoint
 from repro.serve.protocol import FrameDecoder, ProtocolError
@@ -96,7 +100,8 @@ class ServeConfig:
     http_host: str = "127.0.0.1"
     http_port: int = 0
     http: bool = True
-    workers: int = 0                 # <=1 serial, >1 sharded backend
+    workers: int = 0                 # worker processes for parallel backends
+    backend: str = "auto"            # "auto" | "serial" | "sharded" | "shared"
     clock: str = "packet"            # "packet" replay | "wall" live
     exact: bool = True               # batch mode fed to process_batch
     backpressure: str = "block"      # "block" | "shed"
@@ -109,6 +114,11 @@ class ServeConfig:
     mp_context: Optional[str] = None      # sharded fork/spawn override
 
     def __post_init__(self) -> None:
+        if self.backend not in ("auto",) + BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be \"auto\" or one of {BACKEND_NAMES}")
+        if self.backend == "serial" and self.workers > 1:
+            raise ValueError("the serial backend has exactly one worker")
         if self.clock not in CLOCK_MODES:
             raise ValueError(f"clock must be one of {CLOCK_MODES}")
         if self.backpressure not in BACKPRESSURE_MODES:
@@ -118,6 +128,22 @@ class ServeConfig:
             raise ValueError("queue_frames must be at least 1")
         if self.batch_max_packets < 1:
             raise ValueError("batch_max_packets must be at least 1")
+
+    @property
+    def resolved_backend(self) -> str:
+        """The concrete backend ``"auto"`` resolves to (``workers > 1``
+        keeps meaning sharded, as it did before ``backend`` existed)."""
+        if self.backend != "auto":
+            return self.backend
+        return "sharded" if self.workers > 1 else "serial"
+
+    @property
+    def resolved_workers(self) -> int:
+        """Worker count for the resolved backend (parallel backends get at
+        least two workers when ``workers`` was left at the default)."""
+        if self.resolved_backend == "serial":
+            return 1
+        return self.workers if self.workers > 1 else 2
 
 
 class _Connection:
@@ -240,13 +266,25 @@ class FilterDaemon:
     # -- construction ---------------------------------------------------------
 
     def _build_filter(self, cfg: FilterConfig, start_time: float):
-        if self.config.workers > 1:
+        backend = self.config.resolved_backend
+        if backend == "shared":
+            from repro.parallel.shared import SharedBitmapFilter
+
+            return SharedBitmapFilter(
+                cfg,
+                self.config.protected,
+                num_workers=self.config.resolved_workers,
+                start_time=start_time,
+                telemetry=self.registry,
+                mp_context=self.config.mp_context,
+            )
+        if backend == "sharded":
             from repro.parallel.sharded import ShardedBitmapFilter
 
             return ShardedBitmapFilter(
                 cfg,
                 self.config.protected,
-                num_workers=self.config.workers,
+                num_workers=self.config.resolved_workers,
                 start_time=start_time,
                 telemetry=self.registry,
                 mp_context=self.config.mp_context,
@@ -258,7 +296,8 @@ class FilterDaemon:
         if self.config.restore_path:
             self._filt = restore_serve_filter(
                 self.config.restore_path,
-                workers=self.config.workers,
+                backend=self.config.resolved_backend,
+                workers=self.config.resolved_workers,
                 telemetry=self.registry,
                 mp_context=self.config.mp_context,
             )
@@ -274,7 +313,7 @@ class FilterDaemon:
 
     @property
     def backend(self) -> str:
-        return "sharded" if self.config.workers > 1 else "serial"
+        return self.config.resolved_backend
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -654,7 +693,7 @@ class FilterDaemon:
             "clock": self.config.clock,
             "exact": self.config.exact,
             "backend": self.backend,
-            "workers": max(self.config.workers, 1),
+            "workers": self.config.resolved_workers,
             "backpressure": self.config.backpressure,
         }
 

@@ -1,14 +1,17 @@
 """Snapshot plumbing between the daemon and both filter backends.
 
 The checkpoint format is the checksummed snapshot v2 of
-:mod:`repro.core.persistence`; these helpers adapt it to the two shapes a
-daemon runs: a serial :class:`~repro.core.bitmap_filter.BitmapFilter` and a
+:mod:`repro.core.persistence`; these helpers adapt it to the three shapes a
+daemon runs: a serial :class:`~repro.core.bitmap_filter.BitmapFilter`, a
 :class:`~repro.parallel.sharded.ShardedBitmapFilter` whose state lives in
-worker replicas.
+worker replicas, and a :class:`~repro.parallel.shared.SharedBitmapFilter`
+whose state lives in one shared-memory segment (being a ``BitmapFilter``
+subclass with live local state, it snapshots directly).
 
 - :func:`materialize_serial` — a serial filter holding a *copy* of any
   filter's current state (for a sharded filter: worker 0's replica plus
-  the ownership-merged counters).
+  the ownership-merged counters; a shared filter already presents serial
+  state and is returned as-is).
 - :func:`snapshot_to_bytes` / :func:`write_snapshot` — serve a live
   filter's checkpoint over HTTP or persist the SIGTERM final snapshot.
 - :func:`restore_serve_filter` — warm-start either backend from a
@@ -79,22 +82,30 @@ def write_snapshot(filt: AnyBackendFilter, path: Union[str, Path]) -> Path:
 def restore_serve_filter(
     path: Union[str, Path],
     *,
+    backend: Optional[str] = None,
     workers: int = 0,
     telemetry: Optional[MetricsRegistry] = None,
     mp_context: Optional[str] = None,
 ):
     """Warm-start a daemon filter from a snapshot file.
 
-    ``workers <= 1`` rebuilds a serial filter (re-created under the
-    daemon's telemetry registry, then loaded with the snapshot state so
-    the instruments are live).  ``workers > 1`` boots a sharded pool with
-    the snapshot's configuration and broadcasts the state into every
-    replica via ``apply_snapshot_state``.
+    ``backend`` selects the shape the state is loaded into: ``"serial"``
+    rebuilds a serial filter (re-created under the daemon's telemetry
+    registry, then loaded with the snapshot state so the instruments are
+    live), ``"sharded"`` boots a replica pool and broadcasts the state
+    into every replica via ``apply_snapshot_state``, and ``"shared"``
+    boots a shared-memory filter and writes the state into the one shared
+    segment under its seqlock.  ``backend=None`` keeps the historical
+    rule: ``workers > 1`` means sharded, else serial.
 
     Restoring performs no rotation catch-up by itself: the daemon's clock
     source decides what "now" is (the packet clock resumes wherever the
     stream does; the wall-clock scheduler advances on its first boundary).
     """
+    if backend is None:
+        backend = "sharded" if workers and workers > 1 else "serial"
+    if backend not in ("serial", "sharded", "shared"):
+        raise ValueError(f"unknown backend {backend!r}")
     loaded = load_filter(path)  # validates geometry + vector checksum
     vectors = np.stack([vec.as_numpy() for vec in loaded.bitmap.vectors])
     state = dict(
@@ -103,13 +114,15 @@ def restore_serve_filter(
         next_rotation=loaded.next_rotation,
         stats=loaded.stats.as_dict(),
     )
-    if workers and workers > 1:
+    if backend in ("sharded", "shared"):
+        from repro.parallel.shared import SharedBitmapFilter
         from repro.parallel.sharded import ShardedBitmapFilter
 
-        filt = ShardedBitmapFilter(
+        cls = SharedBitmapFilter if backend == "shared" else ShardedBitmapFilter
+        filt = cls(
             loaded.config,
             loaded.protected,
-            num_workers=workers,
+            num_workers=workers if workers > 1 else 2,
             start_time=loaded.next_rotation - loaded.config.rotation_interval,
             fail_policy=loaded.fail_policy,
             telemetry=telemetry,

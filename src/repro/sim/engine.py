@@ -56,14 +56,15 @@ class SimulationEngine:
                  workers: Optional[int] = None):
         if reorder_tolerance is not None and reorder_tolerance < 0:
             raise ValueError("reorder tolerance must be non-negative")
-        if backend not in ("serial", "sharded"):
+        if backend not in ("serial", "sharded", "shared"):
             raise ValueError(f"unknown backend {backend!r}")
-        if workers is not None and backend != "sharded":
-            raise ValueError('workers= requires backend="sharded"')
+        if workers is not None and backend == "serial":
+            raise ValueError('workers= requires a parallel backend '
+                             '("sharded" or "shared")')
         self.now = start_time
         self.reorder_tolerance = reorder_tolerance
         self.backend = backend
-        self.workers = (workers or 2) if backend == "sharded" else 1
+        self.workers = (workers or 2) if backend != "serial" else 1
         self._shard_pools: dict = {}
         self._timers: List[TimerEvent] = []
         self._seq = itertools.count()
@@ -169,18 +170,24 @@ class SimulationEngine:
     # -- batch filter co-simulation -------------------------------------------
 
     def _backend_filter(self, filt):
-        """The filter this engine actually drives: under ``backend="sharded"``
+        """The filter this engine actually drives: under a parallel backend
         a pristine bitmap filter is wrapped in a worker pool once and reused
         for every subsequent call with the same instance."""
-        if self.backend != "sharded":
+        if self.backend == "serial":
             return filt
-        from repro.parallel import ShardedBitmapFilter, shard_filter
+        from repro.parallel import (
+            SharedBitmapFilter,
+            ShardedBitmapFilter,
+            shard_filter,
+            share_filter,
+        )
 
-        if isinstance(filt, ShardedBitmapFilter):
+        if isinstance(filt, (ShardedBitmapFilter, SharedBitmapFilter)):
             return filt
         pool = self._shard_pools.get(id(filt))
         if pool is None:
-            pool = shard_filter(filt, self.workers)
+            wrap = share_filter if self.backend == "shared" else shard_filter
+            pool = wrap(filt, self.workers)
             self._shard_pools[id(filt)] = pool
         return pool
 

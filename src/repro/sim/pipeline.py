@@ -45,27 +45,36 @@ def run_filter_on_trace(
     Filters without an approximate path ignore the flag.
 
     ``backend="sharded"`` runs a pristine bitmap filter across ``workers``
-    processes via :func:`repro.parallel.shard_filter` — results are
-    bit-for-bit identical to the serial run (see docs/parallel.md); the
-    temporary worker pool is torn down before returning.  Most callers
-    should not pass these and instead rely on the ambient backend
-    (:func:`repro.parallel.create_filter`), which the CLI's ``--workers``
-    flag installs.
+    processes via :func:`repro.parallel.shard_filter`; ``backend="shared"``
+    wraps it over one shared-memory bitmap via
+    :func:`repro.parallel.share_filter` — results are bit-for-bit identical
+    to the serial run either way (see docs/parallel.md); the temporary
+    worker pool is torn down before returning.  Most callers should not
+    pass these and instead rely on the ambient backend
+    (:func:`repro.parallel.create_filter`), which the CLI's ``--backend``/
+    ``--workers`` flags install.
     """
     if not isinstance(filt, PacketFilter):
         raise TypeError(
             f"unsupported filter type {type(filt).__name__}: does not "
             "implement the PacketFilter protocol")
-    if backend not in (None, "serial", "sharded"):
+    if backend not in (None, "serial", "sharded", "shared"):
         raise ValueError(f"unknown backend {backend!r}")
-    if workers is not None and backend != "sharded":
-        raise ValueError('workers= requires backend="sharded"')
+    if workers is not None and backend in (None, "serial"):
+        raise ValueError('workers= requires a parallel backend '
+                         '("sharded" or "shared")')
     owned_pool = None
-    if backend == "sharded":
-        from repro.parallel import ShardedBitmapFilter, shard_filter
+    if backend in ("sharded", "shared"):
+        from repro.parallel import (
+            SharedBitmapFilter,
+            ShardedBitmapFilter,
+            shard_filter,
+            share_filter,
+        )
 
-        if not isinstance(filt, ShardedBitmapFilter):
-            filt = owned_pool = shard_filter(filt, workers or 2)
+        if not isinstance(filt, (ShardedBitmapFilter, SharedBitmapFilter)):
+            wrap = share_filter if backend == "shared" else shard_filter
+            filt = owned_pool = wrap(filt, workers or 2)
     try:
         return _run_scored(filt, trace, exact)
     finally:

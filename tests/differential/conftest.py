@@ -1,11 +1,16 @@
-"""Shared fixtures for the serial-vs-sharded differential suite.
+"""Shared fixtures for the serial-vs-parallel differential suite.
 
 Every test here replays identical input through a serial
-:class:`~repro.core.bitmap_filter.BitmapFilter` and a
-:class:`~repro.parallel.ShardedBitmapFilter` and asserts *bit-for-bit*
-agreement — verdicts, merged stats, rotation schedule, and raw bitmap
-bytes.  The fixtures provide one session-scoped benign+flood trace and
-the state-comparison helper the whole suite leans on.
+:class:`~repro.core.bitmap_filter.BitmapFilter` and a parallel filter —
+the replicated :class:`~repro.parallel.ShardedBitmapFilter` and the
+shared-memory :class:`~repro.parallel.SharedBitmapFilter` — and asserts
+*bit-for-bit* agreement: verdicts, merged stats, rotation schedule, and
+raw bitmap bytes.  Any test that takes a ``backend`` argument is
+automatically parametrized over every parallel backend, so the whole
+suite states the equivalence contract once and proves it N times.
+
+The fixtures provide one session-scoped benign+flood trace and the
+state-comparison helper the whole suite leans on.
 """
 
 import numpy as np
@@ -13,17 +18,38 @@ import pytest
 
 from repro.attacks.ddos import syn_flood
 from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
-from repro.parallel import ShardedBitmapFilter
+from repro.parallel import (
+    SharedBitmapFilter,
+    ShardedBitmapFilter,
+    shard_filter,
+    share_filter,
+)
 from repro.traffic.generator import ClientNetworkWorkload, WorkloadConfig
 from repro.traffic.trace import Trace
 
 #: Worker counts every parametrized equivalence test sweeps.
 WORKER_COUNTS = (1, 2, 4)
 
+#: Every parallel backend the differential contract covers.
+PARALLEL_BACKENDS = ("sharded", "shared")
+
+#: Backend name -> filter class / pristine-donor wrapper.
+PARALLEL_FILTERS = {"sharded": ShardedBitmapFilter,
+                    "shared": SharedBitmapFilter}
+PARALLEL_WRAPPERS = {"sharded": shard_filter, "shared": share_filter}
+
 #: Small geometry with a fast rotation clock: a 25 s trace crosses ~12
 #: rotation boundaries and several full expiry windows.
 CONFIG = BitmapFilterConfig(order=12, num_vectors=4, num_hashes=3,
                             rotation_interval=2.0)
+
+
+def pytest_generate_tests(metafunc):
+    """Sweep every test that names a ``backend`` argument across all
+    parallel backends (plain parametrize, so Hypothesis tests get it
+    too without function-scoped-fixture health checks)."""
+    if "backend" in metafunc.fixturenames:
+        metafunc.parametrize("backend", PARALLEL_BACKENDS)
 
 
 @pytest.fixture(scope="session")
@@ -43,9 +69,10 @@ def make_serial(protected, **kwargs) -> BitmapFilter:
     return BitmapFilter(CONFIG, protected, **kwargs)
 
 
-def make_sharded(protected, num_workers, **kwargs) -> ShardedBitmapFilter:
-    return ShardedBitmapFilter(CONFIG, protected, num_workers=num_workers,
-                               **kwargs)
+def make_parallel(backend, protected, num_workers, config=CONFIG, **kwargs):
+    """A parallel filter of the requested backend over ``config``."""
+    return PARALLEL_FILTERS[backend](config, protected,
+                                     num_workers=num_workers, **kwargs)
 
 
 def bitmap_state(filt):
@@ -55,12 +82,12 @@ def bitmap_state(filt):
     return vectors, bitmap.current_index, bitmap.rotations
 
 
-def assert_same_filter_state(serial, sharded) -> None:
+def assert_same_filter_state(serial, parallel) -> None:
     """The full serial-equivalence contract on two post-replay filters."""
-    assert sharded.stats.as_dict() == serial.stats.as_dict()
-    assert sharded.next_rotation == serial.next_rotation
+    assert parallel.stats.as_dict() == serial.stats.as_dict()
+    assert parallel.next_rotation == serial.next_rotation
     serial_vecs, serial_idx, serial_rot = bitmap_state(serial)
-    sharded_vecs, sharded_idx, sharded_rot = bitmap_state(sharded)
-    assert sharded_idx == serial_idx
-    assert sharded_rot == serial_rot
-    assert np.array_equal(sharded_vecs, serial_vecs)
+    parallel_vecs, parallel_idx, parallel_rot = bitmap_state(parallel)
+    assert parallel_idx == serial_idx
+    assert parallel_rot == serial_rot
+    assert np.array_equal(parallel_vecs, serial_vecs)

@@ -1,10 +1,11 @@
 """Differential proof, part 2: equivalence holds *under fault injection*.
 
-The sharded filter exposes the same control surface as the serial one
+Every parallel filter exposes the same control surface as the serial one
 (fail/recover, rotation stalls, bit flips, snapshot state), so the entire
 chaos harness must produce identical verdict vectors and final stats
 whichever execution backend it drives — including both fail policies and
-trace-level stream perturbations.
+trace-level stream perturbations.  ``backend`` arguments sweep
+automatically over every parallel backend (see conftest).
 """
 
 import numpy as np
@@ -22,8 +23,8 @@ from repro.faults.injectors import (
 )
 from tests.differential.conftest import (
     assert_same_filter_state,
+    make_parallel,
     make_serial,
-    make_sharded,
 )
 
 pytestmark = [pytest.mark.differential, pytest.mark.faults]
@@ -31,126 +32,128 @@ pytestmark = [pytest.mark.differential, pytest.mark.faults]
 NUM_WORKERS = 3
 
 
-def _assert_equivalent_runs(trace, injectors, exact=True,
+def _assert_equivalent_runs(trace, backend, injectors, exact=True,
                             fail_policy=None, compare_state=True):
-    """Replay the same fault schedule serially and sharded; require
+    """Replay the same fault schedule serially and parallel; require
     identical verdicts, fault logs, and (optionally) final filter state."""
     kwargs = {} if fail_policy is None else {"fail_policy": fail_policy}
     serial = make_serial(trace.protected, **kwargs)
     serial_run = run_with_faults(serial, trace, injectors, exact=exact)
 
-    sharded = make_sharded(trace.protected, NUM_WORKERS, **kwargs)
+    parallel = make_parallel(backend, trace.protected, NUM_WORKERS, **kwargs)
     try:
-        sharded_run = run_with_faults(sharded, trace, injectors, exact=exact)
-        assert np.array_equal(sharded_run.run.verdicts,
+        parallel_run = run_with_faults(parallel, trace, injectors,
+                                       exact=exact)
+        assert np.array_equal(parallel_run.run.verdicts,
                               serial_run.run.verdicts)
-        assert sharded_run.fault_log == serial_run.fault_log
-        assert sharded_run.confusion == serial_run.confusion
+        assert parallel_run.fault_log == serial_run.fault_log
+        assert parallel_run.confusion == serial_run.confusion
         if compare_state:
-            assert_same_filter_state(serial_run.filter, sharded_run.filter)
-        return serial_run, sharded_run
+            assert_same_filter_state(serial_run.filter, parallel_run.filter)
+        return serial_run, parallel_run
     finally:
-        sharded.close()
+        parallel.close()
 
 
 @pytest.mark.parametrize("policy", [FailPolicy.FAIL_CLOSED,
                                     FailPolicy.FAIL_OPEN])
-def test_outage_under_both_fail_policies(trace, policy):
+def test_outage_under_both_fail_policies(trace, backend, policy):
     injectors = [Outage(at=9.0, duration=4.0)]
-    serial_run, sharded_run = _assert_equivalent_runs(
-        trace, injectors, fail_policy=policy)
+    serial_run, parallel_run = _assert_equivalent_runs(
+        trace, backend, injectors, fail_policy=policy)
     # Sanity that the outage actually bit: degraded verdicts are uniform.
     expected = 1.0 if policy is FailPolicy.FAIL_OPEN else 0.0
     assert serial_run.incoming_pass_fraction(9.0, 13.0) == expected
-    assert sharded_run.incoming_pass_fraction(9.0, 13.0) == expected
+    assert parallel_run.incoming_pass_fraction(9.0, 13.0) == expected
 
 
 @pytest.mark.parametrize("catch_up", [True, False],
                          ids=["catch-up", "no-catch-up"])
-def test_rotation_stall(trace, catch_up):
+def test_rotation_stall(trace, backend, catch_up):
     _assert_equivalent_runs(
-        trace, [RotationStall(at=6.0, duration=7.0, catch_up=catch_up)])
+        trace, backend,
+        [RotationStall(at=6.0, duration=7.0, catch_up=catch_up)])
 
 
-def test_bit_flips(trace):
+def test_bit_flips(trace, backend):
     serial_flip = BitFlips(at=10.0, fraction=0.01, seed=0xFEED)
-    sharded_flip = BitFlips(at=10.0, fraction=0.01, seed=0xFEED)
+    parallel_flip = BitFlips(at=10.0, fraction=0.01, seed=0xFEED)
     serial = make_serial(trace.protected)
     serial_run = run_with_faults(serial, trace, [serial_flip])
-    with make_sharded(trace.protected, NUM_WORKERS) as sharded:
-        sharded_run = run_with_faults(sharded, trace, [sharded_flip])
-        assert sharded_flip.flipped == serial_flip.flipped > 0
-        assert np.array_equal(sharded_run.run.verdicts,
+    with make_parallel(backend, trace.protected, NUM_WORKERS) as parallel:
+        parallel_run = run_with_faults(parallel, trace, [parallel_flip])
+        assert parallel_flip.flipped == serial_flip.flipped > 0
+        assert np.array_equal(parallel_run.run.verdicts,
                               serial_run.run.verdicts)
-        assert_same_filter_state(serial_run.filter, sharded_run.filter)
+        assert_same_filter_state(serial_run.filter, parallel_run.filter)
 
 
 @pytest.mark.parametrize("snapshot_age", [None, 6.0],
                          ids=["cold-restart", "warm-restart"])
-def test_crash_restart(trace, snapshot_age):
-    """Snapshots are taken from the sharded proxy's reconstructed bitmap
-    copy; restarts hand back a serial replacement either way, so both
-    timelines converge on identical state."""
+def test_crash_restart(trace, backend, snapshot_age):
+    """Snapshots capture the parallel filter's reconstructed serial view;
+    restarts hand back a serial replacement either way, so both timelines
+    converge on identical state."""
     def injectors():
         return [CrashRestart(crash_at=12.0, downtime=3.0,
                              snapshot_age=snapshot_age)]
 
     serial_run = run_with_faults(make_serial(trace.protected), trace,
                                  injectors())
-    with make_sharded(trace.protected, NUM_WORKERS) as sharded:
-        sharded_run = run_with_faults(sharded, trace, injectors())
-    assert sharded_run.filters_swapped == serial_run.filters_swapped == 1
-    assert np.array_equal(sharded_run.run.verdicts, serial_run.run.verdicts)
-    assert_same_filter_state(serial_run.filter, sharded_run.filter)
+    with make_parallel(backend, trace.protected, NUM_WORKERS) as parallel:
+        parallel_run = run_with_faults(parallel, trace, injectors())
+    assert parallel_run.filters_swapped == serial_run.filters_swapped == 1
+    assert np.array_equal(parallel_run.run.verdicts, serial_run.run.verdicts)
+    assert_same_filter_state(serial_run.filter, parallel_run.filter)
 
 
-def test_trace_level_faults_on_windowed_path(trace):
+def test_trace_level_faults_on_windowed_path(trace, backend):
     """Stream perturbations (reordering, duplication) transform the trace
-    before replay; both backends must see — and judge — the same perturbed
+    before replay; every backend must see — and judge — the same perturbed
     stream, here on the windowed batch path."""
     injectors = [PacketReorder(fraction=0.05, max_delay=0.4, seed=3),
                  PacketDuplication(fraction=0.02, delay=0.05, seed=5)]
-    _assert_equivalent_runs(trace, injectors, exact=False)
+    _assert_equivalent_runs(trace, backend, injectors, exact=False)
 
 
-def test_compound_schedule(trace):
+def test_compound_schedule(trace, backend):
     """An outage, a stall, and corruption in one run — the kitchen sink."""
     injectors = [
         Outage(at=5.0, duration=2.0),
         RotationStall(at=14.0, duration=4.0),
         BitFlips(at=20.0, fraction=0.005, seed=21),
     ]
-    _assert_equivalent_runs(trace, injectors,
+    _assert_equivalent_runs(trace, backend, injectors,
                             fail_policy=FailPolicy.FAIL_OPEN)
 
 
-def test_manual_control_surface_sequence(trace):
+def test_manual_control_surface_sequence(trace, backend):
     """Driving fail/recover/stall/resume by hand (no harness) stays in
     lockstep, including recover()'s missed-rotation accounting that sizes
     the default warm-up grace."""
     packets = trace.packets
     serial = make_serial(trace.protected)
-    with make_sharded(trace.protected, 2) as sharded:
+    with make_parallel(backend, trace.protected, 2) as parallel:
         cut1 = int(np.searchsorted(packets.ts, 7.0))
         cut2 = int(np.searchsorted(packets.ts, 13.0))
-        for filt in (serial, sharded):
+        for filt in (serial, parallel):
             filt.process_batch(packets[:cut1])
             filt.fail()
-        assert sharded.is_down and serial.is_down
+        assert parallel.is_down and serial.is_down
         v_serial = serial.process_batch(packets[cut1:cut2])
-        v_sharded = sharded.process_batch(packets[cut1:cut2])
-        assert np.array_equal(v_sharded, v_serial)
+        v_parallel = parallel.process_batch(packets[cut1:cut2])
+        assert np.array_equal(v_parallel, v_serial)
         missed_serial = serial.recover(13.0)
-        missed_sharded = sharded.recover(13.0)
-        assert missed_sharded == missed_serial > 0
-        assert sharded.warmup_until == serial.warmup_until
+        missed_parallel = parallel.recover(13.0)
+        assert missed_parallel == missed_serial > 0
+        assert parallel.warmup_until == serial.warmup_until
 
-        for filt in (serial, sharded):
+        for filt in (serial, parallel):
             filt.stall_rotations()
-        assert sharded.rotations_stalled
+        assert parallel.rotations_stalled
         tail = packets[cut2:]
-        assert np.array_equal(sharded.process_batch(tail),
+        assert np.array_equal(parallel.process_batch(tail),
                               serial.process_batch(tail))
-        assert (sharded.resume_rotations(26.0)
+        assert (parallel.resume_rotations(26.0)
                 == serial.resume_rotations(26.0))
-        assert_same_filter_state(serial, sharded)
+        assert_same_filter_state(serial, parallel)

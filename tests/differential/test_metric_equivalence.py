@@ -3,7 +3,8 @@
 Verdict equality is necessary but not sufficient — the experiment layer
 consumes *derived* artifacts: scored run results (drop rates, confusion
 counts), telemetry counters, and on-disk snapshots.  Each must come out
-identical whichever backend produced it.
+identical whichever backend produced it.  ``backend`` arguments sweep
+automatically over every parallel backend (see conftest).
 """
 
 import io
@@ -18,8 +19,8 @@ from repro.telemetry import MetricsRegistry, use_registry
 from tests.differential.conftest import (
     CONFIG,
     WORKER_COUNTS,
+    make_parallel,
     make_serial,
-    make_sharded,
 )
 
 pytestmark = pytest.mark.differential
@@ -36,31 +37,32 @@ def _counter_total(registry: MetricsRegistry, name: str) -> int:
 
 
 @pytest.mark.parametrize("num_workers", WORKER_COUNTS)
-def test_scored_pipeline_results_agree(trace, num_workers):
+def test_scored_pipeline_results_agree(trace, backend, num_workers):
     serial_run = run_filter_on_trace(make_serial(trace.protected), trace)
-    sharded_run = run_filter_on_trace(
+    parallel_run = run_filter_on_trace(
         make_serial(trace.protected), trace,
-        backend="sharded", workers=num_workers)
-    assert np.array_equal(sharded_run.verdicts, serial_run.verdicts)
-    assert sharded_run.confusion == serial_run.confusion
-    assert sharded_run.filter_stats == serial_run.filter_stats
+        backend=backend, workers=num_workers)
+    assert np.array_equal(parallel_run.verdicts, serial_run.verdicts)
+    assert parallel_run.confusion == serial_run.confusion
+    assert parallel_run.filter_stats == serial_run.filter_stats
     # The scored per-second series (the Fig. 5 drop-rate curves) is derived
     # purely from the verdicts, so field-for-field equality must follow.
     for fieldname in ("seconds", "normal_incoming", "attack_incoming",
                       "passed_incoming", "dropped_incoming"):
-        assert np.array_equal(getattr(sharded_run.series, fieldname),
+        assert np.array_equal(getattr(parallel_run.series, fieldname),
                               getattr(serial_run.series, fieldname)), fieldname
 
 
-def test_ambient_backend_matches_explicit(trace):
-    """The backend installed via use_backend() (the CLI's --workers path)
-    produces the same scores as the explicit backend= argument."""
+def test_ambient_backend_matches_explicit(trace, backend):
+    """The backend installed via use_backend() (the CLI's --backend/
+    --workers path) produces the same scores as the explicit backend=
+    argument."""
     explicit = run_filter_on_trace(make_serial(trace.protected), trace,
-                                   backend="sharded", workers=2)
-    with use_backend(name="sharded", workers=2):
+                                   backend=backend, workers=2)
+    with use_backend(name=backend, workers=2):
         from repro.parallel import create_filter, get_backend
 
-        assert get_backend().is_sharded
+        assert get_backend().is_parallel
         ambient_filter = create_filter(CONFIG, trace.protected)
         try:
             ambient = run_filter_on_trace(ambient_filter, trace)
@@ -70,25 +72,36 @@ def test_ambient_backend_matches_explicit(trace):
     assert ambient.confusion == explicit.confusion
 
 
-def test_unified_telemetry_counters_agree(trace):
-    """The proxy's merged path="sharded" counters must equal the sum of
-    the serial filter's per-path counters, and the per-shard replica
-    detail must reflect broadcast marking."""
+def test_unified_telemetry_counters_agree(trace, backend):
+    """Whatever series shape a backend publishes (the sharded proxy's
+    merged path="sharded" counters, the shared filter's inherited serial
+    per-path counters), the unified totals must equal the serial run's."""
     with use_registry(MetricsRegistry()) as serial_registry:
         serial = make_serial(trace.protected)
         serial.process_batch(trace.packets)
-    with use_registry(MetricsRegistry()) as sharded_registry:
-        with make_sharded(trace.protected, 2) as sharded:
-            sharded.process_batch(trace.packets)
+    with use_registry(MetricsRegistry()) as parallel_registry:
+        with make_parallel(backend, trace.protected, 2) as parallel:
+            parallel.process_batch(trace.packets)
 
     for name in ("repro_filter_marks_total", "repro_filter_admits_total",
                  "repro_filter_drops_total", "repro_filter_rotations_total",
                  "repro_filter_warmup_admits_total"):
-        assert (_counter_total(sharded_registry, name)
+        assert (_counter_total(parallel_registry, name)
                 == _counter_total(serial_registry, name)), name
 
-    # Broadcast marking: every replica marked every outgoing packet, so
-    # each shard's replica-level mark counter equals the serial count.
+
+def test_sharded_replicas_count_broadcast_marks(trace):
+    """Per-shard replica detail reflects broadcast marking: every replica
+    marked every outgoing packet, so each shard's replica-level mark
+    counter equals the serial count.  (Sharded-specific by design — the
+    shared backend has exactly one copy of the bits and no replicas.)"""
+    with use_registry(MetricsRegistry()) as serial_registry:
+        serial = make_serial(trace.protected)
+        serial.process_batch(trace.packets)
+    with use_registry(MetricsRegistry()) as sharded_registry:
+        with make_parallel("sharded", trace.protected, 2) as sharded:
+            sharded.process_batch(trace.packets)
+
     serial_marks = _counter_total(serial_registry,
                                   "repro_filter_marks_total")
     per_shard = [metric for metric in sharded_registry.metrics()
@@ -99,30 +112,30 @@ def test_unified_telemetry_counters_agree(trace):
         assert metric.value == serial_marks
 
 
-def test_snapshot_agreement(trace, tmp_path):
-    """save_filter() on the sharded proxy captures byte-identical state:
+def test_snapshot_agreement(trace, backend, tmp_path):
+    """save_filter() on a parallel filter captures byte-identical state:
     the snapshot loads into a serial filter indistinguishable from one
     that did the whole run serially."""
     serial = make_serial(trace.protected)
     serial.process_batch(trace.packets)
-    with make_sharded(trace.protected, 4) as sharded:
-        sharded.process_batch(trace.packets)
-        serial_snap, sharded_snap = io.BytesIO(), io.BytesIO()
+    with make_parallel(backend, trace.protected, 4) as parallel:
+        parallel.process_batch(trace.packets)
+        serial_snap, parallel_snap = io.BytesIO(), io.BytesIO()
         save_filter(serial, serial_snap)
-        save_filter(sharded, sharded_snap)
+        save_filter(parallel, parallel_snap)
 
     serial_snap.seek(0)
-    sharded_snap.seek(0)
+    parallel_snap.seek(0)
     restored_serial = load_filter(serial_snap)
-    restored_sharded = load_filter(sharded_snap)
-    assert (restored_sharded.stats.as_dict()
+    restored_parallel = load_filter(parallel_snap)
+    assert (restored_parallel.stats.as_dict()
             == restored_serial.stats.as_dict())
-    assert restored_sharded.next_rotation == restored_serial.next_rotation
+    assert restored_parallel.next_rotation == restored_serial.next_rotation
     assert np.array_equal(
-        np.stack([v.as_numpy() for v in restored_sharded.bitmap.vectors]),
+        np.stack([v.as_numpy() for v in restored_parallel.bitmap.vectors]),
         np.stack([v.as_numpy() for v in restored_serial.bitmap.vectors]))
 
     # Both restored filters judge fresh traffic identically.
     tail = trace.packets[-500:]
-    assert np.array_equal(restored_sharded.process_batch(tail),
+    assert np.array_equal(restored_parallel.process_batch(tail),
                           restored_serial.process_batch(tail))

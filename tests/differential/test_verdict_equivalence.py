@@ -1,9 +1,11 @@
 """Differential proof, part 1: fault-free verdict and state agreement.
 
-The sharded filter must return the exact verdict vector the serial filter
-returns — same trace, same config — for every worker count, on both the
-exact and the windowed batch path, on the scalar path, and across
-adversarially boundary-clustered timestamp sequences.
+Every parallel filter must return the exact verdict vector the serial
+filter returns — same trace, same config — for every backend, every
+worker count, on both the exact and the windowed batch path, on the
+scalar path, and across adversarially boundary-clustered timestamp
+sequences.  ``backend`` arguments sweep automatically over every
+parallel backend (see conftest).
 """
 
 import numpy as np
@@ -11,12 +13,13 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
-from repro.parallel import ShardedBitmapFilter, shard_filter
 from tests.differential.conftest import (
+    PARALLEL_FILTERS,
+    PARALLEL_WRAPPERS,
     WORKER_COUNTS,
     assert_same_filter_state,
+    make_parallel,
     make_serial,
-    make_sharded,
 )
 from tests.strategies import (
     PROTECTED,
@@ -35,45 +38,45 @@ HYP_CONFIG = BitmapFilterConfig(order=10, num_vectors=4, num_hashes=3,
 
 @pytest.mark.parametrize("num_workers", WORKER_COUNTS)
 @pytest.mark.parametrize("exact", [True, False], ids=["exact", "windowed"])
-def test_full_trace_verdicts_and_state(trace, num_workers, exact):
+def test_full_trace_verdicts_and_state(trace, backend, num_workers, exact):
     serial = make_serial(trace.protected)
     expected = serial.process_batch(trace.packets, exact=exact)
-    with make_sharded(trace.protected, num_workers) as sharded:
-        got = sharded.process_batch(trace.packets, exact=exact)
+    with make_parallel(backend, trace.protected, num_workers) as parallel:
+        got = parallel.process_batch(trace.packets, exact=exact)
         assert np.array_equal(got, expected)
-        assert_same_filter_state(serial, sharded)
+        assert_same_filter_state(serial, parallel)
 
 
 @pytest.mark.parametrize("num_workers", (2, 3))
-def test_scalar_path_agrees(trace, num_workers):
+def test_scalar_path_agrees(trace, backend, num_workers):
     packets = list(trace.packets[:400])
     serial = make_serial(trace.protected)
-    with make_sharded(trace.protected, num_workers) as sharded:
+    with make_parallel(backend, trace.protected, num_workers) as parallel:
         for pkt in packets:
-            assert sharded.process(pkt) is serial.process(pkt), pkt
-        assert_same_filter_state(serial, sharded)
+            assert parallel.process(pkt) is serial.process(pkt), pkt
+        assert_same_filter_state(serial, parallel)
 
 
-def test_batch_after_scalar_interleaving(trace):
+def test_batch_after_scalar_interleaving(trace, backend):
     """Mixing the scalar and batch entry points must not diverge."""
     packets = trace.packets[:900]
     split = 300
     serial = make_serial(trace.protected)
-    with make_sharded(trace.protected, 2) as sharded:
+    with make_parallel(backend, trace.protected, 2) as parallel:
         for pkt in packets[:split]:
-            assert sharded.process(pkt) is serial.process(pkt)
+            assert parallel.process(pkt) is serial.process(pkt)
         expected = serial.process_batch(packets[split:])
-        got = sharded.process_batch(packets[split:])
+        got = parallel.process_batch(packets[split:])
         assert np.array_equal(got, expected)
-        assert_same_filter_state(serial, sharded)
+        assert_same_filter_state(serial, parallel)
 
 
-def test_sharded_windowed_equals_serial_windowed(trace):
+def test_parallel_windowed_equals_serial_windowed(trace, backend):
     """exact=False is an approximation of serial-exact, but it must still
-    be the *same* approximation under sharding — verified on a batch where
-    the approximation provably diverges (replies arriving just before
-    their own outgoing mark inside one rotation window, which the windowed
-    path admits and the exact path drops)."""
+    be the *same* approximation on every backend — verified on a batch
+    where the approximation provably diverges (replies arriving just
+    before their own outgoing mark inside one rotation window, which the
+    windowed path admits and the exact path drops)."""
     from repro.net.packet import Packet, PacketArray, TcpFlags
     from repro.net.protocols import IPPROTO_TCP
 
@@ -97,66 +100,68 @@ def test_sharded_windowed_equals_serial_windowed(trace):
     serial_exact = make_serial(protected).process_batch(batch, exact=True)
     assert not np.array_equal(serial_windowed, serial_exact), \
         "batch too tame: windowed path never diverged, weak test"
-    with make_sharded(protected, 4) as sharded:
-        got = sharded.process_batch(batch, exact=False)
+    with make_parallel(backend, protected, 4) as parallel:
+        got = parallel.process_batch(batch, exact=False)
     assert np.array_equal(got, serial_windowed)
 
 
-def test_shard_filter_wraps_pristine_donor(trace):
+def test_wrapper_wraps_pristine_donor(trace, backend):
+    wrap = PARALLEL_WRAPPERS[backend]
     donor = make_serial(trace.protected)
-    sharded = shard_filter(donor, 2)
+    parallel = wrap(donor, 2)
     try:
-        assert isinstance(sharded, ShardedBitmapFilter)
-        assert shard_filter(sharded, 4) is sharded  # idempotent
+        assert isinstance(parallel, PARALLEL_FILTERS[backend])
+        assert wrap(parallel, 4) is parallel  # idempotent
         expected = donor.process_batch(trace.packets)
-        got = sharded.process_batch(trace.packets)
+        got = parallel.process_batch(trace.packets)
         assert np.array_equal(got, expected)
     finally:
-        sharded.close()
+        parallel.close()
 
 
-def test_shard_filter_refuses_used_donor(trace):
+def test_wrapper_refuses_used_donor(trace, backend):
     donor = make_serial(trace.protected)
     donor.process_batch(trace.packets[:50])
     with pytest.raises(ValueError, match="pristine"):
-        shard_filter(donor, 2)
+        PARALLEL_WRAPPERS[backend](donor, 2)
 
 
-class TestPropertyBased:
-    @given(script=mixed_direction_packets())
-    @settings(max_examples=25, deadline=None)
-    def test_mixed_direction_batches(self, script):
-        from repro.net.packet import PacketArray
+@given(script=mixed_direction_packets())
+@settings(max_examples=25, deadline=None)
+def test_property_mixed_direction_batches(backend, script):
+    from repro.net.packet import PacketArray
 
-        batch = PacketArray.from_packets(script)
-        serial = BitmapFilter(HYP_CONFIG, PROTECTED)
-        expected = serial.process_batch(batch)
-        with ShardedBitmapFilter(HYP_CONFIG, PROTECTED,
-                                 num_workers=2) as sharded:
-            got = sharded.process_batch(batch)
-            assert np.array_equal(got, expected)
-            assert_same_filter_state(serial, sharded)
+    batch = PacketArray.from_packets(script)
+    serial = BitmapFilter(HYP_CONFIG, PROTECTED)
+    expected = serial.process_batch(batch)
+    with make_parallel(backend, PROTECTED, 2,
+                       config=HYP_CONFIG) as parallel:
+        got = parallel.process_batch(batch)
+        assert np.array_equal(got, expected)
+        assert_same_filter_state(serial, parallel)
 
-    @given(events=traffic_scripts())
-    @settings(max_examples=25, deadline=None)
-    def test_scalar_scripts(self, events):
-        serial = BitmapFilter(HYP_CONFIG, PROTECTED)
-        with ShardedBitmapFilter(HYP_CONFIG, PROTECTED,
-                                 num_workers=3) as sharded:
-            for pkt in script_to_packets(events):
-                assert sharded.process(pkt) is serial.process(pkt), pkt
 
-    @pytest.mark.parametrize("exact", [True, False], ids=["exact", "windowed"])
-    @given(batch=rotation_straddling_arrays(
-        rotation_interval=HYP_CONFIG.rotation_interval))
-    @settings(max_examples=25, deadline=None)
-    def test_rotation_boundary_clusters(self, exact, batch):
-        """Timestamps landing just before / on / just after rotation
-        boundaries — the adversarial shape for lockstep-rotation bugs."""
-        serial = BitmapFilter(HYP_CONFIG, PROTECTED)
-        expected = serial.process_batch(batch, exact=exact)
-        with ShardedBitmapFilter(HYP_CONFIG, PROTECTED,
-                                 num_workers=2) as sharded:
-            got = sharded.process_batch(batch, exact=exact)
-            assert np.array_equal(got, expected)
-            assert_same_filter_state(serial, sharded)
+@given(events=traffic_scripts())
+@settings(max_examples=25, deadline=None)
+def test_property_scalar_scripts(backend, events):
+    serial = BitmapFilter(HYP_CONFIG, PROTECTED)
+    with make_parallel(backend, PROTECTED, 3,
+                       config=HYP_CONFIG) as parallel:
+        for pkt in script_to_packets(events):
+            assert parallel.process(pkt) is serial.process(pkt), pkt
+
+
+@pytest.mark.parametrize("exact", [True, False], ids=["exact", "windowed"])
+@given(batch=rotation_straddling_arrays(
+    rotation_interval=HYP_CONFIG.rotation_interval))
+@settings(max_examples=25, deadline=None)
+def test_property_rotation_boundary_clusters(backend, exact, batch):
+    """Timestamps landing just before / on / just after rotation
+    boundaries — the adversarial shape for lockstep-rotation bugs."""
+    serial = BitmapFilter(HYP_CONFIG, PROTECTED)
+    expected = serial.process_batch(batch, exact=exact)
+    with make_parallel(backend, PROTECTED, 2,
+                       config=HYP_CONFIG) as parallel:
+        got = parallel.process_batch(batch, exact=exact)
+        assert np.array_equal(got, expected)
+        assert_same_filter_state(serial, parallel)

@@ -5,8 +5,10 @@ import pytest
 from repro.core.apd import AdaptiveDroppingPolicy, PacketRatioIndicator
 from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
 from repro.parallel import (
+    BACKEND_NAMES,
     SERIAL_BACKEND,
     ExecutionBackend,
+    SharedBitmapFilter,
     ShardedBitmapFilter,
     create_filter,
     get_backend,
@@ -24,6 +26,15 @@ class TestExecutionBackend:
         assert SERIAL_BACKEND.name == "serial"
         assert SERIAL_BACKEND.workers == 1
         assert not SERIAL_BACKEND.is_sharded
+        assert not SERIAL_BACKEND.is_shared
+        assert not SERIAL_BACKEND.is_parallel
+
+    def test_every_name_constructible(self):
+        assert BACKEND_NAMES == ("serial", "sharded", "shared")
+        for name in BACKEND_NAMES:
+            backend = ExecutionBackend(
+                name=name, workers=1 if name == "serial" else 2)
+            assert backend.is_parallel == (name != "serial")
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
@@ -91,15 +102,45 @@ class TestCreateFilter:
         finally:
             filt.close()
 
-    def test_apd_falls_back_to_serial(self):
-        """APD drop decisions depend on global arrival order — the factory
-        must fall back to a serial filter rather than diverge."""
+    def test_shared_under_ambient_backend(self):
+        with use_backend(name="shared", workers=2):
+            filt = create_filter(CONFIG, PROTECTED)
+        try:
+            assert isinstance(filt, SharedBitmapFilter)
+            assert filt.num_workers == 2
+        finally:
+            filt.close()
+
+    def test_apd_on_sharded_warns_and_falls_back(self):
+        """APD drop decisions depend on global arrival order, which sharded
+        replicas never see — the factory still falls back to a serial
+        filter, but the fallback is no longer silent."""
         with use_backend(name="sharded", workers=2):
-            filt = create_filter(
-                CONFIG, PROTECTED,
-                apd=AdaptiveDroppingPolicy(PacketRatioIndicator()))
+            with pytest.warns(DeprecationWarning,
+                              match="global arrival order"):
+                filt = create_filter(
+                    CONFIG, PROTECTED,
+                    apd=AdaptiveDroppingPolicy(PacketRatioIndicator()))
         assert isinstance(filt, BitmapFilter)
+        assert not isinstance(filt, SharedBitmapFilter)
         assert filt.apd is not None
+
+    def test_apd_native_on_shared(self):
+        """The shared backend's single writer sees every arrival in global
+        order, so APD runs natively — no fallback, no warning."""
+        import warnings
+
+        with use_backend(name="shared", workers=2):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                filt = create_filter(
+                    CONFIG, PROTECTED,
+                    apd=AdaptiveDroppingPolicy(PacketRatioIndicator()))
+        try:
+            assert isinstance(filt, SharedBitmapFilter)
+            assert filt.apd is not None
+        finally:
+            filt.close()
 
 
 class TestShardedLifecycle:

@@ -1,4 +1,4 @@
-"""The simulation engine's sharded backend: same timers, same verdicts."""
+"""The simulation engine's parallel backends: same timers, same verdicts."""
 
 import numpy as np
 import pytest
@@ -24,13 +24,14 @@ def _fixed_batch():
 def test_engine_ctor_validation():
     with pytest.raises(ValueError, match="unknown backend"):
         SimulationEngine(backend="gpu")
-    with pytest.raises(ValueError, match='requires backend="sharded"'):
+    with pytest.raises(ValueError, match="requires a parallel backend"):
         SimulationEngine(workers=2)
 
 
-def test_run_filter_matches_serial_engine_with_timers():
+@pytest.mark.parametrize("backend", ["sharded", "shared"])
+def test_run_filter_matches_serial_engine_with_timers(backend):
     batch = _fixed_batch()
-    fired = {"serial": [], "sharded": []}
+    fired = {"serial": [], backend: []}
 
     def run(backend_kwargs, key):
         engine = SimulationEngine(**backend_kwargs)
@@ -43,18 +44,19 @@ def test_run_filter_matches_serial_engine_with_timers():
         return verdicts, engine
 
     serial_verdicts, serial_engine = run({}, "serial")
-    sharded_verdicts, sharded_engine = run(
-        {"backend": "sharded", "workers": 2}, "sharded")
-    assert np.array_equal(sharded_verdicts, serial_verdicts)
-    assert fired["sharded"] == fired["serial"]
-    assert (sharded_engine.packets_processed
+    par_verdicts, par_engine = run(
+        {"backend": backend, "workers": 2}, backend)
+    assert np.array_equal(par_verdicts, serial_verdicts)
+    assert fired[backend] == fired["serial"]
+    assert (par_engine.packets_processed
             == serial_engine.packets_processed == len(batch))
-    assert sharded_engine.timers_fired == serial_engine.timers_fired
-    assert sharded_engine.now == serial_engine.now == 30.0
+    assert par_engine.timers_fired == serial_engine.timers_fired
+    assert par_engine.now == serial_engine.now == 30.0
 
 
-def test_engine_reuses_one_pool_per_filter_instance():
-    engine = SimulationEngine(backend="sharded", workers=2)
+@pytest.mark.parametrize("backend", ["sharded", "shared"])
+def test_engine_reuses_one_pool_per_filter_instance(backend):
+    engine = SimulationEngine(backend=backend, workers=2)
     filt = BitmapFilter(CONFIG, PROTECTED)
     batch = _fixed_batch()
     try:
@@ -69,20 +71,23 @@ def test_engine_reuses_one_pool_per_filter_instance():
     assert not engine._shard_pools
 
 
-def test_engine_accepts_presharded_filter():
-    from repro.parallel import ShardedBitmapFilter
+@pytest.mark.parametrize("backend", ["sharded", "shared"])
+def test_engine_accepts_prewrapped_filter(backend):
+    from repro.parallel import SharedBitmapFilter, ShardedBitmapFilter
 
+    cls = ShardedBitmapFilter if backend == "sharded" else SharedBitmapFilter
     batch = _fixed_batch()
-    engine = SimulationEngine(backend="sharded", workers=2)
-    with ShardedBitmapFilter(CONFIG, PROTECTED, num_workers=2) as filt:
+    engine = SimulationEngine(backend=backend, workers=2)
+    with cls(CONFIG, PROTECTED, num_workers=2) as filt:
         verdicts = engine.run_filter(filt, batch[:100])
         assert len(verdicts) == 100
         assert not engine._shard_pools  # no second pool wrapped around it
 
 
-def test_timer_splits_batches_at_exact_timestamps():
+@pytest.mark.parametrize("backend", ["sharded", "shared"])
+def test_timer_splits_batches_at_exact_timestamps(backend):
     """A timer that mutates the filter mid-batch must land between the
-    same two packets on both backends (ties: timer first)."""
+    same two packets on every backend (ties: timer first)."""
     batch = _fixed_batch()
     boundary = float(batch.ts[len(batch) // 2])
 
@@ -92,12 +97,12 @@ def test_timer_splits_batches_at_exact_timestamps():
         engine.schedule(boundary, lambda ts: filt_proxy[0].flip_bits(0.02, 9))
         filt_proxy = [filt]
         try:
-            if engine.backend == "sharded":
+            if engine.backend != "serial":
                 filt_proxy[0] = engine._backend_filter(filt)
             return engine.run_filter(filt, batch)
         finally:
             engine.close_shard_pools()
 
     serial = run({})
-    sharded = run({"backend": "sharded", "workers": 3})
-    assert np.array_equal(sharded, serial)
+    parallel = run({"backend": backend, "workers": 3})
+    assert np.array_equal(parallel, serial)

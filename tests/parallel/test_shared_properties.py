@@ -1,0 +1,279 @@
+"""Property proofs for the shared-memory bitmap's epoch-indexed rotation.
+
+The shared backend rotates by bumping a shared epoch counter and zeroing
+the retiring slab in place — no state is copied, so the two failure modes
+a replica-based design cannot have become the ones to prove absent here:
+
+1. **A reader consulting a retired epoch's bits** — the seqlock must make
+   the (index bump, epoch bump, slab clear) triple atomic from every
+   reader's point of view.
+2. **Incomplete zeroing** — the retiring slab must come back all-zero in
+   the readers' mapping, not just the writer's.
+
+The scripts come from :func:`tests.strategies.epoch_op_scripts` (marks
+deliberately straddling rotation boundaries), restores from
+:func:`tests.strategies.bitmap_snapshot_states`, and every property is
+judged against the plain serial :class:`~repro.core.bitmap.Bitmap` as the
+oracle.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bitmap import Bitmap
+from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+from repro.parallel.shm import EPOCH, IDX, SEQ, SharedBitmap
+from repro.parallel.shared import SharedBitmapFilter
+from tests.strategies import (
+    PROTECTED,
+    bit_index_arrays,
+    bitmap_snapshot_states,
+    epoch_op_scripts,
+)
+
+pytestmark = pytest.mark.parallel_properties
+
+ORDER = 10
+NUM_VECTORS = 4
+
+CONFIG = BitmapFilterConfig(order=ORDER, num_vectors=NUM_VECTORS,
+                            num_hashes=3, rotation_interval=5.0)
+
+
+def _bitmap_bytes(bitmap) -> np.ndarray:
+    return np.stack([vec.as_numpy() for vec in bitmap.vectors])
+
+
+# -- writer-side equivalence: epoch rotation == serial rotation --------------
+
+
+@given(ops=epoch_op_scripts(order=ORDER))
+@settings(max_examples=50, deadline=None)
+def test_epoch_rotation_matches_serial_bitmap(ops):
+    """Any mark/test/rotate interleaving leaves the shared bitmap in the
+    exact state the copy-free serial bitmap reaches — bytes, index, epoch,
+    test results, and the pre-clear peak-utilization sample."""
+    serial = Bitmap(NUM_VECTORS, ORDER)
+    shared = SharedBitmap(NUM_VECTORS, ORDER)
+    try:
+        for kind, indices in ops:
+            if kind == "mark":
+                serial.mark(indices)
+                shared.mark(indices)
+            elif kind == "test":
+                expected = serial.test_current(indices)
+                assert shared.test_current(indices) == expected
+                got, epoch = shared.test_current_consistent(indices)
+                assert got == expected
+                assert epoch == serial.rotations
+            else:
+                assert shared.rotate() == serial.rotate()
+        assert shared.current_index == serial.current_index
+        assert shared.rotations == serial.rotations
+        assert shared.epoch == serial.rotations
+        assert shared.peak_utilization == serial.peak_utilization
+        assert np.array_equal(_bitmap_bytes(shared), _bitmap_bytes(serial))
+    finally:
+        shared.close()
+
+
+@given(ops=epoch_op_scripts(order=ORDER))
+@settings(max_examples=25, deadline=None)
+def test_attached_reader_sees_writer_state(ops):
+    """An in-process attached reader maps the same bytes the writer
+    mutates: after every op the reader's view is byte-identical, and its
+    seqlocked reads return the writer's current epoch."""
+    writer = SharedBitmap(NUM_VECTORS, ORDER)
+    reader = SharedBitmap.attach(writer.name)
+    try:
+        for kind, indices in ops:
+            if kind == "mark":
+                writer.mark(indices)
+            elif kind == "rotate":
+                writer.rotate()
+            else:
+                got, epoch = reader.test_current_consistent(indices)
+                assert got == writer.test_current(indices)
+                assert epoch == writer.epoch
+        assert np.array_equal(_bitmap_bytes(reader), _bitmap_bytes(writer))
+        assert reader.current_index == writer.current_index
+        assert reader.epoch == writer.epoch
+    finally:
+        reader.close()
+        writer.close()
+
+
+# -- the no-retired-epoch and complete-zeroing obligations -------------------
+
+
+@given(ops=epoch_op_scripts(order=ORDER, max_ops=14))
+@settings(max_examples=10, deadline=None)
+def test_worker_reads_never_observe_retired_epoch(ops):
+    """Cross-process: every seqlocked read a worker answers carries the
+    epoch it was consistent with, and that epoch is always the live one —
+    a worker can never serve a verdict computed against bits the writer
+    has already retired and re-zeroed."""
+    with SharedBitmapFilter(CONFIG, PROTECTED, num_workers=2) as filt:
+        bitmap = filt.bitmap
+        worker = 0
+        for kind, indices in ops:
+            if kind == "mark":
+                bitmap.mark(indices)
+            elif kind == "rotate":
+                bitmap.rotate()
+            else:
+                hit, epoch = filt.worker_test_indices(worker, indices)
+                assert hit == bitmap.test_current(indices)
+                assert epoch == bitmap.epoch
+                worker = 1 - worker  # alternate the answering reader
+        # Readers observed the final header, not a cached one.
+        for w in range(filt.num_workers):
+            header = filt.worker_header(w)
+            assert header[EPOCH] == bitmap.epoch
+            assert header[IDX] == bitmap.current_index
+            assert header[SEQ] % 2 == 0
+
+
+@given(marks=bit_index_arrays(order=ORDER, max_len=64))
+@settings(max_examples=10, deadline=None)
+def test_rotation_zeroing_is_complete_in_reader_mappings(marks):
+    """After k rotations every mark is gone from every slab *as the
+    reader processes see them* — zeroing in place is complete, never
+    partial, and needs no broadcast to propagate."""
+    with SharedBitmapFilter(CONFIG, PROTECTED, num_workers=2) as filt:
+        bitmap = filt.bitmap
+        bitmap.mark(marks)
+        for _ in range(NUM_VECTORS):
+            retiring = bitmap.current_index
+            bitmap.rotate()
+            for w in range(filt.num_workers):
+                slab = np.frombuffer(filt.worker_vector(w, retiring),
+                                     dtype=np.uint8)
+                assert not slab.any(), (
+                    f"worker {w} still sees bits in retired slab {retiring}")
+        assert bitmap.is_empty()
+
+
+@given(state=bitmap_snapshot_states(num_vectors=NUM_VECTORS, order=ORDER),
+       marks=bit_index_arrays(order=ORDER))
+@settings(max_examples=10, deadline=None)
+def test_restore_then_rotate_matches_serial(state, marks):
+    """apply_snapshot_state() into the shared segment, then rotating out
+    of the restored position, is indistinguishable from the serial filter
+    doing the same — and the restored bytes are immediately visible to
+    the readers without any broadcast."""
+    vectors, current_index, rotations = state
+    serial = BitmapFilter(CONFIG, PROTECTED)
+    with SharedBitmapFilter(CONFIG, PROTECTED, num_workers=2) as shared:
+        for filt in (serial, shared):
+            filt.apply_snapshot_state(
+                vectors.copy(), current_index=current_index,
+                bitmap_rotations=rotations, next_rotation=5.0,
+                stats={})
+        for w in range(shared.num_workers):
+            got = np.frombuffer(
+                shared.worker_vector(w, current_index), dtype=np.uint8)
+            assert np.array_equal(got, vectors[current_index])
+            assert shared.worker_epoch(w) == rotations
+        serial.bitmap.mark(marks)
+        shared.bitmap.mark(marks)
+        serial.bitmap.rotate()
+        shared.bitmap.rotate()
+        assert shared.bitmap.current_index == serial.bitmap.current_index
+        assert shared.bitmap.rotations == serial.bitmap.rotations
+        assert np.array_equal(_bitmap_bytes(shared.bitmap),
+                              _bitmap_bytes(serial.bitmap))
+        for w in range(shared.num_workers):
+            assert shared.worker_epoch(w) == rotations + 1
+
+
+# -- seqlock mechanics: tearing is impossible, not just unobserved -----------
+
+
+def test_read_consistent_waits_out_inflight_write():
+    """A reader that samples an odd seqlock word (structural write in
+    flight) must retry rather than return — the direct mechanism behind
+    the no-retired-epoch property."""
+    writer = SharedBitmap(NUM_VECTORS, ORDER)
+    reader = SharedBitmap.attach(writer.name)
+    try:
+        indices = np.array([1, 2, 3], dtype=np.uint64)
+        writer.mark(indices)
+        writer._header[SEQ] += 1  # enter a write section by hand
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(
+                reader.test_current_consistent(indices)))
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive(), "reader returned during an in-flight write"
+        # Completing the "write" releases the reader with consistent state.
+        writer._header[EPOCH] += 1
+        writer._header[IDX] = (writer._header[IDX] + 1) % NUM_VECTORS
+        writer._vectors[0].clear()
+        writer._header[SEQ] += 1
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        (hit, epoch), = results
+        # The read is consistent with the *post*-write world only.
+        assert epoch == writer.epoch
+        assert hit == writer.test_current(indices)
+    finally:
+        reader.close()
+        writer.close()
+
+
+def test_concurrent_rotations_never_tear_reads():
+    """A writer thread rotating and marking at full speed while this
+    thread hammers seqlocked reads: every read must return an epoch that
+    was live at some instant of the read (monotonic, within the writer's
+    progress), never a half-cleared slab.  Marks always target the
+    current vector, so a consistent read of epoch e either sees the mark
+    made in e or a fully-zeroed slab from a later epoch — a torn read
+    would surface as a hit count dividing the mark."""
+    writer = SharedBitmap(NUM_VECTORS, ORDER)
+    reader = SharedBitmap.attach(writer.name)
+    stop = threading.Event()
+    probe = np.array([7, 99, 431], dtype=np.uint64)
+
+    def churn():
+        while not stop.is_set():
+            writer.mark(probe)
+            writer.rotate()
+
+    thread = threading.Thread(target=churn)
+    thread.start()
+    try:
+        last_epoch = 0
+        for _ in range(2000):
+            (hit, epoch) = reader.test_current_consistent(probe)
+            assert epoch >= last_epoch, "epoch went backwards"
+            last_epoch = epoch
+            assert isinstance(hit, bool)
+    finally:
+        stop.set()
+        thread.join(timeout=10.0)
+        reader.close()
+        writer.close()
+    assert last_epoch > 0, "writer never rotated; stress test was idle"
+
+
+# -- attach validation -------------------------------------------------------
+
+
+def test_attach_validates_geometry():
+    writer = SharedBitmap(NUM_VECTORS, ORDER)
+    try:
+        writer._header[6] = 1  # corrupt the stored k
+        with pytest.raises(ValueError, match="does not hold a shared bitmap"):
+            SharedBitmap.attach(writer.name)
+    finally:
+        writer.close()
+
+
+def test_attach_unknown_name_raises():
+    with pytest.raises(FileNotFoundError):
+        SharedBitmap.attach("repro-bitmap-does-not-exist")

@@ -31,13 +31,13 @@ def comparison():
 
     aware = CloseAwareBitmapFilter(SMALL.bitmap_config(), trace.protected,
                                    CloseAwareConfig(grace=2.5, lifetime=20.0))
-    verdicts = aware.process_array(packets)
+    verdicts = aware.process_batch(packets)
     confusion, _ = score_run(packets, verdicts, incoming, trace.duration)
     results["close-aware"] = (confusion, aware.memory_bytes,
                               aware.dropped_after_close)
 
     spi = HashListFilter(trace.protected, idle_timeout=SMALL.spi_idle_timeout)
-    verdicts = spi.process_array(packets)
+    verdicts = spi.process_batch(packets)
     confusion, _ = score_run(packets, verdicts, incoming, trace.duration)
     results["spi"] = (confusion, spi.peak_storage_bytes,
                       spi.stats.dropped_after_close)

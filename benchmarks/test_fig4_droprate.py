@@ -83,7 +83,7 @@ class TestFilterThroughput:
         def run():
             filt = HashListFilter(medium_trace.protected,
                                   idle_timeout=scale.spi_idle_timeout)
-            return filt.process_array(medium_trace.packets)
+            return filt.process_batch(medium_trace.packets)
 
         verdicts = benchmark.pedantic(run, rounds=1, iterations=1)
         assert len(verdicts) == len(medium_trace)

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.apd import SlidingWindowCounter
-from repro.core.filter_api import Decision, PacketFilterMixin, deprecated_alias
+from repro.core.filter_api import Decision, PacketFilterMixin
 from repro.net.address import AddressSpace
 from repro.net.packet import Direction, Packet
 
@@ -173,9 +173,3 @@ class AggregateRateLimiter(PacketFilterMixin):
         for i, pkt in enumerate(packets):
             verdicts[i] = self.process(pkt) is Decision.PASS
         return verdicts
-
-    def process_array(self, packets) -> "object":
-        """Deprecated alias of :meth:`process_batch`."""
-        deprecated_alias(f"{type(self).__name__}.process_array",
-                         f"{type(self).__name__}.process_batch")
-        return self.process_batch(packets)

@@ -59,6 +59,18 @@ def _experiment_args(parser: argparse.ArgumentParser, default: str) -> None:
         help="execution backend for bitmap filters (default: sharded when "
              "--workers is given, serial otherwise)",
     )
+    _filter_arg(parser)
+
+
+def _filter_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--filter",
+        choices=("bitmap", "hybrid"),
+        default="bitmap",
+        help="filter stack: the plain {k×n}-bitmap, or hybrid — every "
+             "bitmap admit confirmed against an exact cuckoo flow table "
+             "(see docs/verification.md)",
+    )
 
 
 def _resolve_scale(args: argparse.Namespace):
@@ -166,7 +178,8 @@ def _cmd_trace_gen(args: argparse.Namespace) -> str:
 
 def _cmd_filter(args: argparse.Namespace) -> str:
     """Run a bitmap filter over a saved trace/capture, write the survivors."""
-    from repro.core.bitmap_filter import BitmapFilter, FilterConfig
+    from repro.core.bitmap_filter import FilterConfig
+    from repro.core.filter_api import build_filter
     from repro.net.address import AddressSpace
     from repro.traffic.trace import Trace
 
@@ -185,10 +198,11 @@ def _cmd_filter(args: argparse.Namespace) -> str:
             trace = Trace(trace.packets, AddressSpace(args.protected.split(",")),
                           trace.metadata)
 
-    config = FilterConfig(order=args.order, num_vectors=args.k,
-                          num_hashes=args.m,
-                          rotation_interval=args.dt, seed=args.hash_seed)
-    filt = BitmapFilter.from_config(config, trace.protected)
+    config = FilterConfig(
+        order=args.order, num_vectors=args.k, num_hashes=args.m,
+        rotation_interval=args.dt, seed=args.hash_seed,
+        layers=("verify",) if args.filter == "hybrid" else ())
+    filt = build_filter(config, trace.protected, backend="serial")
     verdicts = filt.process_batch(trace.packets, exact=True)
 
     lines = [
@@ -198,6 +212,12 @@ def _cmd_filter(args: argparse.Namespace) -> str:
         f"incoming drop rate: {filt.stats.incoming_drop_rate * 100:.2f}%",
         f"peak utilization: {filt.peak_utilization:.4f}",
     ]
+    if args.filter == "hybrid":
+        lines.append(
+            f"verification: {filt.confirmed} admits confirmed, "
+            f"{filt.denied} false admits denied "
+            f"(table {filt.table.occupancy}/{filt.table.capacity} slots, "
+            f"{filt.table.memory_bytes / 1024:.1f} KiB)")
     if args.out:
         survivors = trace.packets[verdicts]
         if args.out.endswith(".pcap"):
@@ -225,7 +245,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         filter=FilterConfig(
             order=args.order, num_vectors=args.k, num_hashes=args.m,
             rotation_interval=args.dt, seed=args.hash_seed,
-            fail_policy=FailPolicy(args.fail_policy)),
+            fail_policy=FailPolicy(args.fail_policy),
+            layers=("verify",) if args.filter == "hybrid" else ()),
         protected=AddressSpace(args.protected.split(",")),
         host=args.host, port=args.port, unix_path=args.unix,
         http_host=args.http_host, http_port=args.http_port,
@@ -363,6 +384,7 @@ def _cmd_replay_fleet(args: argparse.Namespace) -> str:
                 protected, size=args.fleet,
                 workdir=tempfile.mkdtemp(prefix="repro-fleet-"),
                 fail_policy=args.fail_policy,
+                filter_kind=getattr(args, "filter", "bitmap"),
                 backend=getattr(args, "backend", None))
             specs = manager.start()
         else:
@@ -468,16 +490,19 @@ def _offline_reference(info: dict, packets) -> "np.ndarray":
     """Single-filter offline verdicts for a daemon self-description."""
     import numpy as np
 
-    from repro.core.bitmap_filter import BitmapFilter, FilterConfig
+    from repro.core.bitmap_filter import FilterConfig
+    from repro.core.filter_api import build_filter
     from repro.core.resilience import FailPolicy
     from repro.net.address import AddressSpace
     from repro.sim.pipeline import run_filter_on_trace
     from repro.traffic.trace import Trace
 
+    # The self-description carries the whole stack (geometry + layers), so
+    # the twin reproduces a hybrid daemon's verification tier too.
     fcfg = dict(info["filter"])
     policy = FailPolicy(fcfg.pop("fail_policy"))
-    twin = BitmapFilter(FilterConfig(**fcfg), AddressSpace(info["protected"]),
-                        fail_policy=policy)
+    twin = build_filter(FilterConfig(**fcfg), AddressSpace(info["protected"]),
+                        fail_policy=policy, backend="serial")
     offline = run_filter_on_trace(
         twin, Trace(packets, AddressSpace(info["protected"])),
         exact=info["exact"])
@@ -532,16 +557,17 @@ def _cmd_replay_to(args: argparse.Namespace) -> str:
                 "(clock=wall), so offline replay is not comparable; "
                 "run the daemon with --clock packet to verify")
         else:
-            from repro.core.bitmap_filter import BitmapFilter, FilterConfig
+            from repro.core.bitmap_filter import FilterConfig
+            from repro.core.filter_api import build_filter
             from repro.core.resilience import FailPolicy
             from repro.net.address import AddressSpace
             from repro.sim.pipeline import run_filter_on_trace
 
             fcfg = dict(info["filter"])
             policy = FailPolicy(fcfg.pop("fail_policy"))
-            twin = BitmapFilter(
+            twin = build_filter(
                 FilterConfig(**fcfg), AddressSpace(info["protected"]),
-                fail_policy=policy)
+                fail_policy=policy, backend="serial")
             offline = run_filter_on_trace(
                 twin, Trace(packets, AddressSpace(info["protected"])),
                 exact=info["exact"])
@@ -636,6 +662,7 @@ def build_parser() -> argparse.ArgumentParser:
     filt.add_argument("--m", type=int, default=3)
     filt.add_argument("--dt", type=float, default=5.0)
     filt.add_argument("--hash-seed", type=int, default=0x5EED)
+    _filter_arg(filt)
 
     export = sub.add_parser("export", help="dump every figure's data as CSV")
     export.add_argument("--out", default="figures")
@@ -693,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--m", type=int, default=3)
     serve.add_argument("--dt", type=float, default=5.0)
     serve.add_argument("--hash-seed", type=int, default=0x5EED)
+    _filter_arg(serve)
 
     replay = sub.add_parser(
         "replay-to",
@@ -725,6 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default="fail_closed",
                        help="fleet degraded policy for flows whose node "
                             "is unreachable")
+    _filter_arg(fleet)
     fleet.add_argument("--backend", choices=("serial", "sharded", "shared"),
                        default=None,
                        help="execution backend for the spawned fleet "
@@ -762,28 +791,39 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _backend_scope(args: argparse.Namespace):
-    """The execution-backend context the run executes under.
+    """The construction context (backend + layers) the run executes under.
 
     ``--backend``/``--workers N`` install a parallel backend for the whole
-    command, so every ``create_filter`` call inside the experiments fans
+    command, so every ``build_filter`` call inside the experiments fans
     out; ``--workers`` alone keeps its historical meaning (sharded).
-    Without either flag this is a no-op scope.
+    ``--filter hybrid`` installs the ambient ``("verify",)`` layer stack
+    the same way, so the experiments wrap every filter they build.
+    Without any of these flags this is a no-op scope.
     """
+    from contextlib import ExitStack
+
     workers = getattr(args, "workers", None)
     backend = getattr(args, "backend", None)
-    if args.experiment in ("serve", "replay-to") or (
-            workers is None and backend in (None, "serial")):
-        # The daemon builds its own backend; no ambient scope needed.
-        from contextlib import nullcontext
+    scope = ExitStack()
+    if args.experiment in ("serve", "replay-to"):
+        # The daemon builds its own stack from ServeConfig / the fleet's
+        # filter args; no ambient scope needed.
+        return scope
+    if getattr(args, "filter", "bitmap") == "hybrid":
+        from repro.core.filter_api import use_layers
 
-        return nullcontext()
-    from repro.parallel import use_backend
+        scope.enter_context(use_layers(("verify",)))
+    if workers is None and backend in (None, "serial"):
+        return scope
+    from repro.core.filter_api import use_backend
 
     if backend is None:
         backend = "sharded"
     if backend == "serial":
-        return use_backend(name="serial")
-    return use_backend(name=backend, workers=workers or 2)
+        scope.enter_context(use_backend(name="serial"))
+    else:
+        scope.enter_context(use_backend(name=backend, workers=workers or 2))
+    return scope
 
 
 def main(argv: Optional[List[str]] = None) -> int:

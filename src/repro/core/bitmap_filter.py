@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.core.apd import AdaptiveDroppingPolicy
 from repro.core.bitmap import Bitmap
-from repro.core.filter_api import Decision, PacketFilterMixin
+from repro.core.filter_api import Decision, PacketFilterMixin, normalize_layers
 from repro.core.hashing import HashFamily
 from repro.core.resilience import FailPolicy
 from repro.net.address import AddressSpace
@@ -134,6 +134,7 @@ class FilterConfig:
     seed: int = 0x5EED           # hash-family seed
     fail_policy: FailPolicy = FailPolicy.FAIL_CLOSED
     warmup_grace: float = 0.0    # grace window opened at construction
+    layers: tuple = ()           # layer specs build_filter wraps around the base
 
     def __post_init__(self) -> None:
         if self.rotation_interval <= 0:
@@ -142,6 +143,11 @@ class FilterConfig:
             raise ValueError("need at least one hash function")
         if self.warmup_grace < 0:
             raise ValueError("warm-up grace cannot be negative")
+        object.__setattr__(self, "layers", normalize_layers(self.layers))
+
+    def layer_dicts(self) -> list:
+        """JSON-safe forms of :attr:`layers` (for describe()/reload)."""
+        return [spec.as_dict() for spec in self.layers]
 
     @property
     def expiry_timer(self) -> float:

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.core.bitmap import Bitmap
 from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig, Decision
-from repro.core.filter_api import PacketFilterMixin, deprecated_alias
+from repro.core.filter_api import PacketFilterMixin
 from repro.net.address import AddressSpace
 from repro.net.flow import bitmap_key_incoming, bitmap_key_outgoing
 from repro.net.packet import Direction, Packet, TcpFlags
@@ -176,12 +176,6 @@ class CloseAwareBitmapFilter(PacketFilterMixin):
         for i, pkt in enumerate(packets):
             verdicts[i] = self.process(pkt) is Decision.PASS
         return verdicts
-
-    def process_array(self, packets) -> np.ndarray:
-        """Deprecated alias of :meth:`process_batch`."""
-        deprecated_alias(f"{type(self).__name__}.process_array",
-                         f"{type(self).__name__}.process_batch")
-        return self.process_batch(packets)
 
     # -- introspection -------------------------------------------------------------
 

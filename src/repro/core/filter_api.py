@@ -1,9 +1,11 @@
-"""The unified admission API every filter in the repository speaks.
+"""The unified admission API every filter in the repository speaks — and the
+one factory that constructs them.
 
-Historically the bitmap filter exposed ``process``/``process_batch`` while
-the SPI baselines exposed ``process``/``process_array`` and ad-hoc helpers,
-so harnesses dispatched on concrete types.  This module defines the single
-:class:`PacketFilter` protocol they all implement now:
+Two things live here:
+
+**The protocol.**  :class:`PacketFilter` is the single interface all seven
+filter implementations present (bitmap, close-aware, SPI baselines,
+throttle, sharded/shared parallel, hybrid-verified):
 
 - ``observe_out(pkt)`` / ``observe_out_batch(packets)`` — record outgoing
   traffic (mark the bitmap, insert/refresh flow state);
@@ -15,16 +17,39 @@ so harnesses dispatched on concrete types.  This module defines the single
 Batches are time-sorted :class:`~repro.net.packet.PacketArray` instances of
 *mixed* traffic; direction classification stays inside the filter, so
 ``observe_out``/``admit_in`` on a packet of the other direction is safe
-(non-incoming packets always admit).  Old entry points
-(``StatefulFilter.process_array`` and friends) remain as thin deprecation
-shims delegating here.
+(non-incoming packets always admit).
+
+**The factory.**  :func:`build_filter` replaces the three historical
+construction paths (``BitmapFilter.from_config``,
+``repro.parallel.create_filter``, ``restore_serve_filter``) with one
+registry-driven entry point:
+
+- an **execution backend** (``serial`` / ``sharded`` / ``shared``) chosen
+  explicitly, or ambiently via :func:`set_backend` / :func:`use_backend` —
+  parallel backends register themselves from :mod:`repro.parallel.backend`;
+- a stack of **layers** wrapped around the base filter, described by frozen
+  spec objects (e.g. :class:`~repro.core.hybrid.VerifySpec`, kind
+  ``"verify"``) carried on ``FilterConfig.layers``, passed as
+  ``layers=("verify", ...)``, or installed ambiently with
+  :func:`use_layers`;
+- an optional **snapshot** warm start (``snapshot=path``) subsuming
+  ``restore_serve_filter``: the checksummed v2 archive is loaded, a fresh
+  shell is built on the requested backend under the caller's telemetry
+  registry, the state (bit vectors *and* any cuckoo verification table) is
+  applied, and the recorded layer stack is re-wrapped.
+
+CLI (``--filter hybrid``), serve, fleet, and snapshot restore all construct
+filters through this one factory.
 """
 
 from __future__ import annotations
 
 import enum
 import warnings
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, Optional,
+                    Protocol, Tuple, Union, runtime_checkable)
 
 if TYPE_CHECKING:
     import numpy as np
@@ -91,11 +116,361 @@ class PacketFilterMixin:
         return self.process_batch(packets)
 
 
-def deprecated_alias(old_name: str, new_name: str) -> None:
+def deprecated_alias(old_name: str, new_name: str,
+                     note: str = "the unified PacketFilter API") -> None:
     """Warn once per call site that ``old_name`` is a compatibility shim."""
     warnings.warn(
-        f"{old_name} is deprecated; use {new_name} (the unified "
-        "PacketFilter API) instead",
+        f"{old_name} is deprecated; use {new_name} ({note}) instead",
         DeprecationWarning,
         stacklevel=3,
     )
+
+
+# ---------------------------------------------------------------------------
+# Execution backends (moved here from repro.parallel.backend, which now
+# re-exports them — serial construction must not import multiprocessing).
+# ---------------------------------------------------------------------------
+
+#: Every selectable backend, in the order the CLI surfaces them.
+BACKEND_NAMES = ("serial", "sharded", "shared")
+
+
+@dataclass(frozen=True)
+class ExecutionBackend:
+    """Where filter work runs: in-process, or fanned out over workers."""
+
+    name: str = "serial"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.name not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.name!r}; choose from {BACKEND_NAMES}")
+        if self.workers < 1:
+            raise ValueError("backend needs at least one worker")
+        if self.name == "serial" and self.workers != 1:
+            raise ValueError("the serial backend has exactly one worker")
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.name == "sharded"
+
+    @property
+    def is_shared(self) -> bool:
+        return self.name == "shared"
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.name != "serial"
+
+
+#: The default: everything in-process.
+SERIAL_BACKEND = ExecutionBackend()
+
+_active_backend: ExecutionBackend = SERIAL_BACKEND
+
+
+def get_backend() -> ExecutionBackend:
+    """The backend :func:`build_filter` consults when none is given."""
+    return _active_backend
+
+
+def set_backend(backend: Optional[ExecutionBackend]) -> ExecutionBackend:
+    """Install ``backend`` process-wide (None → serial); returns the
+    previous one so callers can restore it."""
+    global _active_backend
+    previous = _active_backend
+    _active_backend = backend if backend is not None else SERIAL_BACKEND
+    return previous
+
+
+@contextmanager
+def use_backend(backend: Optional[ExecutionBackend] = None, *,
+                name: Optional[str] = None, workers: Optional[int] = None):
+    """Scoped :func:`set_backend`: yields the backend, restores on exit.
+
+    Accepts either a ready :class:`ExecutionBackend` or the ``name=``/
+    ``workers=`` fields to build one (``use_backend(name="shared",
+    workers=4)``).
+    """
+    if backend is None:
+        fields = {}
+        if name is not None:
+            fields["name"] = name
+        if workers is not None:
+            fields["workers"] = workers
+        backend = ExecutionBackend(**fields)
+    elif name is not None or workers is not None:
+        raise TypeError("pass either a backend object or name=/workers= "
+                        "fields, not both")
+    previous = set_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)
+
+
+# ---------------------------------------------------------------------------
+# Registries: backend builders and layer wrappers.
+# ---------------------------------------------------------------------------
+
+#: backend name -> builder(config, protected, *, workers, start_time, apd,
+#:                         fail_policy, telemetry, mp_context, config_fields)
+FILTER_BACKENDS: Dict[str, Callable] = {}
+
+#: layer kind -> wrapper(inner_filter, spec, *, telemetry) and its spec class
+LAYER_BUILDERS: Dict[str, Callable] = {}
+LAYER_SPECS: Dict[str, type] = {}
+
+
+def register_backend(name: str, builder: Callable) -> None:
+    """Register a filter builder for an execution-backend name."""
+    FILTER_BACKENDS[name] = builder
+
+
+def register_layer(spec_cls: type, builder: Callable) -> None:
+    """Register a layer spec class (with a ``kind`` attribute) and its
+    wrapper builder."""
+    kind = spec_cls.kind
+    LAYER_SPECS[kind] = spec_cls
+    LAYER_BUILDERS[kind] = builder
+
+
+def _serial_builder(config, protected, *, workers, start_time, apd,
+                    fail_policy, telemetry, mp_context, config_fields):
+    del workers, mp_context  # one in-process worker, no subprocesses
+    from repro.core.bitmap_filter import BitmapFilter
+
+    return BitmapFilter(config, protected, start_time=start_time, apd=apd,
+                        fail_policy=fail_policy, telemetry=telemetry,
+                        **config_fields)
+
+
+register_backend("serial", _serial_builder)
+
+
+def _require_backend_builder(name: str) -> Callable:
+    if name not in FILTER_BACKENDS:
+        # Parallel builders register on import; pull them in lazily so the
+        # serial path never touches multiprocessing.
+        import repro.parallel.backend  # noqa: F401
+    try:
+        return FILTER_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"no builder registered for backend {name!r}; "
+            f"registered: {sorted(FILTER_BACKENDS)}") from None
+
+
+def _require_layer_kind(kind: str):
+    if kind not in LAYER_BUILDERS:
+        import repro.core.hybrid  # noqa: F401  (registers "verify")
+    if kind not in LAYER_BUILDERS:
+        raise ValueError(
+            f"unknown layer kind {kind!r}; registered: {sorted(LAYER_BUILDERS)}")
+    return LAYER_SPECS[kind], LAYER_BUILDERS[kind]
+
+
+# ---------------------------------------------------------------------------
+# Layer specs: normalization and the ambient stack.
+# ---------------------------------------------------------------------------
+
+#: What callers may pass wherever layers are accepted: a kind name, a dict
+#: with a "kind" discriminator, a ready spec object, or an iterable thereof.
+LayerLike = Union[str, dict, object]
+
+
+def normalize_layers(layers) -> Tuple[object, ...]:
+    """Canonicalize any accepted layers form into a tuple of frozen specs.
+
+    ``None`` → ``()``.  A bare string names a layer kind with default
+    parameters (``"verify"``); a dict carries ``{"kind": ..., **fields}``
+    (the JSON form used by ``describe()`` and SIGHUP reload); spec objects
+    pass through.
+    """
+    if layers is None:
+        return ()
+    if isinstance(layers, (str, dict)) or not isinstance(layers, Iterable):
+        layers = (layers,)
+    out = []
+    for entry in layers:
+        if isinstance(entry, str):
+            spec_cls, _ = _require_layer_kind(entry)
+            out.append(spec_cls())
+        elif isinstance(entry, dict):
+            fields = dict(entry)
+            kind = fields.pop("kind", None)
+            if kind is None:
+                raise ValueError(
+                    f"layer dict needs a 'kind' discriminator, got {entry!r}")
+            spec_cls, _ = _require_layer_kind(kind)
+            out.append(spec_cls(**fields))
+        else:
+            kind = getattr(entry, "kind", None)
+            if kind is None:
+                raise TypeError(
+                    f"layer spec {entry!r} has no 'kind' attribute")
+            out.append(entry)
+    return tuple(out)
+
+
+def layer_dicts(layers) -> list:
+    """JSON-safe ``as_dict()`` forms of a normalized layer stack."""
+    return [spec.as_dict() for spec in normalize_layers(layers)]
+
+
+_active_layers: Tuple[object, ...] = ()
+
+
+def get_layers() -> Tuple[object, ...]:
+    """The ambient layer stack :func:`build_filter` applies by default."""
+    return _active_layers
+
+
+@contextmanager
+def use_layers(layers):
+    """Scoped ambient layer stack — the layers analogue of
+    :func:`use_backend`; the CLI's ``--filter hybrid`` is exactly
+    ``use_layers(("verify",))`` around the experiment run."""
+    global _active_layers
+    previous = _active_layers
+    _active_layers = normalize_layers(layers)
+    try:
+        yield _active_layers
+    finally:
+        _active_layers = previous
+
+
+def _apply_layers(filt, layers, *, telemetry=None):
+    for spec in layers:
+        _, builder = _require_layer_kind(spec.kind)
+        filt = builder(filt, spec, telemetry=telemetry)
+    return filt
+
+
+# ---------------------------------------------------------------------------
+# The factory.
+# ---------------------------------------------------------------------------
+
+def _resolve_backend(backend, workers: Optional[int]) -> ExecutionBackend:
+    if isinstance(backend, ExecutionBackend):
+        if workers is not None and workers != backend.workers:
+            raise TypeError("pass workers inside the ExecutionBackend, "
+                            "not alongside it")
+        return backend
+    if backend is None:
+        ambient = get_backend()
+        if workers is None or workers == ambient.workers:
+            return ambient
+        if ambient.name == "serial":
+            return ambient if workers == 1 else ExecutionBackend("sharded", workers)
+        return ExecutionBackend(ambient.name, workers)
+    if backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKEND_NAMES}")
+    if backend == "serial":
+        return SERIAL_BACKEND
+    return ExecutionBackend(backend, workers if workers and workers > 1 else 2)
+
+
+def build_filter(
+    config=None,
+    protected=None,
+    start_time: float = 0.0,
+    apd=None,
+    fail_policy=None,
+    *,
+    backend=None,
+    workers: Optional[int] = None,
+    telemetry=None,
+    mp_context: Optional[str] = None,
+    layers=None,
+    snapshot=None,
+    **config_fields,
+):
+    """Build a filter stack: base filter on an execution backend, wrapped
+    by verification layers, optionally warm-started from a snapshot.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.bitmap_filter.FilterConfig` (its
+        ``fail_policy``, ``warmup_grace`` and ``layers`` are honored), a
+        plain ``BitmapFilterConfig``, or None with bare ``**config_fields``.
+    backend, workers:
+        An :class:`ExecutionBackend`, a backend name (``workers`` sizes the
+        pool), or None for the ambient backend from :func:`use_backend`.
+    layers:
+        Layer stack override — kind names, spec dicts, or spec objects.
+        Defaults to ``config.layers`` when non-empty, else the ambient
+        stack from :func:`use_layers`.
+    snapshot:
+        Path (or binary file object) of a checksummed v2 snapshot to warm
+        start from.  The snapshot's config/protected/fail-policy are used
+        (``config``/``protected`` must be None), its recorded layer stack
+        is re-wrapped (explicit ``layers`` overrides), and any cuckoo
+        verification table rides along.
+    """
+    resolved = _resolve_backend(backend, workers)
+
+    if snapshot is not None:
+        if config is not None or protected is not None or config_fields:
+            raise TypeError("snapshot restore takes its config and protected "
+                            "space from the snapshot; do not pass them")
+        if apd is not None:
+            raise TypeError("snapshots never hold APD state; attach the "
+                            "policy after restoring")
+        return _build_from_snapshot(
+            snapshot, resolved, fail_policy=fail_policy, telemetry=telemetry,
+            mp_context=mp_context, layers=layers)
+
+    if layers is None:
+        config_layers = getattr(config, "layers", ()) if config is not None else ()
+        layers = config_layers or get_layers()
+    layers = normalize_layers(layers)
+
+    builder = _require_backend_builder(resolved.name)
+    filt = builder(config, protected, workers=resolved.workers,
+                   start_time=start_time, apd=apd, fail_policy=fail_policy,
+                   telemetry=telemetry, mp_context=mp_context,
+                   config_fields=config_fields)
+    return _apply_layers(filt, layers, telemetry=telemetry)
+
+
+def _build_from_snapshot(snapshot, resolved: ExecutionBackend, *,
+                         fail_policy, telemetry, mp_context, layers):
+    import numpy as np
+
+    from repro.core.persistence import load_filter
+
+    loaded = load_filter(snapshot)  # validates geometry + checksums
+    restored_layers = getattr(loaded, "layers", ())
+    inner = getattr(loaded, "inner", loaded)
+    if layers is None:
+        layers = restored_layers
+    layers = normalize_layers(layers)
+    if fail_policy is None:
+        fail_policy = inner.fail_policy
+
+    vectors = np.stack([vec.as_numpy() for vec in inner.bitmap.vectors])
+    state = dict(
+        current_index=inner.bitmap.current_index,
+        bitmap_rotations=inner.bitmap.rotations,
+        next_rotation=inner.next_rotation,
+        stats=inner.stats.as_dict(),
+    )
+    builder = _require_backend_builder(resolved.name)
+    start_time = inner.next_rotation - inner.config.rotation_interval
+    filt = builder(inner.config, inner.protected, workers=resolved.workers,
+                   start_time=start_time, apd=None, fail_policy=fail_policy,
+                   telemetry=telemetry, mp_context=mp_context,
+                   config_fields={})
+    filt.apply_snapshot_state(vectors, **state)
+    filt = _apply_layers(filt, layers, telemetry=telemetry)
+    # Hand the restored verification table to the re-wrapped stack so warm
+    # starts do not forget confirmed flows.
+    table = getattr(loaded, "table", None)
+    if table is not None and hasattr(filt, "apply_table_state"):
+        if layers == tuple(restored_layers):
+            filt.apply_table_state(table.copy())
+    return filt

@@ -29,11 +29,18 @@ from typing import IO, Optional, Union
 import numpy as np
 
 from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+from repro.core.cuckoo import CuckooFlowTable
+from repro.core.filter_api import _apply_layers, normalize_layers
+from repro.core.hybrid import HybridVerifiedFilter
 from repro.core.resilience import FailPolicy
 from repro.net.address import AddressSpace, IPv4Network
 
-#: Version 2 added the vector checksum and the fail policy.
+#: Version 2 added the vector checksum and the fail policy; the optional
+#: ``layers``/``cuckoo`` section (hybrid verification state) rides on the
+#: same version — old readers never see the extra keys.
 _FORMAT_VERSION = 2
+
+_CUCKOO_ARRAYS = ("cuckoo_key_lo", "cuckoo_key_hi", "cuckoo_stamp")
 
 SnapshotTarget = Union[str, Path, IO[bytes]]
 
@@ -53,14 +60,21 @@ def _vector_digest(vectors: np.ndarray) -> str:
     return hashlib.sha256(np.ascontiguousarray(vectors).tobytes()).hexdigest()
 
 
-def save_filter(filt: BitmapFilter, path: SnapshotTarget) -> None:
-    """Snapshot a filter's complete state to ``path`` (npz or binary file object)."""
+def save_filter(filt: Union[BitmapFilter, HybridVerifiedFilter],
+                path: SnapshotTarget) -> None:
+    """Snapshot a filter's complete state to ``path`` (npz or binary file object).
+
+    A :class:`~repro.core.hybrid.HybridVerifiedFilter` stack adds a
+    ``layers`` record plus a separately checksummed ``cuckoo`` section so a
+    warm restart keeps its exact verification table.
+    """
     if filt.apd is not None:
         raise ValueError("APD-enabled filters hold indicator state that is "
                          "not checkpointable; snapshot the plain filter")
     if filt.is_down:
         raise ValueError("refusing to snapshot a failed filter; recover it "
                          "first so the rotation schedule is live")
+    extra_arrays = {}
     vectors = np.stack([vec.as_numpy() for vec in filt.bitmap.vectors])
     meta = {
         "format_version": _FORMAT_VERSION,
@@ -73,7 +87,16 @@ def save_filter(filt: BitmapFilter, path: SnapshotTarget) -> None:
         "fail_policy": filt.fail_policy.value,
         "vectors_sha256": _vector_digest(vectors),
     }
-    np.savez_compressed(_as_target(path), vectors=vectors, metadata=json.dumps(meta))
+    if isinstance(filt, HybridVerifiedFilter):
+        # A hybrid over a *parallel* inner works too: the parallel filters
+        # reconstruct the serial view (vectors, stats, schedule) on demand,
+        # and the cuckoo table lives in the wrapper itself.
+        cuckoo_arrays, cuckoo_meta = filt.table.export_state()
+        extra_arrays.update(cuckoo_arrays)
+        meta["layers"] = [spec.as_dict() for spec in filt.layers]
+        meta["cuckoo"] = cuckoo_meta
+    np.savez_compressed(_as_target(path), vectors=vectors,
+                        metadata=json.dumps(meta), **extra_arrays)
 
 
 def load_filter(path: SnapshotTarget) -> BitmapFilter:
@@ -86,6 +109,9 @@ def load_filter(path: SnapshotTarget) -> BitmapFilter:
     with np.load(_as_target(path), allow_pickle=False) as archive:
         vectors = archive["vectors"]
         meta = json.loads(str(archive["metadata"]))
+        cuckoo_arrays = {
+            name: archive[name] for name in _CUCKOO_ARRAYS if name in archive
+        }
     version = meta.get("format_version")
     if version not in (1, _FORMAT_VERSION):
         raise ValueError(f"unsupported snapshot version {version}")
@@ -123,7 +149,27 @@ def load_filter(path: SnapshotTarget) -> BitmapFilter:
         next_rotation=float(meta["next_rotation"]),
         stats=meta["stats"],
     )
-    return filt
+
+    layer_meta = meta.get("layers")
+    if not layer_meta:
+        return filt
+    wrapped = _apply_layers(filt, normalize_layers(layer_meta))
+    cuckoo_meta = meta.get("cuckoo")
+    if cuckoo_meta is not None:
+        if not cuckoo_arrays:
+            raise SnapshotCorruptionError(
+                "snapshot metadata records a cuckoo section but the table "
+                "arrays are missing")
+        table = CuckooFlowTable.from_state(cuckoo_arrays, cuckoo_meta)
+        stored = cuckoo_meta.get("sha256")
+        actual = table.state_digest()
+        if stored is None or actual != stored:
+            raise SnapshotCorruptionError(
+                "snapshot cuckoo table failed checksum verification "
+                f"(stored {str(stored)[:12]}…, computed {actual[:12]}…); "
+                "restore the bitmap cold instead of trusting this state")
+        wrapped.apply_table_state(table)
+    return wrapped
 
 
 def restore_filter(

@@ -24,7 +24,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.analysis.report import render_table
-from repro.parallel.backend import create_filter
+from repro.core.filter_api import build_filter
 from repro.core.hole_punch import hole_punch_packet
 from repro.experiments.config import SMALL, ExperimentScale
 from repro.experiments.fig2 import generate_trace
@@ -112,7 +112,7 @@ def _run_scenario(
         (p.src, p.sport, p.dst, p.dport, round(p.ts, 6))
         for p in (ftp_packets[i] for i in data_indices)
     }
-    filt = create_filter(scale.bitmap_config(), trace.protected)
+    filt = build_filter(scale.bitmap_config(), trace.protected)
     verdicts = filt.process_batch(mixed.packets, exact=True)
 
     packets = mixed.packets

@@ -14,7 +14,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.analysis.report import render_comparison
-from repro.parallel.backend import create_filter
+from repro.core.filter_api import build_filter
 from repro.experiments.config import MEDIUM, ExperimentScale
 from repro.experiments.fig2 import generate_trace
 from repro.sim.pipeline import run_filter_on_trace, windowed_drop_rates
@@ -58,7 +58,7 @@ def run_fig4(
     if trace is None:
         trace = generate_trace(scale)
 
-    bitmap = create_filter(scale.bitmap_config(), trace.protected)
+    bitmap = build_filter(scale.bitmap_config(), trace.protected)
     bitmap_run = run_filter_on_trace(bitmap, trace, exact=True)
 
     spi = HashListFilter(trace.protected, idle_timeout=scale.spi_idle_timeout)

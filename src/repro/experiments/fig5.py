@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.analysis.report import render_comparison
 from repro.attacks.scanner import RandomScanAttack, ScanConfig
-from repro.parallel.backend import create_filter
+from repro.core.filter_api import build_filter
 from repro.core.parameters import penetration_probability
 from repro.experiments.config import MEDIUM, ExperimentScale
 from repro.experiments.fig2 import generate_trace
@@ -77,7 +77,7 @@ def run_fig5(
         trace = generate_trace(scale)
     mixed = build_attack_trace(scale, trace)
 
-    filt = create_filter(scale.bitmap_config(), trace.protected)
+    filt = build_filter(scale.bitmap_config(), trace.protected)
 
     # Sample utilization mid-attack by splitting the run at the midpoint.
     midpoint = scale.attack_start + scale.attack_duration / 2.0

@@ -119,6 +119,9 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
               default_scale="small"),
         _spec("collusion", "sec54", "collusion attacks (Sec. 5.4)",
               default_scale="small"),
+        _spec("hybrid", "hybrid_verify",
+              "hybrid exact-verification tier vs bitmap false admits",
+              default_scale="small"),
     )
 }
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.analysis.report import render_table
-from repro.parallel.backend import create_filter
+from repro.core.filter_api import build_filter
 from repro.core.resilience import FailPolicy
 from repro.experiments.config import SMALL, ExperimentScale
 from repro.experiments.fig2 import generate_trace
@@ -121,7 +121,7 @@ def run_resilience(scale: ExperimentScale = SMALL,
     te = scale.expiry_timer
 
     def fresh(policy: FailPolicy = FailPolicy.FAIL_CLOSED):
-        return create_filter(config, attacked.protected, fail_policy=policy)
+        return build_filter(config, attacked.protected, fail_policy=policy)
 
     def run(injectors: Sequence[FaultInjector],
             policy: FailPolicy = FailPolicy.FAIL_CLOSED) -> FaultedRunResult:

@@ -18,7 +18,7 @@ import numpy as np
 from repro.analysis.report import render_table
 from repro.attacks.insider import InsiderAttack
 from repro.core.bitmap_filter import BitmapFilterConfig
-from repro.parallel.backend import create_filter
+from repro.core.filter_api import build_filter
 from repro.core.parameters import insider_utilization_increase, penetration_probability
 from repro.experiments.config import MEDIUM, ExperimentScale
 from repro.experiments.fig2 import generate_trace
@@ -66,7 +66,7 @@ def _utilization_under(
     sample_time: float,
 ) -> float:
     """Run the trace up to ``sample_time`` and read the utilization."""
-    filt = create_filter(config, trace.protected)
+    filt = build_filter(config, trace.protected)
     packets = trace.packets
     cut = int(np.searchsorted(packets.ts, sample_time))
     filt.process_batch(packets[:cut], exact=False)

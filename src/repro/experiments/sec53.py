@@ -29,7 +29,7 @@ from repro.core.apd import (
     PacketRatioIndicator,
 )
 from repro.core.bitmap_filter import Decision
-from repro.parallel.backend import create_filter
+from repro.core.filter_api import build_filter
 from repro.experiments.config import SMALL, ExperimentScale
 from repro.experiments.fig2 import generate_trace
 from repro.net.packet import Packet, PacketArray, PacketLabel, TcpFlags
@@ -93,9 +93,9 @@ def _run_apd_phases(
     mixed = trace.merged_with(Trace(flood, trace.protected, {"duration": trace.duration}))
 
     apd = policy_factory()
-    # APD is serial-only: create_filter falls back to a serial filter
+    # APD needs global arrival order: build_filter falls back to a serial filter
     # even under backend="sharded" (see repro.parallel.backend).
-    filt = create_filter(scale.bitmap_config(), trace.protected, apd=apd)
+    filt = build_filter(scale.bitmap_config(), trace.protected, apd=apd)
 
     phases = {
         "before flood": ApdPhase("before flood", 0, 0),
@@ -182,9 +182,9 @@ def _ablation_penetration(
         seed=scale.seed,
         signal_policy=signal_policy,
     )
-    # APD is serial-only: create_filter falls back to a serial filter
+    # APD needs global arrival order: build_filter falls back to a serial filter
     # even under backend="sharded" (see repro.parallel.backend).
-    filt = create_filter(scale.bitmap_config(), trace.protected, apd=apd)
+    filt = build_filter(scale.bitmap_config(), trace.protected, apd=apd)
     passed = np.zeros(len(scan), dtype=bool)
     for i, pkt in enumerate(scan):
         passed[i] = filt.process(pkt) is Decision.PASS

@@ -34,7 +34,7 @@ from typing import List, Set, Tuple
 
 from repro.analysis.report import render_table
 from repro.core.bitmap_filter import BitmapFilterConfig, Decision
-from repro.parallel.backend import create_filter
+from repro.core.filter_api import build_filter
 from repro.experiments.config import SMALL, ExperimentScale
 from repro.experiments.fig2 import generate_trace
 from repro.net.packet import Packet, TcpFlags
@@ -91,7 +91,7 @@ def _run_collusion(
         num_hashes=scale.num_hashes, rotation_interval=rotation_interval,
         seed=scale.seed,
     )
-    filt = create_filter(config, trace.protected)
+    filt = build_filter(config, trace.protected)
 
     # Pass 1 bookkeeping: the sniffer's reports.  Each report at time t is
     # the set of outgoing tuples seen in the preceding report interval; the

@@ -30,7 +30,7 @@ from repro.analysis.report import render_table
 from repro.attacks.ddos import udp_flood
 from repro.attacks.scanner import RandomScanAttack, ScanConfig
 from repro.baselines.throttle import AggregateRateLimiter
-from repro.parallel.backend import create_filter
+from repro.core.filter_api import build_filter
 from repro.experiments.config import SMALL, ExperimentScale
 from repro.experiments.fig2 import generate_trace
 from repro.net.protocols import PORT_DNS
@@ -76,7 +76,7 @@ def _evaluate(scale: ExperimentScale, trace: Trace, attack, scenario: str,
     packets = mixed.packets
     incoming = packets.directions(trace.protected) == 1
 
-    bitmap = create_filter(scale.bitmap_config(), trace.protected)
+    bitmap = build_filter(scale.bitmap_config(), trace.protected)
     bitmap_verdicts = bitmap.process_batch(packets, exact=True)
     confusion, _ = score_run(packets, bitmap_verdicts, incoming, mixed.duration)
     outcomes.append(ScenarioOutcome(

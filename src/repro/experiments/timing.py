@@ -20,7 +20,7 @@ from typing import List, Optional
 
 from repro.analysis.report import render_table
 from repro.core.bitmap_filter import BitmapFilterConfig
-from repro.parallel.backend import create_filter
+from repro.core.filter_api import build_filter
 from repro.experiments.config import SMALL, ExperimentScale
 from repro.experiments.fig2 import generate_trace
 from repro.experiments.fig5 import build_attack_trace
@@ -77,7 +77,7 @@ def _measure(
         rotation_interval=rotation_interval,
         seed=scale.seed,
     )
-    filt = create_filter(config, trace.protected)
+    filt = build_filter(config, trace.protected)
     run = run_filter_on_trace(filt, trace, exact=True)
     return TimingPoint(
         num_vectors=num_vectors,

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.analysis.report import render_comparison
 from repro.attacks.worm import WormModel, WormParameters
-from repro.parallel.backend import create_filter
+from repro.core.filter_api import build_filter
 from repro.experiments.config import SMALL, ExperimentScale
 from repro.experiments.fig2 import generate_trace
 from repro.sim.pipeline import run_filter_on_trace
@@ -76,7 +76,7 @@ def run_worm(
         Trace(scans, trace.protected, {"duration": trace.duration})
     )
 
-    filt = create_filter(scale.bitmap_config(), trace.protected)
+    filt = build_filter(scale.bitmap_config(), trace.protected)
     run = run_filter_on_trace(filt, mixed, exact=True)
 
     return WormResult(

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.bitmap import Bitmap
 from repro.core.bitmap_filter import BitmapFilter
+from repro.core.filter_api import build_filter
 from repro.net.packet import Packet, PacketArray
 from repro.traffic.trace import Trace
 
@@ -165,12 +166,16 @@ class CrashRestart(FaultInjector):
                 self._snapshot.seek(0)
                 restored = restore_filter(self._snapshot, now,
                                           warmup_grace=self.warmup_grace)
-                restored.fail_policy = filt.fail_policy
+                restored.set_fail_policy(filt.fail_policy)
                 return restored
             grace = (filt.config.expiry_timer if self.warmup_grace is None
                      else self.warmup_grace)
-            cold = BitmapFilter(filt.config, filt.protected, start_time=now,
-                                fail_policy=filt.fail_policy)
+            # A cold restart keeps the stack shape (a hybrid comes back as a
+            # hybrid) but none of the state — bitmap and flow table restart
+            # empty behind the warm-up grace window.
+            cold = build_filter(filt.config, filt.protected, start_time=now,
+                                fail_policy=filt.fail_policy, backend="serial",
+                                layers=getattr(filt, "layers", ()))
             if grace > 0:
                 cold.begin_warmup(now + grace)
             return cold

@@ -70,6 +70,7 @@ class FleetManager:
                  num_hashes: int = 3,
                  rotation_interval: float = 5.0,
                  hash_seed: int = 0x5EED,
+                 filter_kind: str = "bitmap",
                  workers: int = 0,
                  backend: Optional[str] = None,
                  ready_timeout: float = 30.0,
@@ -78,6 +79,8 @@ class FleetManager:
             raise ValueError("fleet size must be at least 1")
         if backend not in (None, "serial", "sharded", "shared"):
             raise ValueError(f"unknown backend {backend!r}")
+        if filter_kind not in ("bitmap", "hybrid"):
+            raise ValueError(f"unknown filter kind {filter_kind!r}")
         self.protected = protected
         self.size = size
         self.workdir = Path(workdir)
@@ -86,7 +89,7 @@ class FleetManager:
         self.filter_args = [
             "--order", str(order), "--k", str(num_vectors),
             "--m", str(num_hashes), "--dt", str(rotation_interval),
-            "--hash-seed", str(hash_seed),
+            "--hash-seed", str(hash_seed), "--filter", filter_kind,
         ]
         self.workers = workers
         self.backend = backend

@@ -14,9 +14,11 @@ Two parallel designs, one ambient switch:
   rotation and a vectorized order-exact batch path; reader workers attach
   by name and answer seqlocked lookups with zero broadcast.  Supports
   adaptive packet dropping (the sharded backend cannot).
-- :mod:`repro.parallel.backend` — the ambient backend switch
-  (:func:`use_backend` / :func:`create_filter`) the CLI's ``--backend`` /
-  ``--workers N`` flags and the experiments plug into.
+- :mod:`repro.parallel.backend` — registers both parallel builders with
+  the unified factory (:func:`repro.core.filter_api.build_filter`), whose
+  ambient backend the CLI's ``--backend`` / ``--workers N`` flags install;
+  the old :func:`use_backend` / :func:`create_filter` names remain as
+  deprecated aliases.
 
 The design goal is *provable equivalence*, not just speed: every verdict,
 counter, and snapshot a parallel run produces is bit-for-bit identical to

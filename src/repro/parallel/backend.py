@@ -1,35 +1,47 @@
-"""The execution-backend switch: serial, sharded, or shared memory.
+"""Parallel execution backends, registered into the unified filter factory.
 
-Mirrors the telemetry-registry idiom (:mod:`repro.telemetry.registry`):
-components that build a bitmap filter call :func:`create_filter` instead of
-constructing :class:`~repro.core.bitmap_filter.BitmapFilter` directly, and
-the ambient :class:`ExecutionBackend` — installed process-wide with
-:func:`set_backend` or scoped with :func:`use_backend` — decides whether
-that returns a serial filter, a
-:class:`~repro.parallel.sharded.ShardedBitmapFilter` fan-out (replicated
-bitmaps, broadcast marks), or a
-:class:`~repro.parallel.shared.SharedBitmapFilter` (one shared-memory
-bitmap, reader workers, vectorized exact batch path).  The CLI's
-``--workers N`` / ``--backend`` flags are exactly
-``use_backend(name=..., workers=N)`` around the experiment run, which is
-how every experiment runs parallel without per-experiment plumbing.
+The ambient-backend machinery (:class:`ExecutionBackend`,
+:func:`get_backend` / :func:`set_backend` / :func:`use_backend`) now lives
+in :mod:`repro.core.filter_api` next to :func:`build_filter`, so serial
+construction never touches multiprocessing; this module re-exports it and
+registers the two parallel builders:
+
+- ``sharded`` — :class:`~repro.parallel.sharded.ShardedBitmapFilter` fan-out
+  (replicated bitmaps, broadcast marks, ``local_addr % N`` partitioned
+  lookups);
+- ``shared`` — :class:`~repro.parallel.shared.SharedBitmapFilter` (one
+  shared-memory bitmap behind a seqlock, reader workers, vectorized exact
+  batch path, native shard-aware APD).
 
 Adaptive packet dropping needs global arrival order.  The shared backend
 supports it natively (the policy runs in the single writer process and the
 arrival counters live in the shared header); the sharded backend cannot,
 and *deprecatedly* falls back to a serial filter — new code should request
-``backend="shared"`` instead, and the silent fallback now warns.
+``backend="shared"`` instead, and the silent fallback warns.
+
+:func:`create_filter` and this module's :func:`use_backend` remain as thin
+deprecated aliases; call :func:`repro.core.filter_api.build_filter` and
+:func:`repro.core.filter_api.use_backend` directly.
 """
 
 from __future__ import annotations
 
 import warnings
-from contextlib import contextmanager
-from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.core.apd import AdaptiveDroppingPolicy
 from repro.core.bitmap_filter import AnyFilterConfig, BitmapFilter
+from repro.core.filter_api import (
+    BACKEND_NAMES,
+    SERIAL_BACKEND,
+    ExecutionBackend,
+    build_filter,
+    deprecated_alias,
+    get_backend,
+    register_backend,
+    set_backend,
+)
+from repro.core.filter_api import use_backend as _use_backend
 from repro.core.resilience import FailPolicy
 from repro.net.address import AddressSpace
 from repro.parallel.shared import SharedBitmapFilter
@@ -46,84 +58,49 @@ __all__ = [
     "use_backend",
 ]
 
-#: Every selectable backend, in the order the CLI surfaces them.
-BACKEND_NAMES = ("serial", "sharded", "shared")
 _BACKEND_NAMES = BACKEND_NAMES  # backwards-compatible alias
 
 
-@dataclass(frozen=True)
-class ExecutionBackend:
-    """Where filter work runs: in-process, or fanned out over workers."""
-
-    name: str = "serial"
-    workers: int = 1
-
-    def __post_init__(self) -> None:
-        if self.name not in BACKEND_NAMES:
-            raise ValueError(
-                f"unknown backend {self.name!r}; choose from {BACKEND_NAMES}")
-        if self.workers < 1:
-            raise ValueError("backend needs at least one worker")
-        if self.name == "serial" and self.workers != 1:
-            raise ValueError("the serial backend has exactly one worker")
-
-    @property
-    def is_sharded(self) -> bool:
-        return self.name == "sharded"
-
-    @property
-    def is_shared(self) -> bool:
-        return self.name == "shared"
-
-    @property
-    def is_parallel(self) -> bool:
-        return self.name != "serial"
+def _sharded_builder(config, protected, *, workers, start_time, apd,
+                     fail_policy, telemetry, mp_context, config_fields):
+    if apd is not None:
+        warnings.warn(
+            "adaptive packet dropping needs global arrival order, which the "
+            "sharded backend's replicas never see; building a serial filter "
+            "instead. This silent fallback is deprecated — use "
+            'backend="shared", whose single-writer design supports APD '
+            "natively.",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+        return BitmapFilter(config, protected, start_time=start_time,
+                            apd=apd, fail_policy=fail_policy,
+                            telemetry=telemetry, **config_fields)
+    return ShardedBitmapFilter(config, protected, num_workers=workers,
+                               start_time=start_time, fail_policy=fail_policy,
+                               telemetry=telemetry, mp_context=mp_context,
+                               **config_fields)
 
 
-#: The default: everything in-process, exactly as before this module existed.
-SERIAL_BACKEND = ExecutionBackend()
-
-_active_backend: ExecutionBackend = SERIAL_BACKEND
-
-
-def get_backend() -> ExecutionBackend:
-    """The backend :func:`create_filter` consults when building filters."""
-    return _active_backend
+def _shared_builder(config, protected, *, workers, start_time, apd,
+                    fail_policy, telemetry, mp_context, config_fields):
+    return SharedBitmapFilter(config, protected, num_workers=workers,
+                              start_time=start_time, apd=apd,
+                              fail_policy=fail_policy, telemetry=telemetry,
+                              mp_context=mp_context, **config_fields)
 
 
-def set_backend(backend: Optional[ExecutionBackend]) -> ExecutionBackend:
-    """Install ``backend`` process-wide (None → serial); returns the
-    previous one so callers can restore it."""
-    global _active_backend
-    previous = _active_backend
-    _active_backend = backend if backend is not None else SERIAL_BACKEND
-    return previous
+register_backend("sharded", _sharded_builder)
+register_backend("shared", _shared_builder)
 
 
-@contextmanager
 def use_backend(backend: Optional[ExecutionBackend] = None, *,
                 name: Optional[str] = None, workers: Optional[int] = None):
-    """Scoped :func:`set_backend`: yields the backend, restores on exit.
-
-    Accepts either a ready :class:`ExecutionBackend` or the ``name=``/
-    ``workers=`` fields to build one (``use_backend(name="shared",
-    workers=4)``).
-    """
-    if backend is None:
-        fields = {}
-        if name is not None:
-            fields["name"] = name
-        if workers is not None:
-            fields["workers"] = workers
-        backend = ExecutionBackend(**fields)
-    elif name is not None or workers is not None:
-        raise TypeError("pass either a backend object or name=/workers= "
-                        "fields, not both")
-    previous = set_backend(backend)
-    try:
-        yield backend
-    finally:
-        set_backend(previous)
+    """Deprecated alias for :func:`repro.core.filter_api.use_backend`."""
+    deprecated_alias("repro.parallel.use_backend",
+                     "repro.core.filter_api.use_backend",
+                     note="the unified filter-construction API")
+    return _use_backend(backend, name=name, workers=workers)
 
 
 def create_filter(
@@ -137,54 +114,15 @@ def create_filter(
     backend: Optional[ExecutionBackend] = None,
     **config_fields,
 ) -> Union[BitmapFilter, ShardedBitmapFilter, SharedBitmapFilter]:
-    """Build a bitmap filter on the active (or given) execution backend.
+    """Deprecated alias for :func:`repro.core.filter_api.build_filter`.
 
-    Signature-compatible with ``BitmapFilter(...)``, so switching a call
-    site is mechanical.  The shared backend honors every feature including
-    adaptive packet dropping; the sharded backend cannot support APD (drop
-    decisions depend on global arrival order, which replicas do not see)
-    and falls back to a serial filter with a :class:`DeprecationWarning` —
-    results are identical either way, but the fallback is no longer
-    silent: request ``backend="shared"`` for parallel APD.
+    Kept signature-compatible with the historical factory; unlike
+    ``build_filter`` it never wraps ambient layers (callers predating the
+    layers API expect a bare backend filter).
     """
-    backend = backend if backend is not None else get_backend()
-    if backend.is_shared:
-        return SharedBitmapFilter(
-            config,
-            protected,
-            num_workers=backend.workers,
-            start_time=start_time,
-            apd=apd,
-            fail_policy=fail_policy,
-            telemetry=telemetry,
-            **config_fields,
-        )
-    if backend.is_sharded:
-        if apd is None:
-            return ShardedBitmapFilter(
-                config,
-                protected,
-                num_workers=backend.workers,
-                start_time=start_time,
-                fail_policy=fail_policy,
-                telemetry=telemetry,
-                **config_fields,
-            )
-        warnings.warn(
-            "adaptive packet dropping needs global arrival order, which the "
-            "sharded backend's replicas never see; building a serial filter "
-            "instead. This silent fallback is deprecated — use "
-            'backend="shared", whose single-writer design supports APD '
-            "natively.",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    return BitmapFilter(
-        config,
-        protected,
-        start_time=start_time,
-        apd=apd,
-        fail_policy=fail_policy,
-        telemetry=telemetry,
-        **config_fields,
-    )
+    deprecated_alias("repro.parallel.create_filter",
+                     "repro.core.filter_api.build_filter",
+                     note="the unified filter-construction API")
+    return build_filter(config, protected, start_time, apd, fail_policy,
+                        telemetry=telemetry, backend=backend, layers=(),
+                        **config_fields)

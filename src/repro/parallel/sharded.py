@@ -212,7 +212,7 @@ class ShardedBitmapFilter(PacketFilterMixin):
     unchanged.  See the module docstring for the equivalence argument.
 
     Adaptive packet dropping is not supported (its drop decisions depend on
-    global arrival order); :func:`repro.parallel.backend.create_filter`
+    global arrival order); :func:`repro.core.filter_api.build_filter`
     falls back to a serial filter when an APD policy is requested.
     """
 

@@ -66,15 +66,15 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.bitmap_filter import BitmapFilter, FilterConfig
+from repro.core.filter_api import BACKEND_NAMES, build_filter
 from repro.core.resilience import FailPolicy
 from repro.net.address import AddressSpace
 from repro.net.packet import DIRECTION_INCOMING, PacketArray
-from repro.parallel.backend import BACKEND_NAMES
 from repro.serve import protocol
 from repro.serve.http import HttpEndpoint
 from repro.serve.protocol import FrameDecoder, ProtocolError
 from repro.serve.scheduler import RotationScheduler
-from repro.serve.state import restore_serve_filter, snapshot_to_bytes, write_snapshot
+from repro.serve.state import snapshot_to_bytes, write_snapshot
 from repro.telemetry.registry import MetricsRegistry, log_buckets
 
 __all__ = ["FilterDaemon", "ServeConfig"]
@@ -266,43 +266,31 @@ class FilterDaemon:
     # -- construction ---------------------------------------------------------
 
     def _build_filter(self, cfg: FilterConfig, start_time: float):
-        backend = self.config.resolved_backend
-        if backend == "shared":
-            from repro.parallel.shared import SharedBitmapFilter
-
-            return SharedBitmapFilter(
-                cfg,
-                self.config.protected,
-                num_workers=self.config.resolved_workers,
-                start_time=start_time,
-                telemetry=self.registry,
-                mp_context=self.config.mp_context,
-            )
-        if backend == "sharded":
-            from repro.parallel.sharded import ShardedBitmapFilter
-
-            return ShardedBitmapFilter(
-                cfg,
-                self.config.protected,
-                num_workers=self.config.resolved_workers,
-                start_time=start_time,
-                telemetry=self.registry,
-                mp_context=self.config.mp_context,
-            )
-        return BitmapFilter(cfg, self.config.protected,
-                            start_time=start_time, telemetry=self.registry)
+        # One construction path for every backend and layer stack: the
+        # config's layers (e.g. the hybrid verification tier) are wrapped
+        # by the factory itself.
+        return build_filter(
+            cfg,
+            self.config.protected,
+            start_time=start_time,
+            backend=self.config.resolved_backend,
+            workers=self.config.resolved_workers,
+            telemetry=self.registry,
+            mp_context=self.config.mp_context,
+        )
 
     def _init_filter(self) -> None:
         if self.config.restore_path:
-            self._filt = restore_serve_filter(
-                self.config.restore_path,
+            self._filt = build_filter(
+                snapshot=self.config.restore_path,
                 backend=self.config.resolved_backend,
                 workers=self.config.resolved_workers,
                 telemetry=self.registry,
                 mp_context=self.config.mp_context,
             )
             self._filter_config = FilterConfig.from_bitmap_config(
-                self._filt.config, fail_policy=self._filt.fail_policy)
+                self._filt.config, fail_policy=self._filt.fail_policy,
+                layers=getattr(self._filt, "layers", ()))
         else:
             self._filt = self._build_filter(self._filter_config, 0.0)
 
@@ -630,7 +618,7 @@ class FilterDaemon:
         geometry_changed = any(
             getattr(new_config, name) != getattr(current, name)
             for name in ("order", "num_vectors", "num_hashes",
-                         "rotation_interval", "seed"))
+                         "rotation_interval", "seed", "layers"))
         if not geometry_changed:
             if new_config.fail_policy is not self._filt.fail_policy:
                 self._filt.set_fail_policy(new_config.fail_policy)
@@ -688,6 +676,7 @@ class FilterDaemon:
                 "rotation_interval": cfg.rotation_interval,
                 "seed": cfg.seed,
                 "fail_policy": self._filt.fail_policy.value,
+                "layers": cfg.layer_dicts(),
             },
             "protected": [str(net) for net in self.config.protected.networks],
             "clock": self.config.clock,
@@ -758,7 +747,7 @@ def _parse_filter_config(data: dict) -> FilterConfig:
     fields = dict(data)
     policy = fields.pop("fail_policy", None)
     known = {"order", "num_vectors", "num_hashes", "rotation_interval",
-             "seed", "warmup_grace"}
+             "seed", "warmup_grace", "layers"}
     unknown = set(fields) - known
     if unknown:
         raise ValueError(f"unknown filter config fields: {sorted(unknown)}")

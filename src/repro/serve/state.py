@@ -27,7 +27,9 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.bitmap_filter import BitmapFilter
-from repro.core.persistence import load_filter, save_filter
+from repro.core.filter_api import build_filter, deprecated_alias
+from repro.core.hybrid import HybridVerifiedFilter
+from repro.core.persistence import save_filter
 from repro.telemetry.registry import MetricsRegistry
 
 __all__ = [
@@ -47,8 +49,17 @@ def materialize_serial(filt: AnyBackendFilter) -> BitmapFilter:
     replicated bitmap (worker 0's, identical to every replica), the
     rotation schedule, and the merged counters are copied into a fresh
     serial shell — the canonical single-process view that snapshots
-    persist.
+    persist.  A hybrid stack materializes its inner filter and re-wraps it
+    with a copy of the verification table.
     """
+    if isinstance(filt, HybridVerifiedFilter):
+        inner = materialize_serial(filt.inner)
+        if inner is filt.inner:
+            return filt
+        clone = HybridVerifiedFilter(inner, filt.spec, table=filt.table.copy())
+        clone.confirmed = filt.confirmed
+        clone.denied = filt.denied
+        return clone
     if isinstance(filt, BitmapFilter):
         return filt
     serial = BitmapFilter(filt.config, filt.protected,
@@ -87,50 +98,16 @@ def restore_serve_filter(
     telemetry: Optional[MetricsRegistry] = None,
     mp_context: Optional[str] = None,
 ):
-    """Warm-start a daemon filter from a snapshot file.
+    """Deprecated alias for ``build_filter(snapshot=path, ...)``.
 
-    ``backend`` selects the shape the state is loaded into: ``"serial"``
-    rebuilds a serial filter (re-created under the daemon's telemetry
-    registry, then loaded with the snapshot state so the instruments are
-    live), ``"sharded"`` boots a replica pool and broadcasts the state
-    into every replica via ``apply_snapshot_state``, and ``"shared"``
-    boots a shared-memory filter and writes the state into the one shared
-    segment under its seqlock.  ``backend=None`` keeps the historical
-    rule: ``workers > 1`` means sharded, else serial.
-
-    Restoring performs no rotation catch-up by itself: the daemon's clock
-    source decides what "now" is (the packet clock resumes wherever the
-    stream does; the wall-clock scheduler advances on its first boundary).
+    Keeps the historical default: ``backend=None`` means ``workers > 1`` ⇒
+    sharded, else serial.  Restoring performs no rotation catch-up by
+    itself: the daemon's clock source decides what "now" is.
     """
+    deprecated_alias("repro.serve.state.restore_serve_filter",
+                     "repro.core.filter_api.build_filter(snapshot=...)",
+                     note="the unified filter-construction API")
     if backend is None:
         backend = "sharded" if workers and workers > 1 else "serial"
-    if backend not in ("serial", "sharded", "shared"):
-        raise ValueError(f"unknown backend {backend!r}")
-    loaded = load_filter(path)  # validates geometry + vector checksum
-    vectors = np.stack([vec.as_numpy() for vec in loaded.bitmap.vectors])
-    state = dict(
-        current_index=loaded.bitmap.current_index,
-        bitmap_rotations=loaded.bitmap.rotations,
-        next_rotation=loaded.next_rotation,
-        stats=loaded.stats.as_dict(),
-    )
-    if backend in ("sharded", "shared"):
-        from repro.parallel.shared import SharedBitmapFilter
-        from repro.parallel.sharded import ShardedBitmapFilter
-
-        cls = SharedBitmapFilter if backend == "shared" else ShardedBitmapFilter
-        filt = cls(
-            loaded.config,
-            loaded.protected,
-            num_workers=workers if workers > 1 else 2,
-            start_time=loaded.next_rotation - loaded.config.rotation_interval,
-            fail_policy=loaded.fail_policy,
-            telemetry=telemetry,
-            mp_context=mp_context,
-        )
-        filt.apply_snapshot_state(vectors, **state)
-        return filt
-    filt = BitmapFilter(loaded.config, loaded.protected,
-                        fail_policy=loaded.fail_policy, telemetry=telemetry)
-    filt.apply_snapshot_state(vectors, **state)
-    return filt
+    return build_filter(snapshot=path, backend=backend, workers=workers,
+                        telemetry=telemetry, mp_context=mp_context)

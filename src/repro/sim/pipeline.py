@@ -51,7 +51,7 @@ def run_filter_on_trace(
     to the serial run either way (see docs/parallel.md); the temporary
     worker pool is torn down before returning.  Most callers should not
     pass these and instead rely on the ambient backend
-    (:func:`repro.parallel.create_filter`), which the CLI's ``--backend``/
+    (:func:`repro.core.filter_api.build_filter`), which the CLI's ``--backend``/
     ``--workers`` flags install.
     """
     if not isinstance(filt, PacketFilter):
@@ -65,6 +65,7 @@ def run_filter_on_trace(
                          '("sharded" or "shared")')
     owned_pool = None
     if backend in ("sharded", "shared"):
+        from repro.core.hybrid import HybridVerifiedFilter
         from repro.parallel import (
             SharedBitmapFilter,
             ShardedBitmapFilter,
@@ -72,8 +73,16 @@ def run_filter_on_trace(
             share_filter,
         )
 
-        if not isinstance(filt, (ShardedBitmapFilter, SharedBitmapFilter)):
-            wrap = share_filter if backend == "shared" else shard_filter
+        wrap = share_filter if backend == "shared" else shard_filter
+        if isinstance(filt, HybridVerifiedFilter):
+            # Parallelize the bitmap tier underneath the verification
+            # wrapper; the cuckoo table stays wrapper-local either way.
+            if not isinstance(filt.inner,
+                              (ShardedBitmapFilter, SharedBitmapFilter)):
+                inner = wrap(filt.inner, workers or 2)
+                filt = owned_pool = HybridVerifiedFilter(
+                    inner, filt.spec, table=filt.table)
+        elif not isinstance(filt, (ShardedBitmapFilter, SharedBitmapFilter)):
             filt = owned_pool = wrap(filt, workers or 2)
     try:
         return _run_scored(filt, trace, exact)

@@ -24,7 +24,7 @@ import abc
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.filter_api import Decision, PacketFilterMixin, deprecated_alias
+from repro.core.filter_api import Decision, PacketFilterMixin
 from repro.net.address import AddressSpace
 from repro.net.flow import FlowKey, flow_key_of_packet
 from repro.net.packet import Direction, Packet, TcpFlags
@@ -272,11 +272,3 @@ class StatefulFilter(PacketFilterMixin, abc.ABC):
             else:
                 stats.transit += 1
         return verdict
-
-    def process_array(self, packets: "PacketArray") -> "np.ndarray":
-        """Deprecated alias of :meth:`process_batch`."""
-        # Name the concrete backend so the once-per-message warning dedup
-        # fires once per subclass, not once for all SPI backends combined.
-        deprecated_alias(f"{type(self).__name__}.process_array",
-                         f"{type(self).__name__}.process_batch")
-        return self.process_batch(packets)

@@ -149,10 +149,10 @@ class TestPrecisionComparison:
         plain_verdicts = plain.process_batch(trace.packets, exact=True)
 
         aware = CloseAwareBitmapFilter(CFG, trace.protected)
-        aware_verdicts = aware.process_array(trace.packets)
+        aware_verdicts = aware.process_batch(trace.packets)
 
         spi = NaiveExactFilter(trace.protected, idle_timeout=240.0)
-        spi_verdicts = spi.process_array(trace.packets)
+        spi_verdicts = spi.process_batch(trace.packets)
 
         incoming = trace.packets.directions(trace.protected) == 1
         plain_drops = int((~plain_verdicts[incoming]).sum())

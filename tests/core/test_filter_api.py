@@ -104,26 +104,12 @@ class TestProtocolConformance:
         assert isinstance(fake, PacketFilter)
 
 
-class TestDeprecatedAliases:
-    def test_process_array_warns_and_delegates(
-        self, protected, client_addr, server_addr
-    ):
-        request = make_request(1.0, client_addr, server_addr)
-        batch = PacketArray.from_packets([request, make_reply(request, 1.5)])
-        for filt in (NaiveExactFilter(protected),
-                     AggregateRateLimiter(protected, trigger_pps=1e9,
-                                          limit_pps=1e9)):
-            with pytest.warns(DeprecationWarning, match="process_array"):
-                mask = filt.process_array(batch)
-            assert mask.tolist() == [True, True]
-
-    def test_close_aware_shim(self, small_config, protected, client_addr,
-                              server_addr):
-        filt = CloseAwareBitmapFilter(small_config, protected)
-        batch = PacketArray.from_packets(
-            [make_request(1.0, client_addr, server_addr)])
-        with pytest.warns(DeprecationWarning):
-            filt.process_array(batch)
+class TestProcessArrayRemoved:
+    def test_shims_are_gone(self, small_config, protected):
+        """The ``process_array`` deprecation shims completed their cycle:
+        the name no longer exists on any filter class."""
+        for filt in all_filters(small_config, protected):
+            assert not hasattr(filt, "process_array"), type(filt).__name__
 
     def test_canonical_name_does_not_warn(self, protected, client_addr,
                                           server_addr):

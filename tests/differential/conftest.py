@@ -9,6 +9,14 @@ raw bitmap bytes.  Any test that takes a ``backend`` argument is
 automatically parametrized over every parallel backend, so the whole
 suite states the equivalence contract once and proves it N times.
 
+The ``verified-*`` backends re-run the same contract with the hybrid
+bitmap→cuckoo verification tier stacked on top of each side: the serial
+reference becomes a :class:`~repro.core.hybrid.HybridVerifiedFilter`
+over a serial bitmap filter, the parallel subject a hybrid over the
+parallel backend.  Verdicts, bitmap bytes, *and* cuckoo table digests
+must all agree, which proves the verification layer composes with the
+execution backends without changing semantics.
+
 The fixtures provide one session-scoped benign+flood trace and the
 state-comparison helper the whole suite leans on.
 """
@@ -18,6 +26,7 @@ import pytest
 
 from repro.attacks.ddos import syn_flood
 from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+from repro.core.hybrid import HybridVerifiedFilter, VerifySpec
 from repro.parallel import (
     SharedBitmapFilter,
     ShardedBitmapFilter,
@@ -30,13 +39,51 @@ from repro.traffic.trace import Trace
 #: Worker counts every parametrized equivalence test sweeps.
 WORKER_COUNTS = (1, 2, 4)
 
-#: Every parallel backend the differential contract covers.
-PARALLEL_BACKENDS = ("sharded", "shared")
+#: Every parallel backend the differential contract covers.  The
+#: ``verified-*`` names stack the hybrid verification tier over the base
+#: backend on *both* sides of every comparison.
+PARALLEL_BACKENDS = ("sharded", "shared", "verified-sharded",
+                     "verified-shared")
+
+#: Small table so the trace exercises growth under the sweep.
+VERIFY_SPEC = VerifySpec(initial_order=4)
+
+
+def base_backend(backend: str) -> str:
+    """The execution-backend half of a sweep name (``verified-shared`` →
+    ``shared``); plain names pass through."""
+    return backend.rsplit("-", 1)[-1]
+
+
+def is_verified(backend: str) -> bool:
+    return backend.startswith("verified-")
+
+
+def _verified_wrapper(wrap):
+    """Lift a pristine-donor wrapper (shard/share) to hybrid donors: the
+    bitmap tier underneath gets parallelized, the wrapper and its cuckoo
+    table carry over.  Keeps the base wrappers' idempotence contract."""
+    def wrapper(donor, num_workers):
+        if isinstance(donor, HybridVerifiedFilter):
+            inner = wrap(donor.inner, num_workers)
+            if inner is donor.inner:
+                return donor
+            # The base wrappers leave the donor usable, so the lifted
+            # wrapper must too: the new stack gets its own table copy.
+            return HybridVerifiedFilter(inner, donor.spec,
+                                        table=donor.table.copy())
+        return wrap(donor, num_workers)
+    return wrapper
+
 
 #: Backend name -> filter class / pristine-donor wrapper.
 PARALLEL_FILTERS = {"sharded": ShardedBitmapFilter,
-                    "shared": SharedBitmapFilter}
-PARALLEL_WRAPPERS = {"sharded": shard_filter, "shared": share_filter}
+                    "shared": SharedBitmapFilter,
+                    "verified-sharded": HybridVerifiedFilter,
+                    "verified-shared": HybridVerifiedFilter}
+PARALLEL_WRAPPERS = {"sharded": shard_filter, "shared": share_filter,
+                     "verified-sharded": _verified_wrapper(shard_filter),
+                     "verified-shared": _verified_wrapper(share_filter)}
 
 #: Small geometry with a fast rotation clock: a 25 s trace crosses ~12
 #: rotation boundaries and several full expiry windows.
@@ -65,14 +112,22 @@ def trace() -> Trace:
     return base.merged_with(Trace(flood, base.protected)).time_slice(0.0, 26.0)
 
 
-def make_serial(protected, **kwargs) -> BitmapFilter:
-    return BitmapFilter(CONFIG, protected, **kwargs)
+def make_serial(protected, backend="serial", config=CONFIG, **kwargs):
+    """The serial reference for ``backend``: a plain bitmap filter, or a
+    hybrid over one when the sweep name asks for the verified stack."""
+    filt = BitmapFilter(config, protected, **kwargs)
+    if is_verified(backend):
+        filt = HybridVerifiedFilter(filt, VERIFY_SPEC)
+    return filt
 
 
 def make_parallel(backend, protected, num_workers, config=CONFIG, **kwargs):
     """A parallel filter of the requested backend over ``config``."""
-    return PARALLEL_FILTERS[backend](config, protected,
-                                     num_workers=num_workers, **kwargs)
+    filt = PARALLEL_FILTERS[base_backend(backend)](
+        config, protected, num_workers=num_workers, **kwargs)
+    if is_verified(backend):
+        filt = HybridVerifiedFilter(filt, VERIFY_SPEC)
+    return filt
 
 
 def bitmap_state(filt):
@@ -91,3 +146,9 @@ def assert_same_filter_state(serial, parallel) -> None:
     assert parallel_idx == serial_idx
     assert parallel_rot == serial_rot
     assert np.array_equal(parallel_vecs, serial_vecs)
+    if isinstance(serial, HybridVerifiedFilter) or isinstance(
+            parallel, HybridVerifiedFilter):
+        # Verified sweeps: the exact tier must agree too, byte for byte.
+        assert parallel.table.state_digest() == serial.table.state_digest()
+        assert parallel.confirmed == serial.confirmed
+        assert parallel.denied == serial.denied

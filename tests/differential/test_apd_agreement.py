@@ -24,6 +24,8 @@ from repro.core.apd import (
     BandwidthIndicator,
     PacketRatioIndicator,
 )
+from repro.core import filter_api
+from repro.core.filter_api import build_filter
 from repro.parallel import (
     SharedBitmapFilter,
     ShardedBitmapFilter,
@@ -145,18 +147,26 @@ def test_create_filter_sharded_apd_deprecation(trace):
     assert filt.apd is not None
 
 
-def test_create_filter_shared_apd_is_silent_and_parallel(trace):
+def test_build_filter_shared_apd_is_silent_and_parallel(trace):
     """Opting into the shared backend makes the same request clean: a
-    parallel filter, no warning."""
-    with use_backend(name="shared", workers=2):
+    parallel filter, no warning — through the unified factory, which is
+    the non-deprecated spelling."""
+    with filter_api.use_backend(name="shared", workers=2):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            filt = create_filter(CONFIG, trace.protected, apd=_ratio_policy())
+            filt = build_filter(CONFIG, trace.protected, apd=_ratio_policy())
     try:
         assert isinstance(filt, SharedBitmapFilter)
         assert filt.apd is not None
     finally:
         filt.close()
+
+
+def test_create_filter_alias_warns_with_pointer(trace):
+    """The legacy factory still works but names its replacement."""
+    with pytest.warns(DeprecationWarning, match="build_filter"):
+        filt = create_filter(CONFIG, trace.protected)
+    assert filt.apd is None
 
 
 def test_shard_filter_still_refuses_apd_donor(trace):

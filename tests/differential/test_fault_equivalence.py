@@ -37,7 +37,7 @@ def _assert_equivalent_runs(trace, backend, injectors, exact=True,
     """Replay the same fault schedule serially and parallel; require
     identical verdicts, fault logs, and (optionally) final filter state."""
     kwargs = {} if fail_policy is None else {"fail_policy": fail_policy}
-    serial = make_serial(trace.protected, **kwargs)
+    serial = make_serial(trace.protected, backend, **kwargs)
     serial_run = run_with_faults(serial, trace, injectors, exact=exact)
 
     parallel = make_parallel(backend, trace.protected, NUM_WORKERS, **kwargs)
@@ -78,7 +78,7 @@ def test_rotation_stall(trace, backend, catch_up):
 def test_bit_flips(trace, backend):
     serial_flip = BitFlips(at=10.0, fraction=0.01, seed=0xFEED)
     parallel_flip = BitFlips(at=10.0, fraction=0.01, seed=0xFEED)
-    serial = make_serial(trace.protected)
+    serial = make_serial(trace.protected, backend)
     serial_run = run_with_faults(serial, trace, [serial_flip])
     with make_parallel(backend, trace.protected, NUM_WORKERS) as parallel:
         parallel_run = run_with_faults(parallel, trace, [parallel_flip])
@@ -98,7 +98,7 @@ def test_crash_restart(trace, backend, snapshot_age):
         return [CrashRestart(crash_at=12.0, downtime=3.0,
                              snapshot_age=snapshot_age)]
 
-    serial_run = run_with_faults(make_serial(trace.protected), trace,
+    serial_run = run_with_faults(make_serial(trace.protected, backend), trace,
                                  injectors())
     with make_parallel(backend, trace.protected, NUM_WORKERS) as parallel:
         parallel_run = run_with_faults(parallel, trace, injectors())
@@ -132,7 +132,7 @@ def test_manual_control_surface_sequence(trace, backend):
     lockstep, including recover()'s missed-rotation accounting that sizes
     the default warm-up grace."""
     packets = trace.packets
-    serial = make_serial(trace.protected)
+    serial = make_serial(trace.protected, backend)
     with make_parallel(backend, trace.protected, 2) as parallel:
         cut1 = int(np.searchsorted(packets.ts, 7.0))
         cut2 = int(np.searchsorted(packets.ts, 13.0))

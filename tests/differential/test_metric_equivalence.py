@@ -12,13 +12,16 @@ import io
 import numpy as np
 import pytest
 
+from repro.core import filter_api
+from repro.core.filter_api import build_filter
 from repro.core.persistence import load_filter, save_filter
-from repro.parallel import use_backend
 from repro.sim.pipeline import run_filter_on_trace
 from repro.telemetry import MetricsRegistry, use_registry
 from tests.differential.conftest import (
     CONFIG,
     WORKER_COUNTS,
+    base_backend,
+    is_verified,
     make_parallel,
     make_serial,
 )
@@ -38,10 +41,11 @@ def _counter_total(registry: MetricsRegistry, name: str) -> int:
 
 @pytest.mark.parametrize("num_workers", WORKER_COUNTS)
 def test_scored_pipeline_results_agree(trace, backend, num_workers):
-    serial_run = run_filter_on_trace(make_serial(trace.protected), trace)
+    serial_run = run_filter_on_trace(make_serial(trace.protected, backend),
+                                     trace)
     parallel_run = run_filter_on_trace(
-        make_serial(trace.protected), trace,
-        backend=backend, workers=num_workers)
+        make_serial(trace.protected, backend), trace,
+        backend=base_backend(backend), workers=num_workers)
     assert np.array_equal(parallel_run.verdicts, serial_run.verdicts)
     assert parallel_run.confusion == serial_run.confusion
     assert parallel_run.filter_stats == serial_run.filter_stats
@@ -54,16 +58,17 @@ def test_scored_pipeline_results_agree(trace, backend, num_workers):
 
 
 def test_ambient_backend_matches_explicit(trace, backend):
-    """The backend installed via use_backend() (the CLI's --backend/
-    --workers path) produces the same scores as the explicit backend=
-    argument."""
-    explicit = run_filter_on_trace(make_serial(trace.protected), trace,
-                                   backend=backend, workers=2)
-    with use_backend(name=backend, workers=2):
-        from repro.parallel import create_filter, get_backend
-
-        assert get_backend().is_parallel
-        ambient_filter = create_filter(CONFIG, trace.protected)
+    """The ambient stack installed via use_backend()/use_layers() (the
+    CLI's --backend/--workers/--filter path) produces the same scores as
+    the explicit backend= argument over a hand-built filter."""
+    explicit = run_filter_on_trace(make_serial(trace.protected, backend),
+                                   trace, backend=base_backend(backend),
+                                   workers=2)
+    layers = ("verify",) if is_verified(backend) else ()
+    with filter_api.use_backend(name=base_backend(backend), workers=2), \
+            filter_api.use_layers(layers):
+        assert filter_api.get_backend().is_parallel
+        ambient_filter = build_filter(CONFIG, trace.protected)
         try:
             ambient = run_filter_on_trace(ambient_filter, trace)
         finally:
@@ -77,7 +82,7 @@ def test_unified_telemetry_counters_agree(trace, backend):
     merged path="sharded" counters, the shared filter's inherited serial
     per-path counters), the unified totals must equal the serial run's."""
     with use_registry(MetricsRegistry()) as serial_registry:
-        serial = make_serial(trace.protected)
+        serial = make_serial(trace.protected, backend)
         serial.process_batch(trace.packets)
     with use_registry(MetricsRegistry()) as parallel_registry:
         with make_parallel(backend, trace.protected, 2) as parallel:
@@ -116,7 +121,7 @@ def test_snapshot_agreement(trace, backend, tmp_path):
     """save_filter() on a parallel filter captures byte-identical state:
     the snapshot loads into a serial filter indistinguishable from one
     that did the whole run serially."""
-    serial = make_serial(trace.protected)
+    serial = make_serial(trace.protected, backend)
     serial.process_batch(trace.packets)
     with make_parallel(backend, trace.protected, 4) as parallel:
         parallel.process_batch(trace.packets)

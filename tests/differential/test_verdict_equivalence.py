@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings
 
-from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig
+from repro.core.bitmap_filter import BitmapFilterConfig
 from tests.differential.conftest import (
     PARALLEL_FILTERS,
     PARALLEL_WRAPPERS,
@@ -39,7 +39,7 @@ HYP_CONFIG = BitmapFilterConfig(order=10, num_vectors=4, num_hashes=3,
 @pytest.mark.parametrize("num_workers", WORKER_COUNTS)
 @pytest.mark.parametrize("exact", [True, False], ids=["exact", "windowed"])
 def test_full_trace_verdicts_and_state(trace, backend, num_workers, exact):
-    serial = make_serial(trace.protected)
+    serial = make_serial(trace.protected, backend)
     expected = serial.process_batch(trace.packets, exact=exact)
     with make_parallel(backend, trace.protected, num_workers) as parallel:
         got = parallel.process_batch(trace.packets, exact=exact)
@@ -50,7 +50,7 @@ def test_full_trace_verdicts_and_state(trace, backend, num_workers, exact):
 @pytest.mark.parametrize("num_workers", (2, 3))
 def test_scalar_path_agrees(trace, backend, num_workers):
     packets = list(trace.packets[:400])
-    serial = make_serial(trace.protected)
+    serial = make_serial(trace.protected, backend)
     with make_parallel(backend, trace.protected, num_workers) as parallel:
         for pkt in packets:
             assert parallel.process(pkt) is serial.process(pkt), pkt
@@ -61,7 +61,7 @@ def test_batch_after_scalar_interleaving(trace, backend):
     """Mixing the scalar and batch entry points must not diverge."""
     packets = trace.packets[:900]
     split = 300
-    serial = make_serial(trace.protected)
+    serial = make_serial(trace.protected, backend)
     with make_parallel(backend, trace.protected, 2) as parallel:
         for pkt in packets[:split]:
             assert parallel.process(pkt) is serial.process(pkt)
@@ -96,8 +96,10 @@ def test_parallel_windowed_equals_serial_windowed(trace, backend):
     packets.sort(key=lambda pkt: pkt.ts)
     batch = PacketArray.from_packets(packets)
 
-    serial_windowed = make_serial(protected).process_batch(batch, exact=False)
-    serial_exact = make_serial(protected).process_batch(batch, exact=True)
+    serial_windowed = make_serial(protected, backend).process_batch(
+        batch, exact=False)
+    serial_exact = make_serial(protected, backend).process_batch(
+        batch, exact=True)
     assert not np.array_equal(serial_windowed, serial_exact), \
         "batch too tame: windowed path never diverged, weak test"
     with make_parallel(backend, protected, 4) as parallel:
@@ -107,7 +109,7 @@ def test_parallel_windowed_equals_serial_windowed(trace, backend):
 
 def test_wrapper_wraps_pristine_donor(trace, backend):
     wrap = PARALLEL_WRAPPERS[backend]
-    donor = make_serial(trace.protected)
+    donor = make_serial(trace.protected, backend)
     parallel = wrap(donor, 2)
     try:
         assert isinstance(parallel, PARALLEL_FILTERS[backend])
@@ -120,7 +122,7 @@ def test_wrapper_wraps_pristine_donor(trace, backend):
 
 
 def test_wrapper_refuses_used_donor(trace, backend):
-    donor = make_serial(trace.protected)
+    donor = make_serial(trace.protected, backend)
     donor.process_batch(trace.packets[:50])
     with pytest.raises(ValueError, match="pristine"):
         PARALLEL_WRAPPERS[backend](donor, 2)
@@ -132,7 +134,7 @@ def test_property_mixed_direction_batches(backend, script):
     from repro.net.packet import PacketArray
 
     batch = PacketArray.from_packets(script)
-    serial = BitmapFilter(HYP_CONFIG, PROTECTED)
+    serial = make_serial(PROTECTED, backend, config=HYP_CONFIG)
     expected = serial.process_batch(batch)
     with make_parallel(backend, PROTECTED, 2,
                        config=HYP_CONFIG) as parallel:
@@ -144,7 +146,7 @@ def test_property_mixed_direction_batches(backend, script):
 @given(events=traffic_scripts())
 @settings(max_examples=25, deadline=None)
 def test_property_scalar_scripts(backend, events):
-    serial = BitmapFilter(HYP_CONFIG, PROTECTED)
+    serial = make_serial(PROTECTED, backend, config=HYP_CONFIG)
     with make_parallel(backend, PROTECTED, 3,
                        config=HYP_CONFIG) as parallel:
         for pkt in script_to_packets(events):
@@ -158,7 +160,7 @@ def test_property_scalar_scripts(backend, events):
 def test_property_rotation_boundary_clusters(backend, exact, batch):
     """Timestamps landing just before / on / just after rotation
     boundaries — the adversarial shape for lockstep-rotation bugs."""
-    serial = BitmapFilter(HYP_CONFIG, PROTECTED)
+    serial = make_serial(PROTECTED, backend, config=HYP_CONFIG)
     expected = serial.process_batch(batch, exact=exact)
     with make_parallel(backend, PROTECTED, 2,
                        config=HYP_CONFIG) as parallel:

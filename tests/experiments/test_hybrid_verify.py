@@ -1,0 +1,72 @@
+"""CI-fast run of the hybrid verification experiment.
+
+The claim under test is the tentpole claim of the hybrid stack: on the
+random-scan attack the bitmap alone lets ``U**m``-probability false
+admits through, and the exact verification tier removes *all* of them
+without dropping any additional legitimate traffic.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.hybrid_verify import run_hybrid_verify
+
+#: Sub-second scale: 40 s, 8K normal + 160K-at-20x attack packets.
+TINY = ExperimentScale(name="tiny", duration=40.0, normal_pps=200.0,
+                       bitmap_order=14)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_hybrid_verify(TINY)
+
+
+def test_pressured_bitmap_leaks_and_hybrid_seals(result):
+    pressured = result.scenarios[1]
+    assert pressured.order == TINY.bitmap_order - 3
+    # The small bitmap demonstrably leaks under attack...
+    assert pressured.bitmap_false_admits > 50
+    # ...and the exact tier catches every single false admit.
+    assert pressured.hybrid_false_admits == 0
+    assert pressured.hybrid_penetration_rate == 0.0
+    assert pressured.denied >= pressured.bitmap_false_admits
+
+
+def test_worm_and_insider_scenarios_sealed(result):
+    labels = [s.label for s in result.scenarios]
+    assert labels == ["paper band", "pressured (n-3)",
+                      "worm inbound (n-3)", "insider-polluted"]
+    for scenario in result.scenarios[2:]:
+        # Attack flows are never outgoing, so the exact tier confirms
+        # none of the bitmap's leaks — penetration collapses to zero.
+        assert scenario.hybrid_false_admits == 0, scenario.label
+        assert scenario.hybrid_penetration_rate == 0.0, scenario.label
+    insider = result.scenarios[3]
+    # The insider's outgoing pollution inflates U, so the plain bitmap
+    # leaks at least as much as in the unpolluted paper-band scenario.
+    assert insider.bitmap_false_admits >= \
+        result.scenarios[0].bitmap_false_admits
+
+
+def test_no_legitimate_traffic_harmed(result):
+    for scenario in result.scenarios:
+        assert scenario.hybrid_fp_rate == scenario.bitmap_fp_rate, \
+            scenario.label
+        assert scenario.hybrid_false_admits == 0, scenario.label
+
+
+def test_state_accounting_in_table1_style(result):
+    for scenario in result.scenarios:
+        assert scenario.table_kib > 0
+        assert scenario.table_occupancy > 0
+        assert scenario.confirmed > 0
+
+
+def test_registry_row_and_report(result):
+    from repro.experiments.registry import EXPERIMENTS
+
+    spec = EXPERIMENTS["hybrid"]
+    assert spec.module == "repro.experiments.hybrid_verify"
+    assert spec.default_scale == "small"
+    text = result.report()
+    assert "FA bitmap" in text and "pen hybrid" in text

@@ -141,7 +141,7 @@ class TestResourceExhaustion:
         pollution = InsiderAttack(attacker, rate_pps=500.0, start=0.0,
                                   duration=30.0).generate(protected)
         spi = HashListFilter(protected, idle_timeout=240.0)
-        spi.process_array(pollution)
+        spi.process_batch(pollution)
         assert spi.num_flows > 10_000  # one state per scan tuple
 
         bitmap = BitmapFilter(small_config, protected)
@@ -154,7 +154,7 @@ class TestResourceExhaustion:
         victim = protected.networks[0].host(20)
         flood = syn_flood(victim, 80, rate_pps=2000.0, start=0.0, duration=10.0)
         spi = HashListFilter(protected)
-        verdicts = spi.process_array(flood)
+        verdicts = spi.process_batch(flood)
         assert not verdicts.any()
         assert spi.num_flows == 0
 

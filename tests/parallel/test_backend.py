@@ -127,13 +127,17 @@ class TestCreateFilter:
 
     def test_apd_native_on_shared(self):
         """The shared backend's single writer sees every arrival in global
-        order, so APD runs natively — no fallback, no warning."""
+        order, so APD runs natively — no fallback, no warning.  (Built via
+        the modern factory: the deprecated ``create_filter`` alias itself
+        warns, which would trip the error filter.)"""
         import warnings
+
+        from repro.core.filter_api import build_filter
 
         with use_backend(name="shared", workers=2):
             with warnings.catch_warnings():
                 warnings.simplefilter("error")
-                filt = create_filter(
+                filt = build_filter(
                     CONFIG, PROTECTED,
                     apd=AdaptiveDroppingPolicy(PacketRatioIndicator()))
         try:

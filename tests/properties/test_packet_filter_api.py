@@ -3,11 +3,12 @@ scalar path.
 
 The unified API (``repro.core.filter_api``) promises that
 ``process_batch(packets)`` on a fresh filter returns exactly the verdicts a
-scalar ``process`` loop would, for *all six* implementations — the two
-bitmap variants, the three SPI backends, and the rate-limiting baseline.
-``exact=False`` is a bitmap-only approximation knob: the windowed bitmap
-path may only ever pass *more*, and every other filter must ignore the
-flag entirely.
+scalar ``process`` loop would, for *all seven* implementations — the two
+bitmap variants, the hybrid bitmap→cuckoo verified stack, the three SPI
+backends, and the rate-limiting baseline.  ``exact=False`` is a windowed
+approximation knob for the bitmap-backed filters: the windowed path may
+only ever pass *more*, and every other filter must ignore the flag
+entirely.
 """
 
 import numpy as np
@@ -18,6 +19,7 @@ from repro.baselines.throttle import AggregateRateLimiter
 from repro.core.bitmap_filter import BitmapFilter, BitmapFilterConfig, Decision
 from repro.core.close_aware import CloseAwareBitmapFilter
 from repro.core.filter_api import PacketFilter
+from repro.core.hybrid import HybridVerifiedFilter, VerifySpec
 from repro.net.packet import PacketArray
 from repro.spi.avltree import AvlTreeFilter
 from repro.spi.hashlist import HashListFilter
@@ -27,9 +29,11 @@ from tests.strategies import PROTECTED, mixed_direction_packets, packet_scripts
 CONFIG = BitmapFilterConfig(order=10, num_vectors=4, num_hashes=3,
                             rotation_interval=5.0)
 
-#: Fresh-instance factories for all six PacketFilter implementations.
+#: Fresh-instance factories for all seven PacketFilter implementations.
 FILTER_FACTORIES = {
     "BitmapFilter": lambda: BitmapFilter(CONFIG, PROTECTED),
+    "HybridVerifiedFilter": lambda: HybridVerifiedFilter(
+        BitmapFilter(CONFIG, PROTECTED), VerifySpec(initial_order=4)),
     "CloseAwareBitmapFilter": lambda: CloseAwareBitmapFilter(CONFIG, PROTECTED),
     "NaiveExactFilter": lambda: NaiveExactFilter(PROTECTED),
     "HashListFilter": lambda: HashListFilter(PROTECTED),
@@ -40,7 +44,9 @@ FILTER_FACTORIES = {
 
 ALL_FILTERS = sorted(FILTER_FACTORIES)
 #: Filters where exact=False must be a no-op (no windowed approximation).
-EXACT_ONLY_FILTERS = sorted(set(ALL_FILTERS) - {"BitmapFilter"})
+#: Bitmap-backed stacks have a real windowed approximation path.
+WINDOWED_FILTERS = ("BitmapFilter", "HybridVerifiedFilter")
+EXACT_ONLY_FILTERS = sorted(set(ALL_FILTERS) - set(WINDOWED_FILTERS))
 
 
 @pytest.mark.parametrize("name", ALL_FILTERS)
@@ -85,14 +91,15 @@ class TestExactFlagSemantics:
         windowed = make().process_batch(batch, exact=False)
         assert exact.tolist() == windowed.tolist(), name
 
+    @pytest.mark.parametrize("name", WINDOWED_FILTERS)
     @given(script=packet_scripts())
     @settings(max_examples=40, deadline=None)
-    def test_bitmap_windowed_is_superset_of_exact(self, script):
+    def test_windowed_is_superset_of_exact(self, name, script):
+        make = FILTER_FACTORIES[name]
         batch = PacketArray.from_packets(script)
-        exact = BitmapFilter(CONFIG, PROTECTED).process_batch(batch, exact=True)
-        windowed = BitmapFilter(CONFIG, PROTECTED).process_batch(batch,
-                                                                 exact=False)
-        assert bool(np.all(windowed >= exact))
+        exact = make().process_batch(batch, exact=True)
+        windowed = make().process_batch(batch, exact=False)
+        assert bool(np.all(windowed >= exact)), name
 
 
 class TestDirectionalApi:

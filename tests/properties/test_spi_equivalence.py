@@ -47,5 +47,5 @@ class TestBackendEquivalence:
             scalar = cls(PROTECTED)
             expected = [scalar.process(p) is Decision.PASS for p in script]
             vectorized = cls(PROTECTED)
-            got = vectorized.process_array(batch)
+            got = vectorized.process_batch(batch)
             assert got.tolist() == expected, cls.__name__

@@ -156,7 +156,7 @@ class TestCloseTracking:
 
 
 class TestBatchPath:
-    def test_process_array_matches_scalar(self, protected, client_addr, server_addr):
+    def test_process_batch_matches_scalar(self, protected, client_addr, server_addr):
         out = make_request(1.0, client_addr, server_addr)
         packets = [
             out,
@@ -172,12 +172,12 @@ class TestBatchPath:
             scalar = cls(protected)
             expected = [scalar.process(p) is Decision.PASS for p in packets]
             batched = cls(protected)
-            verdicts = batched.process_array(batch)
+            verdicts = batched.process_batch(batch)
             assert verdicts.tolist() == expected, cls.__name__
             assert batched.num_flows == scalar.num_flows
 
     def test_empty_batch(self, spi):
-        assert len(spi.process_array(PacketArray.empty())) == 0
+        assert len(spi.process_batch(PacketArray.empty())) == 0
 
 
 class TestStorageAccounting:

@@ -14,12 +14,23 @@ operator would:
    DEGRADED-CONSISTENT: divergence confined to the dead node's flows and
    equal to the fail policy's answer.
 
+With ``--reconfig`` (CI runs this), two more zero-downtime checks:
+
+4. ``repro replay-to --fleet 3 --reconfig-order 13 --verify`` — a
+   rolling geometry rebuild mid-replay must stay byte-identical to an
+   offline filter rebuilding at the same shared boundary.
+5. ``repro replay-to --fleet 3 --add-node --verify`` — scaling out
+   under load must serve the arrival warm from the snapshot store
+   (nonzero restored arrivals) and at worst report DEGRADED-CONSISTENT.
+
 Exits non-zero with a diagnostic on any failure.
 
-Usage: ``make fleet-smoke`` or ``python scripts/fleet_smoke.py``
-(needs ``repro`` importable — installed or via ``PYTHONPATH=src``).
+Usage: ``make fleet-smoke`` or ``python scripts/fleet_smoke.py
+[--reconfig]`` (needs ``repro`` importable — installed or via
+``PYTHONPATH=src``).
 """
 
+import argparse
 import subprocess
 import sys
 import tempfile
@@ -41,8 +52,35 @@ def run_cli(*argv: str, timeout: float = 300.0) -> str:
     return result.stdout
 
 
+def check_reconfig(trace_path: Path) -> None:
+    """Zero-downtime checks: rolling geometry rebuild and warm scale-out."""
+    out = run_cli("replay-to", str(trace_path), "--fleet", "3",
+                  "--reconfig-order", "13", "--verify")
+    if "rolling reconfig: order -> 13" not in out:
+        fail("rolling reconfig did not confirm the new geometry")
+    if "verify: OK" not in out:
+        fail("rolling reconfig broke byte-parity with the offline twin")
+
+    out = run_cli("replay-to", str(trace_path), "--fleet", "3",
+                  "--add-node", "--verify")
+    if "joined warm" not in out:
+        fail("scale-out node did not pre-warm from the snapshot store")
+    restored = next((line for line in out.splitlines()
+                     if "restored_arrivals=" in line), "")
+    if restored.rstrip().endswith("restored_arrivals=0"):
+        fail("scale-out node restored zero arrivals — served cold")
+    if "verify: OK" not in out and "verify: DEGRADED-CONSISTENT" not in out:
+        fail("scale-out replay diverged beyond the stolen share")
+
+
 def main() -> None:
     from repro.traffic.generator import generate_client_trace
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reconfig", action="store_true",
+                        help="also run the zero-downtime reconfig and "
+                             "scale-out checks")
+    args = parser.parse_args()
 
     workdir = Path(tempfile.mkdtemp(prefix="fleet-smoke-"))
     trace = generate_client_trace(duration=60.0, target_pps=800.0, seed=7)
@@ -64,8 +102,11 @@ def main() -> None:
     if "verify: DEGRADED-CONSISTENT" not in out:
         fail("node-kill replay did not degrade policy-consistently")
 
-    print("fleet-smoke: PASS — minimal remap, healthy parity, "
-          "policy-consistent failover")
+    summary = "minimal remap, healthy parity, policy-consistent failover"
+    if args.reconfig:
+        check_reconfig(trace_path)
+        summary += ", zero-downtime reconfig, warm scale-out"
+    print(f"fleet-smoke: PASS — {summary}")
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
@@ -361,6 +361,14 @@ def _cmd_replay_fleet(args: argparse.Namespace) -> str:
     SIGKILLed mid-replay and the check becomes: divergence confined to
     the dead node's flows, every diverged verdict equal to the fail
     policy's answer, and zero client hangs.
+
+    ``--reconfig-order N`` runs a **rolling geometry reconfig**
+    mid-replay (``FleetManager.rolling_reconfig``): the verify twin
+    becomes ``run_filter_with_reconfig`` rebuilding at the same shared
+    boundary, and the check stays byte-identity.  ``--add-node`` scales
+    the fleet out by one store-pre-warmed node mid-replay: the check is
+    divergence confined to the arrival's stolen share, plus a nonzero
+    ``restored_arrivals`` in its ``/healthz`` (proof it served warm).
     """
     import tempfile
     import time as _time
@@ -407,6 +415,16 @@ def _cmd_replay_fleet(args: argparse.Namespace) -> str:
                       for i in range(0, len(packets), step)]
             kill_name = None
             kill_frame = len(frames)
+            reconfig = getattr(args, "reconfig_order", None)
+            add_node = getattr(args, "add_node", False)
+            if (args.kill_node is not None) + bool(reconfig) + add_node > 1:
+                raise SystemExit(
+                    "replay-to: --kill-node, --reconfig-order and "
+                    "--add-node are mutually exclusive")
+            if (reconfig or add_node) and manager is None:
+                raise SystemExit(
+                    "replay-to: --reconfig-order/--add-node require "
+                    "--fleet (the driver must own the daemon processes)")
             if args.kill_node is not None:
                 if manager is None:
                     raise SystemExit(
@@ -414,13 +432,33 @@ def _cmd_replay_fleet(args: argparse.Namespace) -> str:
                         "driver must own the daemon processes to kill one)")
                 kill_name = router.ring.nodes[args.kill_node]
                 kill_frame = max(1, int(len(frames) * args.kill_at))
+            event_frame = (max(1, int(len(frames) * args.reconfig_at))
+                           if (reconfig or add_node) else len(frames))
+            reconfig_report = None
+            add_report = None
+            old_fcfg = dict(info["filter"])
+            old_fcfg.pop("fail_policy")
             began = _time.perf_counter()
-            masks = router.filter_batches(frames[:kill_frame],
-                                          window=args.window)
-            if kill_name is not None:
-                manager.kill(kill_name)
-                masks += router.filter_batches(frames[kill_frame:],
+            if reconfig or add_node:
+                masks = router.filter_batches(frames[:event_frame],
+                                              window=args.window)
+                if reconfig:
+                    from repro.core.bitmap_filter import FilterConfig
+
+                    new_fcfg = dict(old_fcfg, order=reconfig)
+                    reconfig_report = manager.rolling_reconfig(
+                        FilterConfig(**new_fcfg, fail_policy=fail_policy))
+                else:
+                    add_report = manager.add_node(router)
+                masks += router.filter_batches(frames[event_frame:],
                                                window=args.window)
+            else:
+                masks = router.filter_batches(frames[:kill_frame],
+                                              window=args.window)
+                if kill_name is not None:
+                    manager.kill(kill_name)
+                    masks += router.filter_batches(frames[kill_frame:],
+                                                   window=args.window)
             elapsed = _time.perf_counter() - began
         verdicts = (np.concatenate(masks) if masks
                     else np.zeros(0, dtype=bool))
@@ -439,13 +477,74 @@ def _cmd_replay_fleet(args: argparse.Namespace) -> str:
             suffix = "  [KILLED]" if spec.name == kill_name else ""
             lines.append(f"  {spec.name:<8} {spec.endpoint:<22} "
                          f"{owned:>8} packets{suffix}")
+        if reconfig_report is not None:
+            lines.append(
+                f"rolling reconfig: order -> {reconfig} on "
+                f"{len(reconfig_report.nodes)} nodes at shared boundary "
+                f"t={reconfig_report.rebuild_at:g}")
+        if add_report is not None:
+            health = manager.healthz(add_report.spec.name)
+            stolen = ", ".join(f"{donor}:{count}" for donor, count
+                               in sorted(add_report.stolen.items()))
+            source = (f"warm from {add_report.restored_from.path.name}"
+                      if add_report.warm else "cold (store was empty)")
+            lines.append(
+                f"scale-out: {add_report.spec.name} joined {source}; "
+                f"stolen share by donor: {stolen}; "
+                f"restored_arrivals={health['restored_arrivals']}")
         if args.verify:
             if info["clock"] != "packet":
                 lines.append(
                     "verify: SKIPPED — fleet daemons stamp arrival times "
                     "(clock=wall); run them with --clock packet to verify")
                 return "\n".join(lines)
+            if reconfig_report is not None:
+                from repro.core.bitmap_filter import FilterConfig
+                from repro.sim.pipeline import run_filter_with_reconfig
+
+                reference = np.asarray(run_filter_with_reconfig(
+                    FilterConfig(**old_fcfg, fail_policy=fail_policy),
+                    reconfig_report.config,
+                    Trace(packets, trace.protected),
+                    reconfig_report.rebuild_at,
+                    exact=info["exact"]), dtype=bool)
+                if np.array_equal(verdicts, reference):
+                    lines.append(
+                        f"verify: OK — {len(verdicts)} fleet verdicts "
+                        "byte-identical to offline replay through the "
+                        "rolling reconfig (rebuild at shared boundary "
+                        f"t={reconfig_report.rebuild_at:g})")
+                else:
+                    diff = int((verdicts != reference).sum())
+                    lines.append(f"verify: MISMATCH on {diff} of "
+                                 f"{len(verdicts)} verdicts across the "
+                                 "rolling reconfig")
+                    raise SystemExit("\n".join(lines))
+                return "\n".join(lines)
             reference = _offline_reference(info, packets)
+            if add_report is not None:
+                cut = sum(len(frame) for frame in frames[:event_frame])
+                diverged = np.flatnonzero(verdicts != reference)
+                foreign = [i for i in diverged
+                           if i < cut
+                           or owner_names[i] != add_report.spec.name]
+                if foreign:
+                    lines.append(
+                        f"verify: FAIL — {len(foreign)} diverged verdicts "
+                        "outside the arrival's stolen share (e.g. packet "
+                        f"{foreign[0]} owned by {owner_names[foreign[0]]})")
+                    raise SystemExit("\n".join(lines))
+                if diverged.size == 0:
+                    lines.append(
+                        f"verify: OK — {len(verdicts)} verdicts identical "
+                        "to offline replay straight through the scale-out")
+                else:
+                    lines.append(
+                        f"verify: DEGRADED-CONSISTENT — {len(diverged)} "
+                        "verdicts diverged, all on the stolen share "
+                        f"{add_report.spec.name} now owns (warm-started "
+                        "state approximates the donors' marks)")
+                return "\n".join(lines)
             if kill_name is None:
                 if np.array_equal(verdicts, reference):
                     lines.append(
@@ -583,6 +682,43 @@ def _cmd_replay_to(args: argparse.Namespace) -> str:
                 lines.append(f"verify: MISMATCH on {diff} of "
                              f"{len(verdicts)} verdicts")
                 raise SystemExit("\n".join(lines))
+    return "\n".join(lines)
+
+
+def _cmd_fleet_stats(args: argparse.Namespace) -> str:
+    """Scrape every node's /metrics page and merge into one fleet view.
+
+    Counters and histograms sum across nodes (the fleet-wide totals);
+    every instrument also appears under a ``node`` label for the
+    per-node breakdown.  Gauges stay per-node only — summing uptimes is
+    not a fleet uptime.
+    """
+    import urllib.request
+
+    from repro.telemetry.exporters import summarize_prometheus, to_prometheus
+    from repro.telemetry.merge import aggregate_fleet
+
+    pages: Dict[str, str] = {}
+    for index, endpoint in enumerate(args.nodes.split(",")):
+        url = endpoint.strip()
+        if not url.startswith("http://") and not url.startswith("https://"):
+            url = "http://" + url
+        url = url.rstrip("/")
+        if not url.endswith("/metrics"):
+            url += "/metrics"
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+                pages[f"node{index}"] = resp.read().decode()
+        except OSError as exc:
+            raise SystemExit(f"fleet-stats: {url}: {exc}")
+    merged = to_prometheus(aggregate_fleet(pages))
+    summary = summarize_prometheus(merged, args.prefix).splitlines()
+    unified = [line for line in summary if 'node="' not in line]
+    per_node = [line for line in summary if 'node="' in line]
+    lines = [f"fleet: {len(pages)} nodes scraped", "", "fleet-wide:"]
+    lines += ["  " + line for line in unified] or ["  (no metrics)"]
+    lines += ["", "per-node breakdown:"]
+    lines += ["  " + line for line in per_node] or ["  (no metrics)"]
     return "\n".join(lines)
 
 
@@ -763,8 +899,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "(requires --fleet)")
     fleet.add_argument("--kill-at", type=float, default=0.5,
                        help="fraction of frames streamed before the kill")
+    fleet.add_argument("--reconfig-order", type=int, default=None,
+                       metavar="N",
+                       help="run a rolling geometry reconfig to bitmap "
+                            "order N mid-replay (requires --fleet); with "
+                            "--verify, proves byte-identity to an offline "
+                            "twin rebuilding at the same shared boundary")
+    fleet.add_argument("--add-node", action="store_true",
+                       help="scale the fleet out by one store-pre-warmed "
+                            "node mid-replay (requires --fleet)")
+    fleet.add_argument("--reconfig-at", type=float, default=0.5,
+                       help="fraction of frames streamed before the "
+                            "reconfig / scale-out")
     fleet.add_argument("--fleet-timeout", type=float, default=10.0,
                        help="per-node connect and per-request deadline")
+
+    fstats = sub.add_parser(
+        "fleet-stats",
+        help="scrape every fleet node's /metrics and print one merged view",
+    )
+    fstats.add_argument("--nodes", required=True, metavar="URL,...",
+                        help="comma-separated node metrics endpoints "
+                             "(e.g. 127.0.0.1:9100,127.0.0.1:9101)")
+    fstats.add_argument("--prefix", default="repro_",
+                        help="only show metrics whose name starts with "
+                             "this prefix")
+    fstats.add_argument("--timeout", type=float, default=5.0,
+                        help="per-node scrape deadline")
 
     route = sub.add_parser(
         "route",
@@ -856,6 +1017,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.experiment == "route":
         print(_cmd_route(args))
+        return 0
+    if args.experiment == "fleet-stats":
+        print(_cmd_fleet_stats(args))
         return 0
     if args.experiment == "export":
         from repro.experiments.export import export_figures

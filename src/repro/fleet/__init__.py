@@ -8,7 +8,8 @@ with failure handling as the headline:
 - :mod:`repro.fleet.ring` — :class:`HashRing`, consistent hashing of a
   flow's ``local_addr`` onto daemon nodes, so each flow's bitmap state
   lives on exactly one node and node churn remaps only the departed
-  node's share.
+  node's share (:meth:`HashRing.stolen_share` quantifies an arrival's
+  remap before it happens).
 - :mod:`repro.fleet.health` — per-node :class:`CircuitBreaker`
   (closed → open → half-open) and a :class:`HealthChecker` that polls
   each node's enriched ``/healthz``.
@@ -18,25 +19,37 @@ with failure handling as the headline:
   from the fleet fail policy (``fail_open`` admits, ``fail_closed``
   drops inbound) — the same degraded-mode semantics a single filter
   applies during an outage, lifted to the fleet.
+- :mod:`repro.fleet.store` — :class:`SnapshotStore`, the shared
+  directory of checksummed snapshots any node (including a brand-new
+  one) can warm-start from, replacing per-node private handoff files.
 - :mod:`repro.fleet.manager` — :class:`FleetManager`, a subprocess
   supervisor for a local fleet of ``repro serve`` daemons with abrupt
-  kill, graceful stop, and snapshot-based warm restart (the
-  ``/snapshot`` → ``--restore`` handoff).
+  kill, graceful stop, store-backed warm restart, **zero-downtime
+  rolling geometry reconfig** (one fleet-wide rebuild boundary, SIGHUP
+  per node, healthz confirmation between nodes), and **ring-aware
+  scale-out** (pre-warm the arrival from the store before routing
+  flips).
 
 The equivalence story mirrors the sharded backend's: against a healthy
 fleet in packet-clock mode, fleet verdicts match a single-filter offline
-replay (``repro replay-to --fleet --verify``); under an injected node
-failure, divergence is confined to the dead node's flows and matches the
-configured fail policy (``tests/fleet/``,
+replay (``repro replay-to --fleet --verify``) — *including through a
+live rolling reconfig*, because every node rebuilds at the same shared
+boundary the offline twin uses
+(``tests/differential/test_fleet_equivalence.py``); under an injected
+node failure, divergence is confined to the dead node's flows and
+matches the configured fail policy (``tests/fleet/``,
 ``benchmarks/test_fleet_failover.py``).
 """
 
 from repro.fleet.health import BreakerState, CircuitBreaker, HealthChecker
-from repro.fleet.manager import FleetManager
+from repro.fleet.manager import (AddNodeReport, FleetManager, ReconfigReport,
+                                 RollingReconfigError)
 from repro.fleet.ring import HashRing
 from repro.fleet.router import FleetRouter, NodeSpec, policy_verdicts
+from repro.fleet.store import SnapshotIntegrityError, SnapshotRef, SnapshotStore
 
 __all__ = [
+    "AddNodeReport",
     "BreakerState",
     "CircuitBreaker",
     "FleetManager",
@@ -44,5 +57,10 @@ __all__ = [
     "HashRing",
     "HealthChecker",
     "NodeSpec",
+    "ReconfigReport",
+    "RollingReconfigError",
+    "SnapshotIntegrityError",
+    "SnapshotRef",
+    "SnapshotStore",
     "policy_verdicts",
 ]

@@ -161,6 +161,28 @@ class HashRing:
         counts = np.bincount(self.owners_vec(keys), minlength=len(self._nodes))
         return {name: int(counts[i]) for i, name in enumerate(self._nodes)}
 
+    def stolen_share(self, name: str, keys: np.ndarray) -> Dict[str, int]:
+        """The keyspace share ``name`` would steal if it joined, by donor.
+
+        Returns ``{donor: count}`` over ``keys``: how many of each
+        current member's keys would move to the arrival.  The ring
+        itself is not modified.  Because consistent-hash addition is
+        minimal-remap (every mover lands on the arrival and nowhere
+        else — a property-tested invariant), the values sum to exactly
+        the arrival's share, and this is the *complete* remap a
+        scale-out causes — which is what makes pre-warming the new node
+        before flipping routing a bounded, predictable operation.
+        """
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already on the ring")
+        before = np.asarray(self.owners_of(keys))
+        trial = HashRing(self._nodes, replicas=self.replicas, seed=self.seed)
+        trial.add(name)
+        moved = np.asarray(trial.owners_of(keys)) == name
+        donors, counts = np.unique(before[moved], return_counts=True)
+        return {str(donor): int(count)
+                for donor, count in zip(donors, counts)}
+
     def __repr__(self) -> str:
         return (f"HashRing(nodes={self._nodes!r}, replicas={self.replicas}, "
                 f"seed={self.seed:#x})")

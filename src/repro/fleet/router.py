@@ -161,12 +161,12 @@ class FleetRouter:
         self._clock = clock
         self._sleep = sleep
         self._connect = connect if connect is not None else self._tcp_connect
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
         self._specs: Dict[str, NodeSpec] = {s.name: s for s in nodes}
         self._ring = HashRing(names, replicas=replicas, seed=ring_seed)
         self._breakers: Dict[str, CircuitBreaker] = {
-            name: CircuitBreaker(failure_threshold=failure_threshold,
-                                 reset_timeout=reset_timeout, clock=clock)
-            for name in names
+            name: self._new_breaker() for name in names
         }
         self._clients: Dict[str, FilterClient] = {}
         self._m = _Instruments(self.registry, names)
@@ -179,6 +179,12 @@ class FleetRouter:
             spec.host, spec.port,
             timeout=self.connect_timeout,
             request_timeout=self.request_timeout)
+
+    def _new_breaker(self) -> CircuitBreaker:
+        """A fresh breaker under this router's configured thresholds."""
+        return CircuitBreaker(failure_threshold=self.failure_threshold,
+                              reset_timeout=self.reset_timeout,
+                              clock=self._clock)
 
     # -- membership -----------------------------------------------------------
 
@@ -199,7 +205,7 @@ class FleetRouter:
             raise ValueError(f"node {spec.name!r} already in the fleet")
         self._specs[spec.name] = spec
         self._ring.add(spec.name)
-        self._breakers[spec.name] = CircuitBreaker(clock=self._clock)
+        self._breakers[spec.name] = self._new_breaker()
         self._m.add_node(spec.name)
         self._m.nodes_gauge.set(len(self._ring))
 
@@ -216,13 +222,18 @@ class FleetRouter:
         """Replace a node's addresses in place (a restart moved its ports).
 
         Ring placement is by *name*, so the node keeps exactly its old
-        share; the stale connection is dropped and the breaker is left
-        as-is (a half-open probe will re-admit the node when it answers).
+        share.  The stale connection is dropped and the node's circuit
+        breaker is **reset**: a warm swap means the supervisor just
+        verified a live replacement, so failures accumulated against the
+        old incarnation must not leave the healthy newcomer born OPEN
+        (answering its whole share from the fail policy until a
+        half-open probe happened to re-admit it).
         """
         if spec.name not in self._specs:
             raise ValueError(f"node {spec.name!r} not in the fleet")
         self._specs[spec.name] = spec
         self._drop_client(spec.name)
+        self._breakers[spec.name] = self._new_breaker()
 
     def _drop_client(self, name: str) -> None:
         client = self._clients.pop(name, None)

@@ -1,0 +1,226 @@
+"""Shared snapshot store: the fleet's warm-start state, on disk.
+
+Before this module each node handed off its own private snapshot file
+(``{name}.handoff.npz``), which meant only the node that wrote a
+snapshot could restart from it.  :class:`SnapshotStore` turns the
+handoff into fleet-shared state: every published snapshot lands in one
+directory, checksummed and immutable, with a per-node *latest pointer*
+— so any node, including a brand-new one joining under load
+(:meth:`FleetManager.add_node`), can warm-start from the fleet's most
+recent state instead of cold-starting into a warm-up grace window.
+
+Layout (flat directory, no subdirs, no database)::
+
+    store/
+      node0-00000001-9f8a6c21d3b44e70.npz   # immutable snapshot blobs
+      node1-00000002-0c1d2e3f4a5b6c7d.npz
+      node0.latest                          # per-node pointer (JSON)
+      node1.latest
+
+Durability and concurrency contracts, all enforced here and proven by
+``tests/fleet/test_store.py``:
+
+- **Snapshot blobs are immutable.**  Each :meth:`put` writes a *new*
+  file (``{node}-{sequence:08d}-{digest16}.npz``) via a temp file +
+  :func:`os.replace`, so a reader never observes a half-written blob.
+- **Pointers are atomic and written last.**  ``{node}.latest`` is JSON
+  naming the blob, its SHA-256, and its sequence number; it is replaced
+  atomically only *after* the blob is durably in place, so a pointer can
+  never dangle at a not-yet-written snapshot.
+- **Reads verify.**  :meth:`read` recomputes the blob's SHA-256 against
+  the pointer's digest and raises :class:`SnapshotIntegrityError` on any
+  mismatch — a torn or bit-flipped snapshot is refused, never restored
+  (the store-level digest covers the whole archive; snapshot-v2's own
+  vector checksum still guards the payload inside).
+- **Sequence numbers are store-global and monotonic**, so
+  :meth:`fleet_latest` — "the most recent state anyone published" — is a
+  max over pointers, not a filesystem-mtime guess.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["SnapshotIntegrityError", "SnapshotRef", "SnapshotStore"]
+
+_BLOB_RE = re.compile(
+    r"^(?P<node>.+)-(?P<seq>\d{8})-(?P<digest>[0-9a-f]{16})\.npz$")
+_POINTER_SUFFIX = ".latest"
+
+
+class SnapshotIntegrityError(ValueError):
+    """A stored snapshot does not match its pointer's digest."""
+
+
+@dataclass(frozen=True)
+class SnapshotRef:
+    """One published snapshot: who wrote it, when in sequence, and where."""
+
+    node: str
+    sequence: int
+    path: Path
+    sha256: str
+
+    def as_dict(self) -> dict:
+        return {"file": self.path.name, "sha256": self.sha256,
+                "sequence": self.sequence, "node": self.node}
+
+
+class SnapshotStore:
+    """A directory of checksummed fleet snapshots (see module docstring).
+
+    Thread-safe for concurrent :meth:`put`/:meth:`latest`/:meth:`read`
+    within a process; across processes the atomic-rename protocol keeps
+    readers consistent (they may see the previous latest, never a torn
+    one).
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # -- writing --------------------------------------------------------------
+
+    def put(self, node: str, data: bytes) -> SnapshotRef:
+        """Publish ``node``'s snapshot; returns its immutable ref.
+
+        The blob lands first (temp file + atomic rename), the node's
+        latest pointer flips second — so a crash between the two leaves
+        a harmless orphan blob, never a dangling pointer.
+        """
+        if not node or "/" in node or node.startswith("."):
+            raise ValueError(f"invalid node name {node!r}")
+        digest = hashlib.sha256(data).hexdigest()
+        with self._lock:
+            sequence = self._next_sequence()
+            blob = self.root / f"{node}-{sequence:08d}-{digest[:16]}.npz"
+            self._write_atomic(blob, data)
+            ref = SnapshotRef(node=node, sequence=sequence, path=blob,
+                              sha256=digest)
+            pointer = json.dumps(ref.as_dict(), sort_keys=True).encode()
+            self._write_atomic(self._pointer_path(node), pointer)
+        return ref
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def _next_sequence(self) -> int:
+        highest = 0
+        for entry in self.root.iterdir():
+            match = _BLOB_RE.match(entry.name)
+            if match:
+                highest = max(highest, int(match.group("seq")))
+        return highest + 1
+
+    def _pointer_path(self, node: str) -> Path:
+        return self.root / f"{node}{_POINTER_SUFFIX}"
+
+    # -- reading --------------------------------------------------------------
+
+    def nodes(self) -> List[str]:
+        """Every node with a published pointer, sorted."""
+        return sorted(
+            entry.name[:-len(_POINTER_SUFFIX)]
+            for entry in self.root.iterdir()
+            if entry.name.endswith(_POINTER_SUFFIX)
+            and not entry.name.startswith("."))
+
+    def latest(self, node: str) -> Optional[SnapshotRef]:
+        """The node's most recent published snapshot (None if never)."""
+        pointer = self._pointer_path(node)
+        try:
+            meta = json.loads(pointer.read_text())
+        except FileNotFoundError:
+            return None
+        path = self.root / meta["file"]
+        if not path.exists():
+            raise SnapshotIntegrityError(
+                f"pointer {pointer.name} names missing blob {meta['file']!r}")
+        return SnapshotRef(node=node, sequence=int(meta["sequence"]),
+                           path=path, sha256=meta["sha256"])
+
+    def fleet_latest(self) -> Optional[SnapshotRef]:
+        """The most recent snapshot *any* node published.
+
+        This is what a brand-new node warm-starts from: the highest
+        sequence number across every pointer (node-name tiebreak for
+        determinism; sequences are unique in practice).
+        """
+        refs = [self.latest(node) for node in self.nodes()]
+        refs = [ref for ref in refs if ref is not None]
+        if not refs:
+            return None
+        return max(refs, key=lambda ref: (ref.sequence, ref.node))
+
+    def read(self, ref: SnapshotRef) -> bytes:
+        """The snapshot's bytes, digest-verified against the ref."""
+        try:
+            data = ref.path.read_bytes()
+        except FileNotFoundError:
+            raise SnapshotIntegrityError(
+                f"snapshot blob {ref.path.name} is gone") from None
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != ref.sha256:
+            raise SnapshotIntegrityError(
+                f"snapshot {ref.path.name} failed checksum verification "
+                f"(stored {ref.sha256[:12]}…, computed {actual[:12]}…); "
+                "the blob is torn or corrupted — restore from an older "
+                "snapshot or cold-start instead of trusting this state")
+        return data
+
+    def read_latest(self, node: str) -> Optional[bytes]:
+        """Convenience: the node's latest snapshot bytes (verified)."""
+        ref = self.latest(node)
+        return None if ref is None else self.read(ref)
+
+    # -- housekeeping ---------------------------------------------------------
+
+    def refs(self) -> Dict[str, List[SnapshotRef]]:
+        """Every blob in the store, grouped by node, oldest first."""
+        grouped: Dict[str, List[SnapshotRef]] = {}
+        for entry in sorted(self.root.iterdir()):
+            match = _BLOB_RE.match(entry.name)
+            if not match:
+                continue
+            grouped.setdefault(match.group("node"), []).append(SnapshotRef(
+                node=match.group("node"), sequence=int(match.group("seq")),
+                path=entry, sha256=""))
+        for refs in grouped.values():
+            refs.sort(key=lambda ref: ref.sequence)
+        return grouped
+
+    def prune(self, keep_per_node: int = 1) -> List[Path]:
+        """Delete all but each node's newest ``keep_per_node`` blobs.
+
+        Pointer targets are never deleted (``keep_per_node`` is clamped
+        to at least 1), so a concurrent reader following a pointer
+        always finds its blob.
+        """
+        keep_per_node = max(1, keep_per_node)
+        removed: List[Path] = []
+        with self._lock:
+            for node, refs in self.refs().items():
+                pointer = self.latest(node)
+                protected = {pointer.path} if pointer is not None else set()
+                for ref in refs[:-keep_per_node]:
+                    if ref.path in protected:
+                        continue
+                    try:
+                        ref.path.unlink()
+                        removed.append(ref.path)
+                    except FileNotFoundError:
+                        pass
+        return removed
+
+    def __repr__(self) -> str:
+        return f"SnapshotStore(root={str(self.root)!r})"

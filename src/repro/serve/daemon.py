@@ -242,6 +242,7 @@ class FilterDaemon:
         self._scheduler: Optional[RotationScheduler] = None
         self._pending_config: Optional[FilterConfig] = None
         self._rebuild_at = float("inf")   # boundary the rebuild waits for
+        self._restored_arrivals = 0       # arrivals carried by a warm start
 
         self._queue: Deque[Tuple[_Connection, PacketArray, asyncio.Future]] = \
             deque()
@@ -291,6 +292,10 @@ class FilterDaemon:
             self._filter_config = FilterConfig.from_bitmap_config(
                 self._filt.config, fail_policy=self._filt.fail_policy,
                 layers=getattr(self._filt, "layers", ()))
+            # How much state the warm start actually carried: a fleet
+            # supervisor reads this off /healthz to prove a scale-out
+            # served warm instead of cold.
+            self._restored_arrivals = int(self._filt.stats.total)
         else:
             self._filt = self._build_filter(self._filter_config, 0.0)
 
@@ -563,12 +568,9 @@ class FilterDaemon:
         arrays = [packets for packets, _ in frames]
         batch = arrays[0] if len(arrays) == 1 else \
             PacketArray.concatenate(arrays)
-        if self._pending_config is not None and len(batch):
-            self._maybe_rebuild(float(batch.ts[0]))
         began = perf_counter()
         try:
-            verdicts = self._filt.process_batch(batch,
-                                                exact=self.config.exact)
+            verdicts = self._filter_batch(batch)
         except Exception as exc:  # noqa: BLE001 - surfaced to the client
             self._m.filter_errors.inc()
             message = f"filter failure: {exc}".encode()
@@ -589,6 +591,34 @@ class FilterDaemon:
             fut.set_result((protocol.FT_VERDICTS, raw[offset:end]))
             offset = end
 
+    def _filter_batch(self, batch: PacketArray) -> np.ndarray:
+        """``process_batch`` with a packet-deterministic deferred rebuild.
+
+        When a pending geometry's rebuild boundary falls *inside* this
+        micro-batch, the batch is split at the boundary: packets with
+        ``ts < rebuild_at`` go through the old filter, the rebuild runs,
+        and the remainder goes through the new one.  The split makes the
+        rebuild point a function of packet timestamps alone — not of how
+        frames happened to coalesce into batches — which is what lets a
+        whole fleet rebuild at one shared boundary and stay byte-identical
+        to an offline twin that rebuilds at the same boundary.
+        """
+        if self._pending_config is None or not len(batch):
+            return self._filt.process_batch(batch, exact=self.config.exact)
+        ts = np.asarray(batch.ts, dtype=np.float64)
+        split = int(np.searchsorted(ts, self._rebuild_at, side="left"))
+        if split >= len(batch):  # boundary still ahead of all of this batch
+            return self._filt.process_batch(batch, exact=self.config.exact)
+        if split == 0:
+            self._rebuild_now()
+            return self._filt.process_batch(batch, exact=self.config.exact)
+        head = self._filt.process_batch(batch[:split],
+                                        exact=self.config.exact)
+        self._rebuild_now()
+        tail = self._filt.process_batch(batch[split:],
+                                        exact=self.config.exact)
+        return np.concatenate([head, tail])
+
     # -- hot reload -----------------------------------------------------------
 
     def request_reload(self) -> None:
@@ -599,20 +629,32 @@ class FilterDaemon:
             return
         try:
             text = Path(self.config.reload_path).read_text()
-            new_config = _parse_filter_config(json.loads(text))
+            data = json.loads(text)
+            rebuild_at = None
+            if isinstance(data, dict) and "rebuild_at" in data:
+                rebuild_at = float(data.pop("rebuild_at"))
+            new_config = _parse_filter_config(data)
         except (OSError, ValueError, TypeError) as exc:
             print(f"repro-serve: reload failed: {exc}", file=sys.stderr)
             return
-        self.apply_config(new_config)
+        self.apply_config(new_config, rebuild_at=rebuild_at)
 
-    def apply_config(self, new_config: FilterConfig) -> str:
+    def apply_config(self, new_config: FilterConfig, *,
+                     rebuild_at: Optional[float] = None) -> str:
         """Apply a new :class:`FilterConfig`; returns what happened.
 
         Fail-policy changes apply immediately ("immediate").  Geometry or
-        timing changes (n, k, m, Δt, seed) cannot be translated onto live
-        bit state, so they are deferred and rebuild the filter at the next
-        rotation boundary ("deferred-rebuild"); "unchanged" means the new
-        config matches the running one.
+        timing changes (n, k, m, Δt, seed, layers) cannot be translated
+        onto live bit state, so they are deferred and rebuild the filter
+        at the next rotation boundary ("deferred-rebuild"); "unchanged"
+        means the new config matches the running one.
+
+        ``rebuild_at`` overrides the boundary the rebuild waits for — a
+        fleet supervisor passes one *shared* boundary to every node so
+        the whole fleet swaps geometry at the same filter-time instant
+        (and an offline twin rebuilding at that boundary stays
+        byte-identical).  It should be a rotation boundary; the default
+        is this filter's own next rotation.
         """
         current = self._filter_config
         geometry_changed = any(
@@ -630,7 +672,8 @@ class FilterDaemon:
         # next_rotation keeps moving ahead of the traffic as batches are
         # processed, so comparing against it later would defer forever.
         self._pending_config = new_config
-        self._rebuild_at = self._filt.next_rotation
+        self._rebuild_at = (float(rebuild_at) if rebuild_at is not None
+                            else self._filt.next_rotation)
         return "deferred-rebuild"
 
     async def _on_rotation_boundary(self, now_ft: float) -> None:
@@ -641,14 +684,25 @@ class FilterDaemon:
         """Rebuild onto the pending config once a rotation boundary passes."""
         if now_ft < self._rebuild_at:
             return
+        self._rebuild_now()
+
+    def _rebuild_now(self) -> None:
+        """Swap the filter onto the pending config, anchored at the boundary.
+
+        The new filter starts at the captured rebuild boundary — or, if
+        the old filter's clock already ran past it (wall mode catching
+        up), at the last boundary the old filter crossed — so its
+        rotation schedule stays origin-anchored and packets in flight
+        remain monotonic for it.
+        """
         new_config = self._pending_config
+        target = self._rebuild_at
         self._pending_config = None
         self._rebuild_at = float("inf")
-        # Start the new filter at the last boundary the old one crossed, so
-        # its rotation schedule stays origin-anchored and packets already in
-        # flight (ts >= boundary) remain monotonic for it.
-        boundary = (self._filt.next_rotation
-                    - self._filt.config.rotation_interval)
+        last_crossed = (self._filt.next_rotation
+                        - self._filt.config.rotation_interval)
+        boundary = max(target, last_crossed) if target != float("inf") \
+            else last_crossed
         old_grace = self._filt.config.expiry_timer
         old = self._filt
         self._filt = self._build_filter(new_config, boundary)
@@ -710,6 +764,7 @@ class FilterDaemon:
             # lag is meaningless when time only advances with traffic.
             rotation_lag = 0.0
             warming_up = self._filt.warmup_until > last_boundary
+        pending = self._pending_config
         return {
             "status": "draining" if self._drained or self._draining
             else "serving",
@@ -719,7 +774,15 @@ class FilterDaemon:
             "packets_total": self._m.packets_total.value,
             "rotations": self._filt.stats.rotations,
             "next_rotation": self._filt.next_rotation,
-            "pending_rebuild": self._pending_config is not None,
+            "pending_rebuild": pending is not None,
+            # Echo of an accepted-but-deferred geometry: a rolling
+            # reconfig driver polls these to confirm a node took the new
+            # config (and at which shared boundary) before moving on.
+            "pending_geometry": _geometry_dict(pending) if pending else None,
+            "pending_rebuild_at": (self._rebuild_at
+                                   if pending is not None else None),
+            "restored": bool(self.config.restore_path),
+            "restored_arrivals": self._restored_arrivals,
             "fail_policy": self._filt.fail_policy.value,
             "degraded": self._filt.is_down,
             "warming_up": warming_up,
@@ -738,6 +801,18 @@ class FilterDaemon:
         data = snapshot_to_bytes(self._filt)
         self._m.snapshots_total.inc()
         return data
+
+
+def _geometry_dict(cfg: FilterConfig) -> dict:
+    """The geometry half of a config (the fields a rebuild is keyed on)."""
+    return {
+        "order": cfg.order,
+        "num_vectors": cfg.num_vectors,
+        "num_hashes": cfg.num_hashes,
+        "rotation_interval": cfg.rotation_interval,
+        "seed": cfg.seed,
+        "layers": cfg.layer_dicts(),
+    }
 
 
 def _parse_filter_config(data: dict) -> FilterConfig:

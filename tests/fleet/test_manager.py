@@ -11,7 +11,11 @@ import numpy as np
 import pytest
 
 from repro.core.bitmap_filter import BitmapFilter, FilterConfig
-from repro.fleet import FleetManager, FleetRouter
+from repro.fleet import (
+    FleetManager,
+    FleetRouter,
+    RollingReconfigError,
+)
 from repro.serve.retry import RetryPolicy
 from repro.sim.pipeline import run_filter_on_trace
 from repro.traffic.trace import Trace
@@ -25,6 +29,14 @@ PROTECTED_ARG = ",".join(f"172.16.{i}.0/24" for i in range(6))
 def manager(tmp_path):
     fleet = FleetManager(PROTECTED_ARG, size=2, workdir=str(tmp_path),
                         order=12, rotation_interval=2.5)
+    yield fleet
+    fleet.shutdown()
+
+
+@pytest.fixture()
+def trio(tmp_path):
+    fleet = FleetManager(PROTECTED_ARG, size=3, workdir=str(tmp_path),
+                         order=12, rotation_interval=2.5)
     yield fleet
     fleet.shutdown()
 
@@ -85,3 +97,84 @@ class TestWarmHandoff:
             masks += router.filter_batches(frames[half:])
         verdicts = np.concatenate(masks)
         np.testing.assert_array_equal(verdicts, expected)
+
+    def test_warm_restart_publishes_to_the_shared_store(self, manager):
+        manager.start()
+        assert manager.store.fleet_latest() is None
+        manager.warm_restart("node0")
+        ref = manager.store.latest("node0")
+        assert ref is not None
+        assert manager.store.read(ref)  # digest-verified bytes
+        health = manager.healthz("node0")
+        assert health["restored"] is True
+
+
+class TestRollingReconfig:
+    def test_reconfig_confirms_every_node_at_one_boundary(self, manager):
+        manager.start()
+        new_cfg = FilterConfig(order=13, num_vectors=4,
+                               rotation_interval=2.5)
+        report = manager.rolling_reconfig(new_cfg)
+        assert report.nodes == ["node0", "node1"]
+        for name in report.nodes:
+            health = manager.healthz(name)
+            assert health["pending_geometry"]["order"] == 13
+            assert health["pending_rebuild_at"] == report.rebuild_at
+        assert manager.order == 13  # future spawns use the new geometry
+
+    def test_dead_node_aborts_the_roll_cleanly(self, trio):
+        """ISSUE 9 fault path: a dead node stops the roll before any
+        signal goes out — survivors keep serving the old geometry, the
+        manager's own geometry is untouched, and a repair + retry works."""
+        trio.start()
+        trio.kill("node1")
+        new_cfg = FilterConfig(order=13, num_vectors=4,
+                               rotation_interval=2.5)
+        with pytest.raises(RollingReconfigError) as excinfo:
+            trio.rolling_reconfig(new_cfg)
+        assert excinfo.value.node == "node1"
+        assert excinfo.value.completed == []
+        for survivor in ("node0", "node2"):
+            health = trio.healthz(survivor)
+            assert health["pending_rebuild"] is False
+            assert health["filter"]["order"] == 12
+        assert trio.order == 12
+        # Repair and retry: the roll completes.
+        trio.restart("node1")
+        report = trio.rolling_reconfig(new_cfg)
+        assert report.nodes == ["node0", "node1", "node2"]
+        assert trio.order == 13
+
+
+class TestAddNode:
+    def test_add_node_with_empty_store_warns_and_cold_starts(self, manager,
+                                                             tiny_trace):
+        manager.start()
+        with FleetRouter(manager.specs(),
+                         protected=tiny_trace.protected) as router:
+            with pytest.warns(RuntimeWarning, match="empty"):
+                report = manager.add_node(router, publish=False)
+            assert report.warm is False
+            assert report.restored_from is None
+            assert report.spec.name == "node2"
+            assert "node2" in router.ring
+        health = manager.healthz("node2")
+        assert health["restored"] is False
+        assert health["restored_arrivals"] == 0
+
+    def test_add_node_prewarms_from_the_fleets_freshest_state(
+            self, manager, tiny_trace):
+        """The acceptance check: a scale-out under load serves from warm
+        SnapshotStore state — nonzero restored arrivals on /healthz."""
+        packets = tiny_trace.packets.sorted_by_time()[:6000]
+        manager.start()
+        with FleetRouter(manager.specs(),
+                         protected=tiny_trace.protected) as router:
+            router.filter_batches(frames_of(packets))
+            report = manager.add_node(router)
+            assert report.warm is True
+            assert sum(report.stolen.values()) > 0
+            assert set(report.stolen) <= {"node0", "node1"}
+        health = manager.healthz(report.spec.name)
+        assert health["restored"] is True
+        assert health["restored_arrivals"] > 0

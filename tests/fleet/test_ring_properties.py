@@ -80,6 +80,31 @@ def test_addition_moves_keys_only_to_the_arrival(names, keys, seed):
     assert set(after[moved]) <= {"zz-new-node"}
 
 
+@settings(max_examples=60, deadline=None)
+@given(names=node_names(max_size=7), keys=key_arrays(),
+       seed=st.integers(0, 2 ** 32 - 1))
+def test_stolen_share_is_the_complete_remap(names, keys, seed):
+    """``stolen_share`` predicts a join's remap exactly, donor by donor.
+
+    The scale-out pre-warm (ISSUE 9) bets on this: the arrival's stolen
+    share *is* the whole remap — every moved key came from a reported
+    donor at the reported count, the ring itself is untouched by the
+    dry-run, and performing the join afterwards matches the prediction.
+    """
+    ring = HashRing(names, seed=seed)
+    before = np.array(ring.owners_of(keys))
+    stolen = ring.stolen_share("zz-new-node", keys)
+    assert ring.nodes == sorted(names)  # dry-run left the ring alone
+    ring.add("zz-new-node")
+    after = np.array(ring.owners_of(keys))
+    moved = before != after
+    assert sum(stolen.values()) == int(moved.sum())
+    for donor, count in stolen.items():
+        assert count == int((moved & (before == donor)).sum())
+        assert count > 0
+    assert set(stolen) == set(before[moved])
+
+
 @settings(max_examples=30, deadline=None)
 @given(names=node_names(), keys=key_arrays(),
        seed=st.integers(0, 2 ** 32 - 1))

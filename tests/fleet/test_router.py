@@ -265,6 +265,28 @@ class TestMembership:
             harness.router.add_node(
                 NodeSpec(name="node3", host="fake", port=9993))
 
+    def test_add_node_breaker_uses_the_router_thresholds(self):
+        harness = Harness()  # failure_threshold=3, reset_timeout=2.0
+        harness.router.add_node(NodeSpec(name="node3", host="fake", port=9993))
+        breaker = harness.router.breaker("node3")
+        assert breaker.failure_threshold == 3
+        assert breaker.reset_timeout == 2.0
+
+    def test_update_node_resets_an_open_breaker(self, packets):
+        """A warm-swapped replacement must not be born OPEN: failures
+        accumulated against the dead incarnation belonged to it, and the
+        supervisor only calls update_node after verifying the new one."""
+        harness = Harness(refuse={"node1"})
+        harness.router.filter(packets)
+        assert harness.router.breaker_states()["node1"] is BreakerState.OPEN
+        harness.router.update_node(
+            NodeSpec(name="node1", host="fake", port=19999))
+        assert harness.router.breaker_states()["node1"] is BreakerState.CLOSED
+        # And it answers for real immediately — no half-open probe wait.
+        harness.refuse.discard("node1")
+        mask = harness.router.filter(packets)
+        np.testing.assert_array_equal(mask, verdict_fn(packets))
+
 
 class TestFleetConfig:
     def test_agreeing_fleet_returns_the_common_config(self):

@@ -1,0 +1,198 @@
+"""SnapshotStore: the durability and concurrency contracts, proven.
+
+The store's whole job is "a reader can always warm-start from a complete,
+verified snapshot".  Unit tests pin the protocol (blob-then-pointer,
+digest-verified reads, monotonic fleet_latest, prune never orphans a
+pointer); the Hypothesis property drives arbitrary publish sequences; the
+concurrency test hammers put/read from threads and asserts a reader never
+observes a torn blob or a stale pointer to a missing one.
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.fleet.store import SnapshotIntegrityError, SnapshotStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return SnapshotStore(tmp_path / "store")
+
+
+def payload(tag: int, size: int = 64) -> bytes:
+    return bytes((tag + i) % 256 for i in range(size))
+
+
+class TestRoundTrip:
+    def test_put_then_read_latest_returns_the_bytes(self, store):
+        data = payload(1)
+        ref = store.put("node0", data)
+        assert store.read(ref) == data
+        assert store.read_latest("node0") == data
+
+    def test_latest_is_none_before_any_put(self, store):
+        assert store.latest("node0") is None
+        assert store.read_latest("node0") is None
+        assert store.fleet_latest() is None
+
+    def test_put_is_immutable_new_blob_each_time(self, store):
+        first = store.put("node0", payload(1))
+        second = store.put("node0", payload(2))
+        assert first.path != second.path
+        assert first.path.exists()  # old blob untouched
+        assert store.read(first) == payload(1)
+        assert store.read(second) == payload(2)
+
+    def test_latest_pointer_tracks_the_newest_put(self, store):
+        store.put("node0", payload(1))
+        ref = store.put("node0", payload(2))
+        assert store.latest("node0") == ref
+
+    def test_invalid_node_names_rejected(self, store):
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(ValueError, match="invalid node name"):
+                store.put(bad, b"x")
+
+
+class TestFleetLatest:
+    def test_highest_sequence_wins_across_nodes(self, store):
+        store.put("node0", payload(1))
+        store.put("node1", payload(2))
+        newest = store.put("node0", payload(3))
+        assert store.fleet_latest() == newest
+
+    def test_sequences_are_store_global_and_monotonic(self, store):
+        refs = [store.put(f"node{i % 2}", payload(i)) for i in range(5)]
+        sequences = [ref.sequence for ref in refs]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == len(sequences)
+
+    def test_nodes_lists_every_publisher(self, store):
+        store.put("node1", payload(1))
+        store.put("node0", payload(2))
+        assert store.nodes() == ["node0", "node1"]
+
+
+class TestIntegrity:
+    def test_corrupted_blob_is_refused(self, store):
+        ref = store.put("node0", payload(1))
+        blob = bytearray(ref.path.read_bytes())
+        blob[10] ^= 0xFF
+        ref.path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotIntegrityError, match="checksum"):
+            store.read(ref)
+
+    def test_missing_blob_is_refused(self, store):
+        ref = store.put("node0", payload(1))
+        ref.path.unlink()
+        with pytest.raises(SnapshotIntegrityError, match="gone"):
+            store.read(ref)
+
+    def test_dangling_pointer_is_an_integrity_error(self, store):
+        ref = store.put("node0", payload(1))
+        ref.path.unlink()
+        with pytest.raises(SnapshotIntegrityError, match="missing blob"):
+            store.latest("node0")
+
+    def test_pointer_is_json_naming_the_blob(self, store):
+        ref = store.put("node0", payload(1))
+        meta = json.loads((store.root / "node0.latest").read_text())
+        assert meta["file"] == ref.path.name
+        assert meta["sha256"] == ref.sha256
+
+
+class TestPrune:
+    def test_prune_keeps_the_pointer_target(self, store):
+        for i in range(4):
+            store.put("node0", payload(i))
+        removed = store.prune(keep_per_node=1)
+        assert len(removed) == 3
+        assert store.read_latest("node0") == payload(3)
+
+    def test_prune_keep_clamped_to_one(self, store):
+        ref = store.put("node0", payload(1))
+        store.prune(keep_per_node=0)
+        assert store.read(ref) == payload(1)
+
+    def test_prune_is_per_node(self, store):
+        store.put("node0", payload(0))
+        store.put("node0", payload(1))
+        store.put("node1", payload(2))
+        store.prune(keep_per_node=1)
+        assert store.read_latest("node0") == payload(1)
+        assert store.read_latest("node1") == payload(2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequence=st.lists(
+    st.tuples(st.integers(0, 3), st.binary(min_size=1, max_size=128)),
+    min_size=1, max_size=20))
+def test_property_fleet_latest_is_the_last_put(tmp_path_factory, sequence):
+    """Over any publish sequence: every node's latest round-trips its last
+    payload, and fleet_latest is exactly the final put anywhere."""
+    store = SnapshotStore(tmp_path_factory.mktemp("store"))
+    last_by_node = {}
+    last_ref = None
+    for node_index, data in sequence:
+        node = f"node{node_index}"
+        last_ref = store.put(node, data)
+        last_by_node[node] = data
+    for node, data in last_by_node.items():
+        assert store.read_latest(node) == data
+    assert store.fleet_latest() == last_ref
+
+
+def test_concurrent_put_read_never_torn_or_stale(tmp_path):
+    """Writers and readers race: a reader following a pointer always gets
+    a complete, digest-verified payload some writer actually published."""
+    store = SnapshotStore(tmp_path / "store")
+    valid = {payload(i, size=2048) for i in range(64)}
+    store.put("node0", payload(0, size=2048))
+    errors = []
+    stop = threading.Event()
+
+    def writer(offset):
+        for i in range(offset, 64, 4):
+            try:
+                store.put("node0", payload(i, size=2048))
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+    def reader():
+        while not stop.is_set():
+            try:
+                data = store.read_latest("node0")
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+                return
+            if data is not None and data not in valid:
+                errors.append(AssertionError("torn snapshot observed"))
+                return
+
+    writers = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+    readers = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in readers + writers:
+        thread.start()
+    for thread in writers:
+        thread.join(timeout=60)
+    stop.set()
+    for thread in readers:
+        thread.join(timeout=60)
+    assert not errors
+    assert store.read_latest("node0") in valid
+    assert len(store.refs()["node0"]) == 65  # every put landed, immutable
+
+
+def test_refs_groups_blobs_oldest_first(tmp_path):
+    store = SnapshotStore(tmp_path / "store")
+    store.put("node0", payload(0))
+    store.put("node1", payload(1))
+    store.put("node0", payload(2))
+    grouped = store.refs()
+    assert sorted(grouped) == ["node0", "node1"]
+    sequences = [ref.sequence for ref in grouped["node0"]]
+    assert sequences == sorted(sequences)

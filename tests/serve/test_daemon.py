@@ -287,6 +287,54 @@ class TestHotReload:
         finally:
             await stop(daemon)
 
+    async def test_rebuild_at_override_splits_the_batch(self, tiny_trace):
+        """A shared ``rebuild_at`` is honored mid-batch: packets before
+        the boundary see the old geometry, packets at/after it the new —
+        byte-identical to the offline reconfig twin at the same boundary,
+        no matter how the frames coalesced into batches."""
+        from repro.sim.pipeline import run_filter_with_reconfig
+
+        packets = tiny_trace.packets.sorted_by_time()[:6000]
+        boundary = 5.0  # a rotation boundary (2 * dt) inside the batch
+        ts = np.asarray(packets.ts, dtype=np.float64)
+        assert ts[0] < boundary < ts[-1]  # the split is genuinely interior
+        new_cfg = FilterConfig(order=14, num_vectors=4,
+                               rotation_interval=2.5)
+        expected = run_filter_with_reconfig(
+            FCFG, new_cfg, Trace(packets, tiny_trace.protected), boundary)
+        daemon = await booted(serve_config())
+        try:
+            assert daemon.apply_config(new_cfg, rebuild_at=boundary) == \
+                "deferred-rebuild"
+            client = await AsyncFilterClient.connect(*daemon.data_address)
+            # One giant window so micro-batching coalesces frames
+            # arbitrarily — the boundary split must not care.
+            masks = await client.filter_stream(frames_of(packets),
+                                               window=8)
+            await client.goodbye()
+            await client.close()
+            assert daemon.filter.config.order == 14
+            assert daemon._m.reloads["rebuild"].value == 1
+        finally:
+            await stop(daemon)
+        np.testing.assert_array_equal(np.concatenate(masks), expected)
+
+    async def test_rebuild_at_beyond_the_traffic_never_fires(self,
+                                                             tiny_trace):
+        daemon = await booted(serve_config())
+        try:
+            new_cfg = FilterConfig(order=14, num_vectors=4,
+                                   rotation_interval=2.5)
+            daemon.apply_config(new_cfg, rebuild_at=1e9)
+            client = await AsyncFilterClient.connect(*daemon.data_address)
+            await client.filter(tiny_trace.packets[:2000])
+            await client.goodbye()
+            await client.close()
+            assert daemon.filter.config.order == FCFG.order  # still pending
+            assert daemon.health()["pending_rebuild"] is True
+        finally:
+            await stop(daemon)
+
     async def test_sighup_reload_file(self, tmp_path):
         reload_path = tmp_path / "filter.json"
         reload_path.write_text(json.dumps({
@@ -298,6 +346,28 @@ class TestHotReload:
         try:
             daemon.request_reload()
             assert daemon.filter.fail_policy is FailPolicy.FAIL_OPEN
+        finally:
+            await stop(daemon)
+
+    async def test_reload_file_carries_the_shared_boundary(self, tmp_path):
+        """A fleet supervisor's reload JSON names the shared rebuild_at;
+        the daemon echoes both the pending geometry and the boundary on
+        /healthz so the roll can confirm before touching the next node."""
+        reload_path = tmp_path / "filter.json"
+        reload_path.write_text(json.dumps({
+            "order": 14, "num_vectors": FCFG.num_vectors,
+            "num_hashes": FCFG.num_hashes,
+            "rotation_interval": FCFG.rotation_interval,
+            "seed": FCFG.seed, "fail_policy": "fail_closed",
+            "rebuild_at": 12.5}))
+        daemon = await booted(serve_config(reload_path=str(reload_path)))
+        try:
+            daemon.request_reload()
+            health = daemon.health()
+            assert health["pending_rebuild"] is True
+            assert health["pending_rebuild_at"] == 12.5
+            assert health["pending_geometry"]["order"] == 14
+            assert health["filter"]["order"] == FCFG.order  # live unchanged
         finally:
             await stop(daemon)
 

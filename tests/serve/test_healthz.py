@@ -22,7 +22,8 @@ REQUIRED_FIELDS = (
     "status", "uptime_seconds", "connections_open", "packets_total",
     "rotations", "next_rotation", "fail_policy", "degraded", "warming_up",
     "warmup_until", "rotation_lag_seconds", "ingest_queue_depth",
-    "ingest_queue_capacity",
+    "ingest_queue_capacity", "pending_rebuild", "pending_geometry",
+    "pending_rebuild_at", "restored", "restored_arrivals",
 )
 
 
@@ -101,6 +102,62 @@ class TestHealthzFields:
             assert doc["warmup_until"] == now + 60.0
         finally:
             await stop(daemon)
+
+    async def test_pending_geometry_echo_for_rolling_reconfig(self):
+        """A deferred geometry change is echoed with its boundary — the
+        confirmation a rolling-reconfig driver polls for (ISSUE 9)."""
+        import dataclasses
+
+        from tests.serve.test_daemon import FCFG
+
+        daemon = await booted(serve_config(http=True, http_port=0))
+        try:
+            doc = await healthz(daemon)
+            assert doc["pending_rebuild"] is False
+            assert doc["pending_geometry"] is None
+            assert doc["pending_rebuild_at"] is None
+            new_cfg = dataclasses.replace(FCFG, order=14)
+            daemon.apply_config(new_cfg, rebuild_at=25.0)
+            doc = await healthz(daemon)
+            assert doc["pending_rebuild"] is True
+            assert doc["pending_geometry"]["order"] == 14
+            assert doc["pending_rebuild_at"] == 25.0
+            assert doc["filter"]["order"] == FCFG.order  # live unchanged
+        finally:
+            await stop(daemon)
+
+    async def test_restored_arrivals_prove_a_warm_start(self, tmp_path,
+                                                        tiny_trace):
+        """A node restored from a snapshot reports how much state it
+        carried — the scale-out smoke reads this to prove warmth."""
+        import io
+
+        from repro.serve.state import snapshot_to_bytes
+
+        donor = await booted(serve_config(http=True, http_port=0))
+        try:
+            from repro.serve import AsyncFilterClient
+
+            client = await AsyncFilterClient.connect(*donor.data_address)
+            await client.filter(tiny_trace.packets[:2000])
+            await client.goodbye()
+            await client.close()
+            doc = await healthz(donor)
+            assert doc["restored"] is False
+            assert doc["restored_arrivals"] == 0
+            blob = snapshot_to_bytes(donor.filter)
+        finally:
+            await stop(donor)
+        path = tmp_path / "warm.npz"
+        path.write_bytes(blob)
+        warm = await booted(serve_config(http=True, http_port=0,
+                                         restore_path=str(path)))
+        try:
+            doc = await healthz(warm)
+            assert doc["restored"] is True
+            assert doc["restored_arrivals"] > 0
+        finally:
+            await stop(warm)
 
     async def test_health_checker_consumes_the_document(self):
         """The fleet checker's verdict logic runs off this exact payload."""

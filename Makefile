@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos differential serve-smoke fleet-smoke profile figures experiments examples clean
+.PHONY: install test bench chaos differential serve-smoke fleet-smoke multisite-smoke profile figures experiments examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -37,6 +37,12 @@ serve-smoke:
 # offline replay, and policy-consistent failover under a node SIGKILL.
 fleet-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/fleet_smoke.py
+
+# Multi-site scenario smoke: a 3-site fat-tree scenario offline (preset and
+# TOML file) and replayed against a live one-daemon-per-site fleet with
+# --verify (online == offline verdicts incl. the roaming handoff).
+multisite-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/multisite_smoke.py
 
 # Profile fig5 with live telemetry: stage breakdown + metric exports.
 profile:

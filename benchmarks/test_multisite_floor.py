@@ -1,0 +1,62 @@
+"""Offline multi-site scenario throughput floor.
+
+Builds and runs one 3-site fat-tree web-search scenario (normal mix +
+staggered scan wave + a roaming-client snapshot handoff) entirely offline
+and asserts the end-to-end filtered-packet rate — trace generation
+excluded, filtering + scoring + advisor included — stays above a floor.
+The scenario engine is a thin composition over the filter pipeline, so a
+collapse here means a regression in the hot path, not in the scenarios.
+"""
+
+import time
+
+import pytest
+
+from repro.scenarios.runner import build_scenario, run_offline
+from repro.scenarios.spec import (
+    AttackWave,
+    FilterGeometry,
+    RoamingClient,
+    ScenarioSpec,
+    TrafficSpec,
+)
+
+#: Deliberately derated (the pipeline alone clears several hundred k pps
+#: serial) so CI container jitter cannot flake the gate.
+FLOOR_PPS = 30_000.0
+
+SPEC = ScenarioSpec(
+    name="bench-multisite",
+    topology="fat-tree",
+    sites=3,
+    duration=30.0,
+    seed=17,
+    traffic=TrafficSpec(mix="web-search", pps=150.0),
+    filter=FilterGeometry(order=14),
+    waves=(AttackWave(kind="scan", rate_multiplier=10.0, site_stagger=3.0),),
+    roamers=(RoamingClient(roam_fraction=0.5, pps=30.0),),
+)
+
+
+def test_offline_scenario_throughput_floor(capsys):
+    run = build_scenario(SPEC)
+    total_packets = sum(len(site.trace.packets) for site in run.sites)
+    total_packets += sum(len(r.trace.packets) for r in run.roamers)
+
+    start = time.perf_counter()
+    outcome = run_offline(run)
+    wall = time.perf_counter() - start
+    pps = total_packets / wall
+
+    with capsys.disabled():
+        print(f"\nmultisite offline: {total_packets:,} packets over "
+              f"{len(run.sites)} sites + {len(run.roamers)} roamer in "
+              f"{wall:.3f}s = {pps:,.0f} pps "
+              f"(floor {FLOOR_PPS:,.0f})")
+
+    assert outcome.roamers[0].snapshot_sequence >= 1
+    assert all(site.confusion.attack_filter_rate > 0.5
+               for site in outcome.sites)
+    assert pps >= FLOOR_PPS, (
+        f"offline scenario throughput {pps:,.0f} pps fell below the "
+        f"{FLOOR_PPS:,.0f} floor")

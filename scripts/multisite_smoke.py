@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the multi-site scenario engine (CI: multisite-smoke).
+
+Exercises the scenario surface through the public CLI, the way an operator
+would:
+
+1. ``repro multisite --preset fat-tree/web-search`` — a 3-site fat-tree
+   scenario offline: per-site rows, the aggregate TOTAL row, the advisor
+   column, and the roaming-client handoff line must all render.
+2. The same scenario from a TOML file (``--scenario``) must run and agree
+   on the site set.
+3. ``repro multisite --preset ... --online DIR --verify`` — the scenario
+   replayed against a live fleet (one daemon per site, packet clock);
+   ``--verify`` proves the online verdict stream byte-identical to the
+   offline filters, including the roamer's snapshot handoff through the
+   store, and the merged fleet /metrics view must be non-trivial.
+
+Exits non-zero with a diagnostic on any failure.
+
+Usage: ``make multisite-smoke`` or ``python scripts/multisite_smoke.py``
+(needs ``repro`` importable — installed or via ``PYTHONPATH=src``).
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+PRESET = "fat-tree/web-search"
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py<3.11 spelling
+    print(f"multisite-smoke: FAIL — {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_cli(*argv: str, timeout: float = 600.0) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        text=True, capture_output=True, timeout=timeout)
+    sys.stdout.write(result.stdout)
+    if result.returncode != 0:
+        fail(f"repro {argv[0]} exited {result.returncode}: {result.stderr}")
+    return result.stdout
+
+
+def check_offline_report(out: str, where: str) -> None:
+    for needle in ("site0", "site1", "site2", "TOTAL", "p(pen)", "advised"):
+        if needle not in out:
+            fail(f"{where}: report is missing {needle!r}")
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="multisite-smoke-"))
+
+    out = run_cli("multisite", "--preset", PRESET)
+    check_offline_report(out, "offline preset")
+    if "roamer roamer0" not in out:
+        fail("offline preset: no roaming-client handoff line")
+    if "-bitmap" not in out:
+        fail("offline preset: advisor column is empty everywhere")
+
+    out = run_cli("multisite", "--scenario",
+                  str(Path(__file__).resolve().parents[1]
+                      / "examples" / "scenarios" / "fat_tree.toml"))
+    check_offline_report(out, "scenario file")
+
+    out = run_cli("multisite", "--preset", PRESET,
+                  "--online", str(workdir / "online"), "--verify")
+    check_offline_report(out, "online replay")
+    if "verify: OK" not in out:
+        fail("online fleet replay did not match the offline filters")
+    if "online: one daemon per site" not in out:
+        fail("online replay did not report its fleet mode")
+
+    print("multisite-smoke: PASS — offline preset, TOML scenario, "
+          "online fleet parity with roaming handoff")
+
+
+if __name__ == "__main__":
+    main()

@@ -699,6 +699,7 @@ def _cmd_fleet_stats(args: argparse.Namespace) -> str:
     from repro.telemetry.merge import aggregate_fleet
 
     pages: Dict[str, str] = {}
+    down: List[str] = []
     for index, endpoint in enumerate(args.nodes.split(",")):
         url = endpoint.strip()
         if not url.startswith("http://") and not url.startswith("https://"):
@@ -710,16 +711,113 @@ def _cmd_fleet_stats(args: argparse.Namespace) -> str:
             with urllib.request.urlopen(url, timeout=args.timeout) as resp:
                 pages[f"node{index}"] = resp.read().decode()
         except OSError as exc:
-            raise SystemExit(f"fleet-stats: {url}: {exc}")
+            # One sick node must not abort the whole scrape: report it
+            # DOWN and merge whoever answered.
+            down.append(f"node{index} ({url}): {exc}")
+    if not pages:
+        raise SystemExit("fleet-stats: every node unreachable:\n  "
+                         + "\n  ".join(down))
     merged = to_prometheus(aggregate_fleet(pages))
     summary = summarize_prometheus(merged, args.prefix).splitlines()
     unified = [line for line in summary if 'node="' not in line]
     per_node = [line for line in summary if 'node="' in line]
-    lines = [f"fleet: {len(pages)} nodes scraped", "", "fleet-wide:"]
+    header = f"fleet: {len(pages)} nodes scraped"
+    if down:
+        header += f", {len(down)} DOWN"
+    lines = [header]
+    lines += [f"  DOWN {entry}" for entry in down]
+    lines += ["", "fleet-wide:"]
     lines += ["  " + line for line in unified] or ["  (no metrics)"]
     lines += ["", "per-node breakdown:"]
     lines += ["  " + line for line in per_node] or ["  (no metrics)"]
     return "\n".join(lines)
+
+
+def _multisite_args(parser: argparse.ArgumentParser) -> None:
+    """The scenario-engine options layered on the multisite experiment."""
+    parser.add_argument("--topologies", default="fat-tree,multi-isp,cross-dc",
+                        help="comma-separated topology kinds to run")
+    parser.add_argument("--mixes", default="web-search,data-mining",
+                        help="comma-separated traffic mixes to run")
+    parser.add_argument("--num-sites", type=int, default=3,
+                        help="client sites per scenario")
+    parser.add_argument("--scenario", default=None, metavar="PATH",
+                        help="run one TOML scenario spec instead of the "
+                             "topology x mix matrix")
+    parser.add_argument("--preset", default=None, metavar="NAME",
+                        help="run one named preset scenario "
+                             "(see repro.scenarios.PRESETS)")
+    parser.add_argument("--online", default=None, metavar="DIR",
+                        help="replay each scenario against a live per-site "
+                             "daemon fleet (one ephemeral daemon per site); "
+                             "DIR holds fleet workdirs + the snapshot store")
+    parser.add_argument("--verify", action="store_true",
+                        help="with --online: assert verdict byte-identity "
+                             "against the offline twin (including roaming "
+                             "snapshot handoffs)")
+
+
+def _cmd_multisite(args: argparse.Namespace) -> str:
+    """Run scenarios (matrix, preset, or TOML file), offline or online."""
+    from pathlib import Path
+
+    from repro.experiments.multisite import scenario_matrix
+    from repro.scenarios import PRESETS, build_scenario, load_scenario
+    from repro.scenarios.runner import ScenarioOutcome, run_offline
+
+    if args.verify and args.online is None:
+        raise SystemExit("multisite: --verify requires --online")
+    if args.scenario is not None:
+        specs = [load_scenario(args.scenario)]
+    elif args.preset is not None:
+        try:
+            specs = [PRESETS[args.preset]]
+        except KeyError:
+            raise SystemExit(
+                f"multisite: unknown preset {args.preset!r}; known: "
+                f"{', '.join(sorted(PRESETS))}") from None
+    else:
+        specs = scenario_matrix(
+            _resolve_scale(args),
+            topologies=tuple(t.strip() for t in args.topologies.split(",")),
+            mixes=tuple(m.strip() for m in args.mixes.split(",")),
+            num_sites=args.num_sites)
+
+    reports = []
+    for spec in specs:
+        run = build_scenario(spec)
+        if args.online is not None:
+            from repro.scenarios.online import run_online
+
+            workdir = Path(args.online) / spec.name.replace("/", "-")
+            online = run_online(run, workdir=workdir, verify=args.verify)
+            text = ScenarioOutcome(
+                spec=spec, sites=online.sites, roamers=online.roamers,
+                aggregate=online.aggregate).report()
+            text += "\nonline: one daemon per site (packet clock)"
+            if online.verified:
+                total = sum(s.packets for s in online.sites) + sum(
+                    len(r.verdicts) for r in online.roamers)
+                text += (f"\nverify: OK — {total} verdicts byte-identical "
+                         "to offline replay")
+            reports.append(text)
+        else:
+            reports.append(run_offline(run).report())
+    return "\n\n".join(reports)
+
+
+def _cmd_advise(args: argparse.Namespace) -> str:
+    """Recommend (k, n, m, dt) for an observed per-site connection count."""
+    from repro.core.parameters import ParameterAdvisor
+
+    advisor = ParameterAdvisor(expiry_timer=args.te,
+                               rotation_interval=args.dt)
+    params = advisor.recommend(
+        args.connections, target_penetration=args.target_p,
+        max_num_hashes=args.max_m)
+    return (f"for c={args.connections:g} connections per Te={args.te:g}s "
+            f"window (target p<={args.target_p:g}):\n"
+            f"  {params.describe()}")
 
 
 def _cmd_trace_info(args: argparse.Namespace) -> str:
@@ -747,6 +845,8 @@ def build_parser() -> argparse.ArgumentParser:
     for spec in EXPERIMENTS.values():
         p = sub.add_parser(spec.name, help=spec.help)
         _experiment_args(p, spec.default_scale)
+        if spec.name == "multisite":
+            _multisite_args(p)
     p = sub.add_parser("all", help="regenerate every experiment")
     _experiment_args(p, "small")
 
@@ -948,6 +1048,22 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--sample-seed", type=int, default=0)
     route.add_argument("--drop", default=None, metavar="NODE",
                        help="also show the remap caused by this node leaving")
+
+    advise = sub.add_parser(
+        "advise",
+        help="recommend bitmap geometry (m, n, dt) from observed demand",
+    )
+    advise.add_argument("--connections", "-c", type=float, required=True,
+                        help="expected max connections per expiry window "
+                             "(the c_obs column of a multisite run)")
+    advise.add_argument("--target-p", type=float, default=0.01,
+                        help="tolerable penetration probability (Eq. 2)")
+    advise.add_argument("--te", type=float, default=20.0,
+                        help="expiry timer Te in seconds")
+    advise.add_argument("--dt", type=float, default=5.0,
+                        help="rotation interval in seconds")
+    advise.add_argument("--max-m", type=int, default=8,
+                        help="cap on the number of hash functions")
     return parser
 
 
@@ -1020,6 +1136,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.experiment == "fleet-stats":
         print(_cmd_fleet_stats(args))
+        return 0
+    if args.experiment == "advise":
+        print(_cmd_advise(args))
+        return 0
+    if args.experiment == "multisite":
+        print(_cmd_multisite(args))
         return 0
     if args.experiment == "export":
         from repro.experiments.export import export_figures

@@ -122,6 +122,9 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         _spec("hybrid", "hybrid_verify",
               "hybrid exact-verification tier vs bitmap false admits",
               default_scale="small"),
+        _spec("multisite", "multisite",
+              "multi-site scenario matrix (topologies x traffic mixes)",
+              default_scale="small"),
     )
 }
 

@@ -145,7 +145,8 @@ class FleetManager:
                  backend: Optional[str] = None,
                  ready_timeout: float = 30.0,
                  python: Optional[str] = None,
-                 store: Optional[SnapshotStore] = None):
+                 store: Optional[SnapshotStore] = None,
+                 restore: Optional[Path] = None):
         if size < 1:
             raise ValueError("fleet size must be at least 1")
         if backend not in (None, "serial", "sharded", "shared"):
@@ -169,6 +170,7 @@ class FleetManager:
         self.python = python if python is not None else sys.executable
         self.store = (store if store is not None
                       else SnapshotStore(self.workdir / "store"))
+        self.restore = restore
         self._nodes: Dict[str, ManagedNode] = {}
 
     @property
@@ -183,12 +185,17 @@ class FleetManager:
     # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> List[NodeSpec]:
-        """Spawn the whole fleet; returns each node's spec, ready to route."""
+        """Spawn the whole fleet; returns each node's spec, ready to route.
+
+        With ``restore`` set, every node comes up warm from that snapshot
+        (``--restore``) instead of cold — how a roaming client's filter
+        state follows it to a new site's fleet.
+        """
         if self._nodes:
             raise RuntimeError("fleet already started")
         self.workdir.mkdir(parents=True, exist_ok=True)
         for index in range(self.size):
-            self._spawn(f"node{index}")
+            self._spawn(f"node{index}", restore_path=self.restore)
         return self.specs()
 
     def specs(self) -> List[NodeSpec]:

@@ -1,0 +1,75 @@
+"""Declarative multi-site scenarios: topology x traffic x campaign.
+
+This package turns the single-site pipeline into a scenario engine (see
+docs/scenarios.md):
+
+- :mod:`repro.scenarios.spec` — frozen dataclass scenario specs, TOML
+  loading, and named presets;
+- :mod:`repro.scenarios.topologies` — generated fat-tree / multi-ISP /
+  cross-datacenter :class:`~repro.sim.topology.IspTopology` graphs with one
+  address-spaced client site per network and dominator-validated filter
+  placement;
+- :mod:`repro.scenarios.campaigns` — coordinated multi-site attack waves
+  (scan / SYN-flood / UDP-flood / worm / insider) with per-site timing
+  offsets;
+- :mod:`repro.scenarios.runner` — offline execution: one filter per site
+  through :func:`~repro.core.filter_api.build_filter`, roaming clients
+  handed between sites through the :class:`~repro.fleet.store.SnapshotStore`,
+  per-site and aggregate penetration/drop tables;
+- :mod:`repro.scenarios.online` — the same scenario against a live
+  per-site daemon fleet, with ``--verify`` byte-parity against offline.
+"""
+
+from repro.scenarios.campaigns import AttackWave, campaign_traffic
+from repro.scenarios.online import OnlineOutcome, run_online
+from repro.scenarios.runner import (
+    RoamOutcome,
+    ScenarioOutcome,
+    ScenarioRun,
+    SiteOutcome,
+    build_scenario,
+    observed_connections,
+    run_offline,
+)
+from repro.scenarios.spec import (
+    PRESETS,
+    FilterGeometry,
+    RoamingClient,
+    ScenarioSpec,
+    TrafficSpec,
+    load_scenario,
+)
+from repro.scenarios.topologies import (
+    MultiSiteTopology,
+    SiteBinding,
+    build_topology,
+    cross_datacenter,
+    fat_tree,
+    multi_isp,
+)
+
+__all__ = [
+    "AttackWave",
+    "FilterGeometry",
+    "MultiSiteTopology",
+    "OnlineOutcome",
+    "PRESETS",
+    "RoamOutcome",
+    "RoamingClient",
+    "ScenarioOutcome",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "SiteBinding",
+    "SiteOutcome",
+    "TrafficSpec",
+    "build_scenario",
+    "build_topology",
+    "campaign_traffic",
+    "cross_datacenter",
+    "fat_tree",
+    "load_scenario",
+    "multi_isp",
+    "observed_connections",
+    "run_offline",
+    "run_online",
+]

@@ -1,0 +1,220 @@
+"""Online scenario execution: the same scenario against live daemon fleets.
+
+Each site gets its own one-node :class:`~repro.fleet.manager.FleetManager`
+fleet (``--clock packet``), all sharing one
+:class:`~repro.fleet.store.SnapshotStore`.  Site traces stream through
+:meth:`~repro.serve.client.FilterClient.filter_stream`; a roaming client
+streams its head frames at the home site's daemon, the daemon's live
+``/snapshot`` is published into the store, and a fresh daemon at the visit
+site starts ``--restore``-d from it before the tail frames stream — the
+same handoff :func:`~repro.scenarios.runner.run_offline` performs with
+in-process filters.  Because a restored daemon builds its filter with
+``build_filter(snapshot=...)`` under the packet clock, online verdicts are
+byte-identical to offline replay (``verify=True`` asserts it).
+"""
+
+from __future__ import annotations
+
+import urllib.request
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.parameters import ParameterAdvisor
+from repro.fleet.manager import FleetManager
+from repro.fleet.store import SnapshotStore
+from repro.net.packet import PacketArray
+from repro.scenarios.runner import (
+    RoamOutcome,
+    RoamerRun,
+    ScenarioRun,
+    SiteOutcome,
+    SiteRun,
+    _merge_counts,
+    observed_connections,
+    run_offline,
+)
+from repro.serve.client import FilterClient
+from repro.sim.metrics import ConfusionCounts, score_run
+from repro.telemetry.exporters import summarize_prometheus, to_prometheus
+from repro.telemetry.merge import aggregate_fleet
+
+__all__ = ["OnlineOutcome", "run_online"]
+
+DEFAULT_FRAME_PACKETS = 500
+
+
+@dataclass
+class OnlineOutcome:
+    """Everything an online scenario run produced."""
+
+    sites: List[SiteOutcome]
+    roamers: List[RoamOutcome]
+    aggregate: ConfusionCounts
+    metrics_text: str        # fleet-merged Prometheus exposition
+    verified: Optional[bool]  # None = --verify not requested
+
+    def metrics_summary(self) -> str:
+        return summarize_prometheus(self.metrics_text, prefix="repro_")
+
+
+def _frames(packets: PacketArray, frame_packets: int,
+            boundary: Optional[int] = None) -> List[PacketArray]:
+    """Fixed-size frames; with ``boundary``, no frame straddles it."""
+    cuts = list(range(0, len(packets), frame_packets)) + [len(packets)]
+    if boundary is not None and boundary not in cuts:
+        cuts = sorted(set(cuts) | {boundary})
+    return [packets[a:b] for a, b in zip(cuts[:-1], cuts[1:]) if b > a]
+
+
+def _protected_arg(space) -> str:
+    return ",".join(str(net) for net in space.networks)
+
+
+def _stream(spec, packets: PacketArray,
+            frame_packets: int) -> np.ndarray:
+    frames = _frames(packets, frame_packets)
+    with FilterClient.connect(spec.host, spec.port) as client:
+        masks = list(client.filter_stream(frames))
+    if not masks:
+        return np.zeros(0, dtype=bool)
+    return np.concatenate(masks).astype(bool)
+
+
+def _scrape_metrics(manager: FleetManager, name: str, *,
+                    timeout: float = 10.0) -> str:
+    node = manager.node(name)
+    url = node.spec.http_url.rstrip("/") + "/metrics"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode()
+
+
+def _site_manager(run: ScenarioRun, space, workdir: Path,
+                  store: SnapshotStore, **extra) -> FleetManager:
+    geometry = run.spec.filter
+    return FleetManager(
+        _protected_arg(space), size=1, workdir=str(workdir),
+        clock="packet",
+        order=geometry.order, num_vectors=geometry.num_vectors,
+        num_hashes=geometry.num_hashes,
+        rotation_interval=geometry.rotation_interval,
+        hash_seed=geometry.hash_seed,
+        filter_kind="hybrid" if geometry.layers else "bitmap",
+        store=store, **extra)
+
+
+def _run_site_online(run: ScenarioRun, site_run: SiteRun, workdir: Path,
+                     store: SnapshotStore, frame_packets: int,
+                     pages: Dict[str, str],
+                     advisor: ParameterAdvisor) -> SiteOutcome:
+    name = site_run.binding.name
+    manager = _site_manager(run, site_run.binding.space, workdir / name,
+                            store)
+    with manager:
+        spec = manager.specs()[0]
+        verdicts = _stream(spec, site_run.trace.packets, frame_packets)
+        pages[name] = _scrape_metrics(manager, "node0")
+    incoming = site_run.trace.packets.directions(
+        site_run.trace.protected) == 1
+    confusion, _ = score_run(site_run.trace.packets, verdicts, incoming,
+                             run.spec.duration)
+    dropped = int((~verdicts[incoming]).sum())
+    c_obs = observed_connections(site_run.trace, run.spec.filter.expiry_timer)
+    return SiteOutcome(
+        name=name, placement=site_run.binding.placement,
+        packets=len(site_run.trace.packets),
+        attack_packets=int(site_run.trace.metadata.get("attack_packets", 0)),
+        confusion=confusion,
+        drop_rate=dropped / int(incoming.sum()) if incoming.any() else 0.0,
+        observed_connections=c_obs,
+        advised=advisor.recommend(max(c_obs, 1)) if c_obs else None,
+        verdicts=verdicts, incoming_mask=incoming)
+
+
+def _run_roamer_online(run: ScenarioRun, roamer_run: RoamerRun,
+                       workdir: Path, store: SnapshotStore,
+                       frame_packets: int,
+                       pages: Dict[str, str]) -> RoamOutcome:
+    """The live handoff: stream head at home, snapshot, restore at visit."""
+    roamer = roamer_run.roamer
+    packets = roamer_run.trace.packets
+    split = roamer_run.split_index
+    base = workdir / f"roam-{roamer.name}"
+
+    home = _site_manager(run, roamer_run.space, base / "home", store)
+    with home:
+        spec = home.specs()[0]
+        head_verdicts = _stream(spec, packets[:split], frame_packets)
+        ref = home.publish_snapshot("node0")
+        pages[f"{roamer.name}@{roamer.home}"] = _scrape_metrics(
+            home, "node0")
+    store.read(ref)  # verify the blob before betting the visit spawn on it
+
+    visit = _site_manager(run, roamer_run.space, base / "visit", store,
+                          restore=ref.path)
+    with visit:
+        spec = visit.specs()[0]
+        tail_verdicts = _stream(spec, packets[split:], frame_packets)
+        pages[f"{roamer.name}@{roamer.visit}"] = _scrape_metrics(
+            visit, "node0")
+
+    verdicts = np.concatenate([head_verdicts, tail_verdicts])
+    incoming = packets.directions(roamer_run.space) == 1
+    confusion, _ = score_run(packets, verdicts, incoming, run.spec.duration)
+    dropped = int((~verdicts[incoming]).sum())
+    return RoamOutcome(
+        name=roamer.name, home=roamer.home, visit=roamer.visit,
+        split_index=split, snapshot_sequence=ref.sequence,
+        snapshot_sha256=ref.sha256, confusion=confusion,
+        drop_rate=dropped / int(incoming.sum()) if incoming.any() else 0.0,
+        verdicts=verdicts, incoming_mask=incoming)
+
+
+def run_online(run: ScenarioRun, *, workdir: Union[str, Path],
+               verify: bool = False,
+               frame_packets: int = DEFAULT_FRAME_PACKETS) -> OnlineOutcome:
+    """Replay the scenario against one live single-daemon fleet per site.
+
+    ``verify=True`` additionally runs the offline twin and asserts verdict
+    byte-identity per site and per roamer (including through the snapshot
+    handoff) — the differential guarantee the scenario engine rests on.
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    store = SnapshotStore(workdir / "store")
+    advisor = ParameterAdvisor(
+        expiry_timer=run.spec.filter.expiry_timer,
+        rotation_interval=run.spec.filter.rotation_interval)
+
+    pages: Dict[str, str] = {}
+    sites = [_run_site_online(run, site_run, workdir, store, frame_packets,
+                              pages, advisor)
+             for site_run in run.sites]
+    roamers = [_run_roamer_online(run, roamer_run, workdir, store,
+                                  frame_packets, pages)
+               for roamer_run in run.roamers]
+    aggregate = _merge_counts([s.confusion for s in sites]
+                              + [r.confusion for r in roamers])
+    metrics_text = to_prometheus(aggregate_fleet(pages)) if pages else ""
+
+    verified: Optional[bool] = None
+    if verify:
+        offline = run_offline(run, workdir=workdir / "offline")
+        for online_site, offline_site in zip(sites, offline.sites):
+            if not np.array_equal(online_site.verdicts,
+                                  offline_site.verdicts):
+                raise AssertionError(
+                    f"online/offline verdict divergence at site "
+                    f"{online_site.name}")
+        for online_roam, offline_roam in zip(roamers, offline.roamers):
+            if not np.array_equal(online_roam.verdicts,
+                                  offline_roam.verdicts):
+                raise AssertionError(
+                    f"online/offline verdict divergence for roamer "
+                    f"{online_roam.name}")
+        verified = True
+
+    return OnlineOutcome(sites=sites, roamers=roamers, aggregate=aggregate,
+                         metrics_text=metrics_text, verified=verified)

@@ -1,0 +1,253 @@
+"""Frozen scenario specs: one declarative vocabulary for multi-site runs.
+
+A :class:`ScenarioSpec` fully determines a multi-site run — topology shape,
+per-site traffic mix, attack campaign, roaming clients, and filter
+geometry — as nested frozen dataclasses, so experiments, tests, benchmarks,
+and the CLI all speak the same language and two runs of the same spec are
+bit-identical.  Specs are constructible in code, loadable from TOML
+(:func:`load_scenario`, Python 3.11+), or picked from :data:`PRESETS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Tuple, Union
+
+from repro.core.bitmap_filter import FilterConfig
+
+__all__ = [
+    "AttackWave",
+    "FilterGeometry",
+    "PRESETS",
+    "RoamingClient",
+    "ScenarioSpec",
+    "TrafficSpec",
+    "load_scenario",
+]
+
+TOPOLOGY_KINDS = ("fat-tree", "multi-isp", "cross-dc")
+TRAFFIC_MIXES = ("campus", "web-search", "data-mining")
+WAVE_KINDS = ("scan", "syn-flood", "udp-flood", "worm", "insider")
+
+
+@dataclass(frozen=True)
+class FilterGeometry:
+    """The per-site bitmap geometry every filter in the scenario uses."""
+
+    order: int = 16                # n
+    num_vectors: int = 4           # k
+    num_hashes: int = 3            # m
+    rotation_interval: float = 5.0  # dt
+    hash_seed: int = 0x5EED
+    layers: Tuple[str, ...] = ()   # e.g. ("verify",) for the hybrid tier
+
+    def filter_config(self, fail_policy=None) -> FilterConfig:
+        """The :class:`FilterConfig` a site filter is built from."""
+        extra = {} if fail_policy is None else {"fail_policy": fail_policy}
+        return FilterConfig(
+            order=self.order, num_vectors=self.num_vectors,
+            num_hashes=self.num_hashes,
+            rotation_interval=self.rotation_interval,
+            seed=self.hash_seed, layers=self.layers, **extra)
+
+    @property
+    def expiry_timer(self) -> float:
+        return self.num_vectors * self.rotation_interval
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Per-site normal-traffic shape."""
+
+    mix: str = "campus"            # campus | web-search | data-mining
+    pps: float = 200.0             # target normal packet rate per site
+    networks_per_site: int = 2     # class-C networks per client site
+    hosts_per_network: int = 40
+    nat_pool: int = 0              # >0: modern mixes NAT through N public IPs
+    ipv6: bool = False             # modern mixes fold IPv6 tuples
+    asymmetry: float = 0.0         # fraction of flows routed around the filter
+
+    def __post_init__(self) -> None:
+        if self.mix not in TRAFFIC_MIXES:
+            raise ValueError(
+                f"unknown traffic mix {self.mix!r}; known: {TRAFFIC_MIXES}")
+        if self.pps <= 0:
+            raise ValueError("pps must be positive")
+        if self.mix == "campus" and (self.nat_pool or self.ipv6
+                                     or self.asymmetry):
+            raise ValueError(
+                "nat_pool/ipv6/asymmetry apply to the modern mixes only")
+
+
+@dataclass(frozen=True)
+class AttackWave:
+    """One coordinated attack wave across the targeted sites.
+
+    The wave starts at ``duration * start_fraction`` at its first target
+    and ``site_stagger`` seconds later at each subsequent one — the
+    "rolling outbreak" shape of coordinated campaigns.  ``rate_multiplier``
+    scales the wave rate off the site's normal pps (the paper's Fig. 5
+    attack is 20x).
+    """
+
+    kind: str = "scan"
+    start_fraction: float = 1.0 / 3.0
+    duration_fraction: float = 0.5
+    rate_multiplier: float = 10.0
+    site_stagger: float = 5.0
+    targets: Tuple[str, ...] = ()  # site names; empty = every site
+
+    def __post_init__(self) -> None:
+        if self.kind not in WAVE_KINDS:
+            raise ValueError(
+                f"unknown wave kind {self.kind!r}; known: {WAVE_KINDS}")
+        if not 0.0 <= self.start_fraction < 1.0:
+            raise ValueError("start_fraction must be in [0, 1)")
+        if self.duration_fraction <= 0 or self.rate_multiplier <= 0:
+            raise ValueError("duration_fraction/rate_multiplier must be "
+                             "positive")
+
+
+@dataclass(frozen=True)
+class RoamingClient:
+    """A client whose filter state follows it between two sites.
+
+    The roamer owns its own small address block and filter.  At
+    ``duration * roam_fraction`` its filter state is snapshotted at the
+    ``home`` site, published through the scenario's
+    :class:`~repro.fleet.store.SnapshotStore`, and restored at ``visit`` —
+    its marked flows survive the move instead of cold-starting.
+    """
+
+    name: str = "roamer0"
+    home: str = "site0"
+    visit: str = "site1"
+    roam_fraction: float = 0.5
+    pps: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.home == self.visit:
+            raise ValueError("roaming needs two distinct sites")
+        if not 0.0 < self.roam_fraction < 1.0:
+            raise ValueError("roam_fraction must be in (0, 1)")
+        if self.pps <= 0:
+            raise ValueError("roamer pps must be positive")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-determined multi-site scenario."""
+
+    name: str
+    topology: str = "fat-tree"
+    sites: int = 3
+    duration: float = 60.0
+    seed: int = 7
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    filter: FilterGeometry = field(default_factory=FilterGeometry)
+    waves: Tuple[AttackWave, ...] = (AttackWave(),)
+    roamers: Tuple[RoamingClient, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; known: "
+                f"{TOPOLOGY_KINDS}")
+        if self.sites < 1:
+            raise ValueError("need at least one site")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        site_names = {f"site{i}" for i in range(self.sites)}
+        for wave in self.waves:
+            unknown = set(wave.targets) - site_names
+            if unknown:
+                raise ValueError(f"wave targets unknown sites: "
+                                 f"{sorted(unknown)}")
+        for roamer in self.roamers:
+            for site in (roamer.home, roamer.visit):
+                if site not in site_names:
+                    raise ValueError(
+                        f"roamer {roamer.name!r} references unknown site "
+                        f"{site!r}")
+
+    def with_mix(self, mix: str) -> "ScenarioSpec":
+        """The same scenario on a different traffic mix."""
+        cleared = ({"nat_pool": 0, "ipv6": False, "asymmetry": 0.0}
+                   if mix == "campus" else {})
+        traffic = replace(self.traffic, mix=mix, **cleared)
+        return replace(self, traffic=traffic,
+                       name=f"{self.name.split('/')[0]}/{mix}")
+
+
+def _build(cls, table: dict, context: str):
+    """Construct a frozen spec dataclass from a TOML table, strictly."""
+    known = {f.name for f in fields(cls)}
+    unknown = set(table) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {context} keys: {sorted(unknown)} "
+            f"(known: {sorted(known)})")
+    kwargs = dict(table)
+    for key in ("targets", "layers"):
+        if key in kwargs:
+            kwargs[key] = tuple(kwargs[key])
+    return cls(**kwargs)
+
+
+def scenario_from_dict(data: dict) -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from a parsed TOML document."""
+    data = dict(data)
+    traffic = _build(TrafficSpec, data.pop("traffic", {}), "traffic")
+    geometry = _build(FilterGeometry, data.pop("filter", {}), "filter")
+    waves = tuple(_build(AttackWave, wave, "wave")
+                  for wave in data.pop("waves", []))
+    roamers = tuple(_build(RoamingClient, roamer, "roamer")
+                    for roamer in data.pop("roamers", []))
+    known = {f.name for f in fields(ScenarioSpec)} - {
+        "traffic", "filter", "waves", "roamers"}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown scenario keys: {sorted(unknown)}")
+    return ScenarioSpec(traffic=traffic, filter=geometry, waves=waves,
+                        roamers=roamers, **data)
+
+
+def load_scenario(path: Union[str, Path]) -> ScenarioSpec:
+    """Load a scenario spec from a TOML file (Python 3.11+ stdlib).
+
+    See ``examples/scenarios/fat_tree.toml`` and docs/scenarios.md for the
+    schema.
+    """
+    try:
+        import tomllib
+    except ImportError as exc:  # pragma: no cover - py<3.11 only
+        raise RuntimeError(
+            "TOML scenario files need Python 3.11+ (tomllib); construct "
+            "the ScenarioSpec dataclass directly instead") from exc
+    with open(Path(path), "rb") as handle:
+        return scenario_from_dict(tomllib.load(handle))
+
+
+def _preset(name: str, topology: str, mix: str, **fields_) -> ScenarioSpec:
+    traffic_fields = {
+        key: fields_.pop(key)
+        for key in ("pps", "nat_pool", "ipv6", "asymmetry") if key in fields_}
+    return ScenarioSpec(
+        name=f"{name}/{mix}", topology=topology, duration=30.0,
+        traffic=TrafficSpec(mix=mix, pps=120.0, **traffic_fields), **fields_)
+
+
+#: Ready-made scenarios the experiment matrix and smoke tests draw from.
+#: The fat-tree pair carries a roaming client, so running either preset
+#: always exercises the snapshot-handoff path.
+_ROAM = (RoamingClient(roam_fraction=0.5, pps=20.0),)
+PRESETS = {
+    spec.name: spec for spec in (
+        _preset("fat-tree", "fat-tree", "web-search", seed=7, roamers=_ROAM),
+        _preset("fat-tree", "fat-tree", "campus", seed=7, roamers=_ROAM),
+        _preset("multi-isp", "multi-isp", "data-mining", seed=11,
+                nat_pool=6),
+        _preset("cross-dc", "cross-dc", "web-search", seed=13, ipv6=True),
+    )
+}

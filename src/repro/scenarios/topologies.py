@@ -1,0 +1,227 @@
+"""Generated multi-site ISP topologies with dominator-validated placement.
+
+Three generators extend :class:`~repro.sim.topology.IspTopology` beyond the
+hand-drawn Figure 1 example:
+
+- :func:`fat_tree` — a k-ary datacenter-style fabric: core spine, per-pod
+  aggregation (CORE kind), per-pod edge routers, with two independent
+  peering points hanging off distinct spine routers;
+- :func:`multi_isp` — several ISPs, each with its own transit peer and
+  core mesh, joined by a peering link, sites spread across all ISPs;
+- :func:`cross_datacenter` — spine/leaf datacenters joined by redundant
+  inter-DC links, each DC with its own multi-homed WAN peer.
+
+Every client site gets its own :class:`~repro.net.address.AddressSpace`
+(consecutive class-C blocks), and every :class:`SiteBinding` records the
+filter placement chosen from
+:meth:`~repro.sim.topology.IspTopology.valid_filter_locations` — the
+dominator analysis proves the chosen router sees *all* peer-to-site
+traffic, so a per-site filter there is equivalent to the paper's edge
+deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.net.address import AddressSpace, format_ipv4, parse_ipv4
+from repro.sim.topology import IspTopology
+
+__all__ = [
+    "MultiSiteTopology",
+    "SiteBinding",
+    "allocate_site_spaces",
+    "build_topology",
+    "cross_datacenter",
+    "fat_tree",
+    "multi_isp",
+]
+
+
+@dataclass(frozen=True)
+class SiteBinding:
+    """One client site: where it hangs and which router filters it."""
+
+    name: str            # client-network node name ("site0", ...)
+    edge_router: str     # the edge router it attaches to
+    placement: str       # chosen filter location (dominator-validated)
+    space: AddressSpace  # the site's own protected address space
+
+
+@dataclass(frozen=True)
+class MultiSiteTopology:
+    """A generated topology plus its per-site bindings."""
+
+    kind: str
+    topology: IspTopology
+    sites: Tuple[SiteBinding, ...]
+
+    def site(self, name: str) -> SiteBinding:
+        for binding in self.sites:
+            if binding.name == name:
+                return binding
+        raise KeyError(f"unknown site {name!r}")
+
+
+def allocate_site_spaces(num_sites: int, networks_per_site: int,
+                         first_network: str = "172.16.0.0",
+                         ) -> List[AddressSpace]:
+    """Consecutive class-C blocks, ``networks_per_site`` /24s per site."""
+    base = parse_ipv4(first_network)
+    spaces = []
+    for index in range(num_sites):
+        first = format_ipv4(base + (index * networks_per_site << 8))
+        spaces.append(AddressSpace.class_c_block(first, networks_per_site))
+    return spaces
+
+
+def _bind_sites(kind: str, topo: IspTopology, edges: List[str],
+                num_sites: int, networks_per_site: int,
+                first_network: str) -> MultiSiteTopology:
+    """Attach ``num_sites`` client networks round-robin across ``edges``.
+
+    Placement policy: the attach edge router, *verified* against the
+    dominator set — a generated graph where the edge router is not a
+    dominator of its own leaf site would be a construction bug, and the
+    check turns it into a loud error instead of an unprotected site.
+    """
+    spaces = allocate_site_spaces(num_sites, networks_per_site,
+                                  first_network)
+    bindings = []
+    for index in range(num_sites):
+        name = f"site{index}"
+        edge = edges[index % len(edges)]
+        topo.add_client_network(name, edge, spaces[index])
+        valid = topo.valid_filter_locations(name)
+        if edge not in valid:
+            raise AssertionError(
+                f"{kind}: edge router {edge!r} is not a dominator of "
+                f"{name!r} (valid: {sorted(valid)})")
+        bindings.append(SiteBinding(name=name, edge_router=edge,
+                                    placement=edge, space=spaces[index]))
+    return MultiSiteTopology(kind=kind, topology=topo,
+                             sites=tuple(bindings))
+
+
+def fat_tree(num_sites: int = 3, *, pods: int = 2, edges_per_pod: int = 2,
+             aggs_per_pod: int = 2, cores: int = 2,
+             networks_per_site: int = 2,
+             first_network: str = "172.16.0.0") -> MultiSiteTopology:
+    """A fat-tree fabric: cores x (aggregation + edge) pods, two peers.
+
+    Every aggregation router uplinks to every core and every edge router
+    uplinks to both of its pod's aggregation routers, so the only
+    single point on a site's inbound paths is its own edge router — which
+    is exactly what the dominator analysis certifies.
+    """
+    topo = IspTopology()
+    core_names = [f"core{c}" for c in range(cores)]
+    for name in core_names:
+        topo.add_core_router(name)
+    edge_names: List[str] = []
+    for pod in range(pods):
+        aggs = [f"agg{pod}-{a}" for a in range(aggs_per_pod)]
+        for agg in aggs:
+            topo.add_core_router(agg)
+            for core in core_names:
+                topo.connect(agg, core)
+        for e in range(edges_per_pod):
+            edge = f"edge{pod}-{e}"
+            topo.add_edge_router(edge)
+            edge_names.append(edge)
+            for agg in aggs:
+                topo.connect(edge, agg)
+    # Two independent peering points on distinct spine routers.
+    topo.add_peer("peer0")
+    topo.connect("peer0", core_names[0])
+    topo.add_peer("peer1")
+    topo.connect("peer1", core_names[-1])
+    return _bind_sites("fat-tree", topo, edge_names, num_sites,
+                       networks_per_site, first_network)
+
+
+def multi_isp(num_sites: int = 3, *, isps: int = 2, edges_per_isp: int = 2,
+              networks_per_site: int = 2,
+              first_network: str = "172.16.0.0") -> MultiSiteTopology:
+    """Several ISPs with their own transit peers, joined by peering links.
+
+    Each ISP has a two-core mesh with its transit peer on one core and
+    ``edges_per_isp`` dual-homed edge routers; consecutive ISPs peer
+    core-to-core, so a site's inbound traffic can arrive through *either*
+    ISP's transit — only the site's own edge router dominates.
+    """
+    topo = IspTopology()
+    edge_names: List[str] = []
+    for isp in range(isps):
+        a, b = f"isp{isp}-core0", f"isp{isp}-core1"
+        topo.add_core_router(a)
+        topo.add_core_router(b)
+        topo.connect(a, b)
+        peer = f"transit{isp}"
+        topo.add_peer(peer)
+        topo.connect(peer, a)
+        for e in range(edges_per_isp):
+            edge = f"isp{isp}-edge{e}"
+            topo.add_edge_router(edge)
+            edge_names.append(edge)
+            topo.connect(edge, a)
+            topo.connect(edge, b)
+    for isp in range(isps - 1):
+        topo.connect(f"isp{isp}-core1", f"isp{isp + 1}-core0")
+    return _bind_sites("multi-isp", topo, edge_names, num_sites,
+                       networks_per_site, first_network)
+
+
+def cross_datacenter(num_sites: int = 3, *, dcs: int = 2,
+                     leaves_per_dc: int = 2, networks_per_site: int = 2,
+                     first_network: str = "172.16.0.0") -> MultiSiteTopology:
+    """Spine/leaf datacenters with redundant inter-DC links and WAN peers.
+
+    Each DC is a two-spine, N-leaf Clos; the spines of consecutive DCs are
+    cross-connected pairwise (two disjoint inter-DC paths), and each DC has
+    its own *multi-homed* WAN peer attached to both spines — the multi-peer
+    multi-path shape where naive "walk up the tree" placement heuristics
+    break and dominator analysis is actually needed.
+    """
+    topo = IspTopology()
+    edge_names: List[str] = []
+    for dc in range(dcs):
+        spines = [f"dc{dc}-spine0", f"dc{dc}-spine1"]
+        for spine in spines:
+            topo.add_core_router(spine)
+        peer = f"wan{dc}"
+        topo.add_peer(peer)
+        for spine in spines:
+            topo.connect(peer, spine)
+        for leaf_index in range(leaves_per_dc):
+            leaf = f"dc{dc}-leaf{leaf_index}"
+            topo.add_edge_router(leaf)
+            edge_names.append(leaf)
+            for spine in spines:
+                topo.connect(leaf, spine)
+    for dc in range(dcs - 1):
+        topo.connect(f"dc{dc}-spine0", f"dc{dc + 1}-spine0")
+        topo.connect(f"dc{dc}-spine1", f"dc{dc + 1}-spine1")
+    return _bind_sites("cross-dc", topo, edge_names, num_sites,
+                       networks_per_site, first_network)
+
+
+_BUILDERS = {
+    "fat-tree": fat_tree,
+    "multi-isp": multi_isp,
+    "cross-dc": cross_datacenter,
+}
+
+
+def build_topology(kind: str, num_sites: int, *, networks_per_site: int = 2,
+                   first_network: str = "172.16.0.0") -> MultiSiteTopology:
+    """Build a named topology kind (``fat-tree``/``multi-isp``/``cross-dc``)."""
+    try:
+        builder = _BUILDERS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology kind {kind!r}; known: "
+            f"{sorted(_BUILDERS)}") from None
+    return builder(num_sites, networks_per_site=networks_per_site,
+                   first_network=first_network)

@@ -17,6 +17,18 @@ from repro.traffic.distributions import (
     ReplyDelayDistribution,
 )
 from repro.traffic.generator import ClientNetworkWorkload, WorkloadConfig
+from repro.traffic.modern import (
+    DATA_MINING,
+    WEB_SEARCH,
+    FlowSizeCDF,
+    Ipv6Folding,
+    ModernWorkload,
+    ModernWorkloadConfig,
+    NatPool,
+    asymmetric_route,
+    generate_modern_trace,
+    mix_cdf,
+)
 from repro.traffic.trace import Trace, TraceSummary
 
 __all__ = [
@@ -27,6 +39,16 @@ __all__ = [
     "ReplyDelayDistribution",
     "ClientNetworkWorkload",
     "WorkloadConfig",
+    "DATA_MINING",
+    "WEB_SEARCH",
+    "FlowSizeCDF",
+    "Ipv6Folding",
+    "ModernWorkload",
+    "ModernWorkloadConfig",
+    "NatPool",
+    "asymmetric_route",
+    "generate_modern_trace",
+    "mix_cdf",
     "Trace",
     "TraceSummary",
 ]

@@ -1,0 +1,508 @@
+"""Modern datacenter-style workloads: CDF flow sizes, NAT, IPv6, asymmetry.
+
+The campus generator (:mod:`repro.traffic.generator`) reproduces the paper's
+2006 capture.  This module models the traffic shapes that capture predates:
+
+- **CDF-driven flow sizes.**  :class:`FlowSizeCDF` inverse-transform-samples
+  flow sizes from an empirical CDF.  :data:`WEB_SEARCH` and
+  :data:`DATA_MINING` are the two canonical datacenter distributions
+  (the web-search trace of DCTCP and the data-mining trace of VL2) — the
+  former dominated by mice, the latter by a heavy elephant tail.
+- **NAT'd source pools.**  Many internal clients multiplex a few public
+  addresses; the filter observes high connection counts concentrated on a
+  handful of source IPs whose ports churn fast — the worst case for
+  per-address state and a natural fit for the bitmap's per-tuple keys.
+- **IPv6 flow tuples.**  The packet table is 32-bit
+  (:data:`repro.net.packet.PACKET_DTYPE`), so IPv6 endpoints are *folded*
+  deterministically into it: client interface identifiers hash into the
+  site's protected block, servers into the outside space
+  (:class:`Ipv6Folding`).  The fold is a pure function of the 128-bit
+  address (BLAKE2b), so it is seed- and ``PYTHONHASHSEED``-stable.
+- **Asymmetric routing.**  :func:`asymmetric_route` removes the *outgoing*
+  half of a deterministic fraction of flows from the filter's viewpoint —
+  the hot-potato case where replies return through a path whose requests
+  the filter never saw, so legitimate responses get dropped.
+
+Everything is driven by ``random.Random(seed)`` / BLAKE2b only, producing
+time-sorted :class:`~repro.traffic.trace.Trace` objects whose
+:meth:`~repro.traffic.trace.Trace.digest` is reproducible across runs,
+platforms, and hash-seed values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.net.address import AddressSpace
+from repro.net.packet import PACKET_DTYPE, PacketArray, TcpFlags
+from repro.net.protocols import EPHEMERAL_PORT_RANGE, IPPROTO_TCP, IPPROTO_UDP
+from repro.traffic.trace import Trace
+
+__all__ = [
+    "DATA_MINING",
+    "FlowSizeCDF",
+    "Ipv6Folding",
+    "ModernWorkload",
+    "ModernWorkloadConfig",
+    "NatPool",
+    "WEB_SEARCH",
+    "asymmetric_route",
+    "generate_modern_trace",
+    "mix_cdf",
+]
+
+_SYN = int(TcpFlags.SYN)
+_SYNACK = int(TcpFlags.SYN | TcpFlags.ACK)
+_ACK = int(TcpFlags.ACK)
+_PSHACK = int(TcpFlags.PSH | TcpFlags.ACK)
+_FINACK = int(TcpFlags.FIN | TcpFlags.ACK)
+
+
+@dataclass(frozen=True)
+class FlowSizeCDF:
+    """An empirical flow-size CDF sampled by inverse transform.
+
+    ``points`` is a monotone sequence of ``(cumulative_probability,
+    kilobytes)`` pairs ending at probability 1.0; a draw interpolates
+    linearly between adjacent points (sizes below the first point
+    interpolate down to 1 KB).
+    """
+
+    name: str
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points or self.points[-1][0] != 1.0:
+            raise ValueError("CDF points must end at cumulative probability 1.0")
+        last_p, last_kb = 0.0, 0.0
+        for p, kb in self.points:
+            if not 0.0 < p <= 1.0 or kb <= 0:
+                raise ValueError(f"bad CDF point ({p}, {kb})")
+            if p <= last_p or kb < last_kb:
+                raise ValueError("CDF probabilities must strictly increase "
+                                 "and sizes must be non-decreasing")
+            last_p, last_kb = p, kb
+
+    def sample_kbytes(self, rng: random.Random) -> float:
+        """One flow size in kilobytes."""
+        u = rng.random()
+        prev_p, prev_kb = 0.0, min(1.0, self.points[0][1])
+        for p, kb in self.points:
+            if u <= p:
+                span = p - prev_p
+                frac = (u - prev_p) / span if span > 0 else 1.0
+                return prev_kb + frac * (kb - prev_kb)
+            prev_p, prev_kb = p, kb
+        return self.points[-1][1]
+
+    def mean_kbytes(self, samples: int = 4096, seed: int = 0) -> float:
+        """Monte-Carlo mean of the distribution (calibration helper)."""
+        rng = random.Random(seed)
+        return sum(self.sample_kbytes(rng) for _ in range(samples)) / samples
+
+
+#: The DCTCP web-search workload: >80% of flows under ~1.3 MB (mice),
+#: queries and short responses dominating.
+WEB_SEARCH = FlowSizeCDF("web-search", (
+    (0.15, 6.0), (0.2, 13.0), (0.3, 19.0), (0.4, 33.0), (0.53, 53.0),
+    (0.6, 133.0), (0.7, 667.0), (0.8, 1333.0), (0.9, 3333.0),
+    (0.97, 6667.0), (1.0, 20000.0),
+))
+
+#: The VL2 data-mining workload: half the flows are single-packet, but the
+#: top 5% are multi-megabyte elephants carrying most of the bytes.
+DATA_MINING = FlowSizeCDF("data-mining", (
+    (0.5, 1.0), (0.6, 2.0), (0.7, 3.0), (0.8, 7.0), (0.9, 267.0),
+    (0.95, 2107.0), (0.99, 66667.0), (1.0, 666667.0),
+))
+
+_MIXES = {cdf.name: cdf for cdf in (WEB_SEARCH, DATA_MINING)}
+
+
+def mix_cdf(name: str) -> FlowSizeCDF:
+    """Look up a named flow-size mix (``web-search`` / ``data-mining``)."""
+    try:
+        return _MIXES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown flow mix {name!r}; known: {sorted(_MIXES)}") from None
+
+
+class NatPool:
+    """A NAPT gateway: many internal clients behind few public addresses.
+
+    Each translation draws a public address uniformly from the pool and an
+    ephemeral port from that address's cycling allocator — the
+    externally-visible half of a (private host, private port) binding.  The
+    filter only ever sees the public side, so ``pool_size`` public IPs
+    carry the site's entire outgoing connection load.
+    """
+
+    def __init__(self, space: AddressSpace, pool_size: int):
+        if pool_size < 1:
+            raise ValueError("NAT pool needs at least one public address")
+        first = space.networks[0]
+        if pool_size > first.num_addresses - 2:
+            raise ValueError("NAT pool larger than the public network")
+        self.addresses = [first.host(i + 1) for i in range(pool_size)]
+        self._ports: Dict[int, int] = {}
+
+    def translate(self, rng: random.Random) -> Tuple[int, int]:
+        """One fresh (public address, public port) binding."""
+        public = self.addresses[rng.randrange(len(self.addresses))]
+        lo, hi = EPHEMERAL_PORT_RANGE
+        span = hi - lo + 1
+        current = self._ports.get(public)
+        if current is None:
+            current = lo + rng.randrange(span)
+        else:
+            current = lo + (current - lo + 1) % span
+        self._ports[public] = current
+        return public, current
+
+
+class Ipv6Folding:
+    """Deterministic fold of 128-bit endpoints into the 32-bit packet table.
+
+    The trace dtype carries IPv4-sized addresses, so IPv6 flows are
+    represented by folding each 128-bit address through BLAKE2b: client
+    addresses land on a host inside the site's protected block (so
+    direction classification still works), servers land outside it.  The
+    fold is stable across processes — it depends only on the address bits.
+    """
+
+    def __init__(self, space: AddressSpace):
+        self.space = space
+        self._hosts = space.hosts(per_network=250)
+
+    @staticmethod
+    def _digest(value: int, salt: int = 0) -> int:
+        data = value.to_bytes(16, "big") + salt.to_bytes(4, "big")
+        return int.from_bytes(
+            hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+    def fold_client(self, ipv6: int) -> int:
+        """Map an IPv6 client onto a stable host of the protected block."""
+        return self._hosts[self._digest(ipv6) % len(self._hosts)]
+
+    def fold_server(self, ipv6: int) -> int:
+        """Map an IPv6 server onto a stable address outside the block."""
+        salt = 0
+        while True:
+            addr = 0x01000000 + self._digest(ipv6, salt) % (0xE0000000 - 0x01000000)
+            if not self.space.contains_int(addr):
+                return addr
+            salt += 1
+
+
+@dataclass(frozen=True)
+class ModernWorkloadConfig:
+    """Knobs of the CDF-driven modern workload."""
+
+    mix: str = "web-search"        # flow-size CDF name
+    first_network: str = "172.16.0.0"
+    num_networks: int = 2
+    hosts_per_network: int = 40
+    duration: float = 60.0
+    flow_rate: Optional[float] = None    # flows per second
+    target_pps: Optional[float] = None   # alternative: calibrate packet rate
+    num_servers: int = 400
+    mss: int = 1460                # data-packet payload cap
+    ack_every: int = 10            # outgoing ACK per N incoming data packets
+    max_packets_per_flow: int = 2000  # elephant truncation (noted in metadata)
+    dns_fraction: float = 0.25     # flows preceded by a UDP DNS lookup
+    nat_pool: int = 0              # >0: clients NAT through this many IPs
+    ipv6: bool = False             # endpoints are folded IPv6 addresses
+    asymmetry: float = 0.0         # fraction of flows routed around the filter
+    background_noise_fraction: float = 0.007
+    seed: int = 42
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        mix_cdf(self.mix)  # validate the name early
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if (self.flow_rate is None) == (self.target_pps is None):
+            raise ValueError("specify exactly one of flow_rate or target_pps")
+        if not 0.0 <= self.asymmetry < 1.0:
+            raise ValueError("asymmetry must be in [0, 1)")
+        if self.num_networks < 1 or self.hosts_per_network < 1:
+            raise ValueError("need at least one network and one host")
+        if self.mss < 64 or self.max_packets_per_flow < 4:
+            raise ValueError("mss/max_packets_per_flow too small")
+
+
+class ModernWorkload:
+    """Generate a CDF-driven request/response workload for one site."""
+
+    _CALIBRATION_FLOWS = 400
+
+    def __init__(self, config: ModernWorkloadConfig):
+        self.config = config
+        self.cdf = mix_cdf(config.mix)
+        self.protected = AddressSpace.class_c_block(
+            config.first_network, config.num_networks)
+        self._rng = random.Random(config.seed)
+        self._nat = (NatPool(self.protected, config.nat_pool)
+                     if config.nat_pool else None)
+        self._fold = Ipv6Folding(self.protected) if config.ipv6 else None
+        self._clients = self._build_clients()
+        self._client_ports: Dict[int, int] = {}
+        self._servers = self._build_server_pool()
+
+    # -- endpoint pools -----------------------------------------------------
+
+    def _build_clients(self) -> List[int]:
+        config = self.config
+        if self._fold is not None:
+            # IPv6 clients: 2001:db8::/32 interface identifiers, folded.
+            base = 0x20010DB8 << 96
+            return [self._fold.fold_client(base + i)
+                    for i in range(config.num_networks
+                                   * config.hosts_per_network)]
+        return self.protected.hosts(per_network=config.hosts_per_network)
+
+    def _build_server_pool(self) -> List[int]:
+        rng = random.Random(self.config.seed ^ 0x5E17E12)
+        if self._fold is not None:
+            base = 0x26001F00 << 96  # a cloud provider's IPv6 block
+            return [self._fold.fold_server(base + rng.getrandbits(48))
+                    for _ in range(self.config.num_servers)]
+        servers: List[int] = []
+        while len(servers) < self.config.num_servers:
+            addr = rng.randint(0x01000000, 0xDFFFFFFF)
+            if not self.protected.contains_int(addr):
+                servers.append(addr)
+        return servers
+
+    def _next_port(self, client: int, rng: random.Random) -> int:
+        if self._nat is not None:
+            raise AssertionError("NAT path allocates via the pool")
+        lo, hi = EPHEMERAL_PORT_RANGE
+        span = hi - lo + 1
+        current = self._client_ports.get(client)
+        if current is None:
+            current = lo + rng.randrange(span)
+        else:
+            current = lo + (current - lo + 1) % span
+        self._client_ports[client] = current
+        return current
+
+    # -- flow expansion -----------------------------------------------------
+
+    def _flow_rows(self, rng: random.Random, start: float) -> List[tuple]:
+        """Expand one request/response flow into packet rows.
+
+        Row shape matches the campus generator:
+        ``(ts, proto, src, sport, dst, dport, flags, size)``.
+        """
+        config = self.config
+        if self._nat is not None:
+            client, sport = self._nat.translate(rng)
+        else:
+            client = self._clients[rng.randrange(len(self._clients))]
+            sport = self._next_port(client, rng)
+        server = self._servers[rng.randrange(len(self._servers))]
+        dport = 443 if rng.random() < 0.7 else 80
+        rtt = rng.uniform(0.005, 0.12)
+        rows: List[tuple] = []
+
+        t = start
+        if rng.random() < config.dns_fraction:
+            resolver = self._servers[0]
+            rows.append((t, IPPROTO_UDP, client, sport, resolver, 53, 0, 64))
+            rows.append((t + rtt, IPPROTO_UDP, resolver, 53, client, sport,
+                         0, 120))
+            t += rtt + rng.uniform(0.0002, 0.002)
+
+        rows.append((t, IPPROTO_TCP, client, sport, server, dport, _SYN, 48))
+        t += rtt
+        rows.append((t, IPPROTO_TCP, server, dport, client, sport,
+                     _SYNACK, 48))
+        t += rng.uniform(0.0001, 0.001)
+        rows.append((t, IPPROTO_TCP, client, sport, server, dport, _ACK, 40))
+        rows.append((t, IPPROTO_TCP, client, sport, server, dport,
+                     _PSHACK, rng.randint(120, 700)))
+
+        size_bytes = self.cdf.sample_kbytes(rng) * 1024.0
+        n_data = max(1, int(np.ceil(size_bytes / config.mss)))
+        n_data = min(n_data, config.max_packets_per_flow)
+        t += rtt
+        for i in range(n_data):
+            t += rng.uniform(0.0002, 0.0018)
+            last = i == n_data - 1
+            payload = (config.mss if not last
+                       else max(40, int(size_bytes) % config.mss or config.mss))
+            rows.append((t, IPPROTO_TCP, server, dport, client, sport,
+                         _PSHACK if last else _ACK, min(payload, 65535)))
+            if (i + 1) % config.ack_every == 0 and not last:
+                rows.append((t + 0.0001, IPPROTO_TCP, client, sport, server,
+                             dport, _ACK, 40))
+
+        t += rng.uniform(0.0005, 0.01)
+        rows.append((t, IPPROTO_TCP, client, sport, server, dport,
+                     _FINACK, 40))
+        rows.append((t + rtt, IPPROTO_TCP, server, dport, client, sport,
+                     _FINACK, 40))
+        rows.append((t + rtt + 0.0005, IPPROTO_TCP, client, sport, server,
+                     dport, _ACK, 40))
+        return rows
+
+    # -- calibration --------------------------------------------------------
+
+    def estimate_packets_per_flow(self) -> float:
+        """Mean packets per flow (dry run with a cloned RNG state)."""
+        saved = random.Random()
+        saved.setstate(self._rng.getstate())
+        probe = ModernWorkload(self.config)
+        probe._rng = saved
+        total = sum(len(probe._flow_rows(saved, 0.0))
+                    for _ in range(self._CALIBRATION_FLOWS))
+        return total / self._CALIBRATION_FLOWS
+
+    def resolved_flow_rate(self) -> float:
+        if self.config.flow_rate is not None:
+            return self.config.flow_rate
+        assert self.config.target_pps is not None
+        return self.config.target_pps / self.estimate_packets_per_flow()
+
+    # -- generation ---------------------------------------------------------
+
+    def generate(self) -> Trace:
+        """The full time-sorted trace (labelled NORMAL + BACKGROUND)."""
+        config = self.config
+        rate = self.resolved_flow_rate()
+        rng = self._rng
+        rows: List[tuple] = []
+        now = config.start_time
+        end = config.start_time + config.duration
+        flows = 0
+        while True:
+            now += rng.expovariate(rate)
+            if now >= end:
+                break
+            rows.extend(self._flow_rows(rng, now))
+            flows += 1
+
+        packets = _rows_to_array(rows)
+        noise = self._generate_background(len(rows) / config.duration)
+        if noise is not None and len(noise):
+            packets = PacketArray.concatenate([packets, noise]).sorted_by_time()
+        metadata = {
+            "kind": f"modern-{config.mix}",
+            "duration": config.duration,
+            "flows": flows,
+            "flow_rate": rate,
+            "seed": config.seed,
+            "num_networks": config.num_networks,
+            "address_family": "ipv6-folded" if config.ipv6 else "ipv4",
+            "nat_pool": config.nat_pool,
+            "elephant_cap_packets": config.max_packets_per_flow,
+        }
+        trace = Trace(packets, self.protected, metadata)
+        if config.asymmetry > 0:
+            trace = asymmetric_route(trace, config.asymmetry,
+                                     seed=config.seed)
+        return trace
+
+    def _generate_background(self, actual_pps: float) -> Optional[PacketArray]:
+        config = self.config
+        if config.background_noise_fraction <= 0:
+            return None
+        from repro.attacks.scanner import RandomScanAttack, ScanConfig
+        from repro.net.packet import PacketLabel
+
+        noise_pps = actual_pps * config.background_noise_fraction
+        if noise_pps * config.duration < 1:
+            return None
+        scan = RandomScanAttack(
+            ScanConfig(
+                rate_pps=noise_pps,
+                start=config.start_time,
+                duration=config.duration,
+                tcp_fraction=0.8,
+                syn_fraction=0.7,
+                seed=config.seed ^ 0xBA5E,
+                label=PacketLabel.BACKGROUND,
+            ),
+            self.protected,
+        )
+        return scan.generate()
+
+
+def _rows_to_array(rows: List[tuple]) -> PacketArray:
+    data = np.zeros(len(rows), dtype=PACKET_DTYPE)
+    if rows:
+        ts, proto, src, sport, dst, dport, flags, size = zip(*rows)
+        data["ts"] = ts
+        data["proto"] = proto
+        data["src"] = src
+        data["sport"] = sport
+        data["dst"] = dst
+        data["dport"] = dport
+        data["flags"] = flags
+        data["size"] = size
+    return PacketArray(data).sorted_by_time()
+
+
+def asymmetric_route(trace: Trace, fraction: float, seed: int = 0) -> Trace:
+    """Remove the outgoing half of a deterministic ``fraction`` of flows.
+
+    Models hot-potato routing where a flow's requests leave through a path
+    the filter does not sit on: the filter sees only the replies, never the
+    outgoing packets that would have marked the bitmap.  Flow selection
+    hashes the canonical 4-tuple with BLAKE2b, so the same flows are
+    asymmetric on every run regardless of ``PYTHONHASHSEED``.
+
+    Incoming and non-client packets are untouched — only *outgoing* packets
+    of selected flows disappear from the filter's viewpoint.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    packets = trace.packets
+    metadata = dict(trace.metadata)
+    metadata["asymmetric_fraction"] = fraction
+    if fraction == 0.0 or not len(packets):
+        return Trace(packets, trace.protected, metadata)
+
+    directions = packets.directions(trace.protected)
+    outgoing = directions == 0
+    # Canonical (local, lport, remote, rport) key per packet.
+    local = np.where(outgoing, packets.src, packets.dst).astype(np.uint64)
+    lport = np.where(outgoing, packets.sport, packets.dport).astype(np.uint64)
+    remote = np.where(outgoing, packets.dst, packets.src).astype(np.uint64)
+    rport = np.where(outgoing, packets.dport, packets.sport).astype(np.uint64)
+    k1 = (local << np.uint64(16)) | lport
+    k2 = (remote << np.uint64(16)) | rport
+
+    threshold = int(fraction * (1 << 64))
+    salt = seed.to_bytes(8, "big", signed=True)
+    keys = np.stack([k1, k2], axis=1)
+    unique, inverse = np.unique(keys, axis=0, return_inverse=True)
+    chosen = np.zeros(len(unique), dtype=bool)
+    for i, (a, b) in enumerate(unique):
+        digest = hashlib.blake2b(
+            int(a).to_bytes(8, "big") + int(b).to_bytes(8, "big") + salt,
+            digest_size=8).digest()
+        chosen[i] = int.from_bytes(digest, "big") < threshold
+    drop = chosen[np.asarray(inverse).reshape(-1)] & outgoing
+    return Trace(PacketArray(packets.data[~drop]), trace.protected, metadata)
+
+
+def generate_modern_trace(
+    mix: str = "web-search",
+    duration: float = 60.0,
+    target_pps: float = 400.0,
+    seed: int = 42,
+    **fields,
+) -> Trace:
+    """One-call convenience wrapper (mirrors ``generate_client_trace``)."""
+    config = ModernWorkloadConfig(
+        mix=mix, duration=duration, target_pps=target_pps, seed=seed,
+        **fields)
+    return ModernWorkload(config).generate()

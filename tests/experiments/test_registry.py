@@ -21,7 +21,7 @@ class TestRegistryTable:
         expected = {"fig2a", "fig2b", "fig2c", "table1", "capacity", "fig4",
                     "fig5", "insider", "apd", "sweep", "worm", "aggregate",
                     "timing", "compat", "robustness", "resilience",
-                    "throttle", "collusion", "hybrid"}
+                    "throttle", "collusion", "hybrid", "multisite"}
         assert names == expected
 
     def test_every_module_exposes_run(self):

@@ -1,0 +1,102 @@
+"""Campaign orchestration: staggered waves, labels, target restriction."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import PacketLabel
+from repro.scenarios.campaigns import campaign_traffic, wave_packets
+from repro.scenarios.spec import AttackWave, ScenarioSpec, TrafficSpec
+from repro.scenarios.topologies import build_topology
+
+SPEC = ScenarioSpec(
+    name="campaign-test",
+    topology="fat-tree",
+    sites=3,
+    duration=30.0,
+    seed=5,
+    traffic=TrafficSpec(mix="campus", pps=100.0),
+    waves=(AttackWave(kind="scan", start_fraction=1.0 / 3.0,
+                      duration_fraction=0.5, rate_multiplier=5.0,
+                      site_stagger=4.0),),
+)
+MSITE = build_topology("fat-tree", 3)
+
+
+def test_every_site_gets_attack_packets_with_stagger():
+    per_site = campaign_traffic(SPEC, MSITE)
+    assert set(per_site) == {"site0", "site1", "site2"}
+    starts = {name: packets.ts.min() for name, packets in per_site.items()}
+    assert starts["site0"] == pytest.approx(10.0, abs=0.5)
+    assert starts["site1"] == pytest.approx(14.0, abs=0.5)
+    assert starts["site2"] == pytest.approx(18.0, abs=0.5)
+
+
+def test_attack_packets_are_labelled_attack():
+    per_site = campaign_traffic(SPEC, MSITE)
+    for packets in per_site.values():
+        assert len(packets)
+        assert np.all(packets.label == int(PacketLabel.ATTACK))
+
+
+def test_targets_restrict_the_wave():
+    from dataclasses import replace
+
+    spec = replace(SPEC, waves=(replace(SPEC.waves[0],
+                                        targets=("site1",)),))
+    per_site = campaign_traffic(spec, MSITE)
+    assert len(per_site["site1"]) > 0
+    assert len(per_site["site0"]) == 0
+    assert len(per_site["site2"]) == 0
+    # The sole target is offset 0 — no stagger applied.
+    assert per_site["site1"].ts.min() == pytest.approx(10.0, abs=0.5)
+
+
+def test_window_past_trace_end_yields_empty_array():
+    wave = AttackWave(site_stagger=40.0)  # second target starts past the end
+    packets = wave_packets(wave, SPEC, MSITE.sites[1],
+                           wave_index=0, site_offset=2)
+    assert len(packets) == 0
+
+
+def test_campaign_is_deterministic_and_seed_sensitive():
+    from dataclasses import replace
+
+    a = campaign_traffic(SPEC, MSITE)
+    b = campaign_traffic(SPEC, MSITE)
+    for name in a:
+        assert np.array_equal(a[name].data, b[name].data)
+    other = campaign_traffic(replace(SPEC, seed=6), MSITE)
+    assert not np.array_equal(a["site0"].data, other["site0"].data)
+
+
+def test_sites_draw_distinct_seeds():
+    per_site = campaign_traffic(SPEC, MSITE)
+    assert not np.array_equal(per_site["site0"].data[: 100],
+                              per_site["site1"].data[: 100])
+
+
+@pytest.mark.parametrize("kind", ["scan", "syn-flood", "udp-flood",
+                                  "worm", "insider"])
+def test_every_wave_kind_generates_inside_the_window(kind):
+    wave = AttackWave(kind=kind, rate_multiplier=2.0)
+    packets = wave_packets(wave, SPEC, MSITE.sites[0],
+                           wave_index=0, site_offset=0)
+    assert len(packets)
+    assert packets.ts.min() >= 10.0 - 1e-9
+    assert packets.ts.max() <= 25.0 + 1e-9
+    assert np.all(packets.label == int(PacketLabel.ATTACK))
+
+
+def test_multiple_waves_merge_time_sorted():
+    from dataclasses import replace
+
+    spec = replace(SPEC, waves=(
+        AttackWave(kind="scan", start_fraction=0.1, duration_fraction=0.2,
+                   site_stagger=0.0),
+        AttackWave(kind="udp-flood", start_fraction=0.5,
+                   duration_fraction=0.3, site_stagger=0.0),
+    ))
+    per_site = campaign_traffic(spec, MSITE)
+    ts = per_site["site0"].ts
+    assert np.all(np.diff(ts) >= 0)
+    assert ts.min() < spec.duration * 0.3 < spec.duration * 0.5 < ts.max()

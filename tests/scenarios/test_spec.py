@@ -1,0 +1,175 @@
+"""Scenario spec dataclasses: validation, TOML loading, presets."""
+
+import sys
+
+import pytest
+
+from repro.scenarios.spec import (
+    PRESETS,
+    AttackWave,
+    FilterGeometry,
+    RoamingClient,
+    ScenarioSpec,
+    TrafficSpec,
+    load_scenario,
+    scenario_from_dict,
+)
+
+TOML_DOC = """
+name = "toml-demo"
+topology = "multi-isp"
+sites = 4
+duration = 30.0
+seed = 99
+
+[traffic]
+mix = "data-mining"
+pps = 120.0
+nat_pool = 5
+
+[filter]
+order = 14
+num_vectors = 4
+num_hashes = 2
+rotation_interval = 2.5
+
+[[waves]]
+kind = "syn-flood"
+rate_multiplier = 8.0
+targets = ["site0", "site2"]
+
+[[waves]]
+kind = "worm"
+site_stagger = 3.0
+
+[[roamers]]
+name = "laptop"
+home = "site1"
+visit = "site3"
+roam_fraction = 0.4
+"""
+
+needs_tomllib = pytest.mark.skipif(
+    sys.version_info < (3, 11), reason="tomllib is Python 3.11+")
+
+
+def test_default_spec_is_valid_and_frozen():
+    spec = ScenarioSpec(name="x")
+    assert spec.topology == "fat-tree"
+    assert spec.waves[0].kind == "scan"
+    with pytest.raises(AttributeError):
+        spec.sites = 5
+
+
+def test_geometry_derives_expiry_timer_and_filter_config():
+    geometry = FilterGeometry(order=14, num_vectors=4, rotation_interval=2.5)
+    assert geometry.expiry_timer == 10.0
+    config = geometry.filter_config()
+    assert (config.order, config.num_vectors) == (14, 4)
+    assert config.rotation_interval == 2.5
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(topology="ring"),
+    dict(sites=0),
+    dict(duration=-1.0),
+    dict(waves=(AttackWave(targets=("site9",)),)),
+    dict(roamers=(RoamingClient(home="site0", visit="site7"),)),
+])
+def test_spec_validation_rejects_bad_fields(kwargs):
+    with pytest.raises(ValueError):
+        ScenarioSpec(name="bad", **kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(mix="voip"),
+    dict(pps=0.0),
+    dict(mix="campus", nat_pool=3),
+    dict(mix="campus", ipv6=True),
+    dict(mix="campus", asymmetry=0.2),
+])
+def test_traffic_validation(kwargs):
+    with pytest.raises(ValueError):
+        TrafficSpec(**kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(kind="carrier-pigeon"),
+    dict(start_fraction=1.0),
+    dict(duration_fraction=0.0),
+    dict(rate_multiplier=-1.0),
+])
+def test_wave_validation(kwargs):
+    with pytest.raises(ValueError):
+        AttackWave(**kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(home="site0", visit="site0"),
+    dict(roam_fraction=0.0),
+    dict(roam_fraction=1.0),
+    dict(pps=0.0),
+])
+def test_roamer_validation(kwargs):
+    with pytest.raises(ValueError):
+        RoamingClient(**kwargs)
+
+
+def test_with_mix_swaps_mix_and_clears_modern_knobs():
+    spec = PRESETS["multi-isp/data-mining"]
+    assert spec.traffic.nat_pool == 6
+    campus = spec.with_mix("campus")
+    assert campus.traffic.mix == "campus"
+    assert campus.traffic.nat_pool == 0
+    assert campus.name == "multi-isp/campus"
+
+
+def test_presets_cover_every_topology_kind():
+    assert {spec.topology for spec in PRESETS.values()} == {
+        "fat-tree", "multi-isp", "cross-dc"}
+    assert all(name == spec.name for name, spec in PRESETS.items())
+
+
+def test_scenario_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown scenario keys"):
+        scenario_from_dict({"name": "x", "colour": "red"})
+    with pytest.raises(ValueError, match="unknown traffic keys"):
+        scenario_from_dict({"name": "x", "traffic": {"bandwidth": 1}})
+    with pytest.raises(ValueError, match="unknown wave keys"):
+        scenario_from_dict({"name": "x", "waves": [{"speed": 2}]})
+
+
+@needs_tomllib
+def test_load_scenario_round_trips_the_toml_schema(tmp_path):
+    path = tmp_path / "scenario.toml"
+    path.write_text(TOML_DOC)
+    spec = load_scenario(path)
+    assert spec.name == "toml-demo"
+    assert spec.topology == "multi-isp"
+    assert spec.sites == 4
+    assert spec.traffic.mix == "data-mining"
+    assert spec.traffic.nat_pool == 5
+    assert spec.filter.rotation_interval == 2.5
+    assert [wave.kind for wave in spec.waves] == ["syn-flood", "worm"]
+    assert spec.waves[0].targets == ("site0", "site2")
+    assert spec.roamers[0].name == "laptop"
+    assert spec.roamers[0].visit == "site3"
+
+
+@needs_tomllib
+def test_load_scenario_surfaces_validation_errors(tmp_path):
+    path = tmp_path / "bad.toml"
+    path.write_text('name = "bad"\ntopology = "ring"\n')
+    with pytest.raises(ValueError, match="unknown topology"):
+        load_scenario(path)
+
+
+@needs_tomllib
+def test_example_scenario_file_loads():
+    from pathlib import Path
+
+    example = (Path(__file__).resolve().parents[2]
+               / "examples" / "scenarios" / "fat_tree.toml")
+    spec = load_scenario(example)
+    assert spec.topology == "fat-tree"
+    assert spec.sites >= 2

@@ -1,0 +1,82 @@
+"""Generated topologies: dominator-validated placement, disjoint site spaces."""
+
+import pytest
+
+from repro.scenarios.topologies import (
+    allocate_site_spaces,
+    build_topology,
+    cross_datacenter,
+    fat_tree,
+    multi_isp,
+)
+from repro.sim.topology import NodeKind
+
+ALL_KINDS = ("fat-tree", "multi-isp", "cross-dc")
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@pytest.mark.parametrize("num_sites", [1, 3, 5])
+def test_placement_is_always_a_dominator(kind, num_sites):
+    msite = build_topology(kind, num_sites)
+    assert len(msite.sites) == num_sites
+    for binding in msite.sites:
+        valid = msite.topology.valid_filter_locations(binding.name)
+        assert binding.placement in valid
+        assert binding.placement == binding.edge_router
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_every_topology_is_multi_peer(kind):
+    """The interesting property regime: traffic can enter through more
+    than one peering point, so naive walk-up placement is not trivially
+    correct and the dominator check is load-bearing."""
+    msite = build_topology(kind, 3)
+    assert len(msite.topology.nodes_of_kind(NodeKind.PEER)) >= 2
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_site_spaces_are_disjoint(kind):
+    msite = build_topology(kind, 4)
+    networks = [net for binding in msite.sites
+                for net in binding.space.networks]
+    firsts = [net.first for net in networks]
+    assert len(set(firsts)) == len(firsts)
+    # Class-C blocks at distinct firsts cannot overlap.
+    assert all(net.num_addresses == 256 for net in networks)
+
+
+def test_allocate_site_spaces_are_consecutive_blocks():
+    spaces = allocate_site_spaces(3, 2, first_network="10.0.0.0")
+    assert [len(space.networks) for space in spaces] == [2, 2, 2]
+    assert spaces[1].networks[0].first - spaces[0].networks[0].first == 2 << 8
+    assert not spaces[0].contains_int(spaces[1].networks[0].first)
+
+
+def test_site_lookup():
+    msite = fat_tree(2)
+    assert msite.site("site1").name == "site1"
+    with pytest.raises(KeyError):
+        msite.site("site9")
+
+
+def test_more_sites_than_edges_round_robins():
+    msite = multi_isp(6, isps=2, edges_per_isp=2)  # 4 edges, 6 sites
+    edges = [binding.edge_router for binding in msite.sites]
+    assert edges[0] == edges[4] and edges[1] == edges[5]
+    # Shared edge routers still dominate both their sites.
+    for binding in msite.sites:
+        assert binding.placement in msite.topology.valid_filter_locations(
+            binding.name)
+
+
+def test_cross_dc_peers_are_multi_homed():
+    msite = cross_datacenter(2, dcs=2)
+    graph = msite.topology.topology if hasattr(
+        msite.topology, "topology") else msite.topology.graph
+    for dc in range(2):
+        assert len(list(graph.neighbors(f"wan{dc}"))) == 2
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(KeyError, match="unknown topology kind"):
+        build_topology("ring", 3)

@@ -1,0 +1,62 @@
+"""Property proof: ``valid_filter_locations`` is exactly the dominator set.
+
+The paper's placement rule — "the bitmap filter can be installed at any
+location through which traffic from client networks must pass" — has a
+brute-force oracle: a router is a mandatory waypoint iff deleting it from
+the graph disconnects the client network from *every* peering point.  The
+implementation computes the same set via ``nx.immediate_dominators`` over a
+virtual-source graph; this suite proves the two agree on randomly generated
+multi-peer topologies (including disconnected ones), not just the
+hand-drawn Figure 1 example.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.sim.topology import IspTopology, NodeKind
+from tests.strategies import isp_topologies
+
+
+def dominator_oracle(topo: IspTopology, client: str) -> frozenset:
+    """Routers whose removal disconnects the client from all peers."""
+    graph = topo.graph
+    peers = topo.nodes_of_kind(NodeKind.PEER)
+
+    def reachable_without(blocked):
+        g = graph.copy()
+        if blocked is not None:
+            g.remove_node(blocked)
+        return any(nx.has_path(g, peer, client) for peer in peers)
+
+    if not reachable_without(None):
+        return frozenset()
+    routers = (topo.nodes_of_kind(NodeKind.CORE)
+               + topo.nodes_of_kind(NodeKind.EDGE))
+    return frozenset(r for r in routers if not reachable_without(r))
+
+
+@settings(max_examples=150, deadline=None)
+@given(topo=isp_topologies())
+def test_valid_filter_locations_equals_removal_oracle(topo):
+    assert topo.valid_filter_locations("client") == dominator_oracle(
+        topo, "client")
+
+
+@settings(max_examples=60, deadline=None)
+@given(topo=isp_topologies())
+def test_attach_edge_router_dominates_whenever_client_is_reachable(topo):
+    """A leaf client's sole attachment edge router is always a dominator
+    (or the client is unreachable and the set is empty)."""
+    valid = topo.valid_filter_locations("client")
+    (attach,) = list(topo.graph.neighbors("client"))
+    if valid:
+        assert attach in valid
+    else:
+        assert dominator_oracle(topo, "client") == frozenset()
+
+
+def test_paper_example_agrees_with_oracle():
+    topo = IspTopology.paper_example()
+    for client in ("clientA", "clientB", "clientC"):
+        assert topo.valid_filter_locations(client) == dominator_oracle(
+            topo, client)

@@ -196,6 +196,62 @@ def bitmap_snapshot_states(draw, num_vectors: int = 4, order: int = 10,
 
 
 @st.composite
+def isp_topologies(draw, max_core: int = 5, max_edge: int = 4,
+                   max_peer: int = 3):
+    """Random multi-peer ISP graphs with one client network attached.
+
+    Router-router links are an arbitrary subset of all pairs (the graph
+    may be disconnected — unreachable clients are a case the dominator
+    analysis must handle), every peer gets at least one uplink, and the
+    client hangs off a drawn edge router.  This is the input space for the
+    property that ``valid_filter_locations`` is *exactly* the set of
+    routers whose removal disconnects the client from every peer.
+    """
+    from repro.sim.topology import IspTopology
+
+    topo = IspTopology()
+    cores = [f"core{i}" for i in range(draw(st.integers(1, max_core)))]
+    edges = [f"edge{i}" for i in range(draw(st.integers(1, max_edge)))]
+    peers = [f"peer{i}" for i in range(draw(st.integers(1, max_peer)))]
+    for name in cores:
+        topo.add_core_router(name)
+    for name in edges:
+        topo.add_edge_router(name)
+    for name in peers:
+        topo.add_peer(name)
+    routers = cores + edges
+    pairs = [(a, b) for i, a in enumerate(routers)
+             for b in routers[i + 1:]]
+    for a, b in draw(st.lists(st.sampled_from(pairs), unique=True,
+                              max_size=len(pairs))):
+        topo.connect(a, b)
+    for peer in peers:
+        for target in draw(st.lists(st.sampled_from(routers), min_size=1,
+                                    max_size=3, unique=True)):
+            topo.connect(peer, target)
+    topo.add_client_network("client", draw(st.sampled_from(edges)))
+    return topo
+
+
+@st.composite
+def flow_size_cdfs(draw, max_points: int = 8):
+    """Random valid :class:`~repro.traffic.modern.FlowSizeCDF` point sets:
+    probabilities strictly increasing and ending at 1.0, sizes positive
+    and non-decreasing — the whole constructor-accepted space, not just
+    the two canonical mixes."""
+    from repro.traffic.modern import FlowSizeCDF
+
+    n = draw(st.integers(2, max_points))
+    probs = sorted(draw(st.lists(
+        st.floats(0.01, 0.99), min_size=n - 1, max_size=n - 1,
+        unique=True))) + [1.0]
+    sizes = sorted(draw(st.lists(
+        st.floats(0.5, 1e6, allow_nan=False, allow_infinity=False),
+        min_size=n, max_size=n)))
+    return FlowSizeCDF("drawn", tuple(zip(probs, sizes)))
+
+
+@st.composite
 def rotation_straddling_arrays(draw, rotation_interval: float = 5.0,
                                num_vectors: int = 4):
     """PacketArrays whose timestamps deliberately cluster around rotation

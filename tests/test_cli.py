@@ -212,3 +212,119 @@ class TestStatsFromUrl:
         with pytest.raises(SystemExit, match="--experiment NAME or "
                                              "--from-url URL"):
             main(["stats"])
+
+
+class TestAdvise:
+    def test_prints_recommended_geometry(self, capsys):
+        assert main(["advise", "-c", "15000"]) == 0
+        out = capsys.readouterr().out
+        assert "c=15000" in out
+        assert "-bitmap" in out and "predicted" in out
+
+    def test_honors_geometry_knobs(self, capsys):
+        assert main(["advise", "-c", "500", "--te", "40", "--dt", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Te=40s" in out and "dt=10s" in out
+
+    def test_connections_flag_required(self):
+        with pytest.raises(SystemExit):
+            main(["advise"])
+
+
+class TestFleetStatsDown:
+    @staticmethod
+    def _metrics_server():
+        import http.server
+        import threading
+
+        from repro.telemetry import to_prometheus
+        from repro.telemetry.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("repro_serve_packets_total", "Packets").inc(77)
+        payload = to_prometheus(reg).encode()
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):
+                self.send_response(200)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args):
+                pass
+
+        server = http.server.HTTPServer(("127.0.0.1", 0), Handler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return server, thread
+
+    @staticmethod
+    def _dead_port():
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_one_down_node_is_reported_and_rest_merged(self, capsys):
+        server, thread = self._metrics_server()
+        try:
+            host, port = server.server_address
+            dead = self._dead_port()
+            assert main(["fleet-stats", "--nodes",
+                         f"{host}:{port},{host}:{dead}",
+                         "--timeout", "2"]) == 0
+        finally:
+            server.shutdown()
+            thread.join()
+        out = capsys.readouterr().out
+        assert "1 nodes scraped, 1 DOWN" in out
+        assert "DOWN node1" in out
+        assert "repro_serve_packets_total" in out and "77" in out
+
+    def test_every_node_down_aborts_with_detail(self):
+        dead = self._dead_port()
+        with pytest.raises(SystemExit,
+                           match="every node unreachable") as excinfo:
+            main(["fleet-stats", "--nodes", f"127.0.0.1:{dead}",
+                  "--timeout", "2"])
+        assert "node0" in str(excinfo.value)
+
+
+class TestMultisiteCli:
+    def test_runs_a_scenario_file_offline(self, capsys, tmp_path):
+        scenario = tmp_path / "tiny.toml"
+        scenario.write_text("""
+name = "cli-tiny"
+topology = "fat-tree"
+sites = 2
+duration = 6.0
+seed = 3
+
+[traffic]
+mix = "campus"
+pps = 40.0
+
+[filter]
+order = 12
+rotation_interval = 2.0
+
+[[waves]]
+kind = "scan"
+rate_multiplier = 4.0
+site_stagger = 1.0
+""")
+        assert main(["multisite", "--scenario", str(scenario)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario cli-tiny" in out
+        assert "site0" in out and "site1" in out and "TOTAL" in out
+        assert "p(pen)" in out and "advised" in out
+
+    def test_unknown_preset_aborts(self):
+        with pytest.raises(SystemExit, match="unknown preset"):
+            main(["multisite", "--preset", "moebius/voip"])
+
+    def test_verify_requires_online(self):
+        with pytest.raises(SystemExit, match="--verify requires --online"):
+            main(["multisite", "--verify"])

@@ -1,0 +1,229 @@
+"""Modern traffic models: CDF sampling, NAT, IPv6 folding, seed stability.
+
+The modern workload (:mod:`repro.traffic.modern`) feeds the multi-site
+scenario engine, so its determinism contract is the same one the campus
+generator honors: draws come only from ``random.Random(seed)`` and seeded
+numpy generators, never ``hash()`` — a fixed seed yields a byte-identical
+packet table in-process, across interpreter launches with adversarial
+``PYTHONHASHSEED`` values, and across releases (the pinned digests below).
+"""
+
+import os
+import subprocess
+import sys
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.net.address import AddressSpace
+from repro.traffic.modern import (
+    DATA_MINING,
+    WEB_SEARCH,
+    FlowSizeCDF,
+    Ipv6Folding,
+    ModernWorkload,
+    ModernWorkloadConfig,
+    NatPool,
+    asymmetric_route,
+    generate_modern_trace,
+    mix_cdf,
+)
+from tests.strategies import flow_size_cdfs
+
+import random
+
+SPACE = AddressSpace.class_c_block("172.16.0.0", 2)
+
+#: Release-pinned digests: regenerating these traces on any interpreter must
+#: reproduce these exact SHA-256 fingerprints.  A change here is a
+#: generator-behavior change and must be deliberate.
+PINNED = {
+    "web-search": "a7b4906f3ea870e9e5d05aa4fe375907c13dd6b0d282daf409be58a029f0f9ef",
+    "data-mining-nat-v6-asym":
+        "a9ddb9686a5a3f20a0f6f3c96f5930f84ffd5d6766f87e3db9c23728cc6983b8",
+}
+
+_DIGEST_SCRIPT = """
+from repro.traffic.modern import generate_modern_trace
+print(generate_modern_trace(
+    "web-search", duration=12.0, target_pps=200.0, seed=1234).digest())
+print(generate_modern_trace(
+    "data-mining", duration=12.0, target_pps=200.0, seed=1234,
+    nat_pool=4, ipv6=True, asymmetry=0.3).digest())
+"""
+
+
+def _web():
+    return generate_modern_trace(
+        "web-search", duration=12.0, target_pps=200.0, seed=1234)
+
+
+def _dm():
+    return generate_modern_trace(
+        "data-mining", duration=12.0, target_pps=200.0, seed=1234,
+        nat_pool=4, ipv6=True, asymmetry=0.3)
+
+
+# ---------------------------------------------------------------- CDF model
+
+def test_canonical_mixes_are_valid_and_distinct():
+    assert mix_cdf("web-search") is WEB_SEARCH
+    assert mix_cdf("data-mining") is DATA_MINING
+    # Data-mining is the elephant-heavy mix of the pair.
+    assert DATA_MINING.mean_kbytes() > WEB_SEARCH.mean_kbytes()
+
+
+def test_cdf_rejects_malformed_points():
+    with pytest.raises(ValueError):
+        FlowSizeCDF("bad", ((0.5, 10.0),))            # does not end at 1.0
+    with pytest.raises(ValueError):
+        FlowSizeCDF("bad", ((0.9, 10.0), (1.0, 5.0)))  # sizes decrease
+    with pytest.raises(ValueError):
+        FlowSizeCDF("bad", ((1.0, 10.0), (1.0, 20.0)))  # probs not increasing
+    with pytest.raises(ValueError):
+        FlowSizeCDF("bad", ((1.0, -3.0),))             # non-positive size
+
+
+@settings(max_examples=60, deadline=None)
+@given(cdf=flow_size_cdfs(), seed=st.integers(0, 2**31 - 1))
+def test_samples_stay_within_the_cdf_support(cdf, seed):
+    rng = random.Random(seed)
+    largest = cdf.points[-1][1]
+    for _ in range(32):
+        sample = cdf.sample_kbytes(rng)
+        assert 0 < sample <= largest + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(cdf=flow_size_cdfs(), seed=st.integers(0, 2**31 - 1))
+def test_sampling_is_seed_deterministic(cdf, seed):
+    a = [cdf.sample_kbytes(random.Random(seed)) for _ in range(4)]
+    b = [cdf.sample_kbytes(random.Random(seed)) for _ in range(4)]
+    assert a == b
+
+
+def test_unknown_mix_name_raises():
+    with pytest.raises(KeyError):
+        mix_cdf("carrier-pigeon")
+
+
+# ------------------------------------------------------------ NAT and IPv6
+
+def test_nat_pool_bounds_unique_public_sources():
+    pool = NatPool(SPACE, pool_size=4)
+    rng = random.Random(99)
+    addrs = {pool.translate(rng)[0] for _ in range(256)}
+    assert 1 <= len(addrs) <= 4
+    assert all(SPACE.contains_int(addr) for addr in addrs)
+
+
+def test_nat_trace_uses_at_most_pool_size_outgoing_sources():
+    trace = generate_modern_trace(
+        "web-search", duration=8.0, target_pps=150.0, seed=7, nat_pool=3)
+    packets = trace.packets
+    outgoing = packets.directions(trace.protected) == 0
+    assert len(np.unique(packets.src[outgoing])) <= 3
+
+
+def test_ipv6_folding_is_stable_and_respects_direction():
+    fold = Ipv6Folding(SPACE)
+    client_v6 = int.from_bytes(b"\x20\x01" + b"\xab" * 14, "big")
+    server_v6 = int.from_bytes(b"\x26\x06" + b"\xcd" * 14, "big")
+    client = fold.fold_client(client_v6)
+    server = fold.fold_server(server_v6)
+    assert client == fold.fold_client(client_v6)
+    assert server == fold.fold_server(server_v6)
+    assert SPACE.contains_int(client)
+    assert not SPACE.contains_int(server)
+
+
+# ------------------------------------------------------- asymmetric routing
+
+def test_asymmetric_route_drops_only_outgoing_packets():
+    trace = _web()
+    routed = asymmetric_route(trace, 0.4, seed=5)
+    directions = trace.packets.directions(trace.protected)
+    incoming_before = int(np.count_nonzero(directions == 1))
+    routed_dirs = routed.packets.directions(routed.protected)
+    assert int(np.count_nonzero(routed_dirs == 1)) == incoming_before
+    assert len(routed.packets) < len(trace.packets)
+    assert routed.metadata["asymmetric_fraction"] == 0.4
+
+
+def test_asymmetric_route_is_deterministic():
+    trace = _web()
+    assert (asymmetric_route(trace, 0.4, seed=5).digest()
+            == asymmetric_route(trace, 0.4, seed=5).digest())
+    assert (asymmetric_route(trace, 0.4, seed=5).digest()
+            != asymmetric_route(trace, 0.4, seed=6).digest())
+
+
+def test_asymmetric_fraction_zero_is_identity():
+    trace = _web()
+    assert len(asymmetric_route(trace, 0.0, seed=5).packets) == len(
+        trace.packets)
+
+
+# ------------------------------------------------------------ seed stability
+
+def test_config_requires_exactly_one_rate():
+    with pytest.raises(ValueError):
+        ModernWorkloadConfig(mix="web-search")
+    with pytest.raises(ValueError):
+        ModernWorkloadConfig(mix="web-search", flow_rate=1.0, target_pps=10.0)
+
+
+def test_same_seed_same_digest_in_process():
+    assert _web().digest() == _web().digest()
+    assert _dm().digest() == _dm().digest()
+
+
+def test_different_seeds_differ():
+    other = generate_modern_trace(
+        "web-search", duration=12.0, target_pps=200.0, seed=4321)
+    assert other.digest() != _web().digest()
+
+
+def test_digests_match_release_pins():
+    assert _web().digest() == PINNED["web-search"]
+    assert _dm().digest() == PINNED["data-mining-nat-v6-asym"]
+
+
+def test_trace_metadata_names_the_mix():
+    assert _web().metadata["kind"] == "modern-web-search"
+    assert _dm().metadata["kind"] == "modern-data-mining"
+
+
+@pytest.mark.slow
+def test_same_seed_same_digest_across_hash_seeds():
+    """Fresh interpreters with adversarial PYTHONHASHSEED values must all
+    reproduce the pinned digests — the NAT pool, IPv6 folding, and CDF
+    sampling paths cannot depend on str/bytes hash randomization."""
+    expected = [PINNED["web-search"], PINNED["data-mining-nat-v6-asym"]]
+    for hash_seed in ("0", "1", "42"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), *sys.path) if p)
+        out = subprocess.run(
+            [sys.executable, "-c", _DIGEST_SCRIPT],
+            capture_output=True, text=True, env=env, check=True, timeout=300)
+        assert out.stdout.split() == expected, hash_seed
+
+
+def test_resolved_flow_rate_matches_target_pps_calibration():
+    config = ModernWorkloadConfig(
+        mix="web-search", duration=12.0, target_pps=200.0, seed=1234)
+    workload = ModernWorkload(config)
+    per_flow = workload.estimate_packets_per_flow()
+    assert per_flow > 0
+    assert workload.resolved_flow_rate() == pytest.approx(
+        200.0 / per_flow)
+
+
+def test_explicit_flow_rate_round_trips():
+    config = ModernWorkloadConfig(
+        mix="data-mining", duration=6.0, flow_rate=2.5, seed=3)
+    assert ModernWorkload(config).resolved_flow_rate() == 2.5
